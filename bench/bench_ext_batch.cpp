@@ -1,0 +1,67 @@
+// Extension bench: multi-threaded batch factorization throughput — the CPU
+// counterpart of the paper's batch-512 GPU trials (core/batch.hpp).
+#include <iostream>
+#include <thread>
+
+#include "common.hpp"
+#include "core/batch.hpp"
+
+namespace {
+
+using namespace factorhd;
+using namespace factorhd::bench;
+
+}  // namespace
+
+int main() {
+  std::cout << "==============================================================\n"
+            << "Extension: batch factorization throughput vs thread count\n"
+            << "(Rep 1, F=3, M=256, D=750, batch of 512 targets)\n"
+            << "==============================================================\n";
+  const std::uint64_t seed = util::experiment_seed();
+  util::Xoshiro256 rng(seed);
+  const tax::Taxonomy taxonomy(3, {256});
+  const tax::TaxonomyCodebooks books(taxonomy, 750, rng);
+  const core::Encoder encoder(books);
+  const core::Factorizer factorizer(encoder);
+
+  const std::size_t batch = util::bench_full_scale() ? 2048 : 512;
+  std::vector<tax::Object> truth;
+  std::vector<hdc::Hypervector> targets;
+  truth.reserve(batch);
+  targets.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    truth.push_back(tax::random_object(taxonomy, rng));
+    targets.push_back(encoder.encode_object(truth.back()));
+  }
+
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  std::cout << "hardware threads: " << hw << "\n\n";
+  util::TextTable table(
+      {"threads", "wall time", "objects/s", "speedup", "accuracy"});
+  double t1 = 0.0;
+  for (std::size_t threads = 1; threads <= hw; threads *= 2) {
+    core::BatchOptions bopts;
+    bopts.num_threads = threads;
+    const core::BatchFactorizer batcher(factorizer, bopts);
+    util::Stopwatch sw;
+    const auto results = batcher.factorize_all(targets, {});
+    const double elapsed = sw.elapsed_seconds();
+    if (threads == 1) t1 = elapsed;
+    std::size_t ok = 0;
+    for (std::size_t i = 0; i < batch; ++i) {
+      if (results[i].objects[0].to_object(3) == truth[i]) ++ok;
+    }
+    table.add_row(
+        {std::to_string(threads), util::fmt_time_us(elapsed * 1e6),
+         util::fmt_double(static_cast<double>(batch) / elapsed, 0),
+         util::fmt_double(t1 / elapsed, 2) + "x",
+         util::fmt_percent(static_cast<double>(ok) /
+                           static_cast<double>(batch))});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: near-linear scaling while cores last;\n"
+               "accuracy identical at every thread count (factorization is\n"
+               "deterministic and side-effect-free).\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Extension bench: noise tolerance of FactorHD factorization.
+//
+// HDC's headline robustness claim (paper §I: "high computation efficiency
+// and noise tolerance") quantified: corrupt a fraction of the stored object
+// HV's components (sign flips for nonzero components, the bit-flip model of
+// a noisy memory substrate) and measure factorization accuracy.
+#include <iostream>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace factorhd;
+using namespace factorhd::bench;
+
+double noisy_rep1_accuracy(std::size_t dim, double flip_fraction,
+                           std::size_t trials, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const tax::Taxonomy taxonomy(3, {32});
+  const tax::TaxonomyCodebooks books(taxonomy, dim, rng);
+  const core::Encoder encoder(books);
+  const core::Factorizer factorizer(encoder);
+  std::size_t ok = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const tax::Object obj = tax::random_object(taxonomy, rng);
+    hdc::Hypervector target = encoder.encode_object(obj);
+    // Component corruption: negate a random subset (zeros stay zero — a
+    // flipped zero has no sign; this matches sign-storage bit flips).
+    for (std::size_t i = 0; i < target.dim(); ++i) {
+      if (rng.bernoulli(flip_fraction)) target[i] = -target[i];
+    }
+    if (factorizer.factorize_single(target).to_object(3) == obj) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(trials);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "==============================================================\n"
+            << "Extension: factorization accuracy under component corruption\n"
+            << "(Rep 1, F=3, M=32)\n"
+            << "==============================================================\n";
+  const std::size_t trials = trials_or_default(96, 768);
+  const std::uint64_t seed = util::experiment_seed();
+
+  util::TextTable table(
+      {"flip fraction", "D=256", "D=512", "D=1024", "D=2048"});
+  for (const double flips : {0.0, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40}) {
+    std::vector<std::string> row{util::fmt_percent(flips, 0)};
+    for (const std::size_t d : {256u, 512u, 1024u, 2048u}) {
+      row.push_back(
+          util::fmt_percent(noisy_rep1_accuracy(d, flips, trials, seed)));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: graceful degradation — the similarity\n"
+               "signal attenuates by (1 - 2*flips), so the tolerable noise\n"
+               "floor grows with D; near-perfect accuracy should persist to\n"
+               "~15-20% corruption at D >= 1024.\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Fig. 4(e) and 4(f): factorization accuracy of FactorHD vs the C-I
+// (class-instance) model at matched storage (C-I: D=256 for F=3, D=512 for
+// F=4; FactorHD at D/2), with varying codebook size.
+//
+// Two regimes are reported:
+//  * single object — both models are strong; C-I loses ground as the
+//    codebook grows because role-binding cross-talk scales with F;
+//  * two objects — the C-I model's superposition catastrophe: it can recover
+//    per-class item *sets* but carries no information about which items form
+//    an object, so object-level recovery is near chance association while
+//    FactorHD's combination check resolves the binding.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "baselines/ci_model.hpp"
+#include "common.hpp"
+#include "hdc/packed.hpp"
+
+namespace {
+
+using namespace factorhd;
+using namespace factorhd::bench;
+
+/// C-I single-object accuracy.
+double ci_single(std::size_t dim, std::size_t f, std::size_t m,
+                 std::size_t trials, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const baselines::CIModel model(dim, f, m, rng);
+  std::size_t correct = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::vector<std::size_t> truth(f);
+    for (auto& i : truth) i = rng.uniform(m);
+    if (model.factorize_single(model.encode(truth)) == truth) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(trials);
+}
+
+/// C-I two-object scene recovery: per-class top-2 sets plus the only
+/// association policy available to the model (rank order by similarity).
+double ci_two_objects(std::size_t dim, std::size_t f, std::size_t m,
+                      std::size_t trials, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const baselines::CIModel model(dim, f, m, rng);
+  std::size_t correct = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::vector<std::size_t> a(f), b(f);
+    for (std::size_t c = 0; c < f; ++c) {
+      a[c] = rng.uniform(m);
+      do {
+        b[c] = rng.uniform(m);
+      } while (b[c] == a[c]);
+    }
+    const auto sets =
+        model.factorize_scene_sets(model.encode_scene({a, b}), 2);
+    // Associate by rank: strongest item of each class forms object 1 —
+    // the model offers no better signal (superposition catastrophe).
+    std::vector<std::size_t> o1(f), o2(f);
+    for (std::size_t c = 0; c < f; ++c) {
+      o1[c] = sets[c][0];
+      o2[c] = sets[c][1];
+    }
+    const bool straight = (o1 == a && o2 == b) || (o1 == b && o2 == a);
+    if (straight) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(trials);
+}
+
+/// FactorHD two-object accuracy at matched (halved) dimension.
+double fhd_two_objects(std::size_t dim, std::size_t f, std::size_t m,
+                       std::size_t trials, std::uint64_t seed) {
+  return factorhd_rep3(dim, f, {m}, 2, /*threshold=*/0.0, trials, seed)
+      .accuracy;
+}
+
+void run_family(std::size_t f, std::size_t ci_dim,
+                const std::vector<std::size_t>& m_values) {
+  const std::size_t trials = trials_or_default(48, 512);
+  const std::uint64_t seed = util::experiment_seed();
+  const std::size_t fhd_dim = hdc::fair_ternary_dim(ci_dim);
+
+  std::cout << "\n--- F = " << f << ", C-I D = " << ci_dim
+            << ", FactorHD D = " << fhd_dim << " (equal storage), " << trials
+            << " trials/point ---\n";
+  util::TextTable table({"M", "problem size", "FactorHD 1-obj", "C-I 1-obj",
+                         "FactorHD 2-obj", "C-I 2-obj"});
+  for (const std::size_t m : m_values) {
+    const double size =
+        std::pow(static_cast<double>(m), static_cast<double>(f));
+    const Measurement fhd1 = factorhd_rep1(fhd_dim, f, m, trials, seed);
+    const double ci1 = ci_single(ci_dim, f, m, trials, seed + 1);
+    const double fhd2 = fhd_two_objects(fhd_dim, f, m, trials, seed + 2);
+    const double ci2 = ci_two_objects(ci_dim, f, m, trials, seed + 3);
+    table.add_row({std::to_string(m), util::fmt_sci(size),
+                   util::fmt_percent(fhd1.accuracy), util::fmt_percent(ci1),
+                   util::fmt_percent(fhd2), util::fmt_percent(ci2)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "==============================================================\n"
+            << "Fig. 4(e,f) reproduction: FactorHD vs the C-I model at\n"
+            << "matched storage, varying codebook size\n"
+            << "==============================================================\n";
+  if (factorhd::util::bench_full_scale()) {
+    run_family(3, 256, {8, 16, 32, 64, 128, 256});
+    run_family(4, 512, {8, 16, 32, 64, 128});
+  } else {
+    run_family(3, 256, {8, 16, 32, 64});
+    run_family(4, 512, {8, 16, 32, 64});
+  }
+  std::cout << "\nExpected shape: comparable single-object accuracy (FactorHD\n"
+               "higher while carrying richer structure); for two objects the\n"
+               "C-I model collapses toward chance association while FactorHD\n"
+               "recovers the full objects.\n";
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Google-benchmark microbenchmarks of the HDC kernels every experiment is
+// built from: bundling, binding, dot-product similarity (int32 and packed
+// bit-level), encoding, and one-pass factorization. These quantify the
+// per-operation costs behind the Fig. 4 timing sweeps.
+#include <benchmark/benchmark.h>
+
+#include "core/factorhd.hpp"
+#include "hdc/packed.hpp"
+
+namespace {
+
+using namespace factorhd;
+
+void BM_Bind(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(1);
+  const hdc::Hypervector a = hdc::random_bipolar(dim, rng);
+  const hdc::Hypervector b = hdc::random_bipolar(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::bind(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_Bind)->Arg(750)->Arg(1500)->Arg(8192);
+
+void BM_Bundle(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(2);
+  const hdc::Hypervector a = hdc::random_bipolar(dim, rng);
+  hdc::Hypervector acc(dim);
+  for (auto _ : state) {
+    hdc::accumulate(acc, a);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_Bundle)->Arg(750)->Arg(1500)->Arg(8192);
+
+void BM_DotInt32(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(3);
+  const hdc::Hypervector a = hdc::random_bipolar(dim, rng);
+  const hdc::Hypervector b = hdc::random_bipolar(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::dot(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_DotInt32)->Arg(750)->Arg(1500)->Arg(8192);
+
+void BM_DotPackedBipolar(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(4);
+  const hdc::PackedBipolar a{hdc::random_bipolar(dim, rng)};
+  const hdc::PackedBipolar b{hdc::random_bipolar(dim, rng)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.dot(b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_DotPackedBipolar)->Arg(750)->Arg(1500)->Arg(8192);
+
+void BM_DotPackedTernary(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(5);
+  const hdc::PackedTernary a{hdc::random_ternary(dim, 0.5, rng)};
+  const hdc::PackedTernary b{hdc::random_ternary(dim, 0.5, rng)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.dot(b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_DotPackedTernary)->Arg(750)->Arg(1500)->Arg(8192);
+
+struct Fixture {
+  Fixture(std::size_t dim, std::size_t f, std::size_t m)
+      : rng(7), taxonomy(f, {m}), books(taxonomy, dim, rng), encoder(books),
+        factorizer(encoder), obj(tax::random_object(taxonomy, rng)),
+        target(encoder.encode_object(obj)) {}
+  util::Xoshiro256 rng;
+  tax::Taxonomy taxonomy;
+  tax::TaxonomyCodebooks books;
+  core::Encoder encoder;
+  core::Factorizer factorizer;
+  tax::Object obj;
+  hdc::Hypervector target;
+};
+
+void BM_EncodeObject(benchmark::State& state) {
+  Fixture fx(static_cast<std::size_t>(state.range(0)), 3, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.encoder.encode_object(fx.obj));
+  }
+}
+BENCHMARK(BM_EncodeObject)->Arg(750)->Arg(1500);
+
+void BM_FactorizeRep1(benchmark::State& state) {
+  Fixture fx(static_cast<std::size_t>(state.range(0)), 3, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.factorizer.factorize(fx.target, {}));
+  }
+}
+BENCHMARK(BM_FactorizeRep1)->Arg(750)->Arg(1500);
+
+void BM_FactorizeRep3TwoObjects(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(8);
+  const tax::Taxonomy taxonomy(3, {10});
+  const tax::TaxonomyCodebooks books(taxonomy, dim, rng);
+  const core::Encoder encoder(books);
+  const core::Factorizer factorizer(encoder);
+  const tax::Scene scene = tax::random_scene(
+      taxonomy, rng, {.num_objects = 2, .object = {}, .allow_duplicates = false});
+  const hdc::Hypervector target = encoder.encode_scene(scene);
+  core::FactorizeOptions opts;
+  opts.multi_object = true;
+  opts.num_objects_hint = 2;
+  opts.max_objects = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(factorizer.factorize(target, opts));
+  }
+}
+BENCHMARK(BM_FactorizeRep3TwoObjects)->Arg(2000)->Arg(4000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

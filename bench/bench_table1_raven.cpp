@@ -1,0 +1,115 @@
+// Table I reproduction: factorization accuracy on RAVEN-like test sets, per
+// constellation and HV dimension.
+//
+// Each trial draws a random panel (1-9 objects with position / color /
+// size-type attributes), encodes the scene, and requires exact multiset
+// recovery by multi-object factorization. A second sweep adds the simulated
+// perception front end (per-attribute observation error), reporting the
+// end-to-end neuro-symbolic accuracy the paper's Table I measures with its
+// trained network.
+#include <iostream>
+
+#include "common.hpp"
+#include "data/raven_like.hpp"
+
+namespace {
+
+using namespace factorhd;
+using namespace factorhd::bench;
+
+struct RavenResult {
+  double scene_accuracy = 0.0;   ///< exact multiset recovery
+  double object_accuracy = 0.0;  ///< per-object recovery rate
+};
+
+RavenResult run(data::Constellation constellation, std::size_t dim,
+                double perception_error, std::size_t trials,
+                std::uint64_t seed) {
+  data::RavenSpec spec;
+  spec.constellation = constellation;
+  spec.perception_error = perception_error;
+  util::Xoshiro256 rng(seed);
+  const tax::Taxonomy taxonomy = data::raven_taxonomy(spec);
+  const tax::TaxonomyCodebooks books(taxonomy, dim, rng);
+  const core::Encoder encoder(books);
+  const core::Factorizer factorizer(encoder);
+
+  std::size_t scenes_ok = 0, objects_ok = 0, objects_total = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const data::RavenPanel truth = data::random_panel(spec, rng);
+    const data::RavenPanel seen = data::perceive(truth, spec, rng);
+    const tax::Scene scene = data::to_tax_scene(seen, spec);
+    const hdc::Hypervector target = encoder.encode_scene(scene);
+
+    core::FactorizeOptions opts;
+    opts.multi_object = true;
+    opts.num_objects_hint = scene.size();
+    opts.max_objects = data::position_slots(constellation) + 2;
+    opts.max_candidates_per_class = data::position_slots(constellation) + 3;
+    const core::FactorizeResult r = factorizer.factorize(target, opts);
+
+    tax::Scene recovered;
+    for (const auto& o : r.objects) recovered.push_back(o.to_object(3));
+    // Score against the *ground truth* panel: perception errors count
+    // against the pipeline, exactly as a trained front end's would.
+    const tax::Scene truth_scene = data::to_tax_scene(truth, spec);
+    if (tax::same_multiset(recovered, truth_scene)) ++scenes_ok;
+    for (const auto& obj : truth_scene) {
+      ++objects_total;
+      for (const auto& rec : recovered) {
+        if (rec == obj) {
+          ++objects_ok;
+          break;
+        }
+      }
+    }
+  }
+  RavenResult out;
+  out.scene_accuracy =
+      static_cast<double>(scenes_ok) / static_cast<double>(trials);
+  out.object_accuracy = objects_total == 0
+                            ? 0.0
+                            : static_cast<double>(objects_ok) /
+                                  static_cast<double>(objects_total);
+  return out;
+}
+
+void sweep(double perception_error) {
+  const std::size_t trials = trials_or_default(24, 200);
+  const std::uint64_t seed = util::experiment_seed();
+  const std::vector<std::size_t> dims = util::bench_full_scale()
+                                            ? std::vector<std::size_t>{256, 500, 1000, 2000}
+                                            : std::vector<std::size_t>{256, 500, 1000};
+
+  std::cout << "\nPer-object recovery accuracy, perception error = "
+            << util::fmt_percent(perception_error) << " (" << trials
+            << " panels/cell; scene-exact in parentheses)\n";
+  std::vector<std::string> header{"constellation"};
+  for (const std::size_t d : dims) header.push_back("D=" + std::to_string(d));
+  util::TextTable table(header);
+  for (const data::Constellation c : data::all_constellations()) {
+    std::vector<std::string> row{data::constellation_name(c)};
+    for (const std::size_t d : dims) {
+      const RavenResult r = run(c, d, perception_error, trials, seed);
+      row.push_back(util::fmt_percent(r.object_accuracy) + " (" +
+                    util::fmt_percent(r.scene_accuracy) + ")");
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "==============================================================\n"
+            << "Table I reproduction: RAVEN-like factorization accuracy per\n"
+            << "constellation and dimension\n"
+            << "==============================================================\n";
+  sweep(/*perception_error=*/0.0);
+  sweep(/*perception_error=*/0.05);
+  std::cout << "\nExpected shape: >=90% for most constellations at D=1000,\n"
+               "decent accuracy retained at reduced D; dense grids (3x3Grid)\n"
+               "degrade first as object count approaches bundle capacity.\n";
+  return 0;
+}

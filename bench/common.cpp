@@ -1,0 +1,166 @@
+#include "common.hpp"
+
+namespace factorhd::bench {
+
+std::size_t trials_or_default(std::size_t reduced, std::size_t full) {
+  const std::int64_t forced = util::env_int("FACTORHD_TRIALS", 0);
+  if (forced > 0) return static_cast<std::size_t>(forced);
+  return util::bench_full_scale() ? full : reduced;
+}
+
+Measurement factorhd_rep1(std::size_t dim, std::size_t num_factors,
+                          std::size_t codebook_size, std::size_t trials,
+                          std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const tax::Taxonomy taxonomy(num_factors, {codebook_size});
+  const tax::TaxonomyCodebooks books(taxonomy, dim, rng);
+  const core::Encoder encoder(books);
+  const core::Factorizer factorizer(encoder);
+
+  Measurement m;
+  m.trials = trials;
+  std::vector<double> times;
+  times.reserve(trials);
+  std::size_t correct = 0;
+  double ops = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const tax::Object obj = tax::random_object(taxonomy, rng);
+    const hdc::Hypervector target = encoder.encode_object(obj);
+    util::Stopwatch sw;
+    const core::FactorizeResult r = factorizer.factorize(target, {});
+    times.push_back(sw.elapsed_us());
+    if (r.objects[0].to_object(num_factors) == obj) ++correct;
+    ops += static_cast<double>(r.similarity_ops);
+  }
+  m.accuracy = static_cast<double>(correct) / static_cast<double>(trials);
+  const util::Summary s = util::summarize(times);
+  m.mean_time_us = s.mean;
+  m.median_time_us = util::median(times);
+  m.mean_similarity_ops = ops / static_cast<double>(trials);
+  m.mean_iterations = 1.0;
+  return m;
+}
+
+Measurement resonator_rep1(std::size_t dim, std::size_t num_factors,
+                           std::size_t codebook_size, std::size_t trials,
+                           std::size_t max_iterations, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const baselines::CCModel model(dim, num_factors, codebook_size, rng);
+  baselines::ResonatorOptions opts;
+  opts.max_iterations = max_iterations;
+  const baselines::ResonatorNetwork net(model, opts);
+
+  Measurement m;
+  m.trials = trials;
+  std::vector<double> times;
+  times.reserve(trials);
+  std::size_t correct = 0;
+  double ops = 0.0, iters = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::vector<std::size_t> truth(num_factors);
+    for (auto& idx : truth) idx = rng.uniform(codebook_size);
+    const hdc::Hypervector target = model.encode(truth);
+    util::Stopwatch sw;
+    const baselines::ResonatorResult r = net.factorize(target);
+    times.push_back(sw.elapsed_us());
+    if (r.converged && r.factors == truth) ++correct;
+    ops += static_cast<double>(r.similarity_ops);
+    iters += static_cast<double>(r.iterations);
+  }
+  m.accuracy = static_cast<double>(correct) / static_cast<double>(trials);
+  m.mean_time_us = util::summarize(times).mean;
+  m.median_time_us = util::median(times);
+  m.mean_similarity_ops = ops / static_cast<double>(trials);
+  m.mean_iterations = iters / static_cast<double>(trials);
+  return m;
+}
+
+Measurement imc_rep1(std::size_t dim, std::size_t num_factors,
+                     std::size_t codebook_size, std::size_t trials,
+                     std::size_t max_iterations, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const baselines::CCModel model(dim, num_factors, codebook_size, rng);
+  baselines::ImcOptions opts;
+  opts.max_iterations = max_iterations;
+  opts.seed = seed ^ 0xabcdef1234567890ULL;
+
+  Measurement m;
+  m.trials = trials;
+  std::vector<double> times;
+  times.reserve(trials);
+  std::size_t correct = 0;
+  double ops = 0.0, iters = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    baselines::ImcOptions trial_opts = opts;
+    trial_opts.seed = opts.seed + t;
+    const baselines::ImcFactorizer imc(model, trial_opts);
+    std::vector<std::size_t> truth(num_factors);
+    for (auto& idx : truth) idx = rng.uniform(codebook_size);
+    const hdc::Hypervector target = model.encode(truth);
+    util::Stopwatch sw;
+    const baselines::ImcResult r = imc.factorize(target);
+    times.push_back(sw.elapsed_us());
+    if (r.converged && r.factors == truth) ++correct;
+    ops += static_cast<double>(r.similarity_ops);
+    iters += static_cast<double>(r.iterations);
+  }
+  m.accuracy = static_cast<double>(correct) / static_cast<double>(trials);
+  m.mean_time_us = util::summarize(times).mean;
+  m.median_time_us = util::median(times);
+  m.mean_similarity_ops = ops / static_cast<double>(trials);
+  m.mean_iterations = iters / static_cast<double>(trials);
+  return m;
+}
+
+Measurement factorhd_rep3(std::size_t dim, std::size_t num_factors,
+                          const std::vector<std::size_t>& branching,
+                          std::size_t num_objects, double threshold,
+                          std::size_t trials, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const tax::Taxonomy taxonomy(num_factors, branching);
+  const tax::TaxonomyCodebooks books(taxonomy, dim, rng);
+  const core::Encoder encoder(books);
+  const core::Factorizer factorizer(encoder);
+
+  Measurement m;
+  m.trials = trials;
+  std::vector<double> times;
+  times.reserve(trials);
+  std::size_t correct = 0;
+  double ops = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const tax::Scene scene = tax::random_scene(
+        taxonomy, rng,
+        {.num_objects = num_objects, .object = {}, .allow_duplicates = false});
+    const hdc::Hypervector target = encoder.encode_scene(scene);
+    core::FactorizeOptions opts;
+    opts.multi_object = true;
+    opts.threshold = threshold;
+    opts.num_objects_hint = num_objects;
+    opts.max_objects = num_objects + 2;
+    util::Stopwatch sw;
+    const core::FactorizeResult r = factorizer.factorize(target, opts);
+    times.push_back(sw.elapsed_us());
+    tax::Scene recovered;
+    recovered.reserve(r.objects.size());
+    for (const auto& o : r.objects) {
+      recovered.push_back(o.to_object(num_factors));
+    }
+    if (tax::same_multiset(recovered, scene)) ++correct;
+    ops += static_cast<double>(r.similarity_ops);
+  }
+  m.accuracy = static_cast<double>(correct) / static_cast<double>(trials);
+  m.mean_time_us = util::summarize(times).mean;
+  m.median_time_us = util::median(times);
+  m.mean_similarity_ops = ops / static_cast<double>(trials);
+  m.mean_iterations = 1.0;
+  return m;
+}
+
+std::string maybe_csv_path(const std::string& name) {
+  const std::string dir = util::env_string("FACTORHD_CSV_DIR", "");
+  if (dir.empty()) return {};
+  return dir + "/" + name + ".csv";
+}
+
+}  // namespace factorhd::bench

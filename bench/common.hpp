@@ -1,0 +1,67 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench binary runs standalone with laptop-scale defaults and prints
+// paper-style rows to stdout. Environment knobs:
+//   FACTORHD_BENCH_SCALE=full   restore paper-scale sweeps (slow)
+//   FACTORHD_TRIALS=<n>         override per-point trial counts
+//   FACTORHD_SEED=<n>           experiment seed (default 42)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/cc_model.hpp"
+#include "baselines/imc_factorizer.hpp"
+#include "baselines/resonator.hpp"
+#include "core/factorhd.hpp"
+#include "util/env.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace factorhd::bench {
+
+/// Per-point measurement shared by the accuracy/time sweeps.
+struct Measurement {
+  double accuracy = 0.0;
+  double mean_time_us = 0.0;
+  double median_time_us = 0.0;
+  double mean_similarity_ops = 0.0;
+  double mean_iterations = 0.0;  ///< resonator/IMC sweeps; 1 for FactorHD
+  std::size_t trials = 0;
+};
+
+/// Effective trial count: FACTORHD_TRIALS, else `full` when full-scale is on,
+/// else `reduced`.
+std::size_t trials_or_default(std::size_t reduced, std::size_t full);
+
+/// FactorHD on the flat Rep-1 problem (F classes, M items, single object,
+/// single level) at dimension `dim` (already storage-adjusted by the caller).
+Measurement factorhd_rep1(std::size_t dim, std::size_t num_factors,
+                          std::size_t codebook_size, std::size_t trials,
+                          std::uint64_t seed);
+
+/// Resonator network on the same problem at bipolar dimension `dim`.
+Measurement resonator_rep1(std::size_t dim, std::size_t num_factors,
+                           std::size_t codebook_size, std::size_t trials,
+                           std::size_t max_iterations, std::uint64_t seed);
+
+/// IMC stochastic factorizer on the same problem.
+Measurement imc_rep1(std::size_t dim, std::size_t num_factors,
+                     std::size_t codebook_size, std::size_t trials,
+                     std::size_t max_iterations, std::uint64_t seed);
+
+/// Multi-object (Rep 3) FactorHD scene-recovery accuracy on a uniform
+/// taxonomy. `threshold <= 0` uses the Eq. 2 prediction.
+Measurement factorhd_rep3(std::size_t dim, std::size_t num_factors,
+                          const std::vector<std::size_t>& branching,
+                          std::size_t num_objects, double threshold,
+                          std::size_t trials, std::uint64_t seed);
+
+/// Writes a CSV next to the executable if FACTORHD_CSV_DIR is set; returns
+/// the path or empty string.
+std::string maybe_csv_path(const std::string& name);
+
+}  // namespace factorhd::bench

@@ -1,0 +1,114 @@
+// Knowledge base example: a neuro-symbolic store of multiple objects with
+// class-subclass structure, queried through multi-object factorization.
+//
+// The scenario is the paper's motivating one: a scene description holds
+// several objects ("a brown spaniel", "a white siamese cat", ...) in a single
+// hypervector; queries recover all objects, or only the attribute of
+// interest, without the superposition catastrophe of C-I models.
+//
+// Build & run:  ./examples/knowledge_base
+#include <cstddef>
+#include <iostream>
+#include <string>
+
+#include "core/factorhd.hpp"
+
+namespace {
+
+const char* kAnimalsL1[] = {"dog", "cat", "bird", "fish", "horse", "sheep"};
+const char* kAnimalsL2[] = {
+    "spaniel", "terrier", "husky",      // dog
+    "siamese", "tabby",   "persian",    // cat
+    "sparrow", "eagle",   "owl",        // bird
+    "trout",   "salmon",  "pike",       // fish
+    "arabian", "mustang", "shetland",   // horse
+    "merino",  "suffolk", "dorset"};    // sheep
+const char* kColors[] = {"brown", "white", "black", "red", "grey", "golden"};
+
+std::string describe(const factorhd::tax::Object& obj) {
+  std::string s;
+  if (obj.has_class(1)) s += std::string(kColors[obj.path(1)[0]]) + " ";
+  if (obj.has_class(0)) {
+    s += kAnimalsL2[obj.path(0)[1]];
+    s += " (a kind of " + std::string(kAnimalsL1[obj.path(0)[0]]) + ")";
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  using namespace factorhd;
+
+  // Taxonomy: animals (6 kinds x 3 breeds) and colors (6).
+  const tax::Taxonomy taxonomy(
+      std::vector<std::vector<std::size_t>>{{6, 3}, {6}});
+  util::Xoshiro256 rng(7);
+  const tax::TaxonomyCodebooks books(taxonomy, /*dim=*/8192, rng);
+  const core::Encoder encoder(books);
+  const core::Factorizer factorizer(encoder);
+
+  // Build the knowledge base: three facts in one hypervector.
+  tax::Object fact1(2), fact2(2), fact3(2);
+  fact1.set_path(0, {0, 0});  // spaniel
+  fact1.set_path(1, {0});     // brown
+  fact2.set_path(0, {1, 3});  // siamese
+  fact2.set_path(1, {1});     // white
+  fact3.set_path(0, {2, 7});  // eagle
+  fact3.set_path(1, {4});     // grey
+  const tax::Scene facts{fact1, fact2, fact3};
+
+  const hdc::Hypervector kb = encoder.encode_scene(facts);
+  std::cout << "Knowledge base holds " << facts.size()
+            << " facts in one " << kb.dim() << "-dimensional HV:\n";
+  for (const auto& f : facts) std::cout << "  + " << describe(f) << "\n";
+
+  // Query 1: enumerate everything (multi-object factorization).
+  core::FactorizeOptions opts;
+  opts.multi_object = true;
+  opts.num_objects_hint = facts.size();
+  opts.max_objects = 6;
+  const auto all = factorizer.factorize(kb, opts);
+  std::cout << "\nQuery 'list all objects' -> " << all.objects.size()
+            << " objects ("
+            << all.similarity_ops << " similarity ops, "
+            << all.combinations_checked << " combination checks):\n";
+  bool all_found = true;
+  tax::Scene recovered;
+  for (const auto& o : all.objects) {
+    const tax::Object obj = o.to_object(2);
+    recovered.push_back(obj);
+    std::cout << "  - " << describe(obj)
+              << "   [match similarity " << o.match_similarity << "]\n";
+  }
+  all_found = tax::same_multiset(recovered, facts);
+
+  // Query 2: what colors appear in the scene? Partial factorization reports
+  // only the color class of each object.
+  core::FactorizeOptions color_only = opts;
+  color_only.selected_classes = {1};
+  const auto colors = factorizer.factorize(kb, color_only);
+  std::cout << "\nQuery 'which colors?' ->";
+  for (const auto& o : colors.objects) {
+    if (!o.classes.empty() && o.classes[0].present) {
+      std::cout << ' ' << kColors[o.classes[0].path[0]];
+    }
+  }
+  std::cout << "\n";
+
+  // Query 3: the problem of 2 — add a second brown spaniel and re-query.
+  tax::Scene duplicated = facts;
+  duplicated.push_back(fact1);
+  const hdc::Hypervector kb2 = encoder.encode_scene(duplicated);
+  core::FactorizeOptions opts2 = opts;
+  opts2.num_objects_hint = duplicated.size();
+  opts2.max_objects = 8;
+  const auto dup = factorizer.factorize(kb2, opts2);
+  std::cout << "\nAfter adding a second '" << describe(fact1)
+            << "': factorization finds " << dup.objects.size()
+            << " objects (duplicates preserved - no problem of 2)\n";
+
+  const bool ok = all_found && dup.objects.size() == duplicated.size();
+  std::cout << "\nAll queries " << (ok ? "succeeded" : "FAILED") << "\n";
+  return ok ? 0 : 1;
+}

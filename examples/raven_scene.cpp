@@ -1,0 +1,76 @@
+// RAVEN-like scene factorization: the visual-reasoning workload of the
+// paper's Table I, run end to end on one generated panel per constellation.
+//
+// A panel of 1-9 objects (position / color / size-type attributes) is
+// encoded into a single hypervector and recovered by multi-object
+// factorization; with a non-zero perception error the demo also shows the
+// pipeline operating on imperfect neural observations.
+//
+// Build & run:  ./examples/raven_scene [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/factorhd.hpp"
+#include "data/raven_like.hpp"
+
+namespace {
+
+void show_panel(const factorhd::data::RavenPanel& panel) {
+  for (const auto& obj : panel.objects) {
+    std::cout << "    pos=" << obj.position << " color=" << obj.color
+              << " size=" << obj.size << " type=" << obj.type << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace factorhd;
+
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+  util::Xoshiro256 rng(seed);
+
+  bool all_ok = true;
+  for (const data::Constellation constellation : data::all_constellations()) {
+    data::RavenSpec spec;
+    spec.constellation = constellation;
+    const tax::Taxonomy taxonomy = data::raven_taxonomy(spec);
+    const tax::TaxonomyCodebooks books(taxonomy, /*dim=*/8192, rng);
+    const core::Encoder encoder(books);
+    const core::Factorizer factorizer(encoder);
+
+    const data::RavenPanel panel = data::random_panel(spec, rng);
+    const tax::Scene scene = data::to_tax_scene(panel, spec);
+    const hdc::Hypervector target = encoder.encode_scene(scene);
+
+    core::FactorizeOptions opts;
+    opts.multi_object = true;
+    opts.num_objects_hint = scene.size();
+    opts.max_objects = data::position_slots(constellation) + 2;
+
+    const auto result = factorizer.factorize(target, opts);
+    tax::Scene recovered;
+    for (const auto& o : result.objects) recovered.push_back(o.to_object(3));
+    const bool ok = tax::same_multiset(recovered, scene);
+    all_ok = all_ok && ok;
+
+    std::cout << data::constellation_name(constellation) << ": "
+              << panel.objects.size() << " object(s), recovered "
+              << result.objects.size() << " -> "
+              << (ok ? "exact" : "MISMATCH") << "  (" << result.similarity_ops
+              << " similarity ops)\n";
+    if (!ok) {
+      std::cout << "  ground truth:\n";
+      show_panel(panel);
+      std::cout << "  recovered:\n";
+      for (const auto& o : recovered) {
+        show_panel(data::RavenPanel{{data::from_tax_object(o, spec)}});
+      }
+    }
+  }
+
+  std::cout << "\nPanel factorization across all constellations "
+            << (all_ok ? "succeeded" : "FAILED") << "\n";
+  return all_ok ? 0 : 1;
+}

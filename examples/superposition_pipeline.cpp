@@ -1,0 +1,114 @@
+// Neuro-symbolic superposition pipeline: the Table II workload end to end.
+//
+// 1. Train the MLP feature extractor (the ResNet-18 stand-in) on a
+//    CIFAR-10-like synthetic dataset.
+// 2. Encode test images into HVs (softmax-weighted label encodings).
+// 3. Bundle K images into one HV ("computation in superposition") and
+//    factorize all K labels back with the multi-object algorithm.
+//
+// Build & run:  ./examples/superposition_pipeline
+#include <cmath>
+#include <iostream>
+#include <numeric>
+
+#include "core/factorhd.hpp"
+#include "data/cifar_like.hpp"
+#include "nn/trainer.hpp"
+
+int main() {
+  using namespace factorhd;
+  util::Xoshiro256 rng(11);
+
+  // --- Neural part: train the feature extractor. ---
+  data::CifarLikeSpec spec = data::cifar10_like_spec();
+  spec.train_per_class = 64;
+  spec.test_per_class = 16;
+  const data::CifarLike ds = data::make_cifar_like(spec, rng);
+
+  nn::Mlp net({spec.feature_dim, 64, 10}, rng);
+  nn::TrainOptions topts;
+  topts.epochs = 20;
+  const nn::TrainReport report = nn::train(net, ds.train, topts);
+  const double classifier_acc = nn::evaluate_accuracy(net, ds.test);
+  std::cout << "Feature extractor trained: train acc "
+            << report.final_train_accuracy * 100 << "%, test acc "
+            << classifier_acc * 100 << "%\n";
+
+  // --- Symbolic part: label taxonomy and codebooks. ---
+  const tax::Taxonomy taxonomy = data::label_taxonomy(spec);
+  util::Xoshiro256 hv_rng(12);
+  const tax::TaxonomyCodebooks books(taxonomy, /*dim=*/4096, hv_rng);
+  const core::Encoder encoder(books);
+  const core::Factorizer factorizer(encoder);
+
+  // Forward the whole test set once.
+  std::vector<std::size_t> rows(ds.test.size());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  nn::Matrix logits = net.forward(nn::gather_rows(ds.test.features, rows));
+  const nn::Matrix probs = nn::Mlp::softmax(logits);
+
+  // HV of one image: softmax-weighted bundle of label encodings, scaled to
+  // integers (the HDC pipeline works in Z^D for analog bundles). This is the
+  // library's SoftLabelEncoder.
+  std::vector<tax::Object> label_objects;
+  for (int c = 0; c < 10; ++c) {
+    label_objects.push_back(data::label_object(spec, c));
+  }
+  const core::SoftLabelEncoder soft(encoder, std::move(label_objects));
+  auto image_hv = [&](std::size_t row) { return soft.encode(probs.row(row)); };
+
+  // --- Superposition: bundle K images, factorize all labels. ---
+  for (const std::size_t k : {1u, 2u, 3u}) {
+    std::size_t correct = 0, total = 0;
+    util::Xoshiro256 pick(13);
+    const std::size_t batches = 40;
+    for (std::size_t b = 0; b < batches; ++b) {
+      // Draw K test images with pairwise distinct labels so the bundled
+      // multiset is well-defined.
+      std::vector<std::size_t> chosen;
+      std::vector<int> labels;
+      while (chosen.size() < k) {
+        const std::size_t r = pick.uniform(ds.test.size());
+        const int label = ds.test.labels[r];
+        bool dup = false;
+        for (int l : labels) dup = dup || l == label;
+        if (!dup) {
+          chosen.push_back(r);
+          labels.push_back(label);
+        }
+      }
+      hdc::Hypervector bundle_hv(books.dim());
+      for (std::size_t r : chosen) hdc::accumulate(bundle_hv, image_hv(r));
+
+      core::FactorizeOptions opts;
+      opts.multi_object = k > 1;
+      opts.num_objects_hint = k;
+      opts.max_objects = k + 2;
+      // Analog bundles carry the encoder's scale per image; restore the
+      // unit-signal range Eq. 2's threshold expects.
+      soft.normalize_scale(bundle_hv);
+      const auto result = factorizer.factorize(bundle_hv, opts);
+
+      // Count labels recovered.
+      for (int label : labels) {
+        bool found = false;
+        for (const auto& o : result.objects) {
+          if (!o.classes.empty() && o.classes[0].present &&
+              o.classes[0].cls == 0 &&
+              o.classes[0].path[0] == static_cast<std::size_t>(label)) {
+            found = true;
+          }
+        }
+        correct += found ? 1 : 0;
+        ++total;
+      }
+    }
+    std::cout << "superposition K=" << k << ": label recovery "
+              << 100.0 * static_cast<double>(correct) /
+                     static_cast<double>(total)
+              << "% over " << batches << " bundles\n";
+  }
+  std::cout << "\n(classifier test accuracy is the ceiling; the paper's "
+               "Table II reports the same effect on real CIFAR-10)\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "baselines/cc_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "hdc/ops.hpp"
+
+namespace factorhd::baselines {
+
+CCModel::CCModel(std::size_t dim, std::size_t num_factors,
+                 std::size_t codebook_size, util::Xoshiro256& rng)
+    : dim_(dim) {
+  if (num_factors < 2) {
+    throw std::invalid_argument("CCModel: need at least two factors");
+  }
+  codebooks_.reserve(num_factors);
+  for (std::size_t f = 0; f < num_factors; ++f) {
+    codebooks_.emplace_back(dim, codebook_size, rng,
+                            "factor" + std::to_string(f));
+  }
+}
+
+double CCModel::problem_size() const noexcept {
+  return std::pow(static_cast<double>(codebook_size()),
+                  static_cast<double>(num_factors()));
+}
+
+hdc::Hypervector CCModel::encode(std::span<const std::size_t> indices) const {
+  if (indices.size() != num_factors()) {
+    throw std::invalid_argument("CCModel::encode: wrong number of indices");
+  }
+  hdc::Hypervector product = codebooks_[0].item(indices[0]);
+  for (std::size_t f = 1; f < codebooks_.size(); ++f) {
+    hdc::bind_inplace(product, codebooks_[f].item(indices[f]));
+  }
+  return product;
+}
+
+hdc::Hypervector CCModel::encode_scene(
+    std::span<const std::vector<std::size_t>> objects) const {
+  if (objects.empty()) {
+    throw std::invalid_argument("CCModel::encode_scene: empty scene");
+  }
+  hdc::Hypervector sum = encode(objects[0]);
+  for (std::size_t i = 1; i < objects.size(); ++i) {
+    hdc::accumulate(sum, encode(objects[i]));
+  }
+  return sum;
+}
+
+}  // namespace factorhd::baselines

@@ -1,0 +1,60 @@
+// C-C (class-class) model: the binding-bundling representation used by the
+// resonator-network and IMC-factorizer baselines (paper §II-B).
+//
+// A single object is the bound product of one item HV per factor,
+// H = a_{1,j1} ⊙ a_{2,j2} ⊙ ... ⊙ a_{F,jF}; multiple objects are the Z^D
+// bundle of their products. Factorizing H back into its constituent items is
+// the combinatorial search problem (M^F candidates) that resonator-style
+// iterative methods attack.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hdc/codebook.hpp"
+#include "hdc/hypervector.hpp"
+#include "util/rng.hpp"
+
+namespace factorhd::baselines {
+
+class CCModel {
+ public:
+  /// F codebooks of M random bipolar item HVs at dimension `dim`.
+  CCModel(std::size_t dim, std::size_t num_factors, std::size_t codebook_size,
+          util::Xoshiro256& rng);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t num_factors() const noexcept {
+    return codebooks_.size();
+  }
+  [[nodiscard]] std::size_t codebook_size() const noexcept {
+    return codebooks_.empty() ? 0 : codebooks_[0].size();
+  }
+  /// Total problem size M^F as a double (can exceed 2^64 at paper scales).
+  [[nodiscard]] double problem_size() const noexcept;
+
+  [[nodiscard]] const hdc::Codebook& codebook(std::size_t factor) const {
+    return codebooks_.at(factor);
+  }
+
+  /// Product HV of one item per factor; `indices.size()` must equal F.
+  [[nodiscard]] hdc::Hypervector encode(
+      std::span<const std::size_t> indices) const;
+
+  /// Bundle of several objects' product HVs.
+  [[nodiscard]] hdc::Hypervector encode_scene(
+      std::span<const std::vector<std::size_t>> objects) const;
+
+  /// Ground-truth-checking helper: exhaustive factorization cost in
+  /// similarity measurements, i.e. M^F (reported, never executed).
+  [[nodiscard]] double exhaustive_cost() const noexcept {
+    return problem_size();
+  }
+
+ private:
+  std::size_t dim_;
+  std::vector<hdc::Codebook> codebooks_;
+};
+
+}  // namespace factorhd::baselines

@@ -1,0 +1,85 @@
+#include "baselines/ci_model.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "hdc/item_memory.hpp"
+#include "hdc/ops.hpp"
+#include "hdc/random.hpp"
+
+namespace factorhd::baselines {
+
+CIModel::CIModel(std::size_t dim, std::size_t num_classes,
+                 std::size_t codebook_size, util::Xoshiro256& rng)
+    : dim_(dim) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("CIModel: need at least one class");
+  }
+  roles_.reserve(num_classes);
+  codebooks_.reserve(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    roles_.push_back(hdc::random_bipolar(dim, rng));
+    codebooks_.emplace_back(dim, codebook_size, rng,
+                            "class" + std::to_string(c));
+  }
+}
+
+hdc::Hypervector CIModel::encode(
+    const std::vector<std::size_t>& indices) const {
+  if (indices.size() != num_classes()) {
+    throw std::invalid_argument("CIModel::encode: wrong number of indices");
+  }
+  hdc::Hypervector sum(dim_);
+  for (std::size_t c = 0; c < indices.size(); ++c) {
+    hdc::accumulate(sum, hdc::bind(roles_[c], codebooks_[c].item(indices[c])));
+  }
+  return sum;
+}
+
+hdc::Hypervector CIModel::encode_scene(
+    const std::vector<std::vector<std::size_t>>& objects) const {
+  if (objects.empty()) {
+    throw std::invalid_argument("CIModel::encode_scene: empty scene");
+  }
+  hdc::Hypervector sum = encode(objects[0]);
+  for (std::size_t i = 1; i < objects.size(); ++i) {
+    hdc::accumulate(sum, encode(objects[i]));
+  }
+  return sum;
+}
+
+std::size_t CIModel::factorize_class(const hdc::Hypervector& h,
+                                     std::size_t cls,
+                                     std::uint64_t* sim_ops) const {
+  const hdc::Hypervector unbound = hdc::bind(h, roles_.at(cls));
+  hdc::ItemMemory memory(codebooks_[cls]);
+  const hdc::Match m = memory.best(unbound);
+  if (sim_ops != nullptr) *sim_ops += memory.similarity_ops();
+  return m.index;
+}
+
+std::vector<std::size_t> CIModel::factorize_single(
+    const hdc::Hypervector& h, std::uint64_t* sim_ops) const {
+  std::vector<std::size_t> out(num_classes());
+  for (std::size_t c = 0; c < num_classes(); ++c) {
+    out[c] = factorize_class(h, c, sim_ops);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> CIModel::factorize_scene_sets(
+    const hdc::Hypervector& h, std::size_t num_objects,
+    std::uint64_t* sim_ops) const {
+  std::vector<std::vector<std::size_t>> sets(num_classes());
+  for (std::size_t c = 0; c < num_classes(); ++c) {
+    const hdc::Hypervector unbound = hdc::bind(h, roles_[c]);
+    hdc::ItemMemory memory(codebooks_[c]);
+    for (const hdc::Match& m : memory.top_k(unbound, num_objects)) {
+      sets[c].push_back(m.index);
+    }
+    if (sim_ops != nullptr) *sim_ops += memory.similarity_ops();
+  }
+  return sets;
+}
+
+}  // namespace factorhd::baselines

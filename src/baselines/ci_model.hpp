@@ -1,0 +1,81 @@
+// C-I (class-instance) model: the binding-bundling representation of
+// Kanerva-style record encodings (paper §II-B) and the comparator of the
+// paper's Fig. 4(e,f).
+//
+// A single object bundles role-filler bindings, H = Σ_i role_i ⊙ a_{i,j_i};
+// factorization unbinds a role and cleans up against that class's codebook —
+// cheap and effective for ONE object. The model's documented failure modes,
+// both exercised by our benches, are:
+//
+//   * superposition catastrophe — bundling several objects pools each class's
+//     fillers with no record of which filler belongs to which object;
+//     decoding can recover the per-class item *sets* but must guess the
+//     associations;
+//   * the problem of 2 — identical objects collapse (2·H carries no usable
+//     count under cleanup), so duplicate objects cannot be represented.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hdc/codebook.hpp"
+#include "hdc/hypervector.hpp"
+#include "util/rng.hpp"
+
+namespace factorhd::baselines {
+
+class CIModel {
+ public:
+  /// F role HVs and F codebooks of M item HVs at dimension `dim`.
+  CIModel(std::size_t dim, std::size_t num_classes, std::size_t codebook_size,
+          util::Xoshiro256& rng);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return codebooks_.size();
+  }
+  [[nodiscard]] std::size_t codebook_size() const noexcept {
+    return codebooks_.empty() ? 0 : codebooks_[0].size();
+  }
+
+  [[nodiscard]] const hdc::Hypervector& role(std::size_t cls) const {
+    return roles_.at(cls);
+  }
+  [[nodiscard]] const hdc::Codebook& codebook(std::size_t cls) const {
+    return codebooks_.at(cls);
+  }
+
+  /// Single-object record Σ_i role_i ⊙ a_{i,indices[i]} (kept in Z^D).
+  [[nodiscard]] hdc::Hypervector encode(
+      const std::vector<std::size_t>& indices) const;
+
+  /// Multi-object bundle (where the superposition catastrophe lives).
+  [[nodiscard]] hdc::Hypervector encode_scene(
+      const std::vector<std::vector<std::size_t>>& objects) const;
+
+  /// Single-object factorization: per class, unbind the role and clean up.
+  /// `sim_ops`, when non-null, accumulates similarity measurements.
+  [[nodiscard]] std::vector<std::size_t> factorize_single(
+      const hdc::Hypervector& h, std::uint64_t* sim_ops = nullptr) const;
+
+  /// Partial factorization of one class only.
+  [[nodiscard]] std::size_t factorize_class(
+      const hdc::Hypervector& h, std::size_t cls,
+      std::uint64_t* sim_ops = nullptr) const;
+
+  /// Multi-object decoding: top-`num_objects` items per class. The return is
+  /// per-class item sets; the model provides NO binding information across
+  /// classes, so callers that need object tuples must guess an association —
+  /// that guess is the superposition catastrophe made concrete.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> factorize_scene_sets(
+      const hdc::Hypervector& h, std::size_t num_objects,
+      std::uint64_t* sim_ops = nullptr) const;
+
+ private:
+  std::size_t dim_;
+  std::vector<hdc::Hypervector> roles_;
+  std::vector<hdc::Codebook> codebooks_;
+};
+
+}  // namespace factorhd::baselines

@@ -1,0 +1,79 @@
+// Resonator network factorizer (Frady, Kent, Olshausen & Sommer, Neural
+// Computation 2020) — the classical iterative solution to C-C factorization
+// and the first baseline of the paper's Fig. 4.
+//
+// Each factor keeps a bipolar estimate x̂_i, initialized to the bipolarized
+// superposition of its whole codebook. One sweep updates factors:
+//
+//   ỹ_i   = H ⊙ (⊙_{j≠i} x̂_j)          (unbind the other estimates)
+//   α_i   = A_i ỹ_i                      (attention: M similarities)
+//   x̂_i  = sign(A_iᵀ α_i)               (project back onto the codebook span)
+//
+// The dynamics search the M^F solution space in superposition and converge
+// to a fixed point; capacity is limited (the network enters limit cycles or
+// spurious fixed points as M^F grows — the paper's "fails at 1e6" result).
+//
+// Two documented variants of the dynamics are selectable (both appear in
+// the resonator literature; see Kent et al. 2020 for the comparison):
+//   * update schedule — kSequential (asynchronous; each factor sees the
+//     others' already-updated estimates within a sweep, the faster-
+//     converging default) vs kSynchronous (all factors read the previous
+//     sweep's estimates);
+//   * cleanup — kProjection (sign of the attention-weighted codebook
+//     superposition; keeps candidate mixtures alive between sweeps) vs
+//     kHardmax (snap to the single best codevector — an alternating
+//     coordinate-descent that is cheaper per sweep but greedy, so it
+//     plateaus earlier as the problem grows).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "baselines/cc_model.hpp"
+#include "hdc/hypervector.hpp"
+
+namespace factorhd::baselines {
+
+struct ResonatorOptions {
+  /// Cap on full update sweeps before declaring failure.
+  std::size_t max_iterations = 500;
+
+  enum class Update { kSequential, kSynchronous };
+  Update update = Update::kSequential;
+
+  enum class Cleanup { kProjection, kHardmax };
+  Cleanup cleanup = Cleanup::kProjection;
+};
+
+struct ResonatorResult {
+  /// Decoded item index per factor (argmax attention at termination).
+  std::vector<std::size_t> factors;
+  /// Full sweeps executed.
+  std::size_t iterations = 0;
+  /// True when a fixed point was reached within the budget.
+  bool converged = false;
+  /// Codebook similarity measurements performed (F*M per sweep).
+  std::uint64_t similarity_ops = 0;
+};
+
+class ResonatorNetwork {
+ public:
+  /// Non-owning view; `model` must outlive the network.
+  explicit ResonatorNetwork(const CCModel& model,
+                            ResonatorOptions opts = {}) noexcept
+      : model_(&model), opts_(opts) {}
+
+  [[nodiscard]] const ResonatorOptions& options() const noexcept {
+    return opts_;
+  }
+
+  /// Factorizes a single-object product HV.
+  [[nodiscard]] ResonatorResult factorize(const hdc::Hypervector& target) const;
+
+ private:
+  const CCModel* model_;
+  ResonatorOptions opts_;
+};
+
+}  // namespace factorhd::baselines

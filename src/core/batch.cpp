@@ -1,0 +1,59 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace factorhd::core {
+
+std::size_t BatchFactorizer::effective_threads(std::size_t batch) const {
+  std::size_t n = opts_.num_threads;
+  if (n == 0) {
+    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return std::min(n, std::max<std::size_t>(1, batch));
+}
+
+std::vector<FactorizeResult> BatchFactorizer::factorize_all(
+    const std::vector<hdc::Hypervector>& targets,
+    const FactorizeOptions& opts) const {
+  std::vector<FactorizeResult> results(targets.size());
+  if (targets.empty()) return results;
+
+  const std::size_t workers = effective_threads(targets.size());
+  if (workers == 1) {
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      results[i] = factorizer_->factorize(targets[i], opts);
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::atomic<bool> failed{false};
+  auto work = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= targets.size() || failed.load(std::memory_order_relaxed)) {
+        return;
+      }
+      try {
+        results[i] = factorizer_->factorize(targets[i], opts);
+      } catch (...) {
+        // Keep only the first failure; stop handing out new work.
+        if (!failed.exchange(true)) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace factorhd::core

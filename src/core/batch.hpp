@@ -1,0 +1,44 @@
+// Multi-threaded batch factorization.
+//
+// The paper runs its factorization trials on a GPU with batch size 512;
+// BatchFactorizer is the CPU counterpart: independent targets are
+// factorized concurrently across a worker pool. Correctness relies on
+// Factorizer::factorize being const and side-effect-free apart from the
+// atomic similarity-op counters in hdc::ItemMemory.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/factorizer.hpp"
+#include "hdc/hypervector.hpp"
+
+namespace factorhd::core {
+
+struct BatchOptions {
+  /// Worker threads; 0 selects std::thread::hardware_concurrency() (min 1).
+  std::size_t num_threads = 0;
+};
+
+class BatchFactorizer {
+ public:
+  /// Non-owning view; `factorizer` must outlive this object.
+  explicit BatchFactorizer(const Factorizer& factorizer,
+                           BatchOptions opts = {}) noexcept
+      : factorizer_(&factorizer), opts_(opts) {}
+
+  /// Factorizes every target with the same options; results are returned in
+  /// input order. Propagates the first worker exception, if any.
+  [[nodiscard]] std::vector<FactorizeResult> factorize_all(
+      const std::vector<hdc::Hypervector>& targets,
+      const FactorizeOptions& opts = {}) const;
+
+  /// Threads that factorize_all will actually use for a given batch size.
+  [[nodiscard]] std::size_t effective_threads(std::size_t batch) const;
+
+ private:
+  const Factorizer* factorizer_;
+  BatchOptions opts_;
+};
+
+}  // namespace factorhd::core

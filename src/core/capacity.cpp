@@ -1,0 +1,166 @@
+#include "core/capacity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace factorhd::core {
+
+namespace {
+
+double binomial(std::size_t n, std::size_t k) {
+  double acc = 1.0;
+  for (std::size_t i = 1; i <= k; ++i) {
+    acc *= static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return acc;
+}
+
+double std_normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+double clause_density(std::size_t k) {
+  if (k == 0) throw std::invalid_argument("clause_density: empty clause");
+  if (k % 2 == 1) return 1.0;
+  return 1.0 - binomial(k, k / 2) / std::pow(2.0, static_cast<double>(k));
+}
+
+double clause_member_correlation(std::size_t k) {
+  if (k == 0) {
+    throw std::invalid_argument("clause_member_correlation: empty clause");
+  }
+  // E[clip(sum)_i * a_i] with a one of the k members: condition on the sum of
+  // the other k-1 members; the clip follows a whenever they tie or fall
+  // within ±1, giving C(k-1, floor((k-1)/2)) / 2^(k-1).
+  const std::size_t n = k - 1;
+  return binomial(n, n / 2) / std::pow(2.0, static_cast<double>(n));
+}
+
+double argmax_win_probability(double signal, double sigma,
+                              std::size_t competitors) {
+  if (competitors == 0) return 1.0;
+  if (sigma <= 0.0) return signal > 0.0 ? 1.0 : 0.0;
+  // P = E_{t~N(0,1)} [ Phi((signal + sigma*t)/sigma)^competitors ]:
+  // the true candidate's own fluctuation is integrated by Gauss-Hermite-like
+  // trapezoid quadrature over ±6 sigma (signal and competitor noises share
+  // the same variance scale to leading order).
+  const int steps = 241;
+  const double lo = -6.0, hi = 6.0;
+  const double h = (hi - lo) / (steps - 1);
+  double acc = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double t = lo + h * i;
+    const double weight =
+        std::exp(-0.5 * t * t) / std::sqrt(2.0 * M_PI) * h *
+        (i == 0 || i == steps - 1 ? 0.5 : 1.0);
+    const double per_rival = std_normal_cdf((signal + sigma * t) / sigma);
+    acc += weight * std::pow(per_rival, static_cast<double>(competitors));
+  }
+  return acc;
+}
+
+namespace {
+
+/// Win probability under the support-conditioned model. The unbound vector u
+/// is nonzero on a random support of density q = Π d_k; *within* the support
+/// it agrees with the true item with per-dimension correlation
+/// c_rel = (Π c_k)/q, while a competitor sees N(0, sqrt(s)) dot-product
+/// noise over a realized support of size s. Conditioning on s is what makes
+/// the model accurate near the knee: a small support weakens the signal and
+/// the rivals' noise floor *together* (they share u), which an independent-
+/// noise model misses.
+///
+///   P_win = E_{s ~ Bin(D, q)} E_{g ~ N(0,1)}
+///           [ Phi(c_rel * sqrt(s) + g * sqrt(1 - c_rel^2))^rivals ]
+double support_conditioned_win(double q, double c_rel, std::size_t dim,
+                               std::size_t rivals) {
+  if (rivals == 0) return 1.0;
+  const double mean_s = q * static_cast<double>(dim);
+  const double sd_s = std::sqrt(q * (1.0 - q) * static_cast<double>(dim));
+  const double fluct = std::sqrt(std::max(0.0, 1.0 - c_rel * c_rel));
+
+  auto win_given_s = [&](double s) {
+    if (s <= 1.0) return 0.0;  // no usable support left
+    const double z = c_rel * std::sqrt(s);
+    if (fluct < 1e-12) {
+      return std::pow(std_normal_cdf(z), static_cast<double>(rivals));
+    }
+    const int steps = 121;
+    const double lo = -6.0, hi = 6.0;
+    const double h = (hi - lo) / (steps - 1);
+    double acc = 0.0;
+    for (int i = 0; i < steps; ++i) {
+      const double g = lo + h * i;
+      const double weight = std::exp(-0.5 * g * g) / std::sqrt(2.0 * M_PI) *
+                            h * (i == 0 || i == steps - 1 ? 0.5 : 1.0);
+      acc += weight * std::pow(std_normal_cdf(z + g * fluct),
+                               static_cast<double>(rivals));
+    }
+    return acc;
+  };
+
+  if (sd_s < 1e-12) return win_given_s(mean_s);
+  const int steps = 41;
+  const double lo = -5.0, hi = 5.0;
+  const double h = (hi - lo) / (steps - 1);
+  double acc = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double t = lo + h * i;
+    const double weight = std::exp(-0.5 * t * t) / std::sqrt(2.0 * M_PI) * h *
+                          (i == 0 || i == steps - 1 ? 0.5 : 1.0);
+    acc += weight * win_given_s(mean_s + t * sd_s);
+  }
+  return acc;
+}
+
+}  // namespace
+
+double predicted_class_accuracy(const CapacityProblem& p) {
+  if (p.branching.empty() || p.num_classes == 0 || p.dim == 0) {
+    throw std::invalid_argument("predicted_class_accuracy: bad problem");
+  }
+  // Clause size: label + one item per level (all classes share the shape).
+  const std::size_t k = 1 + p.branching.size();
+  const double c = clause_member_correlation(k);
+  const double d = clause_density(k);
+  double signal = c;
+  double q = d;
+  for (std::size_t j = 1; j < p.num_classes; ++j) {
+    signal *= c;
+    q *= d;
+  }
+  const double c_rel = signal / q;
+
+  double acc = 1.0;
+  for (std::size_t level = 0; level < p.branching.size(); ++level) {
+    // Level 1 contests the full level-1 codebook (+ NULL); deeper levels are
+    // child-restricted searches over branching[level] candidates.
+    std::size_t rivals = p.branching[level] - 1;
+    if (level == 0 && p.with_null) ++rivals;
+    acc *= support_conditioned_win(q, c_rel, p.dim, rivals);
+  }
+  return acc;
+}
+
+double predicted_object_accuracy(const CapacityProblem& p) {
+  return std::pow(predicted_class_accuracy(p),
+                  static_cast<double>(p.num_classes));
+}
+
+std::size_t required_dimension(CapacityProblem p, double target) {
+  std::size_t lo = 64, hi = std::size_t{1} << 22;
+  p.dim = hi;
+  if (predicted_object_accuracy(p) < target) return 0;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    p.dim = mid;
+    if (predicted_object_accuracy(p) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace factorhd::core

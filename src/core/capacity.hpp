@@ -1,0 +1,59 @@
+// Analytic capacity model for FactorHD single-object factorization.
+//
+// Predicts factorization accuracy from the encoding geometry, without
+// running trials. The derivation tracks the paper's encoding exactly:
+//
+//  * A clause bundling k bipolar HVs, clipped to {-1,0,+1}, has nonzero
+//    density d_k (1 for odd k, 1 - C(k,k/2)/2^k for even k) and correlation
+//    c_k = C(k-1, floor((k-1)/2)) / 2^(k-1) with each of its members
+//    (c_2 = c_3 = 1/2, c_4 = 3/8, ...).
+//  * Unbinding all other labels leaves u = clause_i ⊙ Π_{j≠i}(clause_j⊙L_j);
+//    the similarity of u with the true item is s = Π_j c_{k_j}, while a
+//    competing item sees zero-mean noise of variance (Π_j d_{k_j}) / D.
+//  * Per-level accuracy is the probability the true item wins the argmax
+//    against (m-1) competitors plus the NULL vector, evaluated by Gaussian
+//    quadrature; object accuracy is the product over classes and levels.
+//
+// The model is validated against measurement in bench_ext_capacity; it is
+// also useful in its own right for choosing the smallest D that meets an
+// accuracy target (`required_dimension`).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace factorhd::core {
+
+/// Nonzero density d_k of a clipped bundle of k random bipolar HVs.
+[[nodiscard]] double clause_density(std::size_t k);
+
+/// Correlation c_k = E[clip(sum of k bipolar HVs)_i * member_i].
+[[nodiscard]] double clause_member_correlation(std::size_t k);
+
+struct CapacityProblem {
+  std::size_t dim = 1024;          ///< D
+  std::size_t num_classes = 3;     ///< F
+  /// Items per level within each class (uniform shape), e.g. {256, 10}.
+  std::vector<std::size_t> branching{16};
+  /// True when absent classes are possible (adds the NULL competitor).
+  bool with_null = true;
+};
+
+/// Probability that the correct candidate wins an argmax against
+/// `competitors` independent rivals, given signal mean `signal` and noise
+/// standard deviation `sigma` (both in similarity units).
+[[nodiscard]] double argmax_win_probability(double signal, double sigma,
+                                            std::size_t competitors);
+
+/// Predicted probability that one class's full path factorizes correctly.
+[[nodiscard]] double predicted_class_accuracy(const CapacityProblem& p);
+
+/// Predicted probability that the whole object factorizes correctly
+/// (all F classes, all levels).
+[[nodiscard]] double predicted_object_accuracy(const CapacityProblem& p);
+
+/// Smallest dimension whose predicted object accuracy reaches `target`
+/// (binary search over [64, 1<<22]); returns 0 if unreachable.
+[[nodiscard]] std::size_t required_dimension(CapacityProblem p, double target);
+
+}  // namespace factorhd::core

@@ -1,0 +1,72 @@
+// FactorHD symbolic encoder (the paper's §III-A).
+//
+// An object is encoded in *bundling-binding-bundling* form:
+//
+//   H = (LABEL_1 + a_1j + a_1jk + ...) ⊙ (LABEL_2 + ...) ⊙ ... ⊙ (LABEL_F + ...)
+//
+// Every class contributes one bundling clause containing its redundant class
+// label (the "memorization clause") plus the object's item HV at each
+// subclass level along its path; classes the object does not possess
+// contribute (LABEL_i + NULL). Clause values of a single object are clipped
+// to the ternary alphabet {-1, 0, +1}; scenes (multiple objects) are encoded
+// as the un-clipped Z^D bundle of their object HVs.
+//
+// Two encoding ablations are exposed for the design-choice benches:
+// dropping the redundant label (which breaks label-based unbinding) and
+// dropping the ternary clip (which changes the storage class).
+#pragma once
+
+#include <cstddef>
+
+#include "hdc/hypervector.hpp"
+#include "taxonomy/codebooks.hpp"
+#include "taxonomy/object.hpp"
+
+namespace factorhd::core {
+
+struct EncodeOptions {
+  /// Include the redundant class label in every clause (the memorization
+  /// clause). Turning this off reproduces a plain C-C-style product and is
+  /// used only by the encoding ablation bench.
+  bool include_labels = true;
+  /// Clip single-object clause bundles to {-1, 0, +1}.
+  bool clip_ternary = true;
+};
+
+class Encoder {
+ public:
+  /// Non-owning view; `books` must outlive the encoder.
+  explicit Encoder(const tax::TaxonomyCodebooks& books,
+                   EncodeOptions opts = {}) noexcept
+      : books_(&books), opts_(opts) {}
+
+  [[nodiscard]] const tax::TaxonomyCodebooks& books() const noexcept {
+    return *books_;
+  }
+  [[nodiscard]] const EncodeOptions& options() const noexcept { return opts_; }
+
+  /// The bundling clause of one class for one object: LABEL + path items, or
+  /// LABEL + NULL when the class is absent. Clipped per options.
+  [[nodiscard]] hdc::Hypervector encode_clause(
+      std::size_t cls, const std::optional<tax::Path>& path) const;
+
+  /// Full object HV: the bound product of all class clauses. Ternary when
+  /// clipping is enabled. Throws std::invalid_argument when the object is
+  /// not valid for the taxonomy.
+  [[nodiscard]] hdc::Hypervector encode_object(const tax::Object& obj) const;
+
+  /// Object HV with every path truncated to at most `depth` levels (used by
+  /// the factorizer's level-by-level combination checks).
+  [[nodiscard]] hdc::Hypervector encode_object_prefix(const tax::Object& obj,
+                                                      std::size_t depth) const;
+
+  /// Scene HV: Z^D bundle of the component object HVs. Throws on empty
+  /// scenes or invalid member objects.
+  [[nodiscard]] hdc::Hypervector encode_scene(const tax::Scene& scene) const;
+
+ private:
+  const tax::TaxonomyCodebooks* books_;
+  EncodeOptions opts_;
+};
+
+}  // namespace factorhd::core

@@ -1,0 +1,29 @@
+// FactorHD public API umbrella header.
+//
+// Typical use:
+//
+//   util::Xoshiro256 rng(seed);
+//   tax::Taxonomy taxonomy(/*num_classes=*/3, /*branching=*/{256, 10});
+//   tax::TaxonomyCodebooks books(taxonomy, /*dim=*/1000, rng);
+//   core::Encoder encoder(books);
+//   core::Factorizer factorizer(encoder);
+//
+//   hdc::Hypervector target = encoder.encode_scene(scene);
+//   core::FactorizeOptions opts;
+//   opts.multi_object = scene.size() > 1;
+//   auto result = factorizer.factorize(target, opts);
+#pragma once
+
+#include "core/batch.hpp"       // IWYU pragma: export
+#include "core/capacity.hpp"    // IWYU pragma: export
+#include "core/encoder.hpp"     // IWYU pragma: export
+#include "core/factorizer.hpp"  // IWYU pragma: export
+#include "core/soft_encoder.hpp"  // IWYU pragma: export
+#include "core/threshold.hpp"   // IWYU pragma: export
+#include "hdc/hdc.hpp"          // IWYU pragma: export
+#include "taxonomy/codebooks.hpp"  // IWYU pragma: export
+#include "taxonomy/generator.hpp"  // IWYU pragma: export
+#include "taxonomy/io.hpp"         // IWYU pragma: export
+#include "taxonomy/names.hpp"      // IWYU pragma: export
+#include "taxonomy/object.hpp"     // IWYU pragma: export
+#include "taxonomy/taxonomy.hpp"   // IWYU pragma: export

@@ -1,0 +1,173 @@
+// FactorHD factorization (the paper's Algorithm 1 and Fig. 2).
+//
+// Given a target HV encoded by core::Encoder, recover the symbolic content:
+//
+//  * Single object (Rep 1 / Rep 2): for each selected class, bind the target
+//    with the product of all *other* class labels — every unselected clause
+//    collapses to ≈ identity, leaving the selected clause plus noise — then
+//    one similarity pass over the class's level-1 codebook identifies the
+//    subclass item (argmax, or NULL when the null HV wins). Deeper levels
+//    are resolved top-down, restricting each search to the children of the
+//    parent already factorized, which is what makes the cost O(N_M) rather
+//    than O(M^F).
+//
+//  * Multiple objects (Rep 3): per class, *all* items with similarity above
+//    the threshold TH are kept as candidates (avoiding the superposition
+//    catastrophe of committing to one argmax). Candidate paths are grown
+//    level by level under the same TH rule, then combined across classes;
+//    the combination whose re-encoding is most similar to the residual (and
+//    above TH) is declared an object, reconstructed, subtracted from the
+//    residual, and the loop repeats until nothing passes TH. Working on the
+//    residual keeps duplicate objects countable ("the problem of 2").
+//
+// Partial factorization — the paper's "only a subset of subclasses are of
+// interest" — is supported through FactorizeOptions::selected_classes and
+// max_depth; unselected classes are never searched.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "hdc/hypervector.hpp"
+#include "hdc/item_memory.hpp"
+#include "taxonomy/codebooks.hpp"
+#include "taxonomy/object.hpp"
+
+namespace factorhd::core {
+
+struct FactorizeOptions {
+  /// Use the thresholded multi-object algorithm (Rep 3). When false the
+  /// single-object argmax path (Rep 1/2) runs.
+  bool multi_object = false;
+
+  /// Threshold similarity TH for multi-object factorization. Values <= 0
+  /// select the Eq. 2 prediction using `num_objects_hint`.
+  double threshold = 0.0;
+
+  /// N used by the Eq. 2 prediction when `threshold` <= 0. The algorithm
+  /// itself never needs the true object count.
+  std::size_t num_objects_hint = 2;
+
+  /// Upper bound on objects extracted from a multi-object target.
+  std::size_t max_objects = 16;
+
+  /// Classes to factorize; empty means all classes. (Partial factorization.)
+  std::vector<std::size_t> selected_classes;
+
+  /// Deepest subclass level to resolve; 0 means the full taxonomy depth.
+  std::size_t max_depth = 0;
+
+  /// Cap on per-class candidate paths retained in multi-object mode, keeping
+  /// the combination search bounded under adversarial thresholds.
+  std::size_t max_candidates_per_class = 8;
+
+  /// Record per-round diagnostics (multi-object mode) in
+  /// FactorizeResult::trace — candidate counts, combination statistics,
+  /// acceptance decisions. Off by default (allocation-free hot path).
+  bool collect_trace = false;
+};
+
+/// Diagnostics for one round of the multi-object loop (collect_trace).
+struct RoundTrace {
+  /// Thresholded candidate paths found per class (before the NULL option).
+  std::vector<std::size_t> candidates_per_class;
+  /// Classes whose NULL similarity passed TH this round.
+  std::size_t null_candidates = 0;
+  /// Combinations re-encoded and compared this round.
+  std::size_t combinations = 0;
+  /// Best combination similarity observed (0 when none were checked).
+  double best_similarity = 0.0;
+  /// True when the round accepted an object and subtracted it.
+  bool accepted = false;
+};
+
+/// Factorization outcome for one class of one object.
+struct ClassFactorization {
+  std::size_t cls = 0;
+  /// False when the class was factorized as NULL (absent from the object).
+  bool present = false;
+  /// Item indices from level 1 down to the resolved depth (empty if absent).
+  tax::Path path;
+  /// Similarity measured when selecting each level's item (parallel to path).
+  std::vector<double> level_similarities;
+  /// Similarity of the unbound HV with the NULL hypervector.
+  double null_similarity = 0.0;
+};
+
+struct FactorizedObject {
+  std::vector<ClassFactorization> classes;
+  /// Multi-object mode: similarity of the accepted combination's re-encoding
+  /// with the residual at acceptance time. Unused (0) in single-object mode.
+  double match_similarity = 0.0;
+
+  /// Converts to a tax::Object over `num_classes` classes (unselected classes
+  /// are left absent).
+  [[nodiscard]] tax::Object to_object(std::size_t num_classes) const;
+};
+
+struct FactorizeResult {
+  std::vector<FactorizedObject> objects;
+  /// Codebook similarity measurements performed (the paper's efficiency unit).
+  std::uint64_t similarity_ops = 0;
+  /// Full-combination re-encode-and-compare checks performed (Rep 3 only).
+  std::uint64_t combinations_checked = 0;
+  /// True when the loop stopped because nothing above TH remained (rather
+  /// than hitting max_objects).
+  bool converged = true;
+  /// Per-round diagnostics; populated only when options.collect_trace.
+  std::vector<RoundTrace> trace;
+};
+
+class Factorizer {
+ public:
+  /// Non-owning view; `encoder` (and its codebooks) must outlive this.
+  explicit Factorizer(const Encoder& encoder);
+
+  /// Runs Algorithm 1 on `target` (an encoded object or scene).
+  [[nodiscard]] FactorizeResult factorize(const hdc::Hypervector& target,
+                                          const FactorizeOptions& opts = {}) const;
+
+  /// Convenience: single-object factorization of every class at full depth.
+  [[nodiscard]] FactorizedObject factorize_single(
+      const hdc::Hypervector& target) const;
+
+  /// The effective TH the given options resolve to (Eq. 2 when unset).
+  [[nodiscard]] double effective_threshold(const FactorizeOptions& opts) const;
+
+ private:
+  struct CandidatePath {
+    tax::Path path;
+    std::vector<double> level_similarities;
+  };
+  /// Candidate decomposition of one class in multi-object mode: threshold-
+  /// selected paths plus optional NULL evidence.
+  struct ClassCandidates {
+    std::vector<CandidatePath> paths;
+    bool null_candidate = false;
+    double null_similarity = 0.0;
+  };
+
+  [[nodiscard]] std::vector<std::size_t> resolve_classes(
+      const FactorizeOptions& opts) const;
+  [[nodiscard]] std::size_t resolve_depth(const FactorizeOptions& opts) const;
+
+  /// Single-object top-down argmax factorization of one class.
+  [[nodiscard]] ClassFactorization factorize_class_single(
+      const hdc::Hypervector& unbound, std::size_t cls, std::size_t depth,
+      std::uint64_t& sim_ops) const;
+
+  /// Multi-object thresholded candidate enumeration for one class.
+  [[nodiscard]] ClassCandidates collect_candidates(
+      const hdc::Hypervector& unbound, std::size_t cls, std::size_t depth,
+      double th, std::size_t max_paths, std::uint64_t& sim_ops) const;
+
+  const Encoder* encoder_;
+  const tax::TaxonomyCodebooks* books_;
+  /// Item memories per class per level: memories_[cls][level-1].
+  std::vector<std::vector<hdc::ItemMemory>> memories_;
+};
+
+}  // namespace factorhd::core

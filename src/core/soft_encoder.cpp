@@ -1,0 +1,59 @@
+#include "core/soft_encoder.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace factorhd::core {
+
+SoftLabelEncoder::SoftLabelEncoder(const Encoder& encoder,
+                                   std::vector<tax::Object> label_objects,
+                                   SoftEncodeOptions opts)
+    : opts_(opts) {
+  if (label_objects.empty()) {
+    throw std::invalid_argument("SoftLabelEncoder: no label objects");
+  }
+  if (opts_.scale <= 0.0) {
+    throw std::invalid_argument("SoftLabelEncoder: scale must be positive");
+  }
+  encodings_.reserve(label_objects.size());
+  for (const tax::Object& obj : label_objects) {
+    encodings_.push_back(encoder.encode_object(obj));
+  }
+}
+
+hdc::Hypervector SoftLabelEncoder::encode(
+    std::span<const double> probabilities) const {
+  if (probabilities.size() != encodings_.size()) {
+    throw std::invalid_argument(
+        "SoftLabelEncoder: probability count mismatch");
+  }
+  hdc::Hypervector out(dim());
+  for (std::size_t c = 0; c < encodings_.size(); ++c) {
+    const double p = probabilities[c];
+    if (p < opts_.min_probability) continue;
+    const auto* pe = encodings_[c].data();
+    auto* po = out.data();
+    const double w = opts_.scale * p;
+    for (std::size_t d = 0; d < out.dim(); ++d) {
+      po[d] += static_cast<hdc::Hypervector::value_type>(
+          std::lround(w * pe[d]));
+    }
+  }
+  return out;
+}
+
+hdc::Hypervector SoftLabelEncoder::encode(
+    std::span<const float> probabilities) const {
+  std::vector<double> p(probabilities.begin(), probabilities.end());
+  return encode(std::span<const double>(p));
+}
+
+void SoftLabelEncoder::normalize_scale(hdc::Hypervector& bundle) const {
+  auto* pb = bundle.data();
+  for (std::size_t d = 0; d < bundle.dim(); ++d) {
+    pb[d] = static_cast<hdc::Hypervector::value_type>(
+        std::lround(static_cast<double>(pb[d]) / opts_.scale));
+  }
+}
+
+}  // namespace factorhd::core

@@ -1,0 +1,71 @@
+// Soft (probability-weighted) label encoding — the bridge between the neuro
+// part and the symbolic part of the pipeline (paper Fig. 1(b), Table II).
+//
+// A classifier emits a probability vector over labels; the corresponding
+// image HV is the probability-weighted bundle of the labels' FactorHD
+// encodings, scaled to integers:
+//
+//   H_img = round(scale * Σ_c p_c · E(label_c))
+//
+// The dominant term is the predicted label's encoding; competing labels
+// contribute proportional structured noise, which is exactly what makes the
+// downstream factorization accuracy track (and slightly trail) the
+// classifier's accuracy. Bundles of several images ("computation in
+// superposition") are accumulated and rescaled back with `normalize_scale`
+// before multi-object factorization so Eq. 2's threshold scale applies.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "hdc/hypervector.hpp"
+#include "taxonomy/object.hpp"
+
+namespace factorhd::core {
+
+struct SoftEncodeOptions {
+  /// Integer scale of the analog bundle (quantization resolution).
+  double scale = 64.0;
+  /// Labels below this probability are dropped (noise floor / speed).
+  double min_probability = 0.02;
+};
+
+class SoftLabelEncoder {
+ public:
+  /// Pre-encodes one tax::Object per label class; `label_objects[c]` is the
+  /// symbolic object for classifier output c. Throws std::invalid_argument
+  /// on an empty label set or invalid objects.
+  SoftLabelEncoder(const Encoder& encoder,
+                   std::vector<tax::Object> label_objects,
+                   SoftEncodeOptions opts = {});
+
+  [[nodiscard]] std::size_t num_labels() const noexcept {
+    return encodings_.size();
+  }
+  [[nodiscard]] std::size_t dim() const noexcept {
+    return encodings_.empty() ? 0 : encodings_[0].dim();
+  }
+  [[nodiscard]] const SoftEncodeOptions& options() const noexcept {
+    return opts_;
+  }
+
+  /// HV of one classified sample; `probabilities.size()` must equal
+  /// num_labels(). Float overload matches nn::Mlp::softmax rows.
+  [[nodiscard]] hdc::Hypervector encode(
+      std::span<const double> probabilities) const;
+  [[nodiscard]] hdc::Hypervector encode(
+      std::span<const float> probabilities) const;
+
+  /// Divides an accumulated bundle of soft encodings by the configured
+  /// scale (rounding), restoring the unit-signal range multi-object
+  /// factorization thresholds expect.
+  void normalize_scale(hdc::Hypervector& bundle) const;
+
+ private:
+  std::vector<hdc::Hypervector> encodings_;
+  SoftEncodeOptions opts_;
+};
+
+}  // namespace factorhd::core

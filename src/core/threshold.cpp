@@ -1,0 +1,97 @@
+#include "core/threshold.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/encoder.hpp"
+#include "core/factorizer.hpp"
+#include "taxonomy/generator.hpp"
+
+namespace factorhd::core {
+
+double predicted_threshold(const ThresholdProblem& p) noexcept {
+  const double n = static_cast<double>(p.num_objects);
+  const double f = static_cast<double>(p.num_classes);
+  const double d = static_cast<double>(p.dim);
+  const double m = static_cast<double>(p.codebook_size);
+  return 0.001 * (104.0 + 2.0 * n - 15.0 * f - 0.001 * d - std::log(m));
+}
+
+CalibrationResult calibrate_threshold(const ThresholdProblem& problem,
+                                      const CalibrationOptions& opts,
+                                      double plateau_tolerance) {
+  // Single-subclass-level Rep-3 setup matching the paper's Fig. 3 protocol:
+  // N distinct objects over F classes of M items each, encoded as one scene
+  // HV; a trial succeeds when the factorizer recovers the exact multiset.
+  tax::Taxonomy taxonomy(problem.num_classes, {problem.codebook_size});
+  util::Xoshiro256 rng(opts.seed);
+  tax::TaxonomyCodebooks books(taxonomy, problem.dim, rng);
+  Encoder encoder(books);
+  Factorizer factorizer(encoder);
+
+  // Pre-draw the trial scenes once so every TH grid point sees the *same*
+  // problems; this removes sampling noise from the comparison between
+  // neighbouring thresholds.
+  tax::SceneGenOptions scene_opts;
+  scene_opts.num_objects = problem.num_objects;
+  scene_opts.allow_duplicates = false;
+  std::vector<tax::Scene> scenes;
+  std::vector<hdc::Hypervector> targets;
+  scenes.reserve(opts.trials_per_point);
+  targets.reserve(opts.trials_per_point);
+  for (std::size_t i = 0; i < opts.trials_per_point; ++i) {
+    scenes.push_back(tax::random_scene(taxonomy, rng, scene_opts));
+    targets.push_back(encoder.encode_scene(scenes.back()));
+  }
+
+  CalibrationResult result;
+  for (double th = opts.th_min; th <= opts.th_max + 1e-12;
+       th += opts.th_step) {
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < opts.trials_per_point; ++i) {
+      FactorizeOptions fo;
+      fo.multi_object = true;
+      fo.threshold = th;
+      fo.max_objects = problem.num_objects + 2;
+      const FactorizeResult fr = factorizer.factorize(targets[i], fo);
+      tax::Scene recovered;
+      recovered.reserve(fr.objects.size());
+      for (const FactorizedObject& o : fr.objects) {
+        recovered.push_back(o.to_object(taxonomy.num_classes()));
+      }
+      if (tax::same_multiset(recovered, scenes[i])) ++correct;
+    }
+    const double acc = static_cast<double>(correct) /
+                       static_cast<double>(opts.trials_per_point);
+    result.sweep.push_back({th, acc});
+    result.best_accuracy = std::max(result.best_accuracy, acc);
+  }
+  // The accuracy curve is typically a plateau rather than a sharp peak;
+  // report the plateau's extent and take its midpoint as TH*. The *longest
+  // contiguous run* within tolerance of the best is used, so an isolated
+  // lucky point outside the operating range cannot hijack the estimate.
+  std::size_t run_start = 0, run_len = 0, best_start = 0, best_len = 0;
+  for (std::size_t i = 0; i <= result.sweep.size(); ++i) {
+    const bool in_plateau =
+        i < result.sweep.size() &&
+        result.sweep[i].accuracy >= result.best_accuracy - plateau_tolerance;
+    if (in_plateau) {
+      if (run_len == 0) run_start = i;
+      ++run_len;
+      if (run_len > best_len) {
+        best_len = run_len;
+        best_start = run_start;
+      }
+    } else {
+      run_len = 0;
+    }
+  }
+  if (best_len > 0) {
+    result.plateau_lo = result.sweep[best_start].threshold;
+    result.plateau_hi = result.sweep[best_start + best_len - 1].threshold;
+    result.best_threshold = 0.5 * (result.plateau_lo + result.plateau_hi);
+  }
+  return result;
+}
+
+}  // namespace factorhd::core

@@ -1,0 +1,67 @@
+// Threshold-similarity (TH) selection for multi-object factorization.
+//
+// The TH value separates "this item/combination is part of some object" from
+// noise. The paper observes that the optimal TH* grows with the number of
+// objects N, shrinks with the number of factors F, and varies roughly
+// linearly with dimension D and log M, and fits Eq. 2:
+//
+//   TH* = 0.001 * (104 + 2N - 15F - 0.001D - ln M)
+//
+// `predicted_threshold` implements Eq. 2 verbatim; `calibrate_threshold`
+// reproduces the grid-search procedure behind the paper's Fig. 3 (sweep TH,
+// measure Rep-3 factorization accuracy, return the argmax).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace factorhd::core {
+
+struct ThresholdProblem {
+  std::size_t num_objects = 2;   ///< N
+  std::size_t num_classes = 3;   ///< F
+  std::size_t dim = 2000;        ///< D
+  std::size_t codebook_size = 10;  ///< M (level-1 items per class)
+};
+
+/// Eq. 2 of the paper (natural logarithm; the log base is unstated in the
+/// paper but the term is small for any reasonable base).
+[[nodiscard]] double predicted_threshold(const ThresholdProblem& p) noexcept;
+
+struct CalibrationOptions {
+  double th_min = 0.005;
+  double th_max = 0.25;
+  double th_step = 0.005;
+  std::size_t trials_per_point = 32;
+  std::uint64_t seed = 1;
+};
+
+struct CalibrationPoint {
+  double threshold = 0.0;
+  double accuracy = 0.0;
+};
+
+struct CalibrationResult {
+  /// Midpoint of the highest-accuracy plateau (the empirical TH*). When the
+  /// accuracy curve has a unique peak this is the argmax; when a range of
+  /// thresholds ties within `plateau_tolerance`, the centre of that range.
+  double best_threshold = 0.0;
+  double best_accuracy = 0.0;
+  /// Extent of the usable plateau: thresholds whose accuracy is within
+  /// `plateau_tolerance` of the best.
+  double plateau_lo = 0.0;
+  double plateau_hi = 0.0;
+  std::vector<CalibrationPoint> sweep;
+};
+
+/// Empirical TH* for a Rep-3 problem (single subclass level): sweeps TH over
+/// the configured grid, measuring exact-scene-recovery accuracy at each
+/// point. Deterministic given `opts.seed`. `plateau_tolerance` is the
+/// accuracy slack for plateau membership.
+[[nodiscard]] CalibrationResult calibrate_threshold(
+    const ThresholdProblem& problem, const CalibrationOptions& opts = {},
+    double plateau_tolerance = 0.011);
+
+}  // namespace factorhd::core

@@ -1,0 +1,77 @@
+#include "data/cifar_like.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace factorhd::data {
+
+namespace {
+
+nn::Dataset sample_hierarchical(const nn::Matrix& fine_protos,
+                                std::size_t per_class, double noise,
+                                util::Xoshiro256& rng) {
+  return sample_clusters(fine_protos, per_class, noise, rng);
+}
+
+}  // namespace
+
+CifarLike make_cifar_like(const CifarLikeSpec& spec, util::Xoshiro256& rng) {
+  if (spec.num_coarse == 0 || spec.fine_per_coarse == 0) {
+    throw std::invalid_argument("make_cifar_like: zero-sized spec");
+  }
+  // Coarse prototypes on the unit sphere; fine prototypes perturb them by a
+  // scaled unit offset and renormalize.
+  nn::Matrix coarse = make_prototypes(spec.num_coarse, spec.feature_dim, rng);
+  nn::Matrix offsets = make_prototypes(spec.num_coarse * spec.fine_per_coarse,
+                                       spec.feature_dim, rng);
+  nn::Matrix fine(spec.num_coarse * spec.fine_per_coarse, spec.feature_dim);
+  for (std::size_t f = 0; f < fine.rows(); ++f) {
+    const std::size_t c = f / spec.fine_per_coarse;
+    double norm_sq = 0.0;
+    for (std::size_t d = 0; d < spec.feature_dim; ++d) {
+      const double v = coarse.at(c, d) +
+                       spec.fine_offset_scale * offsets.at(f, d);
+      fine.at(f, d) = static_cast<float>(v);
+      norm_sq += v * v;
+    }
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (std::size_t d = 0; d < spec.feature_dim; ++d) fine.at(f, d) *= inv;
+  }
+
+  CifarLike out;
+  out.spec = spec;
+  out.train =
+      sample_hierarchical(fine, spec.train_per_class, spec.noise, rng);
+  out.test = sample_hierarchical(fine, spec.test_per_class, spec.noise, rng);
+  return out;
+}
+
+tax::Taxonomy label_taxonomy(const CifarLikeSpec& spec) {
+  std::vector<std::size_t> label_chain;
+  if (spec.fine_per_coarse > 1) {
+    label_chain = {spec.num_coarse, spec.fine_per_coarse};
+  } else {
+    label_chain = {spec.num_coarse};
+  }
+  return tax::Taxonomy(
+      std::vector<std::vector<std::size_t>>{label_chain, {1}});
+}
+
+tax::Object label_object(const CifarLikeSpec& spec, int fine) {
+  if (fine < 0 ||
+      static_cast<std::size_t>(fine) >= spec.num_coarse * spec.fine_per_coarse) {
+    throw std::invalid_argument("label_object: fine label out of range");
+  }
+  tax::Object obj(2);
+  if (spec.fine_per_coarse > 1) {
+    const std::size_t coarse =
+        static_cast<std::size_t>(fine) / spec.fine_per_coarse;
+    obj.set_path(0, {coarse, static_cast<std::size_t>(fine)});
+  } else {
+    obj.set_path(0, {static_cast<std::size_t>(fine)});
+  }
+  obj.set_path(1, {0});  // the dummy label
+  return obj;
+}
+
+}  // namespace factorhd::data

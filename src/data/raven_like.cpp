@@ -1,0 +1,124 @@
+#include "data/raven_like.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace factorhd::data {
+
+const char* constellation_name(Constellation c) {
+  switch (c) {
+    case Constellation::kCenter: return "Center";
+    case Constellation::kTwoByTwoGrid: return "2x2Grid";
+    case Constellation::kThreeByThreeGrid: return "3x3Grid";
+    case Constellation::kLeftRight: return "L-R";
+    case Constellation::kUpDown: return "U-D";
+    case Constellation::kOutInCenter: return "O-IC";
+    case Constellation::kOutInGrid: return "O-IG";
+  }
+  return "unknown";
+}
+
+std::size_t position_slots(Constellation c) {
+  switch (c) {
+    case Constellation::kCenter: return 1;
+    case Constellation::kTwoByTwoGrid: return 4;
+    case Constellation::kThreeByThreeGrid: return 9;
+    case Constellation::kLeftRight: return 2;
+    case Constellation::kUpDown: return 2;
+    case Constellation::kOutInCenter: return 2;
+    case Constellation::kOutInGrid: return 5;  // outer + 2x2 inner grid
+  }
+  return 0;
+}
+
+const std::vector<Constellation>& all_constellations() {
+  static const std::vector<Constellation> kAll = {
+      Constellation::kCenter,        Constellation::kTwoByTwoGrid,
+      Constellation::kThreeByThreeGrid, Constellation::kLeftRight,
+      Constellation::kUpDown,        Constellation::kOutInCenter,
+      Constellation::kOutInGrid,
+  };
+  return kAll;
+}
+
+tax::Taxonomy raven_taxonomy(const RavenSpec& spec) {
+  return tax::Taxonomy(std::vector<std::vector<std::size_t>>{
+      {position_slots(spec.constellation)},
+      {spec.num_colors},
+      {spec.num_sizes, spec.num_types}});
+}
+
+RavenPanel random_panel(const RavenSpec& spec, util::Xoshiro256& rng) {
+  const std::size_t slots = position_slots(spec.constellation);
+  RavenPanel panel;
+  // One mandatory slot keeps panels non-empty (RAVEN panels always contain
+  // at least one object).
+  const std::size_t mandatory = rng.uniform(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    if (s != mandatory && !rng.bernoulli(spec.occupancy)) continue;
+    RavenObject obj;
+    obj.position = s;
+    obj.color = rng.uniform(spec.num_colors);
+    obj.size = rng.uniform(spec.num_sizes);
+    obj.type = rng.uniform(spec.num_types);
+    panel.objects.push_back(obj);
+  }
+  return panel;
+}
+
+RavenPanel perceive(const RavenPanel& truth, const RavenSpec& spec,
+                    util::Xoshiro256& rng) {
+  RavenPanel seen = truth;
+  if (spec.perception_error <= 0.0) return seen;
+  for (RavenObject& obj : seen.objects) {
+    if (rng.bernoulli(spec.perception_error)) {
+      obj.color = rng.uniform(spec.num_colors);
+    }
+    if (rng.bernoulli(spec.perception_error)) {
+      obj.size = rng.uniform(spec.num_sizes);
+    }
+    if (rng.bernoulli(spec.perception_error)) {
+      obj.type = rng.uniform(spec.num_types);
+    }
+  }
+  return seen;
+}
+
+tax::Object to_tax_object(const RavenObject& obj, const RavenSpec& spec) {
+  if (obj.position >= position_slots(spec.constellation) ||
+      obj.color >= spec.num_colors || obj.size >= spec.num_sizes ||
+      obj.type >= spec.num_types) {
+    throw std::invalid_argument("to_tax_object: attribute out of range");
+  }
+  tax::Object out(3);
+  out.set_path(0, {obj.position});
+  out.set_path(1, {obj.color});
+  // size-type as a two-level path: size at level 1, the (size, type)
+  // combination at level 2 under global child indexing.
+  out.set_path(2, {obj.size, obj.size * spec.num_types + obj.type});
+  return out;
+}
+
+tax::Scene to_tax_scene(const RavenPanel& panel, const RavenSpec& spec) {
+  tax::Scene scene;
+  scene.reserve(panel.objects.size());
+  for (const RavenObject& obj : panel.objects) {
+    scene.push_back(to_tax_object(obj, spec));
+  }
+  return scene;
+}
+
+RavenObject from_tax_object(const tax::Object& obj, const RavenSpec& spec) {
+  if (obj.num_classes() != 3 || !obj.has_class(0) || !obj.has_class(1) ||
+      !obj.has_class(2) || obj.path(2).size() != 2) {
+    throw std::invalid_argument("from_tax_object: malformed RAVEN object");
+  }
+  RavenObject out;
+  out.position = obj.path(0).at(0);
+  out.color = obj.path(1).at(0);
+  out.size = obj.path(2).at(0);
+  out.type = obj.path(2).at(1) % spec.num_types;
+  return out;
+}
+
+}  // namespace factorhd::data

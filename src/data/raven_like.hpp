@@ -1,0 +1,95 @@
+// RAVEN-like scene generator (Table I substitution, DESIGN.md §4).
+//
+// The RAVEN dataset (Zhang et al., CVPR 2019) contains panels of 1-9 objects
+// drawn in seven constellations, each object carrying position, color, size
+// and type attributes. Following the paper's encoding, a scene maps onto a
+// FactorHD taxonomy of three classes per object:
+//
+//   class 0: position   (codebook size = slots in the constellation)
+//   class 1: color      (10 values)
+//   class 2: size-type  (5 sizes × 6 types = 30 combinations, modelled as a
+//                        two-level hierarchy: size at level 1, type below it)
+//
+// Objects in a panel occupy distinct positions; the `perception_error`
+// option independently corrupts each observed attribute, standing in for an
+// imperfect neural front end.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "taxonomy/object.hpp"
+#include "taxonomy/taxonomy.hpp"
+#include "util/rng.hpp"
+
+namespace factorhd::data {
+
+enum class Constellation {
+  kCenter,          // single centered object
+  kTwoByTwoGrid,    // up to 4 objects
+  kThreeByThreeGrid,  // up to 9 objects
+  kLeftRight,       // 2 components
+  kUpDown,          // 2 components
+  kOutInCenter,     // outer + inner object
+  kOutInGrid,       // outer object + 2x2 inner grid
+};
+
+[[nodiscard]] const char* constellation_name(Constellation c);
+[[nodiscard]] std::size_t position_slots(Constellation c);
+/// All seven RAVEN constellations, in the order the paper's Table I lists.
+[[nodiscard]] const std::vector<Constellation>& all_constellations();
+
+struct RavenSpec {
+  Constellation constellation = Constellation::kThreeByThreeGrid;
+  std::size_t num_colors = 10;
+  std::size_t num_sizes = 5;
+  std::size_t num_types = 6;
+  /// Probability that each non-mandatory slot is occupied (panels always
+  /// contain at least one object).
+  double occupancy = 0.5;
+  /// Per-attribute observation error of the simulated neural front end.
+  double perception_error = 0.0;
+};
+
+struct RavenObject {
+  std::size_t position = 0;
+  std::size_t color = 0;
+  std::size_t size = 0;
+  std::size_t type = 0;
+
+  bool operator==(const RavenObject&) const = default;
+};
+
+struct RavenPanel {
+  std::vector<RavenObject> objects;  // distinct positions, ascending
+};
+
+/// FactorHD taxonomy for a spec: {slots}, {colors}, {sizes, types}.
+[[nodiscard]] tax::Taxonomy raven_taxonomy(const RavenSpec& spec);
+
+/// Ground-truth random panel.
+[[nodiscard]] RavenPanel random_panel(const RavenSpec& spec,
+                                      util::Xoshiro256& rng);
+
+/// The panel as seen through the simulated perception front end: each
+/// attribute of each object is replaced by a uniform random value with
+/// probability `spec.perception_error`.
+[[nodiscard]] RavenPanel perceive(const RavenPanel& truth,
+                                  const RavenSpec& spec,
+                                  util::Xoshiro256& rng);
+
+/// Converts one object to its tax::Object form under raven_taxonomy(spec).
+[[nodiscard]] tax::Object to_tax_object(const RavenObject& obj,
+                                        const RavenSpec& spec);
+
+/// Converts a whole panel to a tax::Scene.
+[[nodiscard]] tax::Scene to_tax_scene(const RavenPanel& panel,
+                                      const RavenSpec& spec);
+
+/// Inverse of to_tax_object; throws std::invalid_argument on objects that do
+/// not carry all three classes at full depth.
+[[nodiscard]] RavenObject from_tax_object(const tax::Object& obj,
+                                          const RavenSpec& spec);
+
+}  // namespace factorhd::data

@@ -1,0 +1,59 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace factorhd::data {
+
+nn::Matrix make_prototypes(std::size_t num_classes, std::size_t feature_dim,
+                           util::Xoshiro256& rng) {
+  if (num_classes == 0 || feature_dim == 0) {
+    throw std::invalid_argument("make_prototypes: zero-sized spec");
+  }
+  nn::Matrix protos(num_classes, feature_dim);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    double norm_sq = 0.0;
+    for (std::size_t d = 0; d < feature_dim; ++d) {
+      const double v = rng.normal();
+      protos.at(c, d) = static_cast<float>(v);
+      norm_sq += v * v;
+    }
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (std::size_t d = 0; d < feature_dim; ++d) protos.at(c, d) *= inv;
+  }
+  return protos;
+}
+
+nn::Dataset sample_clusters(const nn::Matrix& prototypes,
+                            std::size_t samples_per_class, double noise,
+                            util::Xoshiro256& rng) {
+  const std::size_t num_classes = prototypes.rows();
+  const std::size_t feature_dim = prototypes.cols();
+  nn::Dataset ds;
+  ds.features = nn::Matrix(num_classes * samples_per_class, feature_dim);
+  ds.labels.resize(num_classes * samples_per_class);
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    for (std::size_t s = 0; s < samples_per_class; ++s, ++row) {
+      for (std::size_t d = 0; d < feature_dim; ++d) {
+        ds.features.at(row, d) =
+            prototypes.at(c, d) + static_cast<float>(noise * rng.normal());
+      }
+      ds.labels[row] = static_cast<int>(c);
+    }
+  }
+  return ds;
+}
+
+TrainTestSplit make_cluster_split(const ClusterSpec& spec,
+                                  util::Xoshiro256& rng) {
+  TrainTestSplit split;
+  split.prototypes = make_prototypes(spec.num_classes, spec.feature_dim, rng);
+  split.train = sample_clusters(split.prototypes, spec.samples_per_class,
+                                spec.noise, rng);
+  split.test = sample_clusters(split.prototypes, spec.samples_per_class,
+                               spec.noise, rng);
+  return split;
+}
+
+}  // namespace factorhd::data

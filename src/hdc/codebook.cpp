@@ -1,0 +1,32 @@
+#include "hdc/codebook.hpp"
+
+#include <stdexcept>
+
+#include "hdc/random.hpp"
+
+namespace factorhd::hdc {
+
+Codebook::Codebook(std::size_t dim, std::size_t size, util::Xoshiro256& rng,
+                   std::string name)
+    : name_(std::move(name)) {
+  if (dim == 0) throw std::invalid_argument("Codebook: zero dimension");
+  if (size == 0) throw std::invalid_argument("Codebook: zero size");
+  items_.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    items_.push_back(random_bipolar(dim, rng));
+  }
+}
+
+Codebook::Codebook(std::vector<Hypervector> items, std::string name)
+    : items_(std::move(items)), name_(std::move(name)) {
+  if (items_.empty()) throw std::invalid_argument("Codebook: empty item set");
+  const std::size_t d = items_[0].dim();
+  if (d == 0) throw std::invalid_argument("Codebook: zero-dimension items");
+  for (const auto& v : items_) {
+    if (v.dim() != d) {
+      throw std::invalid_argument("Codebook: inconsistent item dimensions");
+    }
+  }
+}
+
+}  // namespace factorhd::hdc

@@ -1,0 +1,49 @@
+// Codebook: an indexed set of atomic (bipolar) item hypervectors.
+//
+// Each class / subclass level / attribute in a representation owns a codebook
+// A_i = {a_i1, ..., a_iM}; factorization identifies which codebook entries a
+// composite HV was built from. Codebooks are immutable after construction.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+#include "util/rng.hpp"
+
+namespace factorhd::hdc {
+
+class Codebook {
+ public:
+  /// Generates `size` independent random bipolar HVs of dimension `dim`.
+  Codebook(std::size_t dim, std::size_t size, util::Xoshiro256& rng,
+           std::string name = {});
+
+  /// Wraps existing item HVs (all must share the same non-zero dimension).
+  explicit Codebook(std::vector<Hypervector> items, std::string name = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] std::size_t dim() const noexcept {
+    return items_.empty() ? 0 : items_[0].dim();
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Item HV by index; throws std::out_of_range on bad index.
+  [[nodiscard]] const Hypervector& item(std::size_t index) const {
+    return items_.at(index);
+  }
+  [[nodiscard]] const Hypervector& operator[](std::size_t index) const {
+    return items_.at(index);
+  }
+
+  [[nodiscard]] const std::vector<Hypervector>& items() const noexcept {
+    return items_;
+  }
+
+ private:
+  std::vector<Hypervector> items_;
+  std::string name_;
+};
+
+}  // namespace factorhd::hdc

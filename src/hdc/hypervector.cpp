@@ -1,0 +1,31 @@
+#include "hdc/hypervector.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace factorhd::hdc {
+
+bool Hypervector::is_bipolar() const noexcept {
+  return !data_.empty() &&
+         std::all_of(data_.begin(), data_.end(),
+                     [](value_type v) { return v == 1 || v == -1; });
+}
+
+bool Hypervector::is_ternary() const noexcept {
+  return !data_.empty() &&
+         std::all_of(data_.begin(), data_.end(),
+                     [](value_type v) { return v >= -1 && v <= 1; });
+}
+
+std::size_t Hypervector::zero_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(data_.begin(), data_.end(), value_type{0}));
+}
+
+Hypervector::value_type Hypervector::max_abs() const noexcept {
+  value_type m = 0;
+  for (value_type v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+}  // namespace factorhd::hdc

@@ -1,0 +1,89 @@
+// Hypervector: the basic value type of the HDC substrate.
+//
+// A hypervector (HV) is a D-dimensional integer vector. Three alphabets are
+// used across the library, all represented uniformly with int32 components:
+//
+//   * bipolar  {-1, +1}   — atomic item/label HVs in codebooks,
+//   * ternary  {-1, 0, +1} — single-object FactorHD representations (clipped
+//     bundles of bipolar HVs; 2 bits of information per dimension, which is
+//     the basis of the paper's fair-storage rule),
+//   * integer  Z           — bundles of several object HVs.
+//
+// Uniform storage keeps the algebra simple and the inner loops trivially
+// auto-vectorizable; the packed bit-level codecs live in hdc/packed.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace factorhd::hdc {
+
+/// D-dimensional integer vector with value semantics. Invariant: dimension is
+/// fixed at construction (operations never resize an HV in place).
+class Hypervector {
+ public:
+  using value_type = std::int32_t;
+
+  /// Empty (dimension-0) hypervector; useful as a "not yet assigned" state.
+  Hypervector() = default;
+
+  /// Zero-initialized hypervector of dimension `dim`.
+  explicit Hypervector(std::size_t dim) : data_(dim, 0) {}
+
+  /// Takes ownership of explicit component values.
+  explicit Hypervector(std::vector<value_type> values)
+      : data_(std::move(values)) {}
+
+  Hypervector(std::initializer_list<value_type> values) : data_(values) {}
+
+  [[nodiscard]] std::size_t dim() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] value_type operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+  [[nodiscard]] value_type& operator[](std::size_t i) noexcept {
+    return data_[i];
+  }
+
+  [[nodiscard]] std::span<const value_type> components() const noexcept {
+    return data_;
+  }
+  [[nodiscard]] std::span<value_type> components() noexcept { return data_; }
+
+  [[nodiscard]] const value_type* data() const noexcept { return data_.data(); }
+  [[nodiscard]] value_type* data() noexcept { return data_.data(); }
+
+  /// True when every component is -1 or +1.
+  [[nodiscard]] bool is_bipolar() const noexcept;
+  /// True when every component is -1, 0 or +1.
+  [[nodiscard]] bool is_ternary() const noexcept;
+
+  /// Number of zero components (used in sparsity diagnostics for ternary HVs).
+  [[nodiscard]] std::size_t zero_count() const noexcept;
+
+  /// Largest absolute component value (0 for the empty HV).
+  [[nodiscard]] value_type max_abs() const noexcept;
+
+  bool operator==(const Hypervector&) const = default;
+
+ private:
+  std::vector<value_type> data_;
+};
+
+/// Throws std::invalid_argument unless a and b have equal non-zero dimension.
+inline void require_same_dim(const Hypervector& a, const Hypervector& b,
+                             const char* op) {
+  if (a.dim() != b.dim() || a.dim() == 0) {
+    throw std::invalid_argument(
+        std::string(op) + ": dimension mismatch (" + std::to_string(a.dim()) +
+        " vs " + std::to_string(b.dim()) + ")");
+  }
+}
+
+}  // namespace factorhd::hdc

@@ -1,0 +1,95 @@
+#include "hdc/io.hpp"
+
+#include <cstdint>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace factorhd::hdc {
+
+namespace {
+
+constexpr std::uint32_t kHvMagic = 0x31564846;  // 'FHV1'
+constexpr std::uint32_t kCbMagic = 0x31424346;  // 'FCB1'
+// Sanity bound on deserialized sizes: rejects corrupt headers before any
+// allocation attempt (2^32 components ~ 16 GiB would be a broken file).
+constexpr std::uint64_t kMaxReasonable = 1ULL << 32;
+
+template <typename T>
+void write_pod(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is, const char* what) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) {
+    throw std::runtime_error(std::string("hdc::io: truncated input reading ") +
+                             what);
+  }
+  return value;
+}
+
+}  // namespace
+
+void save_hypervector(std::ostream& os, const Hypervector& v) {
+  write_pod<std::uint32_t>(os, kHvMagic);
+  write_pod<std::uint64_t>(os, v.dim());
+  for (std::size_t i = 0; i < v.dim(); ++i) {
+    write_pod<std::int32_t>(os, v[i]);
+  }
+  if (!os) throw std::runtime_error("hdc::io: write failed");
+}
+
+Hypervector load_hypervector(std::istream& is) {
+  if (read_pod<std::uint32_t>(is, "hypervector magic") != kHvMagic) {
+    throw std::runtime_error("hdc::io: bad hypervector magic");
+  }
+  const auto dim = read_pod<std::uint64_t>(is, "hypervector dim");
+  if (dim == 0 || dim > kMaxReasonable) {
+    throw std::runtime_error("hdc::io: implausible hypervector dimension");
+  }
+  std::vector<Hypervector::value_type> data(static_cast<std::size_t>(dim));
+  is.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(dim * sizeof(Hypervector::value_type)));
+  if (!is) throw std::runtime_error("hdc::io: truncated hypervector body");
+  return Hypervector(std::move(data));
+}
+
+void save_codebook(std::ostream& os, const Codebook& cb) {
+  write_pod<std::uint32_t>(os, kCbMagic);
+  write_pod<std::uint64_t>(os, cb.size());
+  write_pod<std::uint64_t>(os, cb.name().size());
+  os.write(cb.name().data(),
+           static_cast<std::streamsize>(cb.name().size()));
+  for (std::size_t j = 0; j < cb.size(); ++j) {
+    save_hypervector(os, cb.item(j));
+  }
+  if (!os) throw std::runtime_error("hdc::io: write failed");
+}
+
+Codebook load_codebook(std::istream& is) {
+  if (read_pod<std::uint32_t>(is, "codebook magic") != kCbMagic) {
+    throw std::runtime_error("hdc::io: bad codebook magic");
+  }
+  const auto size = read_pod<std::uint64_t>(is, "codebook size");
+  const auto name_len = read_pod<std::uint64_t>(is, "codebook name length");
+  if (size == 0 || size > kMaxReasonable || name_len > kMaxReasonable) {
+    throw std::runtime_error("hdc::io: implausible codebook header");
+  }
+  std::string name(static_cast<std::size_t>(name_len), '\0');
+  is.read(name.data(), static_cast<std::streamsize>(name_len));
+  if (!is) throw std::runtime_error("hdc::io: truncated codebook name");
+  std::vector<Hypervector> items;
+  items.reserve(static_cast<std::size_t>(size));
+  for (std::uint64_t j = 0; j < size; ++j) {
+    items.push_back(load_hypervector(is));
+  }
+  return Codebook(std::move(items), std::move(name));
+}
+
+}  // namespace factorhd::hdc

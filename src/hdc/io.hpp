@@ -1,0 +1,28 @@
+// Binary serialization of hypervector material.
+//
+// A deployed neuro-symbolic system generates its codebooks once and ships
+// them (an HDC "model file"); these routines persist Hypervectors and
+// Codebooks in a versioned little-endian binary framing. All readers
+// validate magics and size fields and throw std::runtime_error on malformed
+// input rather than constructing partial objects.
+//
+// Format (all integers little-endian):
+//   Hypervector: u32 magic 'FHV1' | u64 dim | i32 components[dim]
+//   Codebook:    u32 magic 'FCB1' | u64 size | u64 name_len | name bytes
+//                | size serialized Hypervectors
+#pragma once
+
+#include <iosfwd>
+
+#include "hdc/codebook.hpp"
+#include "hdc/hypervector.hpp"
+
+namespace factorhd::hdc {
+
+void save_hypervector(std::ostream& os, const Hypervector& v);
+[[nodiscard]] Hypervector load_hypervector(std::istream& is);
+
+void save_codebook(std::ostream& os, const Codebook& cb);
+[[nodiscard]] Codebook load_codebook(std::istream& is);
+
+}  // namespace factorhd::hdc

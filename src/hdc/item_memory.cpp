@@ -1,0 +1,83 @@
+#include "hdc/item_memory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hdc/similarity.hpp"
+
+namespace factorhd::hdc {
+
+Match ItemMemory::best(const Hypervector& query) const {
+  Match m{0, similarity(query, codebook_->item(0))};
+  count(1);
+  for (std::size_t j = 1; j < codebook_->size(); ++j) {
+    const double s = similarity(query, codebook_->item(j));
+    count(1);
+    if (s > m.similarity) m = {j, s};
+  }
+  return m;
+}
+
+Match ItemMemory::best_among(const Hypervector& query,
+                             const std::vector<std::size_t>& indices) const {
+  if (indices.empty()) {
+    throw std::invalid_argument("ItemMemory::best_among: empty index set");
+  }
+  Match m{indices[0], similarity(query, codebook_->item(indices[0]))};
+  count(1);
+  for (std::size_t k = 1; k < indices.size(); ++k) {
+    const double s = similarity(query, codebook_->item(indices[k]));
+    count(1);
+    if (s > m.similarity) m = {indices[k], s};
+  }
+  return m;
+}
+
+std::vector<Match> ItemMemory::above(const Hypervector& query,
+                                     double threshold) const {
+  std::vector<Match> out;
+  for (std::size_t j = 0; j < codebook_->size(); ++j) {
+    const double s = similarity(query, codebook_->item(j));
+    count(1);
+    if (s > threshold) out.push_back({j, s});
+  }
+  std::sort(out.begin(), out.end(), [](const Match& a, const Match& b) {
+    return a.similarity > b.similarity;
+  });
+  return out;
+}
+
+std::vector<Match> ItemMemory::above_among(
+    const Hypervector& query, double threshold,
+    const std::vector<std::size_t>& indices) const {
+  std::vector<Match> out;
+  for (std::size_t j : indices) {
+    const double s = similarity(query, codebook_->item(j));
+    count(1);
+    if (s > threshold) out.push_back({j, s});
+  }
+  std::sort(out.begin(), out.end(), [](const Match& a, const Match& b) {
+    return a.similarity > b.similarity;
+  });
+  return out;
+}
+
+std::vector<Match> ItemMemory::top_k(const Hypervector& query,
+                                     std::size_t k) const {
+  std::vector<Match> all;
+  all.reserve(codebook_->size());
+  for (std::size_t j = 0; j < codebook_->size(); ++j) {
+    all.push_back({j, similarity(query, codebook_->item(j))});
+    count(1);
+  }
+  const std::size_t keep = std::min(k, all.size());
+  std::partial_sort(all.begin(),
+                    all.begin() + static_cast<std::ptrdiff_t>(keep), all.end(),
+                    [](const Match& a, const Match& b) {
+                      return a.similarity > b.similarity;
+                    });
+  all.resize(keep);
+  return all;
+}
+
+}  // namespace factorhd::hdc

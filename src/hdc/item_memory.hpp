@@ -1,0 +1,86 @@
+// ItemMemory: associative ("cleanup") memory over a codebook.
+//
+// Given a noisy query HV, finds the codebook entries most similar to it under
+// the paper's dot-product similarity. This is the primitive that every
+// factorizer (FactorHD and all baselines) spends its time in, so the class
+// also counts similarity measurements — the unit in which the paper states
+// its O(N_M) vs M^F efficiency claims.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hdc/codebook.hpp"
+#include "hdc/hypervector.hpp"
+
+namespace factorhd::hdc {
+
+/// One similarity match: codebook index plus the measured similarity.
+struct Match {
+  std::size_t index = 0;
+  double similarity = 0.0;
+};
+
+class ItemMemory {
+ public:
+  /// Non-owning view over a codebook; the codebook must outlive the memory.
+  explicit ItemMemory(const Codebook& codebook) noexcept
+      : codebook_(&codebook) {}
+
+  [[nodiscard]] const Codebook& codebook() const noexcept { return *codebook_; }
+  [[nodiscard]] std::size_t size() const noexcept { return codebook_->size(); }
+
+  /// Best match over the full codebook (argmax of similarity).
+  [[nodiscard]] Match best(const Hypervector& query) const;
+
+  /// Best match over a subset of indices (used for hierarchy-restricted
+  /// searches: "only children of the already-factorized parent item").
+  [[nodiscard]] Match best_among(const Hypervector& query,
+                                 const std::vector<std::size_t>& indices) const;
+
+  /// All matches with similarity strictly above `threshold`, in descending
+  /// similarity order (the TH-based multi-object candidate selection).
+  [[nodiscard]] std::vector<Match> above(const Hypervector& query,
+                                         double threshold) const;
+
+  /// Restricted variant of `above`.
+  [[nodiscard]] std::vector<Match> above_among(
+      const Hypervector& query, double threshold,
+      const std::vector<std::size_t>& indices) const;
+
+  /// Top-k matches in descending similarity order.
+  [[nodiscard]] std::vector<Match> top_k(const Hypervector& query,
+                                         std::size_t k) const;
+
+  /// Number of similarity measurements performed since construction /
+  /// last reset. Mutable bookkeeping (atomic so concurrent factorization of
+  /// independent targets through core::BatchFactorizer stays race-free);
+  /// reads are logically const.
+  [[nodiscard]] std::uint64_t similarity_ops() const noexcept {
+    return similarity_ops_.load(std::memory_order_relaxed);
+  }
+  void reset_similarity_ops() noexcept {
+    similarity_ops_.store(0, std::memory_order_relaxed);
+  }
+
+  // std::atomic pins down copy/move; counters transfer by value.
+  ItemMemory(const ItemMemory& other) noexcept
+      : codebook_(other.codebook_), similarity_ops_(other.similarity_ops()) {}
+  ItemMemory& operator=(const ItemMemory& other) noexcept {
+    codebook_ = other.codebook_;
+    similarity_ops_.store(other.similarity_ops(), std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  void count(std::uint64_t n) const noexcept {
+    similarity_ops_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  const Codebook* codebook_;
+  mutable std::atomic<std::uint64_t> similarity_ops_{0};
+};
+
+}  // namespace factorhd::hdc

@@ -1,0 +1,67 @@
+#include "hdc/level.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "hdc/random.hpp"
+
+namespace factorhd::hdc {
+
+Codebook make_level_codebook(std::size_t dim, std::size_t levels,
+                             util::Xoshiro256& rng, std::string name) {
+  if (levels < 2) {
+    throw std::invalid_argument("make_level_codebook: need at least 2 levels");
+  }
+  if (dim == 0) {
+    throw std::invalid_argument("make_level_codebook: zero dimension");
+  }
+  const Hypervector low = random_bipolar(dim, rng);
+  const Hypervector high = random_bipolar(dim, rng);
+  // Fixed random order in which components cross over from low to high, so
+  // intermediate levels are nested (level i's high-components are a superset
+  // of level i-1's) — this is what yields the linear similarity profile.
+  std::vector<std::size_t> order(dim);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (std::size_t i = dim; i-- > 1;) {
+    std::swap(order[i], order[rng.uniform(i + 1)]);
+  }
+
+  std::vector<Hypervector> items;
+  items.reserve(levels);
+  for (std::size_t l = 0; l < levels; ++l) {
+    const std::size_t crossover =
+        (dim * l) / (levels - 1);  // 0 for level 0, dim for the top level
+    Hypervector v = low;
+    for (std::size_t k = 0; k < crossover; ++k) {
+      v[order[k]] = high[order[k]];
+    }
+    items.push_back(std::move(v));
+  }
+  return Codebook(std::move(items), std::move(name));
+}
+
+std::size_t quantize_level(double value, double lo, double hi,
+                           std::size_t levels) {
+  if (levels < 2 || !(hi > lo)) {
+    throw std::invalid_argument("quantize_level: bad range or level count");
+  }
+  const double clamped = std::clamp(value, lo, hi);
+  const double t = (clamped - lo) / (hi - lo);
+  const auto idx =
+      static_cast<std::size_t>(std::lround(t * static_cast<double>(levels - 1)));
+  return std::min(idx, levels - 1);
+}
+
+double level_value(std::size_t level, double lo, double hi,
+                   std::size_t levels) {
+  if (levels < 2 || !(hi > lo) || level >= levels) {
+    throw std::invalid_argument("level_value: bad arguments");
+  }
+  const double t =
+      static_cast<double>(level) / static_cast<double>(levels - 1);
+  return lo + t * (hi - lo);
+}
+
+}  // namespace factorhd::hdc

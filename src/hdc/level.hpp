@@ -1,0 +1,45 @@
+// Level (thermometer) hypervectors for continuous / ordinal attributes.
+//
+// Random item HVs are quasi-orthogonal — right for categorical attributes,
+// wrong for ordered ones ("size 3 should look more like size 4 than size
+// 9"). A LevelCodebook interpolates between two random endpoint HVs: level i
+// of L copies the first D*(i/(L-1)) components (under a fixed random
+// permutation) from the high endpoint and the rest from the low endpoint,
+// giving the classical linear similarity profile
+//
+//   sim(level_i, level_j) ≈ 1 - |i-j|/(L-1)   (bipolar endpoints)
+//
+// (crossing a fraction t of components flips only the ~t/2 that disagreed,
+// so similarity falls linearly from 1 to ≈0 across the full range).
+//
+// Used by workloads with ordinal attributes (e.g. RAVEN's object sizes);
+// FactorHD factorization works unchanged because ItemMemory only needs a
+// similarity argmax, but thresholded multi-object selection should expect
+// neighbouring levels to co-activate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hdc/codebook.hpp"
+#include "hdc/hypervector.hpp"
+#include "util/rng.hpp"
+
+namespace factorhd::hdc {
+
+/// Builds a codebook of `levels` thermometer-interpolated bipolar HVs.
+/// Requires levels >= 2.
+[[nodiscard]] Codebook make_level_codebook(std::size_t dim, std::size_t levels,
+                                           util::Xoshiro256& rng,
+                                           std::string name = {});
+
+/// Maps a value in [lo, hi] to the nearest level index of an L-level
+/// codebook (clamping out-of-range values).
+[[nodiscard]] std::size_t quantize_level(double value, double lo, double hi,
+                                         std::size_t levels);
+
+/// Inverse of quantize_level: representative value of a level's bin center.
+[[nodiscard]] double level_value(std::size_t level, double lo, double hi,
+                                 std::size_t levels);
+
+}  // namespace factorhd::hdc

@@ -1,0 +1,79 @@
+// The HDC operator algebra: bundling (+), binding (⊙), unbinding, clipping,
+// permutation (ρ), and negation, exactly as defined in the paper's §II-A.
+//
+// Binding over the {-1,+1} alphabet is componentwise multiplication and is
+// self-inverse (V ⊙ V = 1), so unbinding reuses `bind`. Bundling is
+// componentwise addition; the FactorHD single-object convention clips bundle
+// results to the ternary alphabet while multi-object bundles stay in Z^D.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "hdc/hypervector.hpp"
+
+namespace factorhd::hdc {
+
+/// Componentwise sum a + b (bundling / memorization).
+[[nodiscard]] Hypervector bundle(const Hypervector& a, const Hypervector& b);
+
+/// Sum of an arbitrary number of HVs. Requires a non-empty, dimension-
+/// consistent input span.
+[[nodiscard]] Hypervector bundle(std::span<const Hypervector> vs);
+
+/// In-place accumulate: target += v.
+void accumulate(Hypervector& target, const Hypervector& v);
+
+/// In-place subtract: target -= v (used when excluding a reconstructed object
+/// from a multi-object bundle during factorization).
+void subtract(Hypervector& target, const Hypervector& v);
+
+/// Componentwise product a ⊙ b (binding / association). Self-inverse over the
+/// bipolar alphabet, so this is also the unbinding operator.
+[[nodiscard]] Hypervector bind(const Hypervector& a, const Hypervector& b);
+
+/// Product of an arbitrary number of HVs.
+[[nodiscard]] Hypervector bind(std::span<const Hypervector> vs);
+
+/// In-place binding: target ⊙= v.
+void bind_inplace(Hypervector& target, const Hypervector& v);
+
+/// Clip every component into [-1, +1] (sign with a dead zone at 0). Applied
+/// to single-object FactorHD bundles per the paper's encoding convention.
+[[nodiscard]] Hypervector clip_ternary(const Hypervector& v);
+void clip_ternary_inplace(Hypervector& v);
+
+/// Componentwise sign: >0 -> +1, <0 -> -1, 0 stays 0 (identical to
+/// clip_ternary for inputs in Z; provided under the conventional name used
+/// when binarizing resonator estimates).
+[[nodiscard]] Hypervector sign(const Hypervector& v);
+
+/// Majority-style binarization with deterministic tie-break for zero
+/// components: zeros become +1 when `ties_positive`, else -1. Produces a
+/// strictly bipolar HV, as required by codebook cleanup in the baselines.
+[[nodiscard]] Hypervector sign_bipolar(const Hypervector& v,
+                                       bool ties_positive = true);
+
+/// Cyclic permutation ρ^k (rotate components right by k mod D). ρ preserves
+/// distances, and ρ^k(a) is quasi-orthogonal to a for k != 0 (mod D); used to
+/// protect positional structure.
+[[nodiscard]] Hypervector permute(const Hypervector& v, std::size_t k);
+
+/// Inverse of permute: rotate left by k mod D.
+[[nodiscard]] Hypervector unpermute(const Hypervector& v, std::size_t k);
+
+/// Componentwise negation -v (the bipolar additive inverse).
+[[nodiscard]] Hypervector negate(const Hypervector& v);
+
+/// The multiplicative identity for binding: the all-ones HV of dimension dim.
+[[nodiscard]] Hypervector identity(std::size_t dim);
+
+/// Weighted bundle rounded to integers: out_i = round(scale * Σ_k w_k v_k[i]).
+/// This is the "analog" bundle the neuro-symbolic pipeline uses to fold a
+/// classifier's softmax over label encodings into one HV. Requires equal
+/// weight/vector counts and consistent dimensions.
+[[nodiscard]] Hypervector weighted_bundle(std::span<const Hypervector> vs,
+                                          std::span<const double> weights,
+                                          double scale = 1.0);
+
+}  // namespace factorhd::hdc

@@ -1,0 +1,114 @@
+#include "hdc/packed.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace factorhd::hdc {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t word_count(std::size_t dim) {
+  return (dim + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+PackedBipolar::PackedBipolar(const Hypervector& v) : dim_(v.dim()) {
+  if (!v.is_bipolar()) {
+    throw std::invalid_argument("PackedBipolar: input is not bipolar");
+  }
+  words_.assign(word_count(dim_), 0);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    if (v[i] > 0) words_[i / kWordBits] |= (1ULL << (i % kWordBits));
+  }
+}
+
+Hypervector PackedBipolar::unpack() const {
+  Hypervector out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    out[i] = (words_[i / kWordBits] >> (i % kWordBits)) & 1u ? 1 : -1;
+  }
+  return out;
+}
+
+std::size_t PackedBipolar::hamming(const PackedBipolar& other) const {
+  if (dim_ != other.dim_ || dim_ == 0) {
+    throw std::invalid_argument("PackedBipolar::hamming: dimension mismatch");
+  }
+  std::size_t diff = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t x = words_[w] ^ other.words_[w];
+    // Mask tail bits of the last word (they are zero in both, so XOR is
+    // already zero there; the mask guards against future mutation paths).
+    if (w + 1 == words_.size() && dim_ % kWordBits != 0) {
+      x &= (1ULL << (dim_ % kWordBits)) - 1;
+    }
+    diff += static_cast<std::size_t>(std::popcount(x));
+  }
+  return diff;
+}
+
+std::int64_t PackedBipolar::dot(const PackedBipolar& other) const {
+  const auto h = static_cast<std::int64_t>(hamming(other));
+  return static_cast<std::int64_t>(dim_) - 2 * h;
+}
+
+PackedBipolar PackedBipolar::bind(const PackedBipolar& other) const {
+  if (dim_ != other.dim_ || dim_ == 0) {
+    throw std::invalid_argument("PackedBipolar::bind: dimension mismatch");
+  }
+  PackedBipolar out;
+  out.dim_ = dim_;
+  out.words_.resize(words_.size());
+  // Product of signs: (+,+)->+, (-,-)->+, mixed -> -. With the +1 -> bit 1
+  // encoding that is XNOR; mask the tail so equality stays canonical.
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    out.words_[w] = ~(words_[w] ^ other.words_[w]);
+  }
+  if (dim_ % kWordBits != 0) {
+    out.words_.back() &= (1ULL << (dim_ % kWordBits)) - 1;
+  }
+  return out;
+}
+
+PackedTernary::PackedTernary(const Hypervector& v) : dim_(v.dim()) {
+  if (!v.is_ternary()) {
+    throw std::invalid_argument("PackedTernary: input is not ternary");
+  }
+  nonzero_.assign(word_count(dim_), 0);
+  sign_.assign(word_count(dim_), 0);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    if (v[i] != 0) {
+      nonzero_[i / kWordBits] |= (1ULL << (i % kWordBits));
+      if (v[i] > 0) sign_[i / kWordBits] |= (1ULL << (i % kWordBits));
+    }
+  }
+}
+
+Hypervector PackedTernary::unpack() const {
+  Hypervector out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const bool nz = (nonzero_[i / kWordBits] >> (i % kWordBits)) & 1u;
+    if (!nz) continue;
+    const bool pos = (sign_[i / kWordBits] >> (i % kWordBits)) & 1u;
+    out[i] = pos ? 1 : -1;
+  }
+  return out;
+}
+
+std::int64_t PackedTernary::dot(const PackedTernary& other) const {
+  if (dim_ != other.dim_ || dim_ == 0) {
+    throw std::invalid_argument("PackedTernary::dot: dimension mismatch");
+  }
+  std::int64_t acc = 0;
+  for (std::size_t w = 0; w < nonzero_.size(); ++w) {
+    const std::uint64_t active = nonzero_[w] & other.nonzero_[w];
+    const std::uint64_t agree = ~(sign_[w] ^ other.sign_[w]) & active;
+    const std::uint64_t disagree = (sign_[w] ^ other.sign_[w]) & active;
+    acc += std::popcount(agree);
+    acc -= std::popcount(disagree);
+  }
+  return acc;
+}
+
+}  // namespace factorhd::hdc

@@ -1,0 +1,82 @@
+// Bit-packed hypervector codecs.
+//
+// * PackedBipolar — 1 bit/dimension (+1 -> 1, -1 -> 0) with XOR + popcount
+//   dot products. Used by the resonator/IMC baselines' inner loops and by the
+//   fair-storage accounting of §IV-A.
+// * PackedTernary — 2 bits/dimension ({-1,0,+1} as sign/magnitude planes).
+//   This is the paper's "FactorHD operates in {-1,0,1}^D space, using 2 bits
+//   per dimension" storage model: a FactorHD HV at dimension D/2 occupies the
+//   same number of bits as a bipolar baseline HV at dimension D.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+
+namespace factorhd::hdc {
+
+/// Bipolar HV packed one bit per dimension into 64-bit words.
+class PackedBipolar {
+ public:
+  PackedBipolar() = default;
+
+  /// Packs a strictly bipolar HV; throws std::invalid_argument otherwise.
+  explicit PackedBipolar(const Hypervector& v);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t words() const noexcept { return words_.size(); }
+  [[nodiscard]] std::size_t storage_bits() const noexcept { return dim_; }
+
+  /// Unpacks back to an int32 hypervector.
+  [[nodiscard]] Hypervector unpack() const;
+
+  /// Dot product via XOR + popcount: dot = D - 2 * hamming.
+  [[nodiscard]] std::int64_t dot(const PackedBipolar& other) const;
+
+  /// Hamming distance (number of differing signs).
+  [[nodiscard]] std::size_t hamming(const PackedBipolar& other) const;
+
+  /// Componentwise product (binding) — XOR of the sign planes.
+  [[nodiscard]] PackedBipolar bind(const PackedBipolar& other) const;
+
+  bool operator==(const PackedBipolar&) const = default;
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<std::uint64_t> words_;  // bit i of word w = sign of dim 64w+i
+};
+
+/// Ternary HV packed two bits per dimension (nonzero plane + sign plane).
+class PackedTernary {
+ public:
+  PackedTernary() = default;
+
+  /// Packs a ternary HV; throws std::invalid_argument otherwise.
+  explicit PackedTernary(const Hypervector& v);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t storage_bits() const noexcept { return 2 * dim_; }
+
+  [[nodiscard]] Hypervector unpack() const;
+
+  /// Dot product using bitwise plane arithmetic (no unpacking).
+  [[nodiscard]] std::int64_t dot(const PackedTernary& other) const;
+
+  bool operator==(const PackedTernary&) const = default;
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<std::uint64_t> nonzero_;  // 1 where component != 0
+  std::vector<std::uint64_t> sign_;     // 1 where component == +1
+};
+
+/// Storage parity helper for the fair-comparison rule: the FactorHD dimension
+/// whose 2-bit ternary storage equals `bipolar_dim` bits of bipolar storage.
+[[nodiscard]] constexpr std::size_t fair_ternary_dim(
+    std::size_t bipolar_dim) noexcept {
+  return bipolar_dim / 2;
+}
+
+}  // namespace factorhd::hdc

@@ -1,0 +1,44 @@
+#include "hdc/random.hpp"
+
+namespace factorhd::hdc {
+
+Hypervector random_bipolar(std::size_t dim, util::Xoshiro256& rng) {
+  Hypervector out(dim);
+  auto* p = out.data();
+  std::size_t i = 0;
+  while (i < dim) {
+    std::uint64_t bits = rng();
+    const std::size_t chunk = dim - i < 64 ? dim - i : 64;
+    for (std::size_t k = 0; k < chunk; ++k) {
+      p[i + k] = (bits & 1u) ? 1 : -1;
+      bits >>= 1;
+    }
+    i += chunk;
+  }
+  return out;
+}
+
+Hypervector random_ternary(std::size_t dim, double sparsity,
+                           util::Xoshiro256& rng) {
+  Hypervector out(dim);
+  auto* p = out.data();
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (rng.bernoulli(sparsity)) {
+      p[i] = 0;
+    } else {
+      p[i] = rng.bipolar();
+    }
+  }
+  return out;
+}
+
+Hypervector flip_noise(const Hypervector& v, double p, util::Xoshiro256& rng) {
+  Hypervector out = v;
+  auto* po = out.data();
+  for (std::size_t i = 0, n = out.dim(); i < n; ++i) {
+    if (rng.bernoulli(p)) po[i] = -po[i];
+  }
+  return out;
+}
+
+}  // namespace factorhd::hdc

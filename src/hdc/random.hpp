@@ -1,0 +1,31 @@
+// Random hypervector generation.
+//
+// Randomly generated HVs in high dimension are quasi-orthogonal with
+// overwhelming probability (concentration of measure): the normalized dot
+// product of two independent bipolar HVs has mean 0 and stddev 1/sqrt(D).
+// This is the foundation of symbolic representation in HDC.
+#pragma once
+
+#include <cstddef>
+
+#include "hdc/hypervector.hpp"
+#include "util/rng.hpp"
+
+namespace factorhd::hdc {
+
+/// Uniform random bipolar HV in {-1,+1}^D. Draws 64 components per generator
+/// call (one bit each).
+[[nodiscard]] Hypervector random_bipolar(std::size_t dim,
+                                         util::Xoshiro256& rng);
+
+/// Random ternary HV: each component is 0 with probability `sparsity`,
+/// otherwise ±1 with equal probability.
+[[nodiscard]] Hypervector random_ternary(std::size_t dim, double sparsity,
+                                         util::Xoshiro256& rng);
+
+/// Flip each component of a bipolar HV independently with probability p
+/// (noise model used in robustness tests and the IMC factorizer simulation).
+[[nodiscard]] Hypervector flip_noise(const Hypervector& v, double p,
+                                     util::Xoshiro256& rng);
+
+}  // namespace factorhd::hdc

@@ -1,0 +1,62 @@
+#include "hdc/sequence.hpp"
+
+#include <stdexcept>
+
+#include "hdc/item_memory.hpp"
+#include "hdc/ops.hpp"
+
+namespace factorhd::hdc {
+
+Hypervector encode_sequence(std::span<const Hypervector> items) {
+  if (items.empty()) {
+    throw std::invalid_argument("encode_sequence: empty sequence");
+  }
+  Hypervector sum = items[0];  // rho^0 = identity
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    accumulate(sum, permute(items[i], i));
+  }
+  return sum;
+}
+
+Match decode_sequence_position(const Hypervector& sequence,
+                               std::size_t position,
+                               const Codebook& codebook) {
+  const Hypervector unrotated = unpermute(sequence, position);
+  return ItemMemory(codebook).best(unrotated);
+}
+
+std::vector<std::size_t> decode_sequence(const Hypervector& sequence,
+                                         std::size_t length,
+                                         const Codebook& codebook) {
+  std::vector<std::size_t> out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(decode_sequence_position(sequence, i, codebook).index);
+  }
+  return out;
+}
+
+Hypervector encode_ngram(std::span<const Hypervector> items) {
+  if (items.empty()) {
+    throw std::invalid_argument("encode_ngram: empty n-gram");
+  }
+  Hypervector product = items[0];
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    bind_inplace(product, permute(items[i], i));
+  }
+  return product;
+}
+
+Hypervector encode_ngram_bag(std::span<const Hypervector> items,
+                             std::size_t n) {
+  if (n == 0 || items.size() < n) {
+    throw std::invalid_argument("encode_ngram_bag: need items.size() >= n > 0");
+  }
+  Hypervector sum(items[0].dim());
+  for (std::size_t start = 0; start + n <= items.size(); ++start) {
+    accumulate(sum, encode_ngram(items.subspan(start, n)));
+  }
+  return sum;
+}
+
+}  // namespace factorhd::hdc

@@ -1,0 +1,47 @@
+// Sequence encodings built on the permutation operator ρ (paper §II-A).
+//
+// Two classical HDC sequence forms, both position-protected by cyclic
+// permutation so the same item at different positions stays distinguishable:
+//
+//  * superposition sequences  S = Σ_i ρ^i(a_i)   — decodable per position by
+//    unpermuting and cleaning up against the codebook;
+//  * n-gram (binding) sequences  G = ⊙_i ρ^i(a_i) — a single quasi-orthogonal
+//    signature per n-gram, the standard HDC text/genomics feature.
+//
+// These are substrate utilities (FactorHD itself orders nothing), provided
+// because position codebooks of RAVEN-style scenes and the survey material
+// the paper cites [27] treat ρ-sequences as a core HDC capability.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hdc/codebook.hpp"
+#include "hdc/hypervector.hpp"
+#include "hdc/item_memory.hpp"
+
+namespace factorhd::hdc {
+
+/// Superposition sequence S = Σ_i ρ^i(items[i]). Throws on empty input or
+/// mixed dimensions.
+[[nodiscard]] Hypervector encode_sequence(std::span<const Hypervector> items);
+
+/// Recovers the codebook index at `position` from a superposition sequence.
+[[nodiscard]] Match decode_sequence_position(const Hypervector& sequence,
+                                             std::size_t position,
+                                             const Codebook& codebook);
+
+/// Decodes every position of a length-`length` superposition sequence.
+[[nodiscard]] std::vector<std::size_t> decode_sequence(
+    const Hypervector& sequence, std::size_t length, const Codebook& codebook);
+
+/// N-gram signature G = ⊙_i ρ^i(items[i]).
+[[nodiscard]] Hypervector encode_ngram(std::span<const Hypervector> items);
+
+/// Bag-of-ngrams text/trace encoding: Σ over sliding windows of size `n`
+/// of encode_ngram(window). Requires items.size() >= n.
+[[nodiscard]] Hypervector encode_ngram_bag(std::span<const Hypervector> items,
+                                           std::size_t n);
+
+}  // namespace factorhd::hdc

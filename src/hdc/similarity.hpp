@@ -1,0 +1,36 @@
+// Similarity metrics between hypervectors.
+//
+// The paper recognizes target HVs with the normalized dot product
+// sim(V1, V2) = (V1 · V2) / D; cosine similarity and (normalized) Hamming
+// distance are provided for completeness and for the baselines that quote
+// them. A similarity near 0 indicates quasi-orthogonality.
+#pragma once
+
+#include <cstdint>
+
+#include "hdc/hypervector.hpp"
+
+namespace factorhd::hdc {
+
+/// Raw dot product V1 · V2 in 64-bit (bundles of many objects can exceed
+/// 32-bit partial sums at large D).
+[[nodiscard]] std::int64_t dot(const Hypervector& a, const Hypervector& b);
+
+/// The paper's similarity metric: dot(a, b) / D.
+[[nodiscard]] double similarity(const Hypervector& a, const Hypervector& b);
+
+/// Cosine similarity; 0 when either vector is all-zero.
+[[nodiscard]] double cosine(const Hypervector& a, const Hypervector& b);
+
+/// Number of differing components (classical Hamming distance; meaningful
+/// for bipolar/ternary HVs).
+[[nodiscard]] std::size_t hamming(const Hypervector& a, const Hypervector& b);
+
+/// Hamming distance normalized to [0, 1].
+[[nodiscard]] double normalized_hamming(const Hypervector& a,
+                                        const Hypervector& b);
+
+/// Euclidean norm of the HV.
+[[nodiscard]] double norm(const Hypervector& v);
+
+}  // namespace factorhd::hdc

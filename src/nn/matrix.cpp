@@ -1,0 +1,57 @@
+#include "nn/matrix.hpp"
+
+namespace factorhd::nn {
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul: inner dimension mismatch");
+  }
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float av = a.at(i, k);
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + k * b.cols();
+      float* orow = out.data() + i * out.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix matmul_bt(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_bt: inner dimension mismatch");
+  }
+  Matrix out(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.data() + j * b.cols();
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      out.at(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix matmul_at(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("matmul_at: inner dimension mismatch");
+  }
+  Matrix out(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const float* arow = a.data() + k * a.cols();
+    const float* brow = b.data() + k * b.cols();
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out.data() + i * out.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace factorhd::nn

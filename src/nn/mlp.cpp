@@ -1,0 +1,147 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace factorhd::nn {
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, util::Xoshiro256& rng)
+    : dims_(dims) {
+  if (dims_.size() < 2) {
+    throw std::invalid_argument("Mlp: need at least input and output dims");
+  }
+  layers_.resize(dims_.size() - 1);
+  velocity_w_.resize(layers_.size());
+  velocity_b_.resize(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const std::size_t in = dims_[l];
+    const std::size_t out = dims_[l + 1];
+    layers_[l].weight = Matrix(in, out);
+    layers_[l].bias = Matrix(1, out);
+    layers_[l].grad_weight = Matrix(in, out);
+    layers_[l].grad_bias = Matrix(1, out);
+    velocity_w_[l] = Matrix(in, out);
+    velocity_b_[l] = Matrix(1, out);
+    // He initialization for ReLU nets.
+    const double scale = std::sqrt(2.0 / static_cast<double>(in));
+    for (std::size_t i = 0; i < in * out; ++i) {
+      layers_[l].weight.data()[i] = static_cast<float>(scale * rng.normal());
+    }
+  }
+}
+
+Matrix Mlp::forward(const Matrix& x) {
+  if (x.cols() != input_dim()) {
+    throw std::invalid_argument("Mlp::forward: input width mismatch");
+  }
+  activations_.clear();
+  activations_.push_back(x);
+  Matrix cur = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Matrix z = matmul(cur, layers_[l].weight);
+    for (std::size_t r = 0; r < z.rows(); ++r) {
+      float* row = z.data() + r * z.cols();
+      const float* b = layers_[l].bias.data();
+      for (std::size_t c = 0; c < z.cols(); ++c) row[c] += b[c];
+    }
+    if (l + 1 < layers_.size()) {
+      for (std::size_t i = 0; i < z.size(); ++i) {
+        if (z.data()[i] < 0.0f) z.data()[i] = 0.0f;
+      }
+      activations_.push_back(z);
+      cur = std::move(z);
+    } else {
+      cur = std::move(z);  // logits: no activation
+    }
+  }
+  return cur;
+}
+
+Matrix Mlp::softmax(const Matrix& logits) {
+  Matrix p(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const float* in = logits.data() + r * logits.cols();
+    float* out = p.data() + r * p.cols();
+    float mx = in[0];
+    for (std::size_t c = 1; c < logits.cols(); ++c) mx = std::max(mx, in[c]);
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      out[c] = std::exp(in[c] - mx);
+      sum += out[c];
+    }
+    for (std::size_t c = 0; c < logits.cols(); ++c) out[c] /= sum;
+  }
+  return p;
+}
+
+std::vector<int> Mlp::argmax(const Matrix& logits) {
+  std::vector<int> out(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const float* row = logits.data() + r * logits.cols();
+    int best = 0;
+    for (std::size_t c = 1; c < logits.cols(); ++c) {
+      if (row[c] > row[best]) best = static_cast<int>(c);
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+double Mlp::backward(const Matrix& logits, const std::vector<int>& labels) {
+  if (labels.size() != logits.rows()) {
+    throw std::invalid_argument("Mlp::backward: label count mismatch");
+  }
+  const std::size_t batch = logits.rows();
+  Matrix probs = softmax(logits);
+  double loss = 0.0;
+  // dL/dlogits = (softmax - onehot) / batch
+  Matrix delta = probs;
+  for (std::size_t r = 0; r < batch; ++r) {
+    const int y = labels[r];
+    if (y < 0 || static_cast<std::size_t>(y) >= logits.cols()) {
+      throw std::invalid_argument("Mlp::backward: label out of range");
+    }
+    loss -= std::log(std::max(1e-12f, probs.at(r, static_cast<std::size_t>(y))));
+    delta.at(r, static_cast<std::size_t>(y)) -= 1.0f;
+  }
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    delta.data()[i] /= static_cast<float>(batch);
+  }
+
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    const Matrix& input = activations_[l];
+    layers_[l].grad_weight = matmul_at(input, delta);
+    layers_[l].grad_bias = Matrix(1, delta.cols());
+    for (std::size_t r = 0; r < delta.rows(); ++r) {
+      for (std::size_t c = 0; c < delta.cols(); ++c) {
+        layers_[l].grad_bias.at(0, c) += delta.at(r, c);
+      }
+    }
+    if (l > 0) {
+      Matrix prev_delta = matmul_bt(delta, layers_[l].weight);
+      // ReLU gate: zero where the forward activation was clamped.
+      const Matrix& act = activations_[l];
+      for (std::size_t i = 0; i < prev_delta.size(); ++i) {
+        if (act.data()[i] <= 0.0f) prev_delta.data()[i] = 0.0f;
+      }
+      delta = std::move(prev_delta);
+    }
+  }
+  return loss / static_cast<double>(batch);
+}
+
+void Mlp::sgd_step(double learning_rate, double momentum) {
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    auto step = [&](Matrix& param, Matrix& grad, Matrix& vel) {
+      for (std::size_t i = 0; i < param.size(); ++i) {
+        vel.data()[i] = static_cast<float>(momentum * vel.data()[i] -
+                                           learning_rate * grad.data()[i]);
+        param.data()[i] += vel.data()[i];
+      }
+    };
+    step(layers_[l].weight, layers_[l].grad_weight, velocity_w_[l]);
+    step(layers_[l].bias, layers_[l].grad_bias, velocity_b_[l]);
+  }
+}
+
+}  // namespace factorhd::nn

@@ -1,0 +1,71 @@
+// Multi-layer perceptron with ReLU hidden layers and a softmax/cross-entropy
+// head. This is the trainable "neuro part" of the neuro-symbolic pipeline
+// (the feature-extractor role the paper assigns to ResNet-18).
+//
+// The network exposes both logits (for classification) and the penultimate
+// activation vector (the "feature" consumed by the HDC encoding stage).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace factorhd::nn {
+
+struct LinearLayer {
+  Matrix weight;  ///< [in, out]
+  Matrix bias;    ///< [1, out]
+  // Gradients (same shapes), filled by Mlp::backward.
+  Matrix grad_weight;
+  Matrix grad_bias;
+};
+
+class Mlp {
+ public:
+  /// `dims` = {input, hidden..., output}; He-initialized from `rng`.
+  Mlp(const std::vector<std::size_t>& dims, util::Xoshiro256& rng);
+
+  [[nodiscard]] std::size_t input_dim() const noexcept { return dims_.front(); }
+  [[nodiscard]] std::size_t output_dim() const noexcept { return dims_.back(); }
+  /// Width of the penultimate activation (the feature vector).
+  [[nodiscard]] std::size_t feature_dim() const noexcept {
+    return dims_[dims_.size() - 2];
+  }
+
+  /// Forward pass; returns logits [batch, output]. Caches activations for a
+  /// following backward() call.
+  Matrix forward(const Matrix& x);
+
+  /// Penultimate-layer activations from the last forward() call.
+  [[nodiscard]] const Matrix& features() const { return activations_.back(); }
+
+  /// Softmax cross-entropy against integer labels; returns mean loss and
+  /// fills layer gradients (averaged over the batch).
+  double backward(const Matrix& logits, const std::vector<int>& labels);
+
+  /// SGD step with momentum over all parameters.
+  void sgd_step(double learning_rate, double momentum = 0.9);
+
+  /// Row-wise softmax of logits (used by probability-weighted HV bundling).
+  [[nodiscard]] static Matrix softmax(const Matrix& logits);
+
+  /// Row-wise argmax of logits.
+  [[nodiscard]] static std::vector<int> argmax(const Matrix& logits);
+
+  [[nodiscard]] const std::vector<LinearLayer>& layers() const noexcept {
+    return layers_;
+  }
+
+ private:
+  std::vector<std::size_t> dims_;
+  std::vector<LinearLayer> layers_;
+  std::vector<Matrix> velocity_w_;
+  std::vector<Matrix> velocity_b_;
+  // Cached per-layer inputs: activations_[0] = x, activations_[i] = ReLU
+  // output of layer i-1 (so activations_.back() is the feature vector).
+  std::vector<Matrix> activations_;
+};
+
+}  // namespace factorhd::nn

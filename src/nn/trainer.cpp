@@ -1,0 +1,76 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace factorhd::nn {
+
+Matrix gather_rows(const Matrix& src, const std::vector<std::size_t>& rows) {
+  Matrix out(rows.size(), src.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto r = src.row(rows[i]);
+    std::copy(r.begin(), r.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+TrainReport train(Mlp& net, const Dataset& data, const TrainOptions& opts) {
+  if (data.size() == 0) throw std::invalid_argument("train: empty dataset");
+  if (data.features.rows() != data.size()) {
+    throw std::invalid_argument("train: feature/label count mismatch");
+  }
+  TrainReport report;
+  util::Xoshiro256 rng(opts.shuffle_seed);
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  double lr = opts.learning_rate;
+  for (std::size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    // Fisher-Yates shuffle from our deterministic stream.
+    for (std::size_t i = order.size(); i-- > 1;) {
+      std::swap(order[i], order[rng.uniform(i + 1)]);
+    }
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += opts.batch_size) {
+      const std::size_t end = std::min(order.size(), start + opts.batch_size);
+      std::vector<std::size_t> batch_rows(order.begin() + static_cast<std::ptrdiff_t>(start),
+                                          order.begin() + static_cast<std::ptrdiff_t>(end));
+      Matrix x = gather_rows(data.features, batch_rows);
+      std::vector<int> y(batch_rows.size());
+      for (std::size_t i = 0; i < batch_rows.size(); ++i) {
+        y[i] = data.labels[batch_rows[i]];
+      }
+      Matrix logits = net.forward(x);
+      epoch_loss += net.backward(logits, y);
+      net.sgd_step(lr, opts.momentum);
+      ++batches;
+    }
+    report.epoch_loss.push_back(epoch_loss / static_cast<double>(batches));
+    lr *= opts.lr_decay;
+  }
+  report.final_train_accuracy = evaluate_accuracy(net, data);
+  return report;
+}
+
+double evaluate_accuracy(Mlp& net, const Dataset& data) {
+  if (data.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  // Evaluate in chunks to bound the activation cache size.
+  constexpr std::size_t kChunk = 256;
+  for (std::size_t start = 0; start < data.size(); start += kChunk) {
+    const std::size_t end = std::min(data.size(), start + kChunk);
+    std::vector<std::size_t> rows(end - start);
+    std::iota(rows.begin(), rows.end(), start);
+    Matrix logits = net.forward(gather_rows(data.features, rows));
+    const std::vector<int> pred = Mlp::argmax(logits);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (pred[i] == data.labels[rows[i]]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace factorhd::nn

@@ -1,0 +1,46 @@
+// Mini-batch SGD training loop and evaluation for the MLP feature extractor.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/matrix.hpp"
+#include "nn/mlp.hpp"
+#include "util/rng.hpp"
+
+namespace factorhd::nn {
+
+/// A labelled dataset: one example per row of `features`.
+struct Dataset {
+  Matrix features;
+  std::vector<int> labels;
+
+  [[nodiscard]] std::size_t size() const noexcept { return labels.size(); }
+};
+
+struct TrainOptions {
+  std::size_t epochs = 10;
+  std::size_t batch_size = 32;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  /// Multiplies the learning rate after each epoch (simple decay schedule).
+  double lr_decay = 0.95;
+  std::uint64_t shuffle_seed = 99;
+};
+
+struct TrainReport {
+  std::vector<double> epoch_loss;
+  double final_train_accuracy = 0.0;
+};
+
+/// Trains `net` in place; deterministic given the options' shuffle seed.
+TrainReport train(Mlp& net, const Dataset& data, const TrainOptions& opts);
+
+/// Top-1 accuracy of `net` on `data`.
+[[nodiscard]] double evaluate_accuracy(Mlp& net, const Dataset& data);
+
+/// Extracts one batch of rows by index.
+[[nodiscard]] Matrix gather_rows(const Matrix& src,
+                                 const std::vector<std::size_t>& rows);
+
+}  // namespace factorhd::nn

@@ -1,0 +1,103 @@
+#include "taxonomy/codebooks.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "hdc/ops.hpp"
+#include "hdc/random.hpp"
+
+namespace factorhd::tax {
+
+TaxonomyCodebooks::TaxonomyCodebooks(Taxonomy taxonomy, std::size_t dim,
+                                     util::Xoshiro256& rng)
+    : taxonomy_(std::move(taxonomy)), dim_(dim) {
+  if (dim_ == 0) {
+    throw std::invalid_argument("TaxonomyCodebooks: zero dimension");
+  }
+  null_ = hdc::random_bipolar(dim_, rng);
+  classes_.reserve(taxonomy_.num_classes());
+  for (std::size_t c = 0; c < taxonomy_.num_classes(); ++c) {
+    ClassCodebooks cc;
+    cc.label = hdc::random_bipolar(dim_, rng);
+    cc.levels.reserve(taxonomy_.depth(c));
+    for (std::size_t l = 1; l <= taxonomy_.depth(c); ++l) {
+      cc.levels.emplace_back(dim_, taxonomy_.level_size(c, l), rng,
+                             "class" + std::to_string(c) + "/level" +
+                                 std::to_string(l));
+    }
+    classes_.push_back(std::move(cc));
+  }
+  build_other_label_keys();
+}
+
+void TaxonomyCodebooks::build_other_label_keys() {
+  // Precompute per-class unbinding keys: the bound product of every *other*
+  // class label. Factorization binds the target with this key to collapse all
+  // unselected clauses to (approximately) the identity.
+  other_label_keys_.clear();
+  other_label_keys_.reserve(classes_.size());
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    hdc::Hypervector key = hdc::identity(dim_);
+    for (std::size_t j = 0; j < classes_.size(); ++j) {
+      if (j != c) hdc::bind_inplace(key, classes_[j].label);
+    }
+    other_label_keys_.push_back(std::move(key));
+  }
+}
+
+TaxonomyCodebooks::TaxonomyCodebooks(FromPartsTag, Taxonomy taxonomy,
+                                     hdc::Hypervector null_hv,
+                                     std::vector<ClassCodebooks> classes)
+    : taxonomy_(std::move(taxonomy)), dim_(null_hv.dim()),
+      null_(std::move(null_hv)), classes_(std::move(classes)) {
+  if (dim_ == 0) {
+    throw std::invalid_argument("TaxonomyCodebooks: zero dimension");
+  }
+  if (classes_.size() != taxonomy_.num_classes()) {
+    throw std::invalid_argument("TaxonomyCodebooks: class count mismatch");
+  }
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    const ClassCodebooks& cc = classes_[c];
+    if (cc.label.dim() != dim_) {
+      throw std::invalid_argument("TaxonomyCodebooks: label dim mismatch");
+    }
+    if (cc.levels.size() != taxonomy_.depth(c)) {
+      throw std::invalid_argument("TaxonomyCodebooks: level count mismatch");
+    }
+    for (std::size_t l = 1; l <= cc.levels.size(); ++l) {
+      const hdc::Codebook& cb = cc.levels[l - 1];
+      if (cb.dim() != dim_ || cb.size() != taxonomy_.level_size(c, l)) {
+        throw std::invalid_argument(
+            "TaxonomyCodebooks: codebook shape mismatch");
+      }
+    }
+  }
+  build_other_label_keys();
+}
+
+TaxonomyCodebooks TaxonomyCodebooks::from_parts(
+    Taxonomy taxonomy, hdc::Hypervector null_hv,
+    std::vector<ClassCodebooks> classes) {
+  return TaxonomyCodebooks(FromPartsTag{}, std::move(taxonomy),
+                           std::move(null_hv), std::move(classes));
+}
+
+const hdc::Codebook& TaxonomyCodebooks::level_codebook(
+    std::size_t cls, std::size_t level) const {
+  const ClassCodebooks& cc = classes_.at(cls);
+  if (level == 0 || level > cc.levels.size()) {
+    throw std::out_of_range("TaxonomyCodebooks: level out of range");
+  }
+  return cc.levels[level - 1];
+}
+
+std::size_t TaxonomyCodebooks::total_items() const noexcept {
+  std::size_t n = 1;  // NULL
+  for (const auto& cc : classes_) {
+    n += 1;  // label
+    for (const auto& cb : cc.levels) n += cb.size();
+  }
+  return n;
+}
+
+}  // namespace factorhd::tax

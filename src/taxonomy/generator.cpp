@@ -1,0 +1,83 @@
+#include "taxonomy/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace factorhd::tax {
+
+namespace {
+
+Path random_path(const Taxonomy& t, std::size_t cls, std::size_t depth,
+                 util::Xoshiro256& rng) {
+  Path p;
+  p.reserve(depth);
+  std::size_t index = rng.uniform(t.level_size(cls, 1));
+  p.push_back(index);
+  for (std::size_t l = 2; l <= depth; ++l) {
+    const std::size_t b = t.branching(cls)[l - 1];
+    index = index * b + rng.uniform(b);
+    p.push_back(index);
+  }
+  return p;
+}
+
+}  // namespace
+
+Object random_object(const Taxonomy& t, util::Xoshiro256& rng,
+                     const ObjectGenOptions& opts) {
+  Object obj(t.num_classes());
+  for (std::size_t c = 0; c < t.num_classes(); ++c) {
+    const std::size_t depth =
+        opts.depth == 0 ? t.depth(c) : std::min(opts.depth, t.depth(c));
+    if (opts.class_presence >= 1.0 || rng.bernoulli(opts.class_presence)) {
+      obj.set_path(c, random_path(t, c, depth, rng));
+    }
+  }
+  return obj;
+}
+
+Scene random_scene(const Taxonomy& t, util::Xoshiro256& rng,
+                   const SceneGenOptions& opts) {
+  Scene scene;
+  scene.reserve(opts.num_objects);
+  // Bounded retry loop for distinctness; 64 attempts per slot is far beyond
+  // what uniform draws need unless the object space is tiny, in which case we
+  // fail loudly rather than loop forever.
+  constexpr int kMaxAttempts = 64;
+  for (std::size_t i = 0; i < opts.num_objects; ++i) {
+    Object candidate(t.num_classes());
+    bool ok = false;
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      candidate = random_object(t, rng, opts.object);
+      if (opts.allow_duplicates ||
+          std::find(scene.begin(), scene.end(), candidate) == scene.end()) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      throw std::runtime_error(
+          "random_scene: could not draw distinct objects (object space too "
+          "small for requested scene size)");
+    }
+    scene.push_back(std::move(candidate));
+  }
+  return scene;
+}
+
+Path random_path_below(const Taxonomy& t, std::size_t cls,
+                       std::size_t level1_item, util::Xoshiro256& rng) {
+  if (level1_item >= t.level_size(cls, 1)) {
+    throw std::out_of_range("random_path_below: level-1 index out of range");
+  }
+  Path p{level1_item};
+  std::size_t index = level1_item;
+  for (std::size_t l = 2; l <= t.depth(cls); ++l) {
+    const std::size_t b = t.branching(cls)[l - 1];
+    index = index * b + rng.uniform(b);
+    p.push_back(index);
+  }
+  return p;
+}
+
+}  // namespace factorhd::tax

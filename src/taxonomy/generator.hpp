@@ -1,0 +1,46 @@
+// Random problem-instance generators used by tests and the benchmark
+// harness: random objects (full or partial paths, optional absent classes)
+// and random scenes (optionally with duplicate objects to exercise the
+// "problem of 2").
+#pragma once
+
+#include <cstddef>
+
+#include "taxonomy/object.hpp"
+#include "taxonomy/taxonomy.hpp"
+#include "util/rng.hpp"
+
+namespace factorhd::tax {
+
+struct ObjectGenOptions {
+  /// Probability that a class is present in the object. 1.0 = all classes.
+  double class_presence = 1.0;
+  /// Path depth for present classes; 0 means "full depth". Classes shallower
+  /// than the requested depth are clamped to their own depth.
+  std::size_t depth = 0;
+};
+
+/// A uniformly random object. Present classes carry a uniformly random valid
+/// path (each level's index drawn among the children of the previous level).
+[[nodiscard]] Object random_object(const Taxonomy& t, util::Xoshiro256& rng,
+                                   const ObjectGenOptions& opts = {});
+
+struct SceneGenOptions {
+  std::size_t num_objects = 2;
+  ObjectGenOptions object;
+  /// When false, re-draws until all objects in the scene are distinct
+  /// (requires the taxonomy to have enough distinct objects).
+  bool allow_duplicates = false;
+};
+
+/// A random scene of `opts.num_objects` objects.
+[[nodiscard]] Scene random_scene(const Taxonomy& t, util::Xoshiro256& rng,
+                                 const SceneGenOptions& opts = {});
+
+/// Extends a level-1-only path of class `cls` to full depth by random child
+/// choices (helper for building partially-known queries in tests).
+[[nodiscard]] Path random_path_below(const Taxonomy& t, std::size_t cls,
+                                     std::size_t level1_item,
+                                     util::Xoshiro256& rng);
+
+}  // namespace factorhd::tax

@@ -1,0 +1,125 @@
+#include "taxonomy/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "hdc/io.hpp"
+
+namespace factorhd::tax {
+
+namespace {
+
+constexpr std::uint32_t kTaxonomyMagic = 0x31415446;  // 'FTA1'
+constexpr std::uint32_t kBooksMagic = 0x31435446;     // 'FTC1'
+constexpr std::uint64_t kMaxReasonable = 1ULL << 20;
+
+template <typename T>
+void write_pod(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is, const char* what) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) {
+    throw std::runtime_error(std::string("tax::io: truncated input reading ") +
+                             what);
+  }
+  return value;
+}
+
+}  // namespace
+
+void save_taxonomy(std::ostream& os, const Taxonomy& t) {
+  write_pod<std::uint32_t>(os, kTaxonomyMagic);
+  write_pod<std::uint64_t>(os, t.num_classes());
+  for (std::size_t c = 0; c < t.num_classes(); ++c) {
+    const auto& chain = t.branching(c);
+    write_pod<std::uint64_t>(os, chain.size());
+    for (std::size_t b : chain) write_pod<std::uint64_t>(os, b);
+  }
+  if (!os) throw std::runtime_error("tax::io: write failed");
+}
+
+Taxonomy load_taxonomy(std::istream& is) {
+  if (read_pod<std::uint32_t>(is, "taxonomy magic") != kTaxonomyMagic) {
+    throw std::runtime_error("tax::io: bad taxonomy magic");
+  }
+  const auto num_classes = read_pod<std::uint64_t>(is, "class count");
+  if (num_classes == 0 || num_classes > kMaxReasonable) {
+    throw std::runtime_error("tax::io: implausible class count");
+  }
+  std::vector<std::vector<std::size_t>> per_class;
+  per_class.reserve(static_cast<std::size_t>(num_classes));
+  for (std::uint64_t c = 0; c < num_classes; ++c) {
+    const auto depth = read_pod<std::uint64_t>(is, "class depth");
+    if (depth == 0 || depth > kMaxReasonable) {
+      throw std::runtime_error("tax::io: implausible depth");
+    }
+    std::vector<std::size_t> chain;
+    chain.reserve(static_cast<std::size_t>(depth));
+    for (std::uint64_t l = 0; l < depth; ++l) {
+      const auto b = read_pod<std::uint64_t>(is, "branching factor");
+      if (b == 0 || b > kMaxReasonable) {
+        throw std::runtime_error("tax::io: implausible branching factor");
+      }
+      chain.push_back(static_cast<std::size_t>(b));
+    }
+    per_class.push_back(std::move(chain));
+  }
+  return Taxonomy(std::move(per_class));
+}
+
+void save_codebooks(std::ostream& os, const TaxonomyCodebooks& books) {
+  write_pod<std::uint32_t>(os, kBooksMagic);
+  save_taxonomy(os, books.taxonomy());
+  hdc::save_hypervector(os, books.null_hv());
+  const Taxonomy& t = books.taxonomy();
+  for (std::size_t c = 0; c < t.num_classes(); ++c) {
+    hdc::save_hypervector(os, books.label(c));
+    for (std::size_t l = 1; l <= t.depth(c); ++l) {
+      hdc::save_codebook(os, books.level_codebook(c, l));
+    }
+  }
+  if (!os) throw std::runtime_error("tax::io: write failed");
+}
+
+TaxonomyCodebooks load_codebooks(std::istream& is) {
+  if (read_pod<std::uint32_t>(is, "codebooks magic") != kBooksMagic) {
+    throw std::runtime_error("tax::io: bad codebooks magic");
+  }
+  Taxonomy taxonomy = load_taxonomy(is);
+  hdc::Hypervector null_hv = hdc::load_hypervector(is);
+  std::vector<ClassCodebooks> classes;
+  classes.reserve(taxonomy.num_classes());
+  for (std::size_t c = 0; c < taxonomy.num_classes(); ++c) {
+    ClassCodebooks cc;
+    cc.label = hdc::load_hypervector(is);
+    for (std::size_t l = 1; l <= taxonomy.depth(c); ++l) {
+      cc.levels.push_back(hdc::load_codebook(is));
+    }
+    classes.push_back(std::move(cc));
+  }
+  return TaxonomyCodebooks::from_parts(std::move(taxonomy), std::move(null_hv),
+                                       std::move(classes));
+}
+
+void save_codebooks_file(const std::string& path,
+                         const TaxonomyCodebooks& books) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("tax::io: cannot open " + path);
+  save_codebooks(out, books);
+}
+
+TaxonomyCodebooks load_codebooks_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("tax::io: cannot open " + path);
+  return load_codebooks(in);
+}
+
+}  // namespace factorhd::tax

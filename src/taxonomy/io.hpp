@@ -1,0 +1,30 @@
+// Binary serialization of taxonomies and their codebook material — the
+// "model file" of a deployed FactorHD system. Builds on hdc/io.hpp framing.
+//
+// Format (little-endian):
+//   Taxonomy:          u32 magic 'FTA1' | u64 num_classes
+//                      | per class: u64 depth, u64 branching[depth]
+//   TaxonomyCodebooks: u32 magic 'FTC1' | Taxonomy | Hypervector (NULL)
+//                      | per class: Hypervector (label), depth Codebooks
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "taxonomy/codebooks.hpp"
+#include "taxonomy/taxonomy.hpp"
+
+namespace factorhd::tax {
+
+void save_taxonomy(std::ostream& os, const Taxonomy& t);
+[[nodiscard]] Taxonomy load_taxonomy(std::istream& is);
+
+void save_codebooks(std::ostream& os, const TaxonomyCodebooks& books);
+[[nodiscard]] TaxonomyCodebooks load_codebooks(std::istream& is);
+
+/// File-path convenience wrappers; throw std::runtime_error on I/O failure.
+void save_codebooks_file(const std::string& path,
+                         const TaxonomyCodebooks& books);
+[[nodiscard]] TaxonomyCodebooks load_codebooks_file(const std::string& path);
+
+}  // namespace factorhd::tax

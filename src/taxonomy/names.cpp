@@ -1,0 +1,118 @@
+#include "taxonomy/names.hpp"
+
+#include <stdexcept>
+
+namespace factorhd::tax {
+
+NameRegistry::NameRegistry(Taxonomy taxonomy) : taxonomy_(std::move(taxonomy)) {
+  class_names_.resize(taxonomy_.num_classes());
+  slot_of_class_.resize(taxonomy_.num_classes());
+  std::size_t slots = 0;
+  for (std::size_t c = 0; c < taxonomy_.num_classes(); ++c) {
+    slot_of_class_[c] = slots;
+    slots += taxonomy_.depth(c);
+  }
+  item_names_.resize(slots);
+  item_lookup_.resize(slots);
+  for (std::size_t c = 0; c < taxonomy_.num_classes(); ++c) {
+    for (std::size_t l = 1; l <= taxonomy_.depth(c); ++l) {
+      item_names_[slot(c, l)].resize(taxonomy_.level_size(c, l));
+    }
+  }
+}
+
+std::size_t NameRegistry::slot(std::size_t cls, std::size_t level) const {
+  if (cls >= taxonomy_.num_classes() || level == 0 ||
+      level > taxonomy_.depth(cls)) {
+    throw std::out_of_range("NameRegistry: class/level out of range");
+  }
+  return slot_of_class_[cls] + (level - 1);
+}
+
+void NameRegistry::set_class_name(std::size_t cls, std::string name) {
+  if (cls >= taxonomy_.num_classes()) {
+    throw std::out_of_range("NameRegistry: class out of range");
+  }
+  if (auto existing = class_index(name);
+      existing.has_value() && *existing != cls) {
+    throw std::invalid_argument("NameRegistry: duplicate class name " + name);
+  }
+  if (!class_names_[cls].empty()) class_lookup_.erase(class_names_[cls]);
+  class_lookup_[name] = cls;
+  class_names_[cls] = std::move(name);
+}
+
+void NameRegistry::set_item_name(std::size_t cls, std::size_t level,
+                                 std::size_t index, std::string name) {
+  const std::size_t s = slot(cls, level);
+  if (index >= item_names_[s].size()) {
+    throw std::out_of_range("NameRegistry: item index out of range");
+  }
+  if (auto existing = item_index(cls, level, name);
+      existing.has_value() && *existing != index) {
+    throw std::invalid_argument("NameRegistry: duplicate item name " + name);
+  }
+  if (!item_names_[s][index].empty()) {
+    item_lookup_[s].erase(item_names_[s][index]);
+  }
+  item_lookup_[s][name] = index;
+  item_names_[s][index] = std::move(name);
+}
+
+std::string NameRegistry::class_name(std::size_t cls) const {
+  if (cls >= taxonomy_.num_classes()) {
+    throw std::out_of_range("NameRegistry: class out of range");
+  }
+  if (!class_names_[cls].empty()) return class_names_[cls];
+  return "c" + std::to_string(cls);
+}
+
+std::string NameRegistry::item_name(std::size_t cls, std::size_t level,
+                                    std::size_t index) const {
+  const std::size_t s = slot(cls, level);
+  if (index >= item_names_[s].size()) {
+    throw std::out_of_range("NameRegistry: item index out of range");
+  }
+  if (!item_names_[s][index].empty()) return item_names_[s][index];
+  return "c" + std::to_string(cls) + "/l" + std::to_string(level) + "/" +
+         std::to_string(index);
+}
+
+std::optional<std::size_t> NameRegistry::class_index(
+    std::string_view name) const {
+  const auto it = class_lookup_.find(std::string(name));
+  if (it == class_lookup_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::size_t> NameRegistry::item_index(
+    std::size_t cls, std::size_t level, std::string_view name) const {
+  const auto& table = item_lookup_[slot(cls, level)];
+  const auto it = table.find(std::string(name));
+  if (it == table.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string NameRegistry::describe(const Object& obj) const {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t c = 0; c < obj.num_classes() && c < taxonomy_.num_classes();
+       ++c) {
+    if (!first) out += ", ";
+    first = false;
+    out += class_name(c) + ": ";
+    if (!obj.has_class(c)) {
+      out += "-";
+      continue;
+    }
+    const Path& p = obj.path(c);
+    for (std::size_t l = 1; l <= p.size(); ++l) {
+      if (l > 1) out += "/";
+      out += item_name(c, l, p[l - 1]);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace factorhd::tax

@@ -1,0 +1,63 @@
+// Human-readable names for taxonomy classes and items.
+//
+// The numeric (class, level, index) addressing of tax::Taxonomy is what the
+// algorithms need; applications want "animal/dog/spaniel". NameRegistry is a
+// thin bidirectional mapping kept separate from the taxonomy itself so the
+// hot paths never touch strings.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "taxonomy/object.hpp"
+#include "taxonomy/taxonomy.hpp"
+
+namespace factorhd::tax {
+
+class NameRegistry {
+ public:
+  /// Registry over `taxonomy`'s shape (kept by value; registries are small).
+  explicit NameRegistry(Taxonomy taxonomy);
+
+  [[nodiscard]] const Taxonomy& taxonomy() const noexcept { return taxonomy_; }
+
+  /// Names a class; throws std::out_of_range on a bad index and
+  /// std::invalid_argument on a duplicate name within classes.
+  void set_class_name(std::size_t cls, std::string name);
+
+  /// Names an item at (class, level, index); duplicate names within the same
+  /// (class, level) are rejected.
+  void set_item_name(std::size_t cls, std::size_t level, std::size_t index,
+                     std::string name);
+
+  /// Name lookups; fall back to numeric forms ("c2", "c2/l1/14") when unset.
+  [[nodiscard]] std::string class_name(std::size_t cls) const;
+  [[nodiscard]] std::string item_name(std::size_t cls, std::size_t level,
+                                      std::size_t index) const;
+
+  /// Reverse lookups.
+  [[nodiscard]] std::optional<std::size_t> class_index(
+      std::string_view name) const;
+  [[nodiscard]] std::optional<std::size_t> item_index(
+      std::size_t cls, std::size_t level, std::string_view name) const;
+
+  /// "color: brown, animal: dog/spaniel" style rendering of an object.
+  [[nodiscard]] std::string describe(const Object& obj) const;
+
+ private:
+  [[nodiscard]] std::size_t slot(std::size_t cls, std::size_t level) const;
+
+  Taxonomy taxonomy_;
+  std::vector<std::string> class_names_;
+  std::unordered_map<std::string, std::size_t> class_lookup_;
+  // Flattened per-(class, level) item name tables.
+  std::vector<std::vector<std::string>> item_names_;
+  std::vector<std::unordered_map<std::string, std::size_t>> item_lookup_;
+  std::vector<std::size_t> slot_of_class_;  // first slot index per class
+};
+
+}  // namespace factorhd::tax

@@ -1,0 +1,65 @@
+#include "taxonomy/object.hpp"
+
+#include <sstream>
+
+namespace factorhd::tax {
+
+bool Object::valid_for(const Taxonomy& t) const {
+  if (paths_.size() != t.num_classes()) return false;
+  for (std::size_t c = 0; c < paths_.size(); ++c) {
+    if (!paths_[c]) continue;
+    const Path& p = *paths_[c];
+    if (p.empty() || p.size() > t.depth(c)) return false;
+    for (std::size_t l = 1; l <= p.size(); ++l) {
+      if (p[l - 1] >= t.level_size(c, l)) return false;
+      if (l >= 2 && t.parent_of(c, l, p[l - 1]) != p[l - 2]) return false;
+    }
+  }
+  return true;
+}
+
+std::string Object::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t c = 0; c < paths_.size(); ++c) {
+    if (c) os << ", ";
+    os << 'c' << c << ": ";
+    if (!paths_[c]) {
+      os << '-';
+    } else {
+      const Path& p = *paths_[c];
+      for (std::size_t l = 0; l < p.size(); ++l) {
+        if (l) os << '/';
+        os << p[l];
+      }
+    }
+  }
+  os << '}';
+  return os.str();
+}
+
+bool valid_scene(const Scene& scene, const Taxonomy& t) {
+  for (const auto& obj : scene) {
+    if (!obj.valid_for(t)) return false;
+  }
+  return true;
+}
+
+bool same_multiset(const Scene& a, const Scene& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<bool> used(b.size(), false);
+  for (const Object& oa : a) {
+    bool matched = false;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (!used[j] && b[j] == oa) {
+        used[j] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+}  // namespace factorhd::tax

@@ -1,0 +1,80 @@
+// Symbolic objects and scenes over a taxonomy.
+//
+// An Object assigns, for each class, either "absent" (the paper's NULL case)
+// or a path of item indices down the class's subclass tree — e.g. for the
+// class "animals": {dogs, spaniels}. A Scene is a multiset of objects (the
+// multi-object representations of Rep 3); duplicates are legal and exercise
+// the "problem of 2".
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "taxonomy/taxonomy.hpp"
+
+namespace factorhd::tax {
+
+/// Item indices along one class's subclass chain, from level 1 downward.
+/// path[l-1] is the global index at level l. May be shorter than the
+/// taxonomy depth (an object known only down to some level).
+using Path = std::vector<std::size_t>;
+
+class Object {
+ public:
+  /// Object over `num_classes` classes with every class absent.
+  explicit Object(std::size_t num_classes) : paths_(num_classes) {}
+
+  /// Explicit per-class assignment.
+  explicit Object(std::vector<std::optional<Path>> paths)
+      : paths_(std::move(paths)) {}
+
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return paths_.size();
+  }
+
+  [[nodiscard]] bool has_class(std::size_t cls) const {
+    return paths_.at(cls).has_value();
+  }
+
+  /// Path for class `cls`; throws std::bad_optional_access when absent.
+  [[nodiscard]] const Path& path(std::size_t cls) const {
+    return paths_.at(cls).value();
+  }
+
+  [[nodiscard]] const std::optional<Path>& maybe_path(std::size_t cls) const {
+    return paths_.at(cls);
+  }
+
+  void set_path(std::size_t cls, Path path) {
+    paths_.at(cls) = std::move(path);
+  }
+  void clear_class(std::size_t cls) { paths_.at(cls).reset(); }
+
+  /// True when the object is structurally valid for `t`: class count matches,
+  /// every path fits within depth, indices are in range and each level is a
+  /// child of the previous one.
+  [[nodiscard]] bool valid_for(const Taxonomy& t) const;
+
+  /// Human-readable form, e.g. "{c0: 3/31, c1: -, c2: 7/75}".
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Object&) const = default;
+
+ private:
+  std::vector<std::optional<Path>> paths_;
+};
+
+/// A multiset of objects (a multi-object representation).
+using Scene = std::vector<Object>;
+
+/// True when every object in the scene is valid for `t`.
+[[nodiscard]] bool valid_scene(const Scene& scene, const Taxonomy& t);
+
+/// True when the two scenes contain the same objects with the same
+/// multiplicities, in any order (the correctness criterion for multi-object
+/// factorization, including the duplicate-object "problem of 2" cases).
+[[nodiscard]] bool same_multiset(const Scene& a, const Scene& b);
+
+}  // namespace factorhd::tax

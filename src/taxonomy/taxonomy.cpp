@@ -1,0 +1,122 @@
+#include "taxonomy/taxonomy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace factorhd::tax {
+
+Taxonomy::Taxonomy(std::size_t num_classes, std::vector<std::size_t> branching)
+    : Taxonomy(std::vector<std::vector<std::size_t>>(num_classes,
+                                                     std::move(branching))) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("Taxonomy: need at least one class");
+  }
+}
+
+Taxonomy::Taxonomy(std::vector<std::vector<std::size_t>> per_class_branching)
+    : branching_(std::move(per_class_branching)) {
+  if (branching_.empty()) {
+    throw std::invalid_argument("Taxonomy: need at least one class");
+  }
+  level_sizes_.reserve(branching_.size());
+  for (const auto& chain : branching_) {
+    if (chain.empty()) {
+      throw std::invalid_argument("Taxonomy: need at least one subclass level");
+    }
+    std::vector<std::size_t> sizes;
+    sizes.reserve(chain.size());
+    std::size_t acc = 1;
+    for (std::size_t b : chain) {
+      if (b == 0) {
+        throw std::invalid_argument("Taxonomy: zero branching factor");
+      }
+      acc *= b;
+      sizes.push_back(acc);
+    }
+    level_sizes_.push_back(std::move(sizes));
+    max_depth_ = std::max(max_depth_, chain.size());
+  }
+}
+
+bool Taxonomy::uniform() const noexcept {
+  return std::all_of(branching_.begin(), branching_.end(),
+                     [&](const auto& c) { return c == branching_[0]; });
+}
+
+const std::vector<std::size_t>& Taxonomy::branching_at(std::size_t cls) const {
+  if (cls >= branching_.size()) {
+    throw std::out_of_range("Taxonomy: class index out of range");
+  }
+  return branching_[cls];
+}
+
+const std::vector<std::size_t>& Taxonomy::level_sizes_at(
+    std::size_t cls) const {
+  if (cls >= level_sizes_.size()) {
+    throw std::out_of_range("Taxonomy: class index out of range");
+  }
+  return level_sizes_[cls];
+}
+
+void Taxonomy::check_level(std::size_t cls, std::size_t level) const {
+  if (level == 0 || level > depth(cls)) {
+    throw std::out_of_range("Taxonomy: level out of range");
+  }
+}
+
+std::size_t Taxonomy::level_size(std::size_t cls, std::size_t level) const {
+  check_level(cls, level);
+  return level_sizes_at(cls)[level - 1];
+}
+
+std::size_t Taxonomy::parent_of(std::size_t cls, std::size_t level,
+                                std::size_t index) const {
+  check_level(cls, level);
+  if (level < 2) {
+    throw std::out_of_range("Taxonomy::parent_of: level-1 items have no parent");
+  }
+  if (index >= level_size(cls, level)) {
+    throw std::out_of_range("Taxonomy::parent_of: index out of range");
+  }
+  return index / branching_at(cls)[level - 1];
+}
+
+std::vector<std::size_t> Taxonomy::children_of(std::size_t cls,
+                                               std::size_t level,
+                                               std::size_t index) const {
+  check_level(cls, level);
+  if (level >= depth(cls)) {
+    throw std::out_of_range(
+        "Taxonomy::children_of: deepest level has no children");
+  }
+  if (index >= level_size(cls, level)) {
+    throw std::out_of_range("Taxonomy::children_of: index out of range");
+  }
+  const std::size_t b = branching_at(cls)[level];
+  std::vector<std::size_t> kids(b);
+  for (std::size_t k = 0; k < b; ++k) kids[k] = index * b + k;
+  return kids;
+}
+
+bool Taxonomy::is_child(std::size_t cls, std::size_t level, std::size_t parent,
+                        std::size_t child) const {
+  check_level(cls, level);
+  if (level >= depth(cls)) return false;
+  return child / branching_at(cls)[level] == parent;
+}
+
+std::size_t Taxonomy::max_level1_size() const noexcept {
+  std::size_t m = 0;
+  for (const auto& chain : branching_) m = std::max(m, chain[0]);
+  return m;
+}
+
+double Taxonomy::problem_size() const noexcept {
+  double p = 1.0;
+  for (std::size_t c = 0; c < num_classes(); ++c) {
+    p *= static_cast<double>(paths_per_class(c));
+  }
+  return p;
+}
+
+}  // namespace factorhd::tax

@@ -1,0 +1,95 @@
+// Class-subclass hierarchy description (the paper's Fig. 1(a) structure).
+//
+// A representation problem has F classes (factors). Every class owns a tree
+// of subclass items: branching(c)[0] level-1 subclasses for class c,
+// branching(c)[1] level-2 sub-subclasses per level-1 item, and so on. Items
+// at level l are addressed by a global index in [0, level_size(c, l)); the
+// parent/child arithmetic below encodes the tree shape without storing
+// per-node objects.
+//
+// Classes may have *heterogeneous* shapes (e.g. the RAVEN attributes:
+// 9 positions, 10 colors, 30 size-type combinations) or share one shape (the
+// paper's synthetic Rep 1-3 experiments); the two constructors cover both.
+// The classic flat factorization problem (F codebooks of M items, problem
+// size M^F) is the uniform case depth == 1, branching == {M}.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace factorhd::tax {
+
+class Taxonomy {
+ public:
+  /// Uniform shape: every one of `num_classes` classes gets the same
+  /// `branching` chain. Throws std::invalid_argument on empty/zero inputs.
+  Taxonomy(std::size_t num_classes, std::vector<std::size_t> branching);
+
+  /// Heterogeneous shape: one branching chain per class.
+  explicit Taxonomy(std::vector<std::vector<std::size_t>> per_class_branching);
+
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return branching_.size();
+  }
+
+  /// Number of subclass levels below class `cls` (>= 1).
+  [[nodiscard]] std::size_t depth(std::size_t cls) const {
+    return branching_at(cls).size();
+  }
+  /// Deepest subclass level across all classes.
+  [[nodiscard]] std::size_t max_depth() const noexcept { return max_depth_; }
+  /// True when every class shares the same branching chain.
+  [[nodiscard]] bool uniform() const noexcept;
+
+  [[nodiscard]] const std::vector<std::size_t>& branching(
+      std::size_t cls) const {
+    return branching_at(cls);
+  }
+
+  /// Number of items of class `cls` at subclass level `level` (1-based): the
+  /// product of branching factors up to that level.
+  [[nodiscard]] std::size_t level_size(std::size_t cls,
+                                       std::size_t level) const;
+
+  /// Global index of the parent (at level-1) of item `index` at `level >= 2`.
+  [[nodiscard]] std::size_t parent_of(std::size_t cls, std::size_t level,
+                                      std::size_t index) const;
+
+  /// Global indices of the children (at level+1) of item `index` at `level`.
+  [[nodiscard]] std::vector<std::size_t> children_of(std::size_t cls,
+                                                     std::size_t level,
+                                                     std::size_t index) const;
+
+  /// True when `child` at `level+1` descends from `parent` at `level`.
+  [[nodiscard]] bool is_child(std::size_t cls, std::size_t level,
+                              std::size_t parent, std::size_t child) const;
+
+  /// Number of distinct full paths within class `cls`.
+  [[nodiscard]] std::size_t paths_per_class(std::size_t cls) const {
+    return level_sizes_at(cls).back();
+  }
+
+  /// Largest level-1 codebook across classes (the M entering Eq. 2).
+  [[nodiscard]] std::size_t max_level1_size() const noexcept;
+
+  /// Total problem size for single-object factorization: the product over
+  /// classes of paths_per_class, computed in double to allow the paper's
+  /// 1e9-scale sizes without overflow.
+  [[nodiscard]] double problem_size() const noexcept;
+
+  bool operator==(const Taxonomy&) const = default;
+
+ private:
+  [[nodiscard]] const std::vector<std::size_t>& branching_at(
+      std::size_t cls) const;
+  [[nodiscard]] const std::vector<std::size_t>& level_sizes_at(
+      std::size_t cls) const;
+  void check_level(std::size_t cls, std::size_t level) const;
+
+  std::vector<std::vector<std::size_t>> branching_;
+  std::vector<std::vector<std::size_t>> level_sizes_;  // cumulative products
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace factorhd::tax

@@ -1,0 +1,28 @@
+// Minimal CSV writer; benches optionally dump raw sweep data next to the
+// human-readable tables so figures can be re-plotted offline.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace factorhd::util {
+
+/// Streaming CSV writer with RFC-4180-style quoting of cells containing
+/// commas, quotes, or newlines.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). `ok()` reports failure instead of
+  /// throwing so benches can degrade to stdout-only.
+  explicit CsvWriter(const std::string& path);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+};
+
+}  // namespace factorhd::util

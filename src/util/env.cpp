@@ -1,0 +1,30 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace factorhd::util {
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+bool bench_full_scale() {
+  return env_string("FACTORHD_BENCH_SCALE", "") == "full";
+}
+
+std::uint64_t experiment_seed() {
+  return static_cast<std::uint64_t>(env_int("FACTORHD_SEED", 42));
+}
+
+}  // namespace factorhd::util

@@ -1,0 +1,23 @@
+// Environment-variable helpers used by the bench harness for scale control
+// (FACTORHD_BENCH_SCALE, FACTORHD_TRIALS, FACTORHD_SEED).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace factorhd::util {
+
+/// Value of environment variable `name`, or `fallback` if unset/empty.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Integer environment variable; returns `fallback` when unset or unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// True when FACTORHD_BENCH_SCALE is "full" (paper-scale sweeps); default is
+/// the reduced laptop-scale configuration.
+bool bench_full_scale();
+
+/// Global experiment seed: FACTORHD_SEED, default 42.
+std::uint64_t experiment_seed();
+
+}  // namespace factorhd::util

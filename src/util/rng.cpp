@@ -1,0 +1,38 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace factorhd::util {
+
+std::uint64_t Xoshiro256::uniform(std::uint64_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire's method: multiply a 64-bit draw by bound and keep the high word;
+  // reject the small biased region at the bottom of each residue class.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::normal() noexcept {
+  // Marsaglia polar method; no cached second value so consumption of the
+  // underlying stream is data-dependent but fully deterministic.
+  for (;;) {
+    const double u = 2.0 * uniform_double() - 1.0;
+    const double v = 2.0 * uniform_double() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+}  // namespace factorhd::util

@@ -1,0 +1,49 @@
+// Small statistics helpers used by the benchmark harness and tests:
+// summary statistics, binomial confidence intervals for accuracy estimates,
+// and least-squares fits used to extract complexity exponents from timing
+// sweeps (the paper's O(N_M) vs O(N_M^2) claim).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace factorhd::util {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Summary statistics of a sample. Empty input yields an all-zero summary.
+Summary summarize(std::span<const double> xs);
+
+/// Wilson score interval for a binomial proportion, suitable for accuracy
+/// estimates near 0 or 1 where the normal approximation breaks down.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+Interval wilson_interval(std::size_t successes, std::size_t trials,
+                         double z = 1.96);
+
+/// Ordinary least squares y = a + b*x. Returns {a, b, r2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Power-law fit y = c * x^p via log-log least squares. Requires positive
+/// inputs; non-positive pairs are skipped. Returns {log(c) as intercept,
+/// p as slope, r2 of the log-log fit}.
+LinearFit fit_power_law(std::span<const double> x, std::span<const double> y);
+
+/// Median (copies input). Empty input returns 0.
+double median(std::vector<double> xs);
+
+}  // namespace factorhd::util

@@ -1,0 +1,42 @@
+// Plain-text table printer used by the benchmark harness to emit
+// paper-style result rows (Fig./Table reproductions) to stdout.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace factorhd::util {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+/// Intentionally minimal: benches build rows with format helpers below.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; short rows are padded with empty cells, long rows
+  /// extend the column count.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a header separator and two-space column gaps.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting ("0.9971" style used in tables).
+std::string fmt_double(double v, int precision = 4);
+/// Percentage with % suffix, e.g. 99.71%.
+std::string fmt_percent(double fraction, int precision = 2);
+/// Scientific-style problem-size formatting, e.g. "1.7e+07".
+std::string fmt_sci(double v, int precision = 1);
+/// Human time: picks ns/us/ms/s based on magnitude.
+std::string fmt_time_us(double microseconds);
+
+}  // namespace factorhd::util

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch for factorization-time measurements.
+#pragma once
+
+#include <chrono>
+
+namespace factorhd::util {
+
+/// Monotonic stopwatch. Started on construction; `elapsed_*` reads do not
+/// stop it, `restart` resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+  [[nodiscard]] double elapsed_us() const noexcept {
+    return elapsed_seconds() * 1e6;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace factorhd::util

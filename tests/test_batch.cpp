@@ -1,0 +1,148 @@
+// Unit tests for multi-threaded batch factorization.
+#include <gtest/gtest.h>
+
+#include "core/batch.hpp"
+#include "core/encoder.hpp"
+#include "taxonomy/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using namespace factorhd::core;
+
+class BatchTest : public ::testing::Test {
+ protected:
+  BatchTest()
+      : rng_(55), taxonomy_(3, {16}), books_(taxonomy_, 512, rng_),
+        encoder_(books_), factorizer_(encoder_) {}
+
+  util::Xoshiro256 rng_;
+  tax::Taxonomy taxonomy_;
+  tax::TaxonomyCodebooks books_;
+  Encoder encoder_;
+  Factorizer factorizer_;
+};
+
+TEST_F(BatchTest, MatchesSequentialResults) {
+  std::vector<tax::Object> truth;
+  std::vector<hdc::Hypervector> targets;
+  for (int i = 0; i < 64; ++i) {
+    truth.push_back(tax::random_object(taxonomy_, rng_));
+    targets.push_back(encoder_.encode_object(truth.back()));
+  }
+  BatchOptions opts;
+  opts.num_threads = 4;
+  const BatchFactorizer batcher(factorizer_, opts);
+  const auto results = batcher.factorize_all(targets, {});
+  ASSERT_EQ(results.size(), targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_EQ(results[i].objects[0].to_object(3), truth[i]) << "target " << i;
+  }
+}
+
+TEST_F(BatchTest, EmptyBatchIsEmpty) {
+  const BatchFactorizer batcher(factorizer_);
+  EXPECT_TRUE(batcher.factorize_all({}, {}).empty());
+}
+
+TEST_F(BatchTest, SingleThreadPathWorks) {
+  BatchOptions opts;
+  opts.num_threads = 1;
+  const BatchFactorizer batcher(factorizer_, opts);
+  const tax::Object obj = tax::random_object(taxonomy_, rng_);
+  const auto results =
+      batcher.factorize_all({encoder_.encode_object(obj)}, {});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].objects[0].to_object(3), obj);
+}
+
+TEST_F(BatchTest, EffectiveThreadsClampsToBatchSize) {
+  BatchOptions opts;
+  opts.num_threads = 16;
+  const BatchFactorizer batcher(factorizer_, opts);
+  EXPECT_EQ(batcher.effective_threads(3), 3u);
+  EXPECT_EQ(batcher.effective_threads(100), 16u);
+  EXPECT_EQ(batcher.effective_threads(0), 1u);
+  BatchOptions auto_opts;  // num_threads = 0 -> hardware concurrency
+  const BatchFactorizer auto_batcher(factorizer_, auto_opts);
+  EXPECT_GE(auto_batcher.effective_threads(1000), 1u);
+}
+
+TEST_F(BatchTest, PropagatesWorkerExceptions) {
+  std::vector<hdc::Hypervector> targets;
+  targets.push_back(encoder_.encode_object(tax::random_object(taxonomy_, rng_)));
+  targets.emplace_back(77);  // wrong dimension -> factorize throws
+  BatchOptions opts;
+  opts.num_threads = 2;
+  const BatchFactorizer batcher(factorizer_, opts);
+  EXPECT_THROW((void)batcher.factorize_all(targets, {}),
+               std::invalid_argument);
+}
+
+TEST_F(BatchTest, MultiObjectBatchesWork) {
+  std::vector<tax::Scene> scenes;
+  std::vector<hdc::Hypervector> targets;
+  for (int i = 0; i < 16; ++i) {
+    scenes.push_back(tax::random_scene(
+        taxonomy_, rng_,
+        {.num_objects = 2, .object = {}, .allow_duplicates = false}));
+    targets.push_back(encoder_.encode_scene(scenes.back()));
+  }
+  FactorizeOptions fopts;
+  fopts.multi_object = true;
+  fopts.num_objects_hint = 2;
+  BatchOptions bopts;
+  bopts.num_threads = 4;
+  const BatchFactorizer batcher(factorizer_, bopts);
+  const auto results = batcher.factorize_all(targets, fopts);
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    tax::Scene rec;
+    for (const auto& o : results[i].objects) rec.push_back(o.to_object(3));
+    if (tax::same_multiset(rec, scenes[i])) ++ok;
+  }
+  EXPECT_GE(ok, 14u);
+}
+
+TEST_F(BatchTest, ResultsIndependentOfThreadCount) {
+  // Factorization is deterministic per target, so any thread count must
+  // produce identical results in identical order.
+  std::vector<hdc::Hypervector> targets;
+  for (int i = 0; i < 24; ++i) {
+    targets.push_back(
+        encoder_.encode_object(tax::random_object(taxonomy_, rng_)));
+  }
+  std::vector<std::vector<tax::Object>> per_thread_count;
+  for (const std::size_t threads : {1u, 2u, 5u}) {
+    BatchOptions opts;
+    opts.num_threads = threads;
+    const BatchFactorizer batcher(factorizer_, opts);
+    const auto results = batcher.factorize_all(targets, {});
+    std::vector<tax::Object> decoded;
+    for (const auto& r : results) decoded.push_back(r.objects[0].to_object(3));
+    per_thread_count.push_back(std::move(decoded));
+  }
+  EXPECT_EQ(per_thread_count[0], per_thread_count[1]);
+  EXPECT_EQ(per_thread_count[0], per_thread_count[2]);
+}
+
+TEST_F(BatchTest, SimilarityOpCountersStayConsistent) {
+  // Concurrent counting through the atomic counters must equal the
+  // sequential sum.
+  std::vector<hdc::Hypervector> targets;
+  for (int i = 0; i < 32; ++i) {
+    targets.push_back(
+        encoder_.encode_object(tax::random_object(taxonomy_, rng_)));
+  }
+  BatchOptions opts;
+  opts.num_threads = 4;
+  const BatchFactorizer batcher(factorizer_, opts);
+  const auto results = batcher.factorize_all(targets, {});
+  std::uint64_t total = 0;
+  for (const auto& r : results) total += r.similarity_ops;
+  // Rep 1 cost per target: F * (M + null) = 3 * 17.
+  EXPECT_EQ(total, 32u * 3u * 17u);
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Unit tests for the analytic capacity model.
+#include <gtest/gtest.h>
+
+#include "core/capacity.hpp"
+#include "core/encoder.hpp"
+#include "core/factorizer.hpp"
+#include "hdc/ops.hpp"
+#include "hdc/random.hpp"
+#include "hdc/similarity.hpp"
+#include "taxonomy/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using namespace factorhd::core;
+
+TEST(ClauseGeometry, DensityValues) {
+  EXPECT_DOUBLE_EQ(clause_density(1), 1.0);   // bipolar item alone
+  EXPECT_DOUBLE_EQ(clause_density(2), 0.5);   // label + item
+  EXPECT_DOUBLE_EQ(clause_density(3), 1.0);   // odd sums never zero
+  EXPECT_DOUBLE_EQ(clause_density(4), 1.0 - 6.0 / 16.0);
+  EXPECT_THROW((void)clause_density(0), std::invalid_argument);
+}
+
+TEST(ClauseGeometry, CorrelationValues) {
+  EXPECT_DOUBLE_EQ(clause_member_correlation(1), 1.0);
+  EXPECT_DOUBLE_EQ(clause_member_correlation(2), 0.5);
+  EXPECT_DOUBLE_EQ(clause_member_correlation(3), 0.5);
+  EXPECT_DOUBLE_EQ(clause_member_correlation(4), 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(clause_member_correlation(5), 6.0 / 16.0);
+}
+
+TEST(ClauseGeometry, CorrelationMatchesEmpirical) {
+  // Monte-Carlo check of c_3 on real clipped bundles.
+  util::Xoshiro256 rng(1);
+  const std::size_t d = 100000;
+  hdc::Hypervector sum(d);
+  hdc::Hypervector member;
+  for (int k = 0; k < 3; ++k) {
+    hdc::Hypervector v = hdc::random_bipolar(d, rng);
+    if (k == 0) member = v;
+    hdc::accumulate(sum, v);
+  }
+  hdc::clip_ternary_inplace(sum);
+  const double measured = hdc::similarity(sum, member);
+  EXPECT_NEAR(measured, clause_member_correlation(3), 0.01);
+}
+
+TEST(ArgmaxWin, Extremes) {
+  EXPECT_DOUBLE_EQ(argmax_win_probability(0.1, 0.01, 0), 1.0);
+  // Overwhelming signal -> ~1; zero signal with many rivals -> small.
+  EXPECT_GT(argmax_win_probability(0.5, 0.01, 100), 0.999);
+  EXPECT_LT(argmax_win_probability(0.0, 0.01, 100), 0.05);
+}
+
+TEST(ArgmaxWin, MonotoneInRivalsAndNoise) {
+  const double base = argmax_win_probability(0.1, 0.05, 10);
+  EXPECT_GT(base, argmax_win_probability(0.1, 0.05, 100));
+  EXPECT_GT(base, argmax_win_probability(0.1, 0.10, 10));
+  EXPECT_LT(base, argmax_win_probability(0.2, 0.05, 10));
+}
+
+TEST(CapacityModel, PredictionTracksMeasurementRep1) {
+  // Single shape near its knee: F=3, M=16.
+  CapacityProblem p;
+  p.num_classes = 3;
+  p.branching = {16};
+  util::Xoshiro256 rng(2);
+  for (const std::size_t d : {96u, 160u, 320u}) {
+    p.dim = d;
+    const double predicted = predicted_object_accuracy(p);
+    const tax::Taxonomy taxonomy(3, {16});
+    const tax::TaxonomyCodebooks books(taxonomy, d, rng);
+    const Encoder encoder(books);
+    const Factorizer factorizer(encoder);
+    std::size_t ok = 0;
+    const std::size_t trials = 200;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const tax::Object obj = tax::random_object(taxonomy, rng);
+      if (factorizer.factorize_single(encoder.encode_object(obj))
+              .to_object(3) == obj) {
+        ++ok;
+      }
+    }
+    const double measured = static_cast<double>(ok) / trials;
+    EXPECT_NEAR(predicted, measured, 0.10) << "D=" << d;
+  }
+}
+
+TEST(CapacityModel, MonotoneInDimension) {
+  CapacityProblem p;
+  p.num_classes = 4;
+  p.branching = {32};
+  double prev = 0.0;
+  for (const std::size_t d : {128u, 256u, 512u, 1024u}) {
+    p.dim = d;
+    const double acc = predicted_object_accuracy(p);
+    EXPECT_GE(acc, prev);
+    prev = acc;
+  }
+  EXPECT_GT(prev, 0.99);
+}
+
+TEST(CapacityModel, RequiredDimensionIsConsistent) {
+  CapacityProblem p;
+  p.num_classes = 3;
+  p.branching = {64};
+  const std::size_t d99 = required_dimension(p, 0.99);
+  ASSERT_GT(d99, 0u);
+  p.dim = d99;
+  EXPECT_GE(predicted_object_accuracy(p), 0.99);
+  p.dim = d99 / 2;
+  EXPECT_LT(predicted_object_accuracy(p), 0.99);
+  // Tighter targets need more dimensions.
+  EXPECT_GT(required_dimension(p, 0.999), d99);
+}
+
+TEST(CapacityModel, InvalidProblemsThrow) {
+  CapacityProblem p;
+  p.branching = {};
+  EXPECT_THROW((void)predicted_class_accuracy(p), std::invalid_argument);
+  p.branching = {8};
+  p.num_classes = 0;
+  EXPECT_THROW((void)predicted_class_accuracy(p), std::invalid_argument);
+}
+
+}  // namespace

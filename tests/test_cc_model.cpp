@@ -1,0 +1,73 @@
+// Unit tests for the C-C product model.
+#include <gtest/gtest.h>
+
+#include "baselines/cc_model.hpp"
+#include "hdc/ops.hpp"
+#include "hdc/similarity.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using baselines::CCModel;
+
+TEST(CCModel, ShapeAndProblemSize) {
+  util::Xoshiro256 rng(1);
+  const CCModel m(512, 3, 16, rng);
+  EXPECT_EQ(m.dim(), 512u);
+  EXPECT_EQ(m.num_factors(), 3u);
+  EXPECT_EQ(m.codebook_size(), 16u);
+  EXPECT_DOUBLE_EQ(m.problem_size(), 4096.0);
+  EXPECT_DOUBLE_EQ(m.exhaustive_cost(), 4096.0);
+}
+
+TEST(CCModel, EncodeIsBoundProduct) {
+  util::Xoshiro256 rng(2);
+  const CCModel m(256, 3, 8, rng);
+  const std::vector<std::size_t> idx{1, 4, 7};
+  const auto h = m.encode(idx);
+  auto expected = hdc::bind(m.codebook(0).item(1), m.codebook(1).item(4));
+  expected = hdc::bind(expected, m.codebook(2).item(7));
+  EXPECT_EQ(h, expected);
+  EXPECT_TRUE(h.is_bipolar());
+}
+
+TEST(CCModel, UnbindingTwoFactorsRecoversThird) {
+  util::Xoshiro256 rng(3);
+  const CCModel m(1024, 3, 8, rng);
+  const std::vector<std::size_t> idx{2, 5, 3};
+  auto h = m.encode(idx);
+  hdc::bind_inplace(h, m.codebook(0).item(2));
+  hdc::bind_inplace(h, m.codebook(1).item(5));
+  EXPECT_EQ(h, m.codebook(2).item(3));
+}
+
+TEST(CCModel, SceneBundlesProducts) {
+  util::Xoshiro256 rng(4);
+  const CCModel m(256, 2, 4, rng);
+  const std::vector<std::vector<std::size_t>> objs{{0, 1}, {2, 3}};
+  const auto scene = m.encode_scene(objs);
+  const auto expected =
+      hdc::bundle(m.encode(objs[0]), m.encode(objs[1]));
+  EXPECT_EQ(scene, expected);
+}
+
+TEST(CCModel, InvalidInputsThrow) {
+  util::Xoshiro256 rng(5);
+  EXPECT_THROW(CCModel(256, 1, 4, rng), std::invalid_argument);
+  const CCModel m(256, 3, 4, rng);
+  const std::vector<std::size_t> short_idx{0, 1};
+  EXPECT_THROW((void)m.encode(short_idx), std::invalid_argument);
+  EXPECT_THROW((void)m.encode_scene({}), std::invalid_argument);
+  EXPECT_THROW((void)m.codebook(3), std::out_of_range);
+}
+
+TEST(CCModel, DistinctObjectsAreQuasiOrthogonal) {
+  util::Xoshiro256 rng(6);
+  const CCModel m(8192, 3, 8, rng);
+  const auto a = m.encode(std::vector<std::size_t>{0, 0, 0});
+  const auto b = m.encode(std::vector<std::size_t>{1, 0, 0});
+  EXPECT_LT(std::abs(hdc::similarity(a, b)), 0.08);
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Unit tests for the C-I (class-instance) baseline, including explicit
+// demonstrations of the superposition catastrophe and the problem of 2.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/ci_model.hpp"
+#include "hdc/similarity.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using baselines::CIModel;
+
+TEST(CIModel, SingleObjectFactorizationIsAccurate) {
+  util::Xoshiro256 rng(1);
+  const CIModel m(512, 3, 16, rng);
+  int correct = 0;
+  for (int t = 0; t < 30; ++t) {
+    std::vector<std::size_t> truth{rng.uniform(16), rng.uniform(16),
+                                   rng.uniform(16)};
+    std::uint64_t ops = 0;
+    if (m.factorize_single(m.encode(truth), &ops) == truth) ++correct;
+    EXPECT_EQ(ops, 3u * 16u);
+  }
+  EXPECT_GE(correct, 29);
+}
+
+TEST(CIModel, PartialFactorizationOfOneClass) {
+  util::Xoshiro256 rng(2);
+  const CIModel m(512, 3, 16, rng);
+  const std::vector<std::size_t> truth{4, 9, 12};
+  std::uint64_t ops = 0;
+  EXPECT_EQ(m.factorize_class(m.encode(truth), 1, &ops), 9u);
+  EXPECT_EQ(ops, 16u);
+}
+
+TEST(CIModel, SceneSetsRecoverPerClassItems) {
+  util::Xoshiro256 rng(3);
+  const CIModel m(4096, 3, 16, rng);
+  const std::vector<std::vector<std::size_t>> objects{{1, 2, 3}, {4, 5, 6}};
+  const auto sets = m.factorize_scene_sets(m.encode_scene(objects), 2);
+  ASSERT_EQ(sets.size(), 3u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    ASSERT_EQ(sets[c].size(), 2u);
+    const bool has_first = std::find(sets[c].begin(), sets[c].end(),
+                                     objects[0][c]) != sets[c].end();
+    const bool has_second = std::find(sets[c].begin(), sets[c].end(),
+                                      objects[1][c]) != sets[c].end();
+    EXPECT_TRUE(has_first && has_second) << "class " << c;
+  }
+}
+
+// The superposition catastrophe: per-class sets carry no information about
+// which items belong to the same object. The two candidate associations of
+// the recovered sets are indistinguishable from the encoding itself: swapping
+// fillers between objects produces exactly the same bundle.
+TEST(CIModel, SuperpositionCatastropheIsStructural) {
+  util::Xoshiro256 rng(4);
+  const CIModel m(1024, 2, 8, rng);
+  // Objects (a0, b0) and (a1, b1) vs swapped (a0, b1) and (a1, b0):
+  const std::vector<std::vector<std::size_t>> straight{{0, 0}, {1, 1}};
+  const std::vector<std::vector<std::size_t>> swapped{{0, 1}, {1, 0}};
+  EXPECT_EQ(m.encode_scene(straight), m.encode_scene(swapped));
+}
+
+// The problem of 2: duplicate objects scale the bundle but cleanup
+// similarity ranking cannot distinguish {x, x} from {x}: the top-2 items of
+// each class are the true item plus an arbitrary noise item.
+TEST(CIModel, ProblemOfTwoLosesMultiplicity) {
+  util::Xoshiro256 rng(5);
+  const CIModel m(4096, 2, 8, rng);
+  const std::vector<std::size_t> obj{3, 5};
+  const auto two_copies = m.encode_scene({obj, obj});
+  const auto one_copy = m.encode(obj);
+  // The doubled bundle is exactly colinear with the single object: cosine 1.
+  EXPECT_NEAR(hdc::cosine(two_copies, one_copy), 1.0, 1e-12);
+  // Asking for 2 objects returns one real item and one spurious one.
+  const auto sets = m.factorize_scene_sets(two_copies, 2);
+  EXPECT_EQ(sets[0][0], 3u);
+  EXPECT_EQ(sets[1][0], 5u);
+}
+
+TEST(CIModel, InvalidInputsThrow) {
+  util::Xoshiro256 rng(6);
+  EXPECT_THROW(CIModel(256, 0, 8, rng), std::invalid_argument);
+  const CIModel m(256, 3, 8, rng);
+  EXPECT_THROW((void)m.encode({0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)m.encode_scene({}), std::invalid_argument);
+  EXPECT_THROW((void)m.role(3), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Unit tests for tax::TaxonomyCodebooks.
+#include <gtest/gtest.h>
+
+#include "hdc/ops.hpp"
+#include "hdc/similarity.hpp"
+#include "taxonomy/codebooks.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using tax::Taxonomy;
+using tax::TaxonomyCodebooks;
+
+TEST(TaxonomyCodebooks, GeneratesAllMaterial) {
+  util::Xoshiro256 rng(1);
+  const Taxonomy t(3, {8, 4});
+  const TaxonomyCodebooks books(t, 512, rng);
+  EXPECT_EQ(books.dim(), 512u);
+  EXPECT_TRUE(books.null_hv().is_bipolar());
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_TRUE(books.label(c).is_bipolar());
+    EXPECT_EQ(books.level_codebook(c, 1).size(), 8u);
+    EXPECT_EQ(books.level_codebook(c, 2).size(), 32u);
+  }
+  // 1 null + per class (1 label + 8 + 32).
+  EXPECT_EQ(books.total_items(), 1u + 3u * (1u + 8u + 32u));
+}
+
+TEST(TaxonomyCodebooks, HeterogeneousShapes) {
+  util::Xoshiro256 rng(2);
+  const Taxonomy t(std::vector<std::vector<std::size_t>>{{9}, {10}, {5, 6}});
+  const TaxonomyCodebooks books(t, 256, rng);
+  EXPECT_EQ(books.level_codebook(0, 1).size(), 9u);
+  EXPECT_EQ(books.level_codebook(2, 2).size(), 30u);
+  EXPECT_THROW((void)books.level_codebook(0, 2), std::out_of_range);
+}
+
+TEST(TaxonomyCodebooks, OtherLabelsKeyIsProductOfOtherLabels) {
+  util::Xoshiro256 rng(3);
+  const Taxonomy t(3, {4});
+  const TaxonomyCodebooks books(t, 128, rng);
+  const auto expected =
+      hdc::bind(books.label(1), books.label(2));
+  EXPECT_EQ(books.other_labels_key(0), expected);
+  // Binding the key with the remaining label gives the all-label product;
+  // key(c) ⊙ label(c) is the same for every c.
+  const auto all0 = hdc::bind(books.other_labels_key(0), books.label(0));
+  const auto all1 = hdc::bind(books.other_labels_key(1), books.label(1));
+  EXPECT_EQ(all0, all1);
+}
+
+TEST(TaxonomyCodebooks, SingleClassKeyIsIdentity) {
+  util::Xoshiro256 rng(4);
+  const Taxonomy t(1, {4});
+  const TaxonomyCodebooks books(t, 64, rng);
+  EXPECT_EQ(books.other_labels_key(0), hdc::identity(64));
+}
+
+TEST(TaxonomyCodebooks, LabelsAreQuasiOrthogonalToItems) {
+  util::Xoshiro256 rng(5);
+  const Taxonomy t(2, {16});
+  const TaxonomyCodebooks books(t, 4096, rng);
+  for (std::size_t j = 0; j < 16; ++j) {
+    EXPECT_LT(std::abs(hdc::similarity(books.label(0), books.item(0, 1, j))),
+              0.08);
+  }
+  EXPECT_LT(std::abs(hdc::similarity(books.label(0), books.null_hv())), 0.08);
+}
+
+TEST(TaxonomyCodebooks, ZeroDimensionThrows) {
+  util::Xoshiro256 rng(6);
+  EXPECT_THROW(TaxonomyCodebooks(Taxonomy(1, {4}), 0, rng),
+               std::invalid_argument);
+}
+
+TEST(TaxonomyCodebooks, ItemAccessor) {
+  util::Xoshiro256 rng(7);
+  const Taxonomy t(2, {4, 2});
+  const TaxonomyCodebooks books(t, 64, rng);
+  EXPECT_EQ(books.item(1, 2, 5), books.level_codebook(1, 2).item(5));
+  EXPECT_THROW((void)books.item(1, 2, 8), std::out_of_range);
+}
+
+}  // namespace

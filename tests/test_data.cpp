@@ -1,0 +1,167 @@
+// Unit tests for the dataset substrate (synthetic clusters, CIFAR-like,
+// RAVEN-like).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/cifar_like.hpp"
+#include "data/raven_like.hpp"
+#include "data/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using namespace factorhd::data;
+
+TEST(Synthetic, PrototypesAreUnitNorm) {
+  util::Xoshiro256 rng(1);
+  const nn::Matrix p = make_prototypes(5, 32, rng);
+  for (std::size_t c = 0; c < 5; ++c) {
+    double norm = 0.0;
+    for (std::size_t d = 0; d < 32; ++d) norm += p.at(c, d) * p.at(c, d);
+    EXPECT_NEAR(norm, 1.0, 1e-5);
+  }
+}
+
+TEST(Synthetic, SampleShapesAndLabels) {
+  util::Xoshiro256 rng(2);
+  const nn::Matrix p = make_prototypes(3, 8, rng);
+  const nn::Dataset ds = sample_clusters(p, 10, 0.1, rng);
+  EXPECT_EQ(ds.size(), 30u);
+  EXPECT_EQ(ds.features.rows(), 30u);
+  EXPECT_EQ(ds.features.cols(), 8u);
+  std::set<int> labels(ds.labels.begin(), ds.labels.end());
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(Synthetic, InvalidSpecThrows) {
+  util::Xoshiro256 rng(3);
+  EXPECT_THROW(make_prototypes(0, 8, rng), std::invalid_argument);
+  EXPECT_THROW(make_prototypes(3, 0, rng), std::invalid_argument);
+}
+
+TEST(CifarLike, Cifar10SpecIsFlat) {
+  const CifarLikeSpec spec = cifar10_like_spec();
+  EXPECT_EQ(spec.num_coarse, 10u);
+  EXPECT_EQ(spec.fine_per_coarse, 1u);
+  const tax::Taxonomy t = label_taxonomy(spec);
+  EXPECT_EQ(t.num_classes(), 2u);
+  EXPECT_EQ(t.depth(0), 1u);
+  EXPECT_EQ(t.level_size(0, 1), 10u);
+  EXPECT_EQ(t.level_size(1, 1), 1u);  // dummy label
+}
+
+TEST(CifarLike, Cifar100SpecIsHierarchical) {
+  const CifarLikeSpec spec = cifar100_like_spec();
+  const tax::Taxonomy t = label_taxonomy(spec);
+  EXPECT_EQ(t.depth(0), 2u);
+  EXPECT_EQ(t.level_size(0, 1), 20u);
+  EXPECT_EQ(t.level_size(0, 2), 100u);
+}
+
+TEST(CifarLike, LabelObjectEncodesHierarchy) {
+  const CifarLikeSpec spec = cifar100_like_spec();
+  const tax::Object obj = label_object(spec, 37);
+  // fine 37 -> coarse 7 (37 / 5).
+  EXPECT_EQ(obj.path(0), (tax::Path{7, 37}));
+  EXPECT_EQ(obj.path(1), (tax::Path{0}));
+  EXPECT_TRUE(obj.valid_for(label_taxonomy(spec)));
+  EXPECT_THROW(label_object(spec, 100), std::invalid_argument);
+  EXPECT_THROW(label_object(spec, -1), std::invalid_argument);
+}
+
+TEST(CifarLike, DatasetsHaveAllFineLabels) {
+  util::Xoshiro256 rng(4);
+  CifarLikeSpec spec = cifar100_like_spec();
+  spec.train_per_class = 4;
+  spec.test_per_class = 2;
+  const CifarLike ds = make_cifar_like(spec, rng);
+  EXPECT_EQ(ds.train.size(), 100u * 4u);
+  EXPECT_EQ(ds.test.size(), 100u * 2u);
+  std::set<int> labels(ds.train.labels.begin(), ds.train.labels.end());
+  EXPECT_EQ(labels.size(), 100u);
+  EXPECT_EQ(ds.coarse_of(99), 19);
+}
+
+TEST(RavenLike, ConstellationTable) {
+  EXPECT_EQ(position_slots(Constellation::kCenter), 1u);
+  EXPECT_EQ(position_slots(Constellation::kThreeByThreeGrid), 9u);
+  EXPECT_EQ(all_constellations().size(), 7u);
+  EXPECT_STREQ(constellation_name(Constellation::kTwoByTwoGrid), "2x2Grid");
+}
+
+TEST(RavenLike, TaxonomyShape) {
+  RavenSpec spec;
+  spec.constellation = Constellation::kThreeByThreeGrid;
+  const tax::Taxonomy t = raven_taxonomy(spec);
+  EXPECT_EQ(t.num_classes(), 3u);
+  EXPECT_EQ(t.level_size(0, 1), 9u);   // positions
+  EXPECT_EQ(t.level_size(1, 1), 10u);  // colors
+  EXPECT_EQ(t.level_size(2, 1), 5u);   // sizes
+  EXPECT_EQ(t.level_size(2, 2), 30u);  // size-type combos
+}
+
+TEST(RavenLike, PanelsAreValidAndNonEmpty) {
+  util::Xoshiro256 rng(5);
+  RavenSpec spec;
+  spec.constellation = Constellation::kThreeByThreeGrid;
+  const tax::Taxonomy t = raven_taxonomy(spec);
+  for (int i = 0; i < 50; ++i) {
+    const RavenPanel panel = random_panel(spec, rng);
+    ASSERT_GE(panel.objects.size(), 1u);
+    ASSERT_LE(panel.objects.size(), 9u);
+    // Positions are distinct.
+    std::set<std::size_t> pos;
+    for (const auto& o : panel.objects) pos.insert(o.position);
+    EXPECT_EQ(pos.size(), panel.objects.size());
+    EXPECT_TRUE(tax::valid_scene(to_tax_scene(panel, spec), t));
+  }
+}
+
+TEST(RavenLike, ObjectRoundTrip) {
+  RavenSpec spec;
+  RavenObject obj{4, 7, 2, 5};
+  const tax::Object t = to_tax_object(obj, spec);
+  EXPECT_EQ(from_tax_object(t, spec), obj);
+  // Size-type path: level-2 index = size * num_types + type.
+  EXPECT_EQ(t.path(2), (tax::Path{2, 17}));
+}
+
+TEST(RavenLike, OutOfRangeAttributesThrow) {
+  RavenSpec spec;
+  spec.constellation = Constellation::kCenter;
+  EXPECT_THROW(to_tax_object(RavenObject{1, 0, 0, 0}, spec),
+               std::invalid_argument);
+  EXPECT_THROW(to_tax_object(RavenObject{0, 10, 0, 0}, spec),
+               std::invalid_argument);
+}
+
+TEST(RavenLike, PerceptionErrorCorruptsAttributes) {
+  util::Xoshiro256 rng(6);
+  RavenSpec spec;
+  spec.constellation = Constellation::kThreeByThreeGrid;
+  spec.occupancy = 1.0;
+  spec.perception_error = 0.5;
+  int changed = 0, total = 0;
+  for (int i = 0; i < 20; ++i) {
+    const RavenPanel truth = random_panel(spec, rng);
+    const RavenPanel seen = perceive(truth, spec, rng);
+    ASSERT_EQ(seen.objects.size(), truth.objects.size());
+    for (std::size_t j = 0; j < truth.objects.size(); ++j) {
+      EXPECT_EQ(seen.objects[j].position, truth.objects[j].position);
+      if (!(seen.objects[j] == truth.objects[j])) ++changed;
+      ++total;
+    }
+  }
+  EXPECT_GT(changed, total / 4);  // half error rate on 3 attributes
+  // Zero error is the identity.
+  spec.perception_error = 0.0;
+  const RavenPanel truth = random_panel(spec, rng);
+  const RavenPanel seen = perceive(truth, spec, rng);
+  for (std::size_t j = 0; j < truth.objects.size(); ++j) {
+    EXPECT_EQ(seen.objects[j], truth.objects[j]);
+  }
+}
+
+}  // namespace

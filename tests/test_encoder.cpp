@@ -1,0 +1,143 @@
+// Unit tests for the FactorHD encoder (bundling-binding-bundling form).
+#include <gtest/gtest.h>
+
+#include "core/encoder.hpp"
+#include "hdc/ops.hpp"
+#include "hdc/similarity.hpp"
+#include "taxonomy/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using core::EncodeOptions;
+using core::Encoder;
+
+class EncoderTest : public ::testing::Test {
+ protected:
+  EncoderTest()
+      : rng_(11), taxonomy_(3, {8, 4}), books_(taxonomy_, 2048, rng_),
+        encoder_(books_) {}
+
+  util::Xoshiro256 rng_;
+  tax::Taxonomy taxonomy_;
+  tax::TaxonomyCodebooks books_;
+  Encoder encoder_;
+};
+
+TEST_F(EncoderTest, ClauseIsClippedTernary) {
+  const auto clause = encoder_.encode_clause(0, tax::Path{3, 13});
+  EXPECT_TRUE(clause.is_ternary());
+  // Clause bundles label + 2 items; it stays similar to each component.
+  EXPECT_GT(hdc::similarity(clause, books_.label(0)), 0.3);
+  EXPECT_GT(hdc::similarity(clause, books_.item(0, 1, 3)), 0.3);
+  EXPECT_GT(hdc::similarity(clause, books_.item(0, 2, 13)), 0.3);
+}
+
+TEST_F(EncoderTest, AbsentClassClauseBundlesNull) {
+  const auto clause = encoder_.encode_clause(1, std::nullopt);
+  EXPECT_GT(hdc::similarity(clause, books_.label(1)), 0.3);
+  EXPECT_GT(hdc::similarity(clause, books_.null_hv()), 0.3);
+}
+
+TEST_F(EncoderTest, ObjectIsTernaryProductOfClauses) {
+  util::Xoshiro256 rng(1);
+  const tax::Object obj = tax::random_object(taxonomy_, rng);
+  const auto hv = encoder_.encode_object(obj);
+  EXPECT_EQ(hv.dim(), 2048u);
+  EXPECT_TRUE(hv.is_ternary());
+
+  // Reconstruct by explicit clause product.
+  auto expected = encoder_.encode_clause(0, obj.maybe_path(0));
+  for (std::size_t c = 1; c < 3; ++c) {
+    hdc::bind_inplace(expected, encoder_.encode_clause(c, obj.maybe_path(c)));
+  }
+  EXPECT_EQ(hv, expected);
+}
+
+TEST_F(EncoderTest, EncodingIsDeterministic) {
+  util::Xoshiro256 rng(2);
+  const tax::Object obj = tax::random_object(taxonomy_, rng);
+  EXPECT_EQ(encoder_.encode_object(obj), encoder_.encode_object(obj));
+}
+
+TEST_F(EncoderTest, DistinctObjectsEncodeDissimilarly) {
+  util::Xoshiro256 rng(3);
+  const tax::Scene scene = tax::random_scene(
+      taxonomy_, rng, {.num_objects = 2, .object = {}, .allow_duplicates = false});
+  const auto h0 = encoder_.encode_object(scene[0]);
+  const auto h1 = encoder_.encode_object(scene[1]);
+  // Shared labels induce some correlation, but far below self-similarity.
+  const double cross = hdc::similarity(h0, h1);
+  const double self = hdc::similarity(h0, h0);
+  EXPECT_LT(cross, 0.5 * self);
+}
+
+TEST_F(EncoderTest, PrefixTruncatesPaths) {
+  util::Xoshiro256 rng(4);
+  const tax::Object obj = tax::random_object(taxonomy_, rng);
+  tax::Object shallow(3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    shallow.set_path(c, {obj.path(c)[0]});
+  }
+  EXPECT_EQ(encoder_.encode_object_prefix(obj, 1),
+            encoder_.encode_object(shallow));
+}
+
+TEST_F(EncoderTest, SceneIsSumOfObjects) {
+  util::Xoshiro256 rng(5);
+  const tax::Scene scene = tax::random_scene(
+      taxonomy_, rng, {.num_objects = 3, .object = {}, .allow_duplicates = false});
+  auto expected = encoder_.encode_object(scene[0]);
+  hdc::accumulate(expected, encoder_.encode_object(scene[1]));
+  hdc::accumulate(expected, encoder_.encode_object(scene[2]));
+  EXPECT_EQ(encoder_.encode_scene(scene), expected);
+}
+
+TEST_F(EncoderTest, InvalidInputsThrow) {
+  tax::Object bad(2);  // wrong class count
+  EXPECT_THROW(encoder_.encode_object(bad), std::invalid_argument);
+  EXPECT_THROW(encoder_.encode_scene({}), std::invalid_argument);
+}
+
+TEST_F(EncoderTest, DuplicateObjectsDoubleTheBundle) {
+  util::Xoshiro256 rng(6);
+  const tax::Object obj = tax::random_object(taxonomy_, rng);
+  const auto single = encoder_.encode_object(obj);
+  const auto doubled = encoder_.encode_scene({obj, obj});
+  for (std::size_t i = 0; i < doubled.dim(); ++i) {
+    EXPECT_EQ(doubled[i], 2 * single[i]);
+  }
+}
+
+TEST(EncoderOptions, NoLabelAblationChangesEncoding) {
+  util::Xoshiro256 rng(7);
+  const tax::Taxonomy t(2, {4});
+  const tax::TaxonomyCodebooks books(t, 256, rng);
+  const Encoder with_labels(books);
+  const Encoder without_labels(books, EncodeOptions{.include_labels = false});
+  tax::Object obj(2);
+  obj.set_path(0, {1});
+  obj.set_path(1, {2});
+  EXPECT_NE(with_labels.encode_object(obj), without_labels.encode_object(obj));
+  // Without labels, a single-item clause is the item itself; the object HV
+  // degenerates to the plain C-C product.
+  const auto cc = hdc::bind(books.item(0, 1, 1), books.item(1, 1, 2));
+  EXPECT_EQ(without_labels.encode_object(obj), cc);
+}
+
+TEST(EncoderOptions, NoClipKeepsIntegerClauses) {
+  util::Xoshiro256 rng(8);
+  const tax::Taxonomy t(2, {4, 2});
+  const tax::TaxonomyCodebooks books(t, 256, rng);
+  const Encoder unclipped(books, EncodeOptions{.clip_ternary = false});
+  tax::Object obj(2);
+  obj.set_path(0, {1, 3});
+  obj.set_path(1, {2, 4});
+  const auto hv = unclipped.encode_object(obj);
+  // Clauses bundle 3 bipolar HVs -> values in {-3,-1,1,3}; products up to 9.
+  EXPECT_GT(hv.max_abs(), 1);
+  EXPECT_LE(hv.max_abs(), 9);
+}
+
+}  // namespace

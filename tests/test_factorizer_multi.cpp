@@ -1,0 +1,241 @@
+// Unit tests for multi-object (Rep 3) factorization: thresholded candidate
+// selection, combination checking, reconstruct-and-subtract, superposition
+// catastrophe avoidance and the problem of 2.
+#include <gtest/gtest.h>
+
+#include "core/factorizer.hpp"
+#include "taxonomy/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using core::Encoder;
+using core::FactorizeOptions;
+using core::FactorizeResult;
+using core::Factorizer;
+
+tax::Scene recovered_scene(const FactorizeResult& r, std::size_t num_classes) {
+  tax::Scene out;
+  out.reserve(r.objects.size());
+  for (const auto& obj : r.objects) out.push_back(obj.to_object(num_classes));
+  return out;
+}
+
+class Rep3Test : public ::testing::Test {
+ protected:
+  Rep3Test()
+      : rng_(33), taxonomy_(3, {10}), books_(taxonomy_, 4096, rng_),
+        encoder_(books_), factorizer_(encoder_) {}
+
+  FactorizeOptions multi_opts(std::size_t n) const {
+    FactorizeOptions o;
+    o.multi_object = true;
+    o.num_objects_hint = n;
+    o.max_objects = n + 2;
+    return o;
+  }
+
+  util::Xoshiro256 rng_;
+  tax::Taxonomy taxonomy_;
+  tax::TaxonomyCodebooks books_;
+  Encoder encoder_;
+  Factorizer factorizer_;
+};
+
+TEST_F(Rep3Test, RecoversTwoDistinctObjects) {
+  int correct = 0;
+  const int trials = 25;
+  for (int t = 0; t < trials; ++t) {
+    const tax::Scene scene =
+        tax::random_scene(taxonomy_, rng_, {.num_objects = 2,
+                                            .object = {},
+                                            .allow_duplicates = false});
+    const auto target = encoder_.encode_scene(scene);
+    const FactorizeResult r = factorizer_.factorize(target, multi_opts(2));
+    if (tax::same_multiset(recovered_scene(r, 3), scene)) ++correct;
+  }
+  // D=4096 is far above the capacity knee for N=2, F=3, M=10.
+  EXPECT_GE(correct, 24) << correct << "/" << trials;
+}
+
+TEST_F(Rep3Test, RecoversThreeObjects) {
+  int correct = 0;
+  const int trials = 15;
+  for (int t = 0; t < trials; ++t) {
+    const tax::Scene scene =
+        tax::random_scene(taxonomy_, rng_, {.num_objects = 3,
+                                            .object = {},
+                                            .allow_duplicates = false});
+    const auto target = encoder_.encode_scene(scene);
+    FactorizeOptions opts = multi_opts(3);
+    const FactorizeResult r = factorizer_.factorize(target, opts);
+    if (tax::same_multiset(recovered_scene(r, 3), scene)) ++correct;
+  }
+  EXPECT_GE(correct, 13) << correct << "/" << trials;
+}
+
+TEST_F(Rep3Test, HandlesProblemOfTwoDuplicates) {
+  // Two identical objects: the residual loop must find the object twice.
+  int correct = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    const tax::Object obj = tax::random_object(taxonomy_, rng_);
+    const tax::Scene scene{obj, obj};
+    const auto target = encoder_.encode_scene(scene);
+    const FactorizeResult r = factorizer_.factorize(target, multi_opts(2));
+    if (tax::same_multiset(recovered_scene(r, 3), scene)) ++correct;
+  }
+  EXPECT_GE(correct, 18) << correct << "/" << trials;
+}
+
+TEST_F(Rep3Test, SingleObjectConvergesInOneRound) {
+  const tax::Object obj = tax::random_object(taxonomy_, rng_);
+  const auto target = encoder_.encode_object(obj);
+  const FactorizeResult r = factorizer_.factorize(target, multi_opts(1));
+  ASSERT_EQ(r.objects.size(), 1u);
+  EXPECT_EQ(r.objects[0].to_object(3), obj);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST_F(Rep3Test, EmptyResidualYieldsNoObjects) {
+  const hdc::Hypervector zero(books_.dim());
+  const FactorizeResult r = factorizer_.factorize(zero, multi_opts(2));
+  EXPECT_TRUE(r.objects.empty());
+  EXPECT_TRUE(r.converged);
+}
+
+TEST_F(Rep3Test, MaxObjectsCapsExtraction) {
+  const tax::Scene scene =
+      tax::random_scene(taxonomy_, rng_, {.num_objects = 3,
+                                          .object = {},
+                                          .allow_duplicates = false});
+  const auto target = encoder_.encode_scene(scene);
+  FactorizeOptions opts = multi_opts(3);
+  opts.max_objects = 1;
+  const FactorizeResult r = factorizer_.factorize(target, opts);
+  EXPECT_LE(r.objects.size(), 1u);
+  EXPECT_FALSE(r.converged);  // budget exhausted, residual not empty
+}
+
+TEST_F(Rep3Test, ExplicitThresholdOverridesPrediction) {
+  FactorizeOptions opts = multi_opts(2);
+  opts.threshold = 0.08;
+  EXPECT_DOUBLE_EQ(factorizer_.effective_threshold(opts), 0.08);
+  opts.threshold = 0.0;
+  const double predicted = factorizer_.effective_threshold(opts);
+  EXPECT_GT(predicted, 0.0);
+  EXPECT_LT(predicted, 0.2);
+}
+
+TEST_F(Rep3Test, AbsurdlyHighThresholdFindsNothing) {
+  const tax::Scene scene =
+      tax::random_scene(taxonomy_, rng_, {.num_objects = 2,
+                                          .object = {},
+                                          .allow_duplicates = false});
+  const auto target = encoder_.encode_scene(scene);
+  FactorizeOptions opts = multi_opts(2);
+  opts.threshold = 0.9;
+  const FactorizeResult r = factorizer_.factorize(target, opts);
+  EXPECT_TRUE(r.objects.empty());
+  EXPECT_TRUE(r.converged);
+}
+
+TEST_F(Rep3Test, CombinationChecksAreCounted) {
+  const tax::Scene scene =
+      tax::random_scene(taxonomy_, rng_, {.num_objects = 2,
+                                          .object = {},
+                                          .allow_duplicates = false});
+  const auto target = encoder_.encode_scene(scene);
+  const FactorizeResult r = factorizer_.factorize(target, multi_opts(2));
+  EXPECT_GT(r.combinations_checked, 0u);
+  // Far fewer than the M^F = 1000 exhaustive comparisons.
+  EXPECT_LT(r.combinations_checked, 200u);
+}
+
+TEST_F(Rep3Test, ObjectsWithAbsentClassesAreRecovered) {
+  tax::Object a(3), b(3);
+  a.set_path(0, {1});
+  a.set_path(1, {2});  // class 2 absent
+  b.set_path(0, {5});
+  b.set_path(1, {7});
+  b.set_path(2, {3});
+  const tax::Scene scene{a, b};
+  const auto target = encoder_.encode_scene(scene);
+  const FactorizeResult r = factorizer_.factorize(target, multi_opts(2));
+  EXPECT_TRUE(tax::same_multiset(recovered_scene(r, 3), scene));
+}
+
+TEST_F(Rep3Test, ClassSelectionTruncatesReport) {
+  const tax::Scene scene =
+      tax::random_scene(taxonomy_, rng_, {.num_objects = 2,
+                                          .object = {},
+                                          .allow_duplicates = false});
+  const auto target = encoder_.encode_scene(scene);
+  FactorizeOptions opts = multi_opts(2);
+  opts.selected_classes = {0, 2};
+  const FactorizeResult r = factorizer_.factorize(target, opts);
+  for (const auto& obj : r.objects) {
+    ASSERT_EQ(obj.classes.size(), 2u);
+    EXPECT_EQ(obj.classes[0].cls, 0u);
+    EXPECT_EQ(obj.classes[1].cls, 2u);
+  }
+}
+
+TEST_F(Rep3Test, TraceRecordsRounds) {
+  const tax::Scene scene =
+      tax::random_scene(taxonomy_, rng_, {.num_objects = 2,
+                                          .object = {},
+                                          .allow_duplicates = false});
+  const auto target = encoder_.encode_scene(scene);
+  FactorizeOptions opts = multi_opts(2);
+  opts.collect_trace = true;
+  const FactorizeResult r = factorizer_.factorize(target, opts);
+  ASSERT_EQ(r.objects.size(), 2u);
+  // One trace entry per round: two accepted rounds plus the final empty one.
+  ASSERT_GE(r.trace.size(), 2u);
+  EXPECT_TRUE(r.trace[0].accepted);
+  EXPECT_TRUE(r.trace[1].accepted);
+  EXPECT_FALSE(r.trace.back().accepted);
+  EXPECT_GT(r.trace[0].combinations, 0u);
+  EXPECT_GT(r.trace[0].best_similarity, 0.0);
+  EXPECT_EQ(r.trace[0].candidates_per_class.size(), 3u);
+  for (std::size_t c : r.trace[0].candidates_per_class) EXPECT_GE(c, 1u);
+}
+
+TEST_F(Rep3Test, TraceOffByDefault) {
+  const tax::Object obj = tax::random_object(taxonomy_, rng_);
+  const FactorizeResult r =
+      factorizer_.factorize(encoder_.encode_object(obj), multi_opts(1));
+  EXPECT_TRUE(r.trace.empty());
+}
+
+// Rep 3 with two subclass levels (the paper's hardest configuration).
+TEST(Rep3MultiLevel, RecoversTwoObjectsWithTwoLevels) {
+  util::Xoshiro256 rng(44);
+  const tax::Taxonomy taxonomy(3, {8, 4});
+  const tax::TaxonomyCodebooks books(taxonomy, 8192, rng);
+  const Encoder encoder(books);
+  const Factorizer factorizer(encoder);
+
+  int correct = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    const tax::Scene scene =
+        tax::random_scene(taxonomy, rng, {.num_objects = 2,
+                                          .object = {},
+                                          .allow_duplicates = false});
+    const auto target = encoder.encode_scene(scene);
+    FactorizeOptions opts;
+    opts.multi_object = true;
+    opts.num_objects_hint = 2;
+    opts.max_objects = 4;
+    const FactorizeResult r = factorizer.factorize(target, opts);
+    tax::Scene rec;
+    for (const auto& o : r.objects) rec.push_back(o.to_object(3));
+    if (tax::same_multiset(rec, scene)) ++correct;
+  }
+  EXPECT_GE(correct, 8) << correct << "/" << trials;
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Parameterized option-matrix tests for the factorizer: every combination
+// of class selection and depth limit must produce exactly the requested
+// slice of the factorization, with costs that shrink accordingly.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/factorhd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using core::FactorizeOptions;
+using core::Factorizer;
+
+// Fixture shared across the matrix: F=3 classes with 2 subclass levels.
+struct World {
+  World()
+      : rng(123), taxonomy(3, {8, 4}), books(taxonomy, 2048, rng),
+        encoder(books), factorizer(encoder),
+        object(tax::random_object(taxonomy, rng)),
+        target(encoder.encode_object(object)) {}
+
+  util::Xoshiro256 rng;
+  tax::Taxonomy taxonomy;
+  tax::TaxonomyCodebooks books;
+  core::Encoder encoder;
+  Factorizer factorizer;
+  tax::Object object;
+  hdc::Hypervector target;
+};
+
+World& world() {
+  static World w;
+  return w;
+}
+
+using SelectionDepth = std::tuple<std::vector<std::size_t>, std::size_t>;
+
+class OptionMatrix : public ::testing::TestWithParam<SelectionDepth> {};
+
+TEST_P(OptionMatrix, ReportsExactlyTheRequestedSlice) {
+  const auto& [selected, depth] = GetParam();
+  World& w = world();
+  FactorizeOptions opts;
+  opts.selected_classes = selected;
+  opts.max_depth = depth;
+  const auto result = w.factorizer.factorize(w.target, opts);
+  ASSERT_EQ(result.objects.size(), 1u);
+
+  const std::vector<std::size_t> expected_classes =
+      selected.empty() ? std::vector<std::size_t>{0, 1, 2} : selected;
+  const std::size_t expected_depth = depth == 0 ? 2 : std::min<std::size_t>(depth, 2);
+
+  const auto& classes = result.objects[0].classes;
+  ASSERT_EQ(classes.size(), expected_classes.size());
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const auto& cf = classes[i];
+    EXPECT_EQ(cf.cls, expected_classes[i]);
+    ASSERT_TRUE(cf.present);
+    ASSERT_EQ(cf.path.size(), expected_depth);
+    ASSERT_EQ(cf.level_similarities.size(), expected_depth);
+    // Every reported level matches the ground truth prefix.
+    for (std::size_t l = 0; l < expected_depth; ++l) {
+      EXPECT_EQ(cf.path[l], w.object.path(cf.cls)[l]);
+    }
+  }
+  // Cost scales with the selection: per class, level-1 scan (8 + null) plus
+  // 4 child similarities per deeper level.
+  const std::uint64_t expected_ops =
+      expected_classes.size() * (8 + 1 + (expected_depth > 1 ? 4 : 0));
+  EXPECT_EQ(result.similarity_ops, expected_ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SelectionsAndDepths, OptionMatrix,
+    ::testing::Combine(
+        ::testing::Values(std::vector<std::size_t>{},
+                          std::vector<std::size_t>{0},
+                          std::vector<std::size_t>{1},
+                          std::vector<std::size_t>{2},
+                          std::vector<std::size_t>{0, 2},
+                          std::vector<std::size_t>{2, 0},
+                          std::vector<std::size_t>{1, 2},
+                          std::vector<std::size_t>{0, 1, 2}),
+        ::testing::Values(0u, 1u, 2u, 5u)));
+
+// Rep-1 accuracy across a (F, M) grid at a dimension chosen by the capacity
+// model to sit above the 99% knee: the factorizer must deliver.
+using Shape = std::tuple<std::size_t, std::size_t>;
+
+class ShapeSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(ShapeSweep, CapacityModelDimensionSuffices) {
+  const auto [f, m] = GetParam();
+  core::CapacityProblem cp;
+  cp.num_classes = f;
+  cp.branching = {m};
+  const std::size_t dim = core::required_dimension(cp, 0.995);
+  ASSERT_GT(dim, 0u);
+
+  util::Xoshiro256 rng(f * 100 + m);
+  const tax::Taxonomy taxonomy(f, {m});
+  const tax::TaxonomyCodebooks books(taxonomy, dim, rng);
+  const core::Encoder encoder(books);
+  const Factorizer factorizer(encoder);
+  std::size_t ok = 0;
+  const std::size_t trials = 40;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const tax::Object obj = tax::random_object(taxonomy, rng);
+    if (factorizer.factorize_single(encoder.encode_object(obj)).to_object(f) ==
+        obj) {
+      ++ok;
+    }
+  }
+  EXPECT_GE(ok, trials - 2) << "F=" << f << " M=" << m << " D=" << dim;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ShapeSweep,
+                         ::testing::Combine(::testing::Values(2u, 3u, 4u, 5u),
+                                            ::testing::Values(8u, 32u, 128u)));
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Unit tests for single-object factorization (Rep 1 and Rep 2).
+#include <gtest/gtest.h>
+
+#include "core/factorizer.hpp"
+#include "taxonomy/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using core::Encoder;
+using core::FactorizedObject;
+using core::FactorizeOptions;
+using core::Factorizer;
+
+// Rep 1: single object, single subclass level.
+class Rep1Test : public ::testing::Test {
+ protected:
+  Rep1Test()
+      : rng_(21), taxonomy_(3, {16}), books_(taxonomy_, 1024, rng_),
+        encoder_(books_), factorizer_(encoder_) {}
+
+  util::Xoshiro256 rng_;
+  tax::Taxonomy taxonomy_;
+  tax::TaxonomyCodebooks books_;
+  Encoder encoder_;
+  Factorizer factorizer_;
+};
+
+TEST_F(Rep1Test, RecoversAllClasses) {
+  for (int trial = 0; trial < 50; ++trial) {
+    const tax::Object obj = tax::random_object(taxonomy_, rng_);
+    const auto target = encoder_.encode_object(obj);
+    const FactorizedObject got = factorizer_.factorize_single(target);
+    EXPECT_EQ(got.to_object(3), obj) << "trial " << trial;
+  }
+}
+
+TEST_F(Rep1Test, ReportsMeaningfulSimilarities) {
+  const tax::Object obj = tax::random_object(taxonomy_, rng_);
+  const auto target = encoder_.encode_object(obj);
+  const FactorizedObject got = factorizer_.factorize_single(target);
+  for (const auto& cf : got.classes) {
+    ASSERT_TRUE(cf.present);
+    ASSERT_EQ(cf.level_similarities.size(), 1u);
+    // Signal scale for F=3 two-HV clauses is 2^-F = 0.125 of D.
+    EXPECT_GT(cf.level_similarities[0], 0.05);
+    EXPECT_LT(cf.null_similarity, cf.level_similarities[0]);
+  }
+}
+
+TEST_F(Rep1Test, DetectsAbsentClass) {
+  tax::Object obj(3);
+  obj.set_path(0, {3});
+  obj.set_path(2, {9});  // class 1 absent
+  const auto target = encoder_.encode_object(obj);
+  const FactorizedObject got = factorizer_.factorize_single(target);
+  EXPECT_TRUE(got.classes[0].present);
+  EXPECT_FALSE(got.classes[1].present);
+  EXPECT_TRUE(got.classes[2].present);
+  EXPECT_EQ(got.to_object(3), obj);
+}
+
+TEST_F(Rep1Test, PartialFactorizationTouchesOnlySelectedClasses) {
+  const tax::Object obj = tax::random_object(taxonomy_, rng_);
+  const auto target = encoder_.encode_object(obj);
+  FactorizeOptions opts;
+  opts.selected_classes = {1};
+  const auto result = factorizer_.factorize(target, opts);
+  ASSERT_EQ(result.objects.size(), 1u);
+  ASSERT_EQ(result.objects[0].classes.size(), 1u);
+  EXPECT_EQ(result.objects[0].classes[0].cls, 1u);
+  EXPECT_EQ(result.objects[0].classes[0].path[0], obj.path(1)[0]);
+  // Partial cost: one class's codebook + null, not 3x.
+  EXPECT_EQ(result.similarity_ops, 16u + 1u);
+}
+
+TEST_F(Rep1Test, SimilarityOpsAreLinearInM) {
+  const tax::Object obj = tax::random_object(taxonomy_, rng_);
+  const auto target = encoder_.encode_object(obj);
+  const auto result = factorizer_.factorize(target, {});
+  // F * (M + 1 null check).
+  EXPECT_EQ(result.similarity_ops, 3u * (16u + 1u));
+}
+
+TEST_F(Rep1Test, RejectsWrongDimension) {
+  EXPECT_THROW((void)factorizer_.factorize(hdc::Hypervector(77), {}),
+               std::invalid_argument);
+}
+
+TEST_F(Rep1Test, RejectsBadClassSelection) {
+  const auto target = encoder_.encode_object(tax::random_object(taxonomy_, rng_));
+  FactorizeOptions opts;
+  opts.selected_classes = {7};
+  EXPECT_THROW((void)factorizer_.factorize(target, opts),
+               std::invalid_argument);
+}
+
+// Rep 2: single object, two subclass levels (256 subclasses x 10
+// sub-subclasses scaled down for unit-test speed; the full-size sweep lives
+// in the Fig. 5 bench).
+class Rep2Test : public ::testing::Test {
+ protected:
+  Rep2Test()
+      : rng_(22), taxonomy_(3, {32, 10}), books_(taxonomy_, 2048, rng_),
+        encoder_(books_), factorizer_(encoder_) {}
+
+  util::Xoshiro256 rng_;
+  tax::Taxonomy taxonomy_;
+  tax::TaxonomyCodebooks books_;
+  Encoder encoder_;
+  Factorizer factorizer_;
+};
+
+TEST_F(Rep2Test, RecoversFullPaths) {
+  for (int trial = 0; trial < 30; ++trial) {
+    const tax::Object obj = tax::random_object(taxonomy_, rng_);
+    const auto target = encoder_.encode_object(obj);
+    EXPECT_EQ(factorizer_.factorize_single(target).to_object(3), obj)
+        << "trial " << trial;
+  }
+}
+
+TEST_F(Rep2Test, DepthLimitStopsAtRequestedLevel) {
+  const tax::Object obj = tax::random_object(taxonomy_, rng_);
+  const auto target = encoder_.encode_object(obj);
+  FactorizeOptions opts;
+  opts.max_depth = 1;
+  const auto result = factorizer_.factorize(target, opts);
+  for (const auto& cf : result.objects[0].classes) {
+    ASSERT_TRUE(cf.present);
+    EXPECT_EQ(cf.path.size(), 1u);
+    EXPECT_EQ(cf.path[0], obj.path(cf.cls)[0]);
+  }
+  // Depth-limited cost: F * (M1 + null), no level-2 searches.
+  EXPECT_EQ(result.similarity_ops, 3u * (32u + 1u));
+}
+
+TEST_F(Rep2Test, DeepSearchIsChildRestricted) {
+  const tax::Object obj = tax::random_object(taxonomy_, rng_);
+  const auto target = encoder_.encode_object(obj);
+  const auto result = factorizer_.factorize(target, {});
+  // F * (M1 + null + branching(2)): 3 * (32 + 1 + 10), NOT 3*(32+1+320).
+  EXPECT_EQ(result.similarity_ops, 3u * (32u + 1u + 10u));
+  // Level-2 result is a child of level-1 result.
+  for (const auto& cf : result.objects[0].classes) {
+    EXPECT_TRUE(taxonomy_.is_child(cf.cls, 1, cf.path[0], cf.path[1]));
+  }
+}
+
+TEST_F(Rep2Test, HeterogeneousDepthsFactorize) {
+  util::Xoshiro256 rng(5);
+  const tax::Taxonomy t(std::vector<std::vector<std::size_t>>{{9}, {10}, {5, 6}});
+  const tax::TaxonomyCodebooks books(t, 2048, rng);
+  const Encoder enc(books);
+  const Factorizer fact(enc);
+  for (int trial = 0; trial < 20; ++trial) {
+    const tax::Object obj = tax::random_object(t, rng);
+    EXPECT_EQ(fact.factorize_single(enc.encode_object(obj)).to_object(3), obj);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Unit tests for tax random object/scene generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "taxonomy/generator.hpp"
+
+namespace {
+
+using namespace factorhd;
+using namespace factorhd::tax;
+
+TEST(Generator, RandomObjectIsValid) {
+  util::Xoshiro256 rng(1);
+  const Taxonomy t(3, {8, 4});
+  for (int i = 0; i < 100; ++i) {
+    const Object obj = random_object(t, rng);
+    EXPECT_TRUE(obj.valid_for(t));
+    for (std::size_t c = 0; c < 3; ++c) {
+      ASSERT_TRUE(obj.has_class(c));
+      EXPECT_EQ(obj.path(c).size(), 2u);
+    }
+  }
+}
+
+TEST(Generator, RespectsDepthOption) {
+  util::Xoshiro256 rng(2);
+  const Taxonomy t(2, {8, 4, 2});
+  ObjectGenOptions opts;
+  opts.depth = 2;
+  const Object obj = random_object(t, rng, opts);
+  EXPECT_EQ(obj.path(0).size(), 2u);
+  EXPECT_TRUE(obj.valid_for(t));
+}
+
+TEST(Generator, DepthClampsToClassDepth) {
+  util::Xoshiro256 rng(3);
+  const Taxonomy t(std::vector<std::vector<std::size_t>>{{4}, {4, 2}});
+  ObjectGenOptions opts;
+  opts.depth = 2;
+  const Object obj = random_object(t, rng, opts);
+  EXPECT_EQ(obj.path(0).size(), 1u);  // class 0 only has depth 1
+  EXPECT_EQ(obj.path(1).size(), 2u);
+}
+
+TEST(Generator, ClassPresenceZeroMakesEmptyObjects) {
+  util::Xoshiro256 rng(4);
+  const Taxonomy t(3, {4});
+  ObjectGenOptions opts;
+  opts.class_presence = 0.0;
+  const Object obj = random_object(t, rng, opts);
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_FALSE(obj.has_class(c));
+}
+
+TEST(Generator, ClassPresenceFractionRoughlyHolds) {
+  util::Xoshiro256 rng(5);
+  const Taxonomy t(1, {4});
+  ObjectGenOptions opts;
+  opts.class_presence = 0.25;
+  int present = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    present += random_object(t, rng, opts).has_class(0) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(present) / n, 0.25, 0.03);
+}
+
+TEST(Generator, SceneDistinctByDefault) {
+  util::Xoshiro256 rng(6);
+  const Taxonomy t(2, {8});
+  SceneGenOptions opts;
+  opts.num_objects = 5;
+  for (int rep = 0; rep < 20; ++rep) {
+    const Scene scene = random_scene(t, rng, opts);
+    ASSERT_EQ(scene.size(), 5u);
+    for (std::size_t i = 0; i < scene.size(); ++i) {
+      for (std::size_t j = i + 1; j < scene.size(); ++j) {
+        EXPECT_NE(scene[i], scene[j]);
+      }
+    }
+  }
+}
+
+TEST(Generator, SceneTooLargeForObjectSpaceThrows) {
+  util::Xoshiro256 rng(7);
+  const Taxonomy t(1, {2});  // only 2 distinct objects
+  SceneGenOptions opts;
+  opts.num_objects = 3;
+  EXPECT_THROW(random_scene(t, rng, opts), std::runtime_error);
+  opts.allow_duplicates = true;
+  EXPECT_EQ(random_scene(t, rng, opts).size(), 3u);
+}
+
+TEST(Generator, RandomPathBelowStaysInSubtree) {
+  util::Xoshiro256 rng(8);
+  const Taxonomy t(1, {4, 3, 2});
+  for (int i = 0; i < 50; ++i) {
+    const Path p = random_path_below(t, 0, 2, rng);
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p[0], 2u);
+    EXPECT_EQ(t.parent_of(0, 2, p[1]), p[0]);
+    EXPECT_EQ(t.parent_of(0, 3, p[2]), p[1]);
+  }
+  EXPECT_THROW(random_path_below(t, 0, 4, rng), std::out_of_range);
+}
+
+TEST(Generator, CoversItemSpace) {
+  util::Xoshiro256 rng(9);
+  const Taxonomy t(1, {8});
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(random_object(t, rng).path(0)[0]);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+}  // namespace

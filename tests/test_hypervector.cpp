@@ -1,0 +1,70 @@
+// Unit tests for hdc::Hypervector.
+#include <gtest/gtest.h>
+
+#include "hdc/hypervector.hpp"
+
+namespace {
+
+using factorhd::hdc::Hypervector;
+
+TEST(Hypervector, DefaultIsEmpty) {
+  Hypervector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.dim(), 0u);
+}
+
+TEST(Hypervector, ZeroInitialized) {
+  Hypervector v(8);
+  EXPECT_EQ(v.dim(), 8u);
+  for (std::size_t i = 0; i < v.dim(); ++i) EXPECT_EQ(v[i], 0);
+}
+
+TEST(Hypervector, InitializerList) {
+  Hypervector v{1, -1, 0, 2};
+  EXPECT_EQ(v.dim(), 4u);
+  EXPECT_EQ(v[3], 2);
+}
+
+TEST(Hypervector, AlphabetChecks) {
+  EXPECT_TRUE((Hypervector{1, -1, 1}).is_bipolar());
+  EXPECT_FALSE((Hypervector{1, 0, 1}).is_bipolar());
+  EXPECT_TRUE((Hypervector{1, 0, -1}).is_ternary());
+  EXPECT_FALSE((Hypervector{1, 2, -1}).is_ternary());
+  // Empty vectors are neither.
+  EXPECT_FALSE(Hypervector{}.is_bipolar());
+  EXPECT_FALSE(Hypervector{}.is_ternary());
+}
+
+TEST(Hypervector, ZeroCountAndMaxAbs) {
+  Hypervector v{0, 3, -5, 0, 1};
+  EXPECT_EQ(v.zero_count(), 2u);
+  EXPECT_EQ(v.max_abs(), 5);
+  EXPECT_EQ(Hypervector{}.max_abs(), 0);
+}
+
+TEST(Hypervector, Mutation) {
+  Hypervector v(3);
+  v[1] = -7;
+  EXPECT_EQ(v[1], -7);
+  auto span = v.components();
+  span[2] = 4;
+  EXPECT_EQ(v[2], 4);
+}
+
+TEST(Hypervector, Equality) {
+  EXPECT_EQ((Hypervector{1, 2}), (Hypervector{1, 2}));
+  EXPECT_NE((Hypervector{1, 2}), (Hypervector{2, 1}));
+  EXPECT_NE((Hypervector{1, 2}), (Hypervector{1, 2, 3}));
+}
+
+TEST(Hypervector, RequireSameDimThrows) {
+  Hypervector a(4), b(5);
+  EXPECT_THROW(factorhd::hdc::require_same_dim(a, b, "test"),
+               std::invalid_argument);
+  Hypervector e1, e2;
+  EXPECT_THROW(factorhd::hdc::require_same_dim(e1, e2, "test"),
+               std::invalid_argument);
+  EXPECT_NO_THROW(factorhd::hdc::require_same_dim(a, a, "test"));
+}
+
+}  // namespace

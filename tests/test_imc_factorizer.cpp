@@ -1,0 +1,91 @@
+// Unit tests for the IMC stochastic factorizer simulation.
+#include <gtest/gtest.h>
+
+#include "baselines/imc_factorizer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using baselines::CCModel;
+using baselines::ImcFactorizer;
+using baselines::ImcOptions;
+using baselines::ImcResult;
+
+TEST(ImcFactorizer, FactorizesSmallProblems) {
+  util::Xoshiro256 rng(1);
+  const CCModel model(1024, 3, 8, rng);
+  const ImcFactorizer imc(model);
+  int correct = 0;
+  for (int t = 0; t < 20; ++t) {
+    std::vector<std::size_t> truth{rng.uniform(8), rng.uniform(8),
+                                   rng.uniform(8)};
+    const ImcResult r = imc.factorize(model.encode(truth));
+    if (r.converged && r.factors == truth) ++correct;
+  }
+  EXPECT_GE(correct, 19);
+}
+
+TEST(ImcFactorizer, SolvesProblemsBeyondPlainResonatorScale) {
+  // M=48 at D=256: problem size 1.1e5 with D far below the deterministic
+  // resonator's comfort zone; the stochastic dynamics still solve most
+  // instances (the paper's motivation for the IMC baseline).
+  util::Xoshiro256 rng(2);
+  const CCModel model(256, 3, 48, rng);
+  ImcOptions opts;
+  opts.max_iterations = 4000;
+  const ImcFactorizer imc(model, opts);
+  int correct = 0;
+  for (int t = 0; t < 10; ++t) {
+    std::vector<std::size_t> truth{rng.uniform(48), rng.uniform(48),
+                                   rng.uniform(48)};
+    const ImcResult r = imc.factorize(model.encode(truth));
+    if (r.converged && r.factors == truth) ++correct;
+  }
+  EXPECT_GE(correct, 7);
+}
+
+TEST(ImcFactorizer, ConvergenceCheckIsExact) {
+  util::Xoshiro256 rng(3);
+  const CCModel model(512, 3, 8, rng);
+  const ImcFactorizer imc(model);
+  const std::vector<std::size_t> truth{1, 2, 3};
+  const ImcResult r = imc.factorize(model.encode(truth));
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(model.encode(r.factors), model.encode(truth));
+}
+
+TEST(ImcFactorizer, RespectsIterationBudget) {
+  util::Xoshiro256 rng(4);
+  const CCModel model(64, 4, 64, rng);
+  ImcOptions opts;
+  opts.max_iterations = 3;
+  const ImcFactorizer imc(model, opts);
+  const std::vector<std::size_t> truth{0, 1, 2, 3};
+  const ImcResult r = imc.factorize(model.encode(truth));
+  EXPECT_LE(r.iterations, 3u);
+  EXPECT_EQ(r.similarity_ops, r.iterations * 4u * 64u);
+}
+
+TEST(ImcFactorizer, DeterministicGivenSeed) {
+  util::Xoshiro256 rng(5);
+  const CCModel model(256, 3, 16, rng);
+  ImcOptions opts;
+  opts.seed = 1234;
+  const ImcFactorizer imc(model, opts);
+  const std::vector<std::size_t> truth{7, 3, 9};
+  const ImcResult a = imc.factorize(model.encode(truth));
+  const ImcResult b = imc.factorize(model.encode(truth));
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.factors, b.factors);
+}
+
+TEST(ImcFactorizer, RejectsWrongDimension) {
+  util::Xoshiro256 rng(6);
+  const CCModel model(256, 3, 8, rng);
+  const ImcFactorizer imc(model);
+  EXPECT_THROW((void)imc.factorize(hdc::Hypervector(512)),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+// Integration tests across modules: the full neuro-symbolic pipelines that
+// the Table I / Table II benches run at scale, exercised here at small size.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/factorhd.hpp"
+#include "data/cifar_like.hpp"
+#include "data/raven_like.hpp"
+#include "nn/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+
+// CIFAR-10-like pipeline: train the MLP, encode each test image's label HV
+// weighted by the network's softmax (the "features -> HV" step), factorize,
+// compare against ground truth. Factorization accuracy must track (and not
+// exceed by much) classifier accuracy.
+TEST(Integration, Cifar10LikePipeline) {
+  util::Xoshiro256 rng(101);
+  data::CifarLikeSpec spec = data::cifar10_like_spec();
+  spec.train_per_class = 40;
+  spec.test_per_class = 10;
+  const data::CifarLike ds = data::make_cifar_like(spec, rng);
+
+  nn::Mlp net({spec.feature_dim, 48, 10}, rng);
+  nn::TrainOptions topts;
+  topts.epochs = 12;
+  (void)nn::train(net, ds.train, topts);
+  const double classifier_acc = nn::evaluate_accuracy(net, ds.test);
+  ASSERT_GT(classifier_acc, 0.8);
+
+  const tax::Taxonomy taxonomy = data::label_taxonomy(spec);
+  const tax::TaxonomyCodebooks books(taxonomy, 512, rng);
+  const core::Encoder encoder(books);
+  const core::Factorizer factorizer(encoder);
+
+  std::size_t correct = 0;
+  std::vector<std::size_t> rows(ds.test.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  nn::Matrix logits = net.forward(nn::gather_rows(ds.test.features, rows));
+  const nn::Matrix probs = nn::Mlp::softmax(logits);
+
+  // Probability-weighted bundle of label encodings: the dominant term is
+  // the predicted class; competing classes contribute proportional noise.
+  std::vector<tax::Object> label_objects;
+  for (int c = 0; c < 10; ++c) {
+    label_objects.push_back(data::label_object(spec, c));
+  }
+  const core::SoftLabelEncoder soft(encoder, std::move(label_objects));
+
+  for (std::size_t i = 0; i < ds.test.size(); ++i) {
+    const hdc::Hypervector image_hv = soft.encode(probs.row(i));
+    const auto got = factorizer.factorize_single(image_hv);
+    if (got.classes[0].present &&
+        got.classes[0].path[0] ==
+            static_cast<std::size_t>(ds.test.labels[i])) {
+      ++correct;
+    }
+  }
+  const double factorization_acc =
+      static_cast<double>(correct) / static_cast<double>(ds.test.size());
+  // The paper's Table II claim shape: factorization accuracy within a few
+  // percent of classifier accuracy.
+  EXPECT_GT(factorization_acc, classifier_acc - 0.05);
+}
+
+// CIFAR-100-like coarse/fine: factorizing the coarse level only must be at
+// least as accurate as the full fine factorization.
+TEST(Integration, Cifar100LikeCoarseFineFactorization) {
+  util::Xoshiro256 rng(102);
+  data::CifarLikeSpec spec = data::cifar100_like_spec();
+  const tax::Taxonomy taxonomy = data::label_taxonomy(spec);
+  const tax::TaxonomyCodebooks books(taxonomy, 1024, rng);
+  const core::Encoder encoder(books);
+  const core::Factorizer factorizer(encoder);
+
+  std::size_t coarse_ok = 0, fine_ok = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    const int fine = static_cast<int>(rng.uniform(100));
+    const auto target =
+        encoder.encode_object(data::label_object(spec, fine));
+    // Partial factorization: coarse only (depth 1).
+    core::FactorizeOptions copts;
+    copts.selected_classes = {0};
+    copts.max_depth = 1;
+    const auto coarse_res = factorizer.factorize(target, copts);
+    if (coarse_res.objects[0].classes[0].path[0] ==
+        static_cast<std::size_t>(fine / 5)) {
+      ++coarse_ok;
+    }
+    // Full factorization down to the fine level.
+    const auto full = factorizer.factorize_single(target);
+    if (full.classes[0].path.size() == 2 &&
+        full.classes[0].path[1] == static_cast<std::size_t>(fine)) {
+      ++fine_ok;
+    }
+  }
+  EXPECT_GE(coarse_ok, fine_ok);
+  EXPECT_GT(static_cast<double>(fine_ok) / trials, 0.9);
+}
+
+// RAVEN-like pipeline: encode a multi-object panel, factorize with the
+// multi-object algorithm, require exact panel recovery.
+TEST(Integration, RavenLikePanelFactorization) {
+  util::Xoshiro256 rng(103);
+  data::RavenSpec spec;
+  spec.constellation = data::Constellation::kTwoByTwoGrid;
+  const tax::Taxonomy taxonomy = data::raven_taxonomy(spec);
+  const tax::TaxonomyCodebooks books(taxonomy, 8192, rng);
+  const core::Encoder encoder(books);
+  const core::Factorizer factorizer(encoder);
+
+  int correct = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    const data::RavenPanel panel = data::random_panel(spec, rng);
+    const tax::Scene scene = data::to_tax_scene(panel, spec);
+    const auto target = encoder.encode_scene(scene);
+
+    core::FactorizeOptions opts;
+    opts.multi_object = true;
+    opts.num_objects_hint = scene.size();
+    opts.max_objects = 6;
+    const auto result = factorizer.factorize(target, opts);
+    tax::Scene recovered;
+    for (const auto& o : result.objects) recovered.push_back(o.to_object(3));
+    if (tax::same_multiset(recovered, scene)) ++correct;
+  }
+  EXPECT_GE(correct, 8) << correct << "/" << trials;
+}
+
+// Superposition training support (Table II "bundled image inputs"): bundle
+// K label HVs and factorize all K labels back.
+TEST(Integration, BundledImageSuperposition) {
+  util::Xoshiro256 rng(104);
+  data::CifarLikeSpec spec = data::cifar10_like_spec();
+  const tax::Taxonomy taxonomy = data::label_taxonomy(spec);
+  const tax::TaxonomyCodebooks books(taxonomy, 4096, rng);
+  const core::Encoder encoder(books);
+  const core::Factorizer factorizer(encoder);
+
+  int correct = 0;
+  const int trials = 15;
+  for (int t = 0; t < trials; ++t) {
+    // Two distinct labels in superposition.
+    const int a = static_cast<int>(rng.uniform(10));
+    int b = static_cast<int>(rng.uniform(10));
+    while (b == a) b = static_cast<int>(rng.uniform(10));
+    const tax::Scene scene{data::label_object(spec, a),
+                           data::label_object(spec, b)};
+    const auto target = encoder.encode_scene(scene);
+
+    core::FactorizeOptions opts;
+    opts.multi_object = true;
+    opts.num_objects_hint = 2;
+    opts.max_objects = 4;
+    const auto result = factorizer.factorize(target, opts);
+    tax::Scene recovered;
+    for (const auto& o : result.objects) recovered.push_back(o.to_object(2));
+    if (tax::same_multiset(recovered, scene)) ++correct;
+  }
+  EXPECT_GE(correct, 13) << correct << "/" << trials;
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Unit tests for hdc::ItemMemory (cleanup memory).
+#include <gtest/gtest.h>
+
+#include "hdc/item_memory.hpp"
+#include "hdc/ops.hpp"
+#include "hdc/random.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd::hdc;
+using factorhd::util::Xoshiro256;
+
+class ItemMemoryTest : public ::testing::Test {
+ protected:
+  ItemMemoryTest() : rng_(42), cb_(1024, 16, rng_), memory_(cb_) {}
+
+  Xoshiro256 rng_;
+  Codebook cb_;
+  ItemMemory memory_;
+};
+
+TEST_F(ItemMemoryTest, BestFindsExactItem) {
+  for (std::size_t j = 0; j < cb_.size(); ++j) {
+    const Match m = memory_.best(cb_.item(j));
+    EXPECT_EQ(m.index, j);
+    EXPECT_DOUBLE_EQ(m.similarity, 1.0);
+  }
+}
+
+TEST_F(ItemMemoryTest, BestCleansUpNoisyItem) {
+  const Hypervector noisy = flip_noise(cb_.item(5), 0.2, rng_);
+  const Match m = memory_.best(noisy);
+  EXPECT_EQ(m.index, 5u);
+  EXPECT_NEAR(m.similarity, 0.6, 0.1);  // 1 - 2*0.2 flip similarity
+}
+
+TEST_F(ItemMemoryTest, BestAmongRestrictsSearch) {
+  // Query equals item 5, but 5 is outside the allowed subset.
+  const std::vector<std::size_t> subset{1, 2, 3};
+  const Match m = memory_.best_among(cb_.item(5), subset);
+  EXPECT_TRUE(m.index == 1 || m.index == 2 || m.index == 3);
+  EXPECT_LT(m.similarity, 0.5);
+  EXPECT_THROW((void)memory_.best_among(cb_.item(0), {}), std::invalid_argument);
+}
+
+TEST_F(ItemMemoryTest, AboveReturnsSortedMatches) {
+  // Bundle of items 3 and 7 is similar to both.
+  const Hypervector q = bundle(cb_.item(3), cb_.item(7));
+  const std::vector<Match> ms = memory_.above(q, 0.5);
+  ASSERT_EQ(ms.size(), 2u);
+  EXPECT_GE(ms[0].similarity, ms[1].similarity);
+  const bool found3 = ms[0].index == 3 || ms[1].index == 3;
+  const bool found7 = ms[0].index == 7 || ms[1].index == 7;
+  EXPECT_TRUE(found3 && found7);
+}
+
+TEST_F(ItemMemoryTest, AboveWithImpossibleThresholdIsEmpty) {
+  EXPECT_TRUE(memory_.above(cb_.item(0), 1.5).empty());
+}
+
+TEST_F(ItemMemoryTest, AboveAmongRespectsBothFilters) {
+  const Hypervector q = bundle(cb_.item(3), cb_.item(7));
+  const std::vector<std::size_t> subset{3, 4};
+  const std::vector<Match> ms = memory_.above_among(q, 0.5, subset);
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_EQ(ms[0].index, 3u);
+}
+
+TEST_F(ItemMemoryTest, TopKOrdersAndLimits) {
+  const Hypervector q = cb_.item(2);
+  const std::vector<Match> ms = memory_.top_k(q, 3);
+  ASSERT_EQ(ms.size(), 3u);
+  EXPECT_EQ(ms[0].index, 2u);
+  EXPECT_GE(ms[0].similarity, ms[1].similarity);
+  EXPECT_GE(ms[1].similarity, ms[2].similarity);
+  // k larger than codebook clamps.
+  EXPECT_EQ(memory_.top_k(q, 100).size(), cb_.size());
+}
+
+TEST_F(ItemMemoryTest, CountsSimilarityOps) {
+  memory_.reset_similarity_ops();
+  (void)memory_.best(cb_.item(0));
+  EXPECT_EQ(memory_.similarity_ops(), cb_.size());
+  (void)memory_.best_among(cb_.item(0), {1, 2});
+  EXPECT_EQ(memory_.similarity_ops(), cb_.size() + 2);
+  memory_.reset_similarity_ops();
+  EXPECT_EQ(memory_.similarity_ops(), 0u);
+}
+
+}  // namespace

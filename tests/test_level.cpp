@@ -1,0 +1,92 @@
+// Unit tests for level (thermometer) hypervectors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hdc/item_memory.hpp"
+#include "hdc/level.hpp"
+#include "hdc/similarity.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using namespace factorhd::hdc;
+
+TEST(LevelCodebook, ShapeAndAlphabet) {
+  util::Xoshiro256 rng(1);
+  const Codebook cb = make_level_codebook(1024, 8, rng, "sizes");
+  EXPECT_EQ(cb.size(), 8u);
+  EXPECT_EQ(cb.dim(), 1024u);
+  EXPECT_EQ(cb.name(), "sizes");
+  for (std::size_t l = 0; l < 8; ++l) EXPECT_TRUE(cb.item(l).is_bipolar());
+}
+
+TEST(LevelCodebook, LinearSimilarityProfile) {
+  util::Xoshiro256 rng(2);
+  const std::size_t levels = 11;
+  const Codebook cb = make_level_codebook(8192, levels, rng);
+  for (std::size_t i = 0; i < levels; ++i) {
+    for (std::size_t j = 0; j < levels; ++j) {
+      const double expected =
+          1.0 - std::abs(static_cast<double>(i) - static_cast<double>(j)) /
+                    static_cast<double>(levels - 1);
+      // Endpoint HVs are random, so there is an O(1/sqrt(D)) wobble plus the
+      // endpoints' own overlap; allow a generous band.
+      EXPECT_NEAR(similarity(cb.item(i), cb.item(j)), expected, 0.08)
+          << "levels " << i << "," << j;
+    }
+  }
+}
+
+TEST(LevelCodebook, NeighborsMoreSimilarThanDistantLevels) {
+  util::Xoshiro256 rng(3);
+  const Codebook cb = make_level_codebook(4096, 10, rng);
+  for (std::size_t l = 0; l + 2 < 10; ++l) {
+    EXPECT_GT(similarity(cb.item(l), cb.item(l + 1)),
+              similarity(cb.item(l), cb.item(l + 2)));
+  }
+}
+
+TEST(LevelCodebook, CleanupFindsNearestLevel) {
+  util::Xoshiro256 rng(4);
+  const Codebook cb = make_level_codebook(4096, 5, rng);
+  const ItemMemory memory(cb);
+  for (std::size_t l = 0; l < 5; ++l) {
+    EXPECT_EQ(memory.best(cb.item(l)).index, l);
+  }
+}
+
+TEST(LevelCodebook, InvalidSpecsThrow) {
+  util::Xoshiro256 rng(5);
+  EXPECT_THROW(make_level_codebook(128, 1, rng), std::invalid_argument);
+  EXPECT_THROW(make_level_codebook(0, 4, rng), std::invalid_argument);
+}
+
+TEST(QuantizeLevel, MapsRangeUniformly) {
+  EXPECT_EQ(quantize_level(0.0, 0.0, 1.0, 5), 0u);
+  EXPECT_EQ(quantize_level(1.0, 0.0, 1.0, 5), 4u);
+  EXPECT_EQ(quantize_level(0.5, 0.0, 1.0, 5), 2u);
+  EXPECT_EQ(quantize_level(0.24, 0.0, 1.0, 5), 1u);
+}
+
+TEST(QuantizeLevel, ClampsOutOfRange) {
+  EXPECT_EQ(quantize_level(-10.0, 0.0, 1.0, 5), 0u);
+  EXPECT_EQ(quantize_level(10.0, 0.0, 1.0, 5), 4u);
+}
+
+TEST(QuantizeLevel, RoundTripsWithLevelValue) {
+  const std::size_t levels = 9;
+  for (std::size_t l = 0; l < levels; ++l) {
+    const double v = level_value(l, -3.0, 3.0, levels);
+    EXPECT_EQ(quantize_level(v, -3.0, 3.0, levels), l);
+  }
+}
+
+TEST(QuantizeLevel, InvalidArgumentsThrow) {
+  EXPECT_THROW((void)quantize_level(0.5, 0.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)quantize_level(0.5, 1.0, 0.0, 5), std::invalid_argument);
+  EXPECT_THROW((void)level_value(5, 0.0, 1.0, 5), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,75 @@
+// Unit tests for tax::NameRegistry.
+#include <gtest/gtest.h>
+
+#include "taxonomy/names.hpp"
+
+namespace {
+
+using namespace factorhd::tax;
+
+class NamesTest : public ::testing::Test {
+ protected:
+  NamesTest()
+      : registry_(Taxonomy(std::vector<std::vector<std::size_t>>{{4, 2}, {3}})) {
+    registry_.set_class_name(0, "animal");
+    registry_.set_class_name(1, "color");
+    registry_.set_item_name(0, 1, 0, "dog");
+    registry_.set_item_name(0, 2, 0, "spaniel");
+    registry_.set_item_name(0, 2, 1, "terrier");
+    registry_.set_item_name(1, 1, 2, "black");
+  }
+
+  NameRegistry registry_;
+};
+
+TEST_F(NamesTest, ForwardLookups) {
+  EXPECT_EQ(registry_.class_name(0), "animal");
+  EXPECT_EQ(registry_.item_name(0, 1, 0), "dog");
+  EXPECT_EQ(registry_.item_name(0, 2, 1), "terrier");
+}
+
+TEST_F(NamesTest, NumericFallbacks) {
+  EXPECT_EQ(registry_.item_name(0, 1, 3), "c0/l1/3");
+  NameRegistry bare{Taxonomy(2, {4})};
+  EXPECT_EQ(bare.class_name(1), "c1");
+}
+
+TEST_F(NamesTest, ReverseLookups) {
+  EXPECT_EQ(registry_.class_index("color"), 1u);
+  EXPECT_EQ(registry_.item_index(0, 2, "spaniel"), 0u);
+  EXPECT_FALSE(registry_.class_index("vehicle").has_value());
+  EXPECT_FALSE(registry_.item_index(0, 1, "cat").has_value());
+}
+
+TEST_F(NamesTest, RenamingUpdatesReverseLookup) {
+  registry_.set_item_name(0, 1, 0, "hound");
+  EXPECT_FALSE(registry_.item_index(0, 1, "dog").has_value());
+  EXPECT_EQ(registry_.item_index(0, 1, "hound"), 0u);
+}
+
+TEST_F(NamesTest, DuplicatesRejected) {
+  EXPECT_THROW(registry_.set_class_name(1, "animal"), std::invalid_argument);
+  EXPECT_THROW(registry_.set_item_name(0, 2, 1, "spaniel"),
+               std::invalid_argument);
+  // Re-assigning the same name to the same slot is idempotent, not an error.
+  EXPECT_NO_THROW(registry_.set_class_name(0, "animal"));
+  EXPECT_NO_THROW(registry_.set_item_name(0, 2, 0, "spaniel"));
+}
+
+TEST_F(NamesTest, RangeChecks) {
+  EXPECT_THROW(registry_.set_class_name(2, "x"), std::out_of_range);
+  EXPECT_THROW(registry_.set_item_name(0, 3, 0, "x"), std::out_of_range);
+  EXPECT_THROW(registry_.set_item_name(1, 1, 3, "x"), std::out_of_range);
+  EXPECT_THROW((void)registry_.item_name(0, 1, 4), std::out_of_range);
+  EXPECT_THROW((void)registry_.class_name(7), std::out_of_range);
+}
+
+TEST_F(NamesTest, DescribeRendersPathsAndAbsence) {
+  Object obj(2);
+  obj.set_path(0, {0, 1});  // dog -> terrier
+  EXPECT_EQ(registry_.describe(obj), "{animal: dog/terrier, color: -}");
+  obj.set_path(1, {2});
+  EXPECT_EQ(registry_.describe(obj), "{animal: dog/terrier, color: black}");
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Unit tests for the neural substrate (matrix ops, MLP, trainer).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "nn/matrix.hpp"
+#include "nn/mlp.hpp"
+#include "nn/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using nn::Matrix;
+using nn::Mlp;
+
+TEST(Matrix, MatmulKnownValues) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  const Matrix c = nn::matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Matrix, TransposedVariantsAgree) {
+  util::Xoshiro256 rng(1);
+  Matrix a(4, 5), b(5, 3);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.normal());
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = static_cast<float>(rng.normal());
+  }
+  const Matrix ref = nn::matmul(a, b);
+  // matmul_bt(a, b^T as rows) == a*b: build bt with b's transpose layout.
+  Matrix bt(3, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  const Matrix viaBt = nn::matmul_bt(a, bt);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(viaBt.data()[i], ref.data()[i], 1e-4f);
+  }
+  // matmul_at(a^T as rows, b) == a*b.
+  Matrix at(5, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) at.at(j, i) = a.at(i, j);
+  }
+  const Matrix viaAt = nn::matmul_at(at, b);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(viaAt.data()[i], ref.data()[i], 1e-4f);
+  }
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW((void)nn::matmul(a, b), std::invalid_argument);
+}
+
+TEST(Mlp, SoftmaxRowsSumToOne) {
+  Matrix logits(2, 3);
+  logits.at(0, 0) = 10.0f;  // large values test the max-shift stability
+  logits.at(0, 1) = 20.0f;
+  logits.at(0, 2) = 30.0f;
+  const Matrix p = Mlp::softmax(logits);
+  for (std::size_t r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < 3; ++c) sum += p.at(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  EXPECT_GT(p.at(0, 2), p.at(0, 1));
+}
+
+TEST(Mlp, GradientMatchesFiniteDifference) {
+  util::Xoshiro256 rng(2);
+  Mlp net({3, 4, 2}, rng);
+  Matrix x(2, 3);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.normal());
+  }
+  const std::vector<int> y{0, 1};
+
+  Matrix logits = net.forward(x);
+  (void)net.backward(logits, y);
+  // Probe a handful of first-layer weights against central differences.
+  // Mlp is copyable (all-value members), so perturbation is cheap.
+  const float eps = 1e-3f;
+  for (std::size_t probe = 0; probe < 5; ++probe) {
+    const std::size_t idx = probe * 2;
+    Mlp plus = net;
+    Mlp minus = net;
+    const_cast<Matrix&>(plus.layers()[0].weight).data()[idx] += eps;
+    const_cast<Matrix&>(minus.layers()[0].weight).data()[idx] -= eps;
+    Matrix lp = plus.forward(x);
+    Matrix lm = minus.forward(x);
+    const double fp = plus.backward(lp, y);
+    const double fm = minus.backward(lm, y);
+    const double numeric = (fp - fm) / (2.0 * eps);
+    const double analytic = net.layers()[0].grad_weight.data()[idx];
+    EXPECT_NEAR(analytic, numeric, 5e-3)
+        << "weight index " << idx;
+  }
+}
+
+TEST(Mlp, InvalidInputsThrow) {
+  util::Xoshiro256 rng(3);
+  EXPECT_THROW(Mlp({5}, rng), std::invalid_argument);
+  Mlp net({3, 2}, rng);
+  EXPECT_THROW((void)net.forward(Matrix(1, 4)), std::invalid_argument);
+  Matrix logits = net.forward(Matrix(1, 3));
+  EXPECT_THROW((void)net.backward(logits, {0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)net.backward(logits, {5}), std::invalid_argument);
+}
+
+TEST(Trainer, LearnsSeparableClusters) {
+  util::Xoshiro256 rng(4);
+  data::ClusterSpec spec;
+  spec.num_classes = 4;
+  spec.feature_dim = 16;
+  spec.samples_per_class = 50;
+  spec.noise = 0.25;
+  const data::TrainTestSplit split = data::make_cluster_split(spec, rng);
+
+  Mlp net({16, 32, 4}, rng);
+  nn::TrainOptions opts;
+  opts.epochs = 15;
+  const nn::TrainReport report = nn::train(net, split.train, opts);
+  EXPECT_GT(report.final_train_accuracy, 0.95);
+  EXPECT_GT(nn::evaluate_accuracy(net, split.test), 0.9);
+  // Loss decreases over training.
+  EXPECT_LT(report.epoch_loss.back(), report.epoch_loss.front());
+}
+
+TEST(Trainer, HarderNoiseLowersAccuracy) {
+  util::Xoshiro256 rng(5);
+  data::ClusterSpec easy, hard;
+  easy.num_classes = hard.num_classes = 6;
+  easy.feature_dim = hard.feature_dim = 16;
+  easy.samples_per_class = hard.samples_per_class = 40;
+  easy.noise = 0.1;
+  hard.noise = 0.9;
+  const auto easy_split = data::make_cluster_split(easy, rng);
+  const auto hard_split = data::make_cluster_split(hard, rng);
+
+  Mlp net_easy({16, 24, 6}, rng);
+  Mlp net_hard({16, 24, 6}, rng);
+  nn::TrainOptions opts;
+  opts.epochs = 10;
+  (void)nn::train(net_easy, easy_split.train, opts);
+  (void)nn::train(net_hard, hard_split.train, opts);
+  EXPECT_GT(nn::evaluate_accuracy(net_easy, easy_split.test),
+            nn::evaluate_accuracy(net_hard, hard_split.test));
+}
+
+TEST(Trainer, FeatureDimExposed) {
+  util::Xoshiro256 rng(6);
+  Mlp net({8, 12, 3}, rng);
+  EXPECT_EQ(net.input_dim(), 8u);
+  EXPECT_EQ(net.feature_dim(), 12u);
+  EXPECT_EQ(net.output_dim(), 3u);
+  (void)net.forward(Matrix(2, 8));
+  EXPECT_EQ(net.features().cols(), 12u);
+  EXPECT_EQ(net.features().rows(), 2u);
+}
+
+TEST(Trainer, EmptyDatasetThrows) {
+  util::Xoshiro256 rng(7);
+  Mlp net({4, 2}, rng);
+  nn::Dataset empty;
+  EXPECT_THROW((void)nn::train(net, empty, {}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Unit tests for tax::Object / Scene helpers.
+#include <gtest/gtest.h>
+
+#include "taxonomy/object.hpp"
+
+namespace {
+
+using namespace factorhd::tax;
+
+TEST(Object, DefaultAllAbsent) {
+  const Object obj(3);
+  EXPECT_EQ(obj.num_classes(), 3u);
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_FALSE(obj.has_class(c));
+}
+
+TEST(Object, SetAndClearPath) {
+  Object obj(2);
+  obj.set_path(0, {3, 11});
+  EXPECT_TRUE(obj.has_class(0));
+  EXPECT_EQ(obj.path(0), (Path{3, 11}));
+  obj.clear_class(0);
+  EXPECT_FALSE(obj.has_class(0));
+}
+
+TEST(Object, ValidityChecks) {
+  const Taxonomy t(2, {4, 3});
+  Object ok(2);
+  ok.set_path(0, {2, 7});  // 7 is a child of 2 (children of 2: 6,7,8)
+  ok.set_path(1, {0});     // partial path is fine
+  EXPECT_TRUE(ok.valid_for(t));
+
+  Object absent_ok(2);
+  absent_ok.set_path(0, {1});
+  EXPECT_TRUE(absent_ok.valid_for(t));  // class 1 absent
+
+  Object wrong_count(3);
+  EXPECT_FALSE(wrong_count.valid_for(t));
+
+  Object bad_index(2);
+  bad_index.set_path(0, {4});  // out of range (level 1 has 4 items: 0..3)
+  EXPECT_FALSE(bad_index.valid_for(t));
+
+  Object bad_child(2);
+  bad_child.set_path(0, {2, 3});  // 3 is a child of 1, not 2
+  EXPECT_FALSE(bad_child.valid_for(t));
+
+  Object too_deep(2);
+  too_deep.set_path(0, {2, 7, 1});
+  EXPECT_FALSE(too_deep.valid_for(t));
+
+  Object empty_path(2);
+  empty_path.set_path(0, {});
+  EXPECT_FALSE(empty_path.valid_for(t));
+}
+
+TEST(Object, ToString) {
+  Object obj(2);
+  obj.set_path(0, {3, 11});
+  EXPECT_EQ(obj.to_string(), "{c0: 3/11, c1: -}");
+}
+
+TEST(Object, Equality) {
+  Object a(2), b(2);
+  a.set_path(0, {1});
+  b.set_path(0, {1});
+  EXPECT_EQ(a, b);
+  b.set_path(1, {0});
+  EXPECT_NE(a, b);
+}
+
+TEST(Scene, ValidScene) {
+  const Taxonomy t(1, {4});
+  Object o(1);
+  o.set_path(0, {2});
+  EXPECT_TRUE(valid_scene({o, o}, t));
+  Object bad(1);
+  bad.set_path(0, {9});
+  EXPECT_FALSE(valid_scene({o, bad}, t));
+}
+
+TEST(Scene, SameMultisetIgnoresOrder) {
+  Object a(1), b(1);
+  a.set_path(0, {1});
+  b.set_path(0, {2});
+  EXPECT_TRUE(same_multiset({a, b}, {b, a}));
+  EXPECT_FALSE(same_multiset({a, b}, {a, a}));
+  EXPECT_FALSE(same_multiset({a}, {a, a}));
+}
+
+TEST(Scene, SameMultisetCountsDuplicates) {
+  Object a(1), b(1);
+  a.set_path(0, {1});
+  b.set_path(0, {2});
+  // {a,a,b} vs {a,b,b} share elements but differ in multiplicity.
+  EXPECT_FALSE(same_multiset({a, a, b}, {a, b, b}));
+  EXPECT_TRUE(same_multiset({a, a, b}, {b, a, a}));
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Unit tests for the HDC operator algebra (bundle/bind/clip/permute/...).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hdc/ops.hpp"
+#include "hdc/random.hpp"
+#include "hdc/similarity.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd::hdc;
+using factorhd::util::Xoshiro256;
+
+TEST(Ops, BundleAddsComponentwise) {
+  Hypervector a{1, -1, 1};
+  Hypervector b{1, 1, -1};
+  EXPECT_EQ(bundle(a, b), (Hypervector{2, 0, 0}));
+}
+
+TEST(Ops, BundleSpan) {
+  std::vector<Hypervector> vs{{1, 1}, {1, -1}, {-1, -1}};
+  // Qualified calls: unqualified bind/bundle on a std::vector argument would
+  // ADL-resolve to std::bind.
+  EXPECT_EQ(factorhd::hdc::bundle(std::span<const Hypervector>{vs}),
+            (Hypervector{1, -1}));
+  EXPECT_THROW(factorhd::hdc::bundle(std::span<const Hypervector>{}),
+               std::invalid_argument);
+}
+
+TEST(Ops, AccumulateAndSubtractRoundTrip) {
+  Hypervector t{5, -3};
+  const Hypervector v{2, 2};
+  accumulate(t, v);
+  EXPECT_EQ(t, (Hypervector{7, -1}));
+  subtract(t, v);
+  EXPECT_EQ(t, (Hypervector{5, -3}));
+}
+
+TEST(Ops, BindMultipliesComponentwise) {
+  Hypervector a{1, -1, 1};
+  Hypervector b{-1, -1, 1};
+  EXPECT_EQ(bind(a, b), (Hypervector{-1, 1, 1}));
+}
+
+TEST(Ops, BindIsSelfInverseOnBipolar) {
+  Xoshiro256 rng(1);
+  const Hypervector v = random_bipolar(256, rng);
+  EXPECT_EQ(bind(v, v), identity(256));
+}
+
+TEST(Ops, UnbindRecoversBoundFactor) {
+  Xoshiro256 rng(2);
+  const Hypervector a = random_bipolar(512, rng);
+  const Hypervector b = random_bipolar(512, rng);
+  const Hypervector h = bind(a, b);
+  EXPECT_EQ(bind(h, b), a);  // unbinding is binding again
+}
+
+TEST(Ops, BindSpanProduct) {
+  std::vector<Hypervector> vs{{1, -1}, {-1, -1}, {-1, 1}};
+  EXPECT_EQ(factorhd::hdc::bind(std::span<const Hypervector>{vs}),
+            (Hypervector{1, 1}));
+  EXPECT_THROW(factorhd::hdc::bind(std::span<const Hypervector>{}),
+               std::invalid_argument);
+}
+
+TEST(Ops, ClipTernary) {
+  Hypervector v{3, -4, 0, 1, -1};
+  EXPECT_EQ(clip_ternary(v), (Hypervector{1, -1, 0, 1, -1}));
+  EXPECT_TRUE(clip_ternary(v).is_ternary());
+}
+
+TEST(Ops, SignBipolarTieBreak) {
+  Hypervector v{3, 0, -2};
+  EXPECT_EQ(sign_bipolar(v, true), (Hypervector{1, 1, -1}));
+  EXPECT_EQ(sign_bipolar(v, false), (Hypervector{1, -1, -1}));
+  EXPECT_TRUE(sign_bipolar(v).is_bipolar());
+}
+
+TEST(Ops, PermuteRotates) {
+  Hypervector v{1, 2, 3, 4};
+  EXPECT_EQ(permute(v, 1), (Hypervector{4, 1, 2, 3}));
+  EXPECT_EQ(permute(v, 4), v);  // full cycle
+  EXPECT_EQ(permute(v, 0), v);
+}
+
+TEST(Ops, UnpermuteInverts) {
+  Xoshiro256 rng(3);
+  const Hypervector v = random_bipolar(100, rng);
+  for (std::size_t k : {0u, 1u, 7u, 99u, 100u, 123u}) {
+    EXPECT_EQ(unpermute(permute(v, k), k), v) << "k=" << k;
+  }
+}
+
+TEST(Ops, PermutedVectorIsQuasiOrthogonal) {
+  Xoshiro256 rng(4);
+  const Hypervector v = random_bipolar(4096, rng);
+  const double s = similarity(permute(v, 1), v);
+  EXPECT_LT(std::abs(s), 0.1);
+}
+
+TEST(Ops, NegateIsAdditiveInverse) {
+  Hypervector v{2, -3, 0};
+  EXPECT_EQ(bundle(v, negate(v)), Hypervector(3));
+}
+
+TEST(Ops, IdentityIsBindingNeutral) {
+  Xoshiro256 rng(5);
+  const Hypervector v = random_bipolar(64, rng);
+  EXPECT_EQ(bind(v, identity(64)), v);
+  EXPECT_THROW(identity(0), std::invalid_argument);
+}
+
+TEST(Ops, DimensionMismatchThrows) {
+  Hypervector a(4), b(5);
+  EXPECT_THROW(bundle(a, b), std::invalid_argument);
+  EXPECT_THROW(bind(a, b), std::invalid_argument);
+  EXPECT_THROW(accumulate(a, b), std::invalid_argument);
+  EXPECT_THROW(subtract(a, b), std::invalid_argument);
+  Hypervector e;
+  EXPECT_THROW(permute(e, 1), std::invalid_argument);
+}
+
+TEST(Ops, WeightedBundleRoundsScaledSum) {
+  std::vector<Hypervector> vs{{1, -1, 1}, {1, 1, -1}};
+  const std::vector<double> w{0.75, 0.25};
+  // 0.75*v0 + 0.25*v1 = {1.0, -0.5, 0.5}; scale 2 -> {2, -1, 1}.
+  EXPECT_EQ(weighted_bundle(vs, w, 2.0), (Hypervector{2, -1, 1}));
+  // Unit weights with scale 1 reduce to plain bundling.
+  const std::vector<double> ones{1.0, 1.0};
+  EXPECT_EQ(weighted_bundle(vs, ones, 1.0), bundle(vs[0], vs[1]));
+}
+
+TEST(Ops, WeightedBundleValidatesInputs) {
+  std::vector<Hypervector> vs{{1, -1}};
+  const std::vector<double> too_many{0.5, 0.5};
+  EXPECT_THROW(weighted_bundle(vs, too_many), std::invalid_argument);
+  EXPECT_THROW(weighted_bundle({}, {}), std::invalid_argument);
+  std::vector<Hypervector> mixed{{1, -1}, {1, -1, 1}};
+  const std::vector<double> w{0.5, 0.5};
+  EXPECT_THROW(weighted_bundle(mixed, w), std::invalid_argument);
+}
+
+// Algebraic property: binding distributes over bundling.
+TEST(OpsProperty, BindDistributesOverBundle) {
+  Xoshiro256 rng(6);
+  const Hypervector a = random_bipolar(128, rng);
+  const Hypervector b = random_bipolar(128, rng);
+  const Hypervector c = random_bipolar(128, rng);
+  EXPECT_EQ(bind(a, bundle(b, c)), bundle(bind(a, b), bind(a, c)));
+}
+
+// Algebraic property: permutation distributes over both operators.
+TEST(OpsProperty, PermuteDistributes) {
+  Xoshiro256 rng(7);
+  const Hypervector a = random_bipolar(128, rng);
+  const Hypervector b = random_bipolar(128, rng);
+  EXPECT_EQ(permute(bind(a, b), 5), bind(permute(a, 5), permute(b, 5)));
+  EXPECT_EQ(permute(bundle(a, b), 5), bundle(permute(a, 5), permute(b, 5)));
+}
+
+// Bundling preserves similarity to its components (the memorization
+// property the paper relies on), binding destroys it.
+TEST(OpsProperty, BundleSimilarBindDissimilar) {
+  Xoshiro256 rng(8);
+  const Hypervector a = random_bipolar(4096, rng);
+  const Hypervector b = random_bipolar(4096, rng);
+  EXPECT_GT(similarity(bundle(a, b), a), 0.4);
+  EXPECT_LT(std::abs(similarity(bind(a, b), a)), 0.1);
+}
+
+}  // namespace

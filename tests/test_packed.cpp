@@ -1,0 +1,95 @@
+// Unit tests for packed bipolar/ternary codecs.
+#include <gtest/gtest.h>
+
+#include "hdc/ops.hpp"
+#include "hdc/packed.hpp"
+#include "hdc/random.hpp"
+#include "hdc/similarity.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd::hdc;
+using factorhd::util::Xoshiro256;
+
+class PackedTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PackedTest, BipolarRoundTrip) {
+  Xoshiro256 rng(GetParam());
+  const Hypervector v = random_bipolar(GetParam(), rng);
+  EXPECT_EQ(PackedBipolar(v).unpack(), v);
+}
+
+TEST_P(PackedTest, BipolarDotMatchesReference) {
+  Xoshiro256 rng(GetParam() + 1);
+  const Hypervector a = random_bipolar(GetParam(), rng);
+  const Hypervector b = random_bipolar(GetParam(), rng);
+  EXPECT_EQ(PackedBipolar(a).dot(PackedBipolar(b)), dot(a, b));
+}
+
+TEST_P(PackedTest, BipolarHammingMatchesReference) {
+  Xoshiro256 rng(GetParam() + 2);
+  const Hypervector a = random_bipolar(GetParam(), rng);
+  const Hypervector b = random_bipolar(GetParam(), rng);
+  EXPECT_EQ(PackedBipolar(a).hamming(PackedBipolar(b)), hamming(a, b));
+}
+
+TEST_P(PackedTest, BipolarBindMatchesReference) {
+  Xoshiro256 rng(GetParam() + 3);
+  const Hypervector a = random_bipolar(GetParam(), rng);
+  const Hypervector b = random_bipolar(GetParam(), rng);
+  EXPECT_EQ(PackedBipolar(a).bind(PackedBipolar(b)).unpack(), bind(a, b));
+}
+
+TEST_P(PackedTest, TernaryRoundTrip) {
+  Xoshiro256 rng(GetParam() + 4);
+  const Hypervector v = random_ternary(GetParam(), 0.4, rng);
+  EXPECT_EQ(PackedTernary(v).unpack(), v);
+}
+
+TEST_P(PackedTest, TernaryDotMatchesReference) {
+  Xoshiro256 rng(GetParam() + 5);
+  const Hypervector a = random_ternary(GetParam(), 0.3, rng);
+  const Hypervector b = random_ternary(GetParam(), 0.5, rng);
+  EXPECT_EQ(PackedTernary(a).dot(PackedTernary(b)), dot(a, b));
+}
+
+// Dimensions around the 64-bit word boundary plus typical experiment sizes.
+INSTANTIATE_TEST_SUITE_P(Dimensions, PackedTest,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 500, 1000,
+                                           1500, 2048));
+
+TEST(Packed, RejectsWrongAlphabet) {
+  EXPECT_THROW(PackedBipolar(Hypervector{1, 0, -1}), std::invalid_argument);
+  EXPECT_THROW(PackedTernary(Hypervector{1, 2, -1}), std::invalid_argument);
+}
+
+TEST(Packed, DimensionMismatchThrows) {
+  Xoshiro256 rng(1);
+  const PackedBipolar a{random_bipolar(64, rng)};
+  const PackedBipolar b{random_bipolar(65, rng)};
+  EXPECT_THROW((void)a.dot(b), std::invalid_argument);
+  EXPECT_THROW((void)a.bind(b), std::invalid_argument);
+}
+
+TEST(Packed, StorageAccounting) {
+  Xoshiro256 rng(2);
+  const PackedBipolar pb{random_bipolar(1500, rng)};
+  EXPECT_EQ(pb.storage_bits(), 1500u);
+  const PackedTernary pt{random_ternary(750, 0.3, rng)};
+  EXPECT_EQ(pt.storage_bits(), 1500u);
+  // The paper's fair-storage rule: ternary FactorHD at D/2 matches bipolar D.
+  EXPECT_EQ(fair_ternary_dim(1500), 750u);
+  EXPECT_EQ(pt.storage_bits(), pb.storage_bits());
+}
+
+TEST(Packed, BindEqualityStaysCanonicalInTailWord) {
+  // bind uses XNOR which sets tail bits; they must be masked so == works.
+  Xoshiro256 rng(3);
+  const Hypervector a = random_bipolar(65, rng);
+  const PackedBipolar pa(a);
+  const PackedBipolar self_bound = pa.bind(pa);
+  EXPECT_EQ(self_bound, PackedBipolar(identity(65)));
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Parameterized property suites: invariants that must hold across the whole
+// configuration space (dimensions, factor counts, codebook sizes, depths).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/factorhd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+
+// ---------------------------------------------------------------------------
+// Encoding invariants over (F, M, depth, D).
+// ---------------------------------------------------------------------------
+using EncShape = std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>;
+
+class EncodingProperty : public ::testing::TestWithParam<EncShape> {};
+
+TEST_P(EncodingProperty, ObjectHVIsTernaryAndDeterministic) {
+  const auto [f, m, depth, dim] = GetParam();
+  util::Xoshiro256 rng(f * 1000 + m * 10 + depth);
+  const tax::Taxonomy t(f, std::vector<std::size_t>(depth, m));
+  const tax::TaxonomyCodebooks books(t, dim, rng);
+  const core::Encoder encoder(books);
+  const tax::Object obj = tax::random_object(t, rng);
+  const auto h1 = encoder.encode_object(obj);
+  const auto h2 = encoder.encode_object(obj);
+  EXPECT_EQ(h1, h2);
+  EXPECT_TRUE(h1.is_ternary());
+  EXPECT_EQ(h1.dim(), dim);
+}
+
+TEST_P(EncodingProperty, SingleObjectRoundTrips) {
+  const auto [f, m, depth, dim] = GetParam();
+  util::Xoshiro256 rng(f * 1000 + m * 10 + depth + 1);
+  const tax::Taxonomy t(f, std::vector<std::size_t>(depth, m));
+  const tax::TaxonomyCodebooks books(t, dim, rng);
+  const core::Encoder encoder(books);
+  const core::Factorizer factorizer(encoder);
+  int correct = 0;
+  const int trials = 10;
+  for (int i = 0; i < trials; ++i) {
+    const tax::Object obj = tax::random_object(t, rng);
+    if (factorizer.factorize_single(encoder.encode_object(obj)).to_object(f) ==
+        obj) {
+      ++correct;
+    }
+  }
+  // Dimensions are chosen comfortably above the accuracy knee for each shape.
+  EXPECT_EQ(correct, trials);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EncodingProperty,
+    ::testing::Values(EncShape{2, 4, 1, 1024}, EncShape{3, 8, 1, 1024},
+                      EncShape{4, 8, 1, 2048}, EncShape{3, 8, 2, 2048},
+                      EncShape{2, 16, 2, 2048}, EncShape{5, 4, 1, 4096},
+                      EncShape{3, 4, 3, 4096}));
+
+// ---------------------------------------------------------------------------
+// Unbinding identity: clause ⊙ label collapses toward the binding identity
+// (the algebraic heart of the factorization algorithm).
+// ---------------------------------------------------------------------------
+class UnbindProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UnbindProperty, ClauseTimesLabelIsPositivelyBiased) {
+  const std::size_t dim = GetParam();
+  util::Xoshiro256 rng(dim);
+  const tax::Taxonomy t(2, {8});
+  const tax::TaxonomyCodebooks books(t, dim, rng);
+  const core::Encoder encoder(books);
+  // Clause of class 1 with item 3, unbound by label 1.
+  const auto clause = encoder.encode_clause(1, tax::Path{3});
+  const auto unbound = hdc::bind(clause, books.label(1));
+  // (LABEL + a) ⊙ LABEL = 1 + a ⊙ LABEL: mean 0.5 per dimension after the
+  // ternary clip (exactly 0 or 1 per dim for two-HV clauses).
+  const double mean_component =
+      static_cast<double>(hdc::dot(unbound, hdc::identity(dim))) /
+      static_cast<double>(dim);
+  EXPECT_NEAR(mean_component, 0.5, 5.0 / std::sqrt(static_cast<double>(dim)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, UnbindProperty,
+                         ::testing::Values(256, 512, 1024, 2048, 4096));
+
+// ---------------------------------------------------------------------------
+// Similarity scale law: the signal similarity of the selected clause decays
+// as 2^-F for two-HV clauses (label + one item per class).
+// ---------------------------------------------------------------------------
+class SignalScale : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SignalScale, MatchesTwoToMinusF) {
+  const std::size_t f = GetParam();
+  const std::size_t dim = 16384;
+  util::Xoshiro256 rng(f);
+  const tax::Taxonomy t(f, {4});
+  const tax::TaxonomyCodebooks books(t, dim, rng);
+  const core::Encoder encoder(books);
+  const tax::Object obj = tax::random_object(t, rng);
+  const auto target = encoder.encode_object(obj);
+  const auto unbound = hdc::bind(target, books.other_labels_key(0));
+  const double sim =
+      hdc::similarity(unbound, books.item(0, 1, obj.path(0)[0]));
+  const double expected = std::pow(2.0, -static_cast<double>(f));
+  EXPECT_NEAR(sim, expected, 4.0 / std::sqrt(static_cast<double>(dim)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, SignalScale, ::testing::Values(2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Multi-object linearity: encode_scene is additive, so factorizing a scene
+// and subtracting recovered objects must reach the exact zero residual.
+// ---------------------------------------------------------------------------
+class ResidualProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ResidualProperty, PerfectRecoveryZeroesResidual) {
+  const std::size_t n = GetParam();
+  util::Xoshiro256 rng(n * 7);
+  const tax::Taxonomy t(3, {8});
+  const tax::TaxonomyCodebooks books(t, 8192, rng);
+  const core::Encoder encoder(books);
+  const core::Factorizer factorizer(encoder);
+  const tax::Scene scene = tax::random_scene(
+      t, rng, {.num_objects = n, .object = {}, .allow_duplicates = false});
+  auto residual = encoder.encode_scene(scene);
+
+  core::FactorizeOptions opts;
+  opts.multi_object = true;
+  opts.num_objects_hint = n;
+  opts.max_objects = n + 2;
+  const auto result = factorizer.factorize(residual, opts);
+  tax::Scene recovered;
+  for (const auto& o : result.objects) recovered.push_back(o.to_object(3));
+  ASSERT_TRUE(tax::same_multiset(recovered, scene));
+  for (const auto& o : recovered) {
+    hdc::subtract(residual, encoder.encode_object(o));
+  }
+  EXPECT_EQ(residual, hdc::Hypervector(8192));
+}
+
+INSTANTIATE_TEST_SUITE_P(SceneSizes, ResidualProperty,
+                         ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// Fair-storage invariant: the packed ternary representation of a FactorHD
+// object at D/2 occupies exactly the bipolar baseline's D bits.
+// ---------------------------------------------------------------------------
+class StorageParity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StorageParity, TernaryHalfDimMatchesBipolarBits) {
+  const std::size_t bipolar_dim = GetParam();
+  util::Xoshiro256 rng(bipolar_dim);
+  const std::size_t ternary_dim = hdc::fair_ternary_dim(bipolar_dim);
+  const tax::Taxonomy t(3, {4});
+  const tax::TaxonomyCodebooks books(t, ternary_dim, rng);
+  const core::Encoder encoder(books);
+  const auto obj_hv = encoder.encode_object(tax::random_object(t, rng));
+  const hdc::PackedTernary packed(obj_hv);
+  EXPECT_EQ(packed.storage_bits(), bipolar_dim);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, StorageParity,
+                         ::testing::Values(256, 512, 1500, 2000));
+
+// ---------------------------------------------------------------------------
+// Threshold monotonicity of Eq. 2 across a parameter grid.
+// ---------------------------------------------------------------------------
+TEST(ThresholdProperty, EquationTwoMonotonicity) {
+  for (std::size_t n = 1; n <= 6; ++n) {
+    for (std::size_t f = 2; f <= 6; ++f) {
+      core::ThresholdProblem p;
+      p.num_objects = n;
+      p.num_classes = f;
+      const double base = core::predicted_threshold(p);
+      core::ThresholdProblem pn = p;
+      pn.num_objects = n + 1;
+      EXPECT_GT(core::predicted_threshold(pn), base);
+      core::ThresholdProblem pf = p;
+      pf.num_classes = f + 1;
+      EXPECT_LT(core::predicted_threshold(pf), base);
+    }
+  }
+}
+
+}  // namespace

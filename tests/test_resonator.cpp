@@ -1,0 +1,133 @@
+// Unit tests for the resonator network baseline.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/resonator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using baselines::CCModel;
+using baselines::ResonatorNetwork;
+using baselines::ResonatorOptions;
+using baselines::ResonatorResult;
+
+TEST(Resonator, FactorizesSmallProblems) {
+  util::Xoshiro256 rng(1);
+  const CCModel model(1024, 3, 8, rng);
+  const ResonatorNetwork net(model);
+  int correct = 0;
+  for (int t = 0; t < 20; ++t) {
+    std::vector<std::size_t> truth{rng.uniform(8), rng.uniform(8),
+                                   rng.uniform(8)};
+    const ResonatorResult r = net.factorize(model.encode(truth));
+    if (r.factors == truth) ++correct;
+  }
+  // D=1024 for an 8^3 = 512 problem is deep inside resonator capacity.
+  EXPECT_GE(correct, 19);
+}
+
+TEST(Resonator, ConvergesAndCountsIterations) {
+  util::Xoshiro256 rng(2);
+  const CCModel model(1024, 3, 8, rng);
+  const ResonatorNetwork net(model);
+  const std::vector<std::size_t> truth{3, 1, 4};
+  const ResonatorResult r = net.factorize(model.encode(truth));
+  EXPECT_TRUE(r.converged);
+  EXPECT_GE(r.iterations, 1u);
+  // similarity_ops = iterations * F * M.
+  EXPECT_EQ(r.similarity_ops, r.iterations * 3u * 8u);
+}
+
+TEST(Resonator, RespectsIterationBudget) {
+  util::Xoshiro256 rng(3);
+  // Deliberately undersized D so the dynamics cannot settle fast.
+  const CCModel model(64, 4, 32, rng);
+  ResonatorOptions opts;
+  opts.max_iterations = 5;
+  const ResonatorNetwork net(model, opts);
+  const std::vector<std::size_t> truth{0, 1, 2, 3};
+  const ResonatorResult r = net.factorize(model.encode(truth));
+  EXPECT_LE(r.iterations, 5u);
+}
+
+TEST(Resonator, FailsBeyondCapacity) {
+  // Tiny D with a large problem: the resonator should mostly fail — this is
+  // the capacity cliff the paper's Fig. 4(a) shows at problem size 1e6.
+  util::Xoshiro256 rng(4);
+  const CCModel model(96, 3, 64, rng);
+  ResonatorOptions opts;
+  opts.max_iterations = 50;
+  const ResonatorNetwork net(model, opts);
+  int correct = 0;
+  for (int t = 0; t < 10; ++t) {
+    std::vector<std::size_t> truth{rng.uniform(64), rng.uniform(64),
+                                   rng.uniform(64)};
+    const ResonatorResult r = net.factorize(model.encode(truth));
+    if (r.factors == truth) ++correct;
+  }
+  EXPECT_LT(correct, 8);
+}
+
+class ResonatorVariant
+    : public ::testing::TestWithParam<
+          std::tuple<ResonatorOptions::Update, ResonatorOptions::Cleanup>> {};
+
+TEST_P(ResonatorVariant, AllVariantsSolveSmallProblems) {
+  const auto [update, cleanup] = GetParam();
+  util::Xoshiro256 rng(9);
+  const CCModel model(1024, 3, 8, rng);
+  ResonatorOptions opts;
+  opts.update = update;
+  opts.cleanup = cleanup;
+  const ResonatorNetwork net(model, opts);
+  int correct = 0;
+  for (int t = 0; t < 15; ++t) {
+    std::vector<std::size_t> truth{rng.uniform(8), rng.uniform(8),
+                                   rng.uniform(8)};
+    const ResonatorResult r = net.factorize(model.encode(truth));
+    if (r.factors == truth) ++correct;
+  }
+  EXPECT_GE(correct, 13);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, ResonatorVariant,
+    ::testing::Combine(
+        ::testing::Values(ResonatorOptions::Update::kSequential,
+                          ResonatorOptions::Update::kSynchronous),
+        ::testing::Values(ResonatorOptions::Cleanup::kProjection,
+                          ResonatorOptions::Cleanup::kHardmax)));
+
+TEST(Resonator, SynchronousNeedsAtLeastAsManySweeps) {
+  // Sequential updates propagate information within a sweep, so on average
+  // they converge in no more sweeps than synchronous updates.
+  util::Xoshiro256 rng(10);
+  const CCModel model(1024, 3, 12, rng);
+  ResonatorOptions seq_opts;
+  ResonatorOptions sync_opts;
+  sync_opts.update = ResonatorOptions::Update::kSynchronous;
+  const ResonatorNetwork seq(model, seq_opts);
+  const ResonatorNetwork sync(model, sync_opts);
+  double seq_iters = 0, sync_iters = 0;
+  for (int t = 0; t < 20; ++t) {
+    std::vector<std::size_t> truth{rng.uniform(12), rng.uniform(12),
+                                   rng.uniform(12)};
+    const auto target = model.encode(truth);
+    seq_iters += static_cast<double>(seq.factorize(target).iterations);
+    sync_iters += static_cast<double>(sync.factorize(target).iterations);
+  }
+  EXPECT_LE(seq_iters, sync_iters * 1.2);
+}
+
+TEST(Resonator, RejectsWrongDimension) {
+  util::Xoshiro256 rng(5);
+  const CCModel model(256, 3, 8, rng);
+  const ResonatorNetwork net(model);
+  EXPECT_THROW((void)net.factorize(hdc::Hypervector(128)),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Unit tests for util::SplitMix64 / util::Xoshiro256.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using factorhd::util::SplitMix64;
+using factorhd::util::Xoshiro256;
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, IsDeterministicAcrossInstances) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, UniformRespectsBound) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, UniformBoundOneIsZero) {
+  Xoshiro256 rng(11);
+  EXPECT_EQ(rng.uniform(1), 0u);
+  EXPECT_EQ(rng.uniform(0), 0u);
+}
+
+TEST(Xoshiro256, UniformCoversAllResidues) {
+  Xoshiro256 rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, UniformDoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformDoubleMeanIsNearHalf) {
+  Xoshiro256 rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, BipolarIsBalanced) {
+  Xoshiro256 rng(19);
+  int sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.bipolar();
+  // |sum| should be O(sqrt(n)); 5 sigma bound.
+  EXPECT_LT(std::abs(sum), 5 * static_cast<int>(std::sqrt(n)));
+}
+
+TEST(Xoshiro256, BernoulliMatchesProbability) {
+  Xoshiro256 rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, NormalHasUnitVariance) {
+  Xoshiro256 rng(29);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, ForkProducesIndependentStreams) {
+  Xoshiro256 parent(31);
+  Xoshiro256 child0 = parent.fork(0);
+  Xoshiro256 child1 = parent.fork(1);
+  // Streams should differ from each other immediately.
+  EXPECT_NE(child0(), child1());
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~0ULL);
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Robustness and failure-injection tests: noisy targets, corrupted
+// components, capacity-edge scenes, adversarial thresholds.
+#include <gtest/gtest.h>
+
+#include "core/factorhd.hpp"
+#include "hdc/random.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using core::FactorizeOptions;
+using core::Factorizer;
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  RobustnessTest()
+      : rng_(321), taxonomy_(3, {16}), books_(taxonomy_, 2048, rng_),
+        encoder_(books_), factorizer_(encoder_) {}
+
+  hdc::Hypervector corrupt(const hdc::Hypervector& v, double flip) {
+    hdc::Hypervector out = v;
+    for (std::size_t i = 0; i < out.dim(); ++i) {
+      if (rng_.bernoulli(flip)) out[i] = -out[i];
+    }
+    return out;
+  }
+
+  util::Xoshiro256 rng_;
+  tax::Taxonomy taxonomy_;
+  tax::TaxonomyCodebooks books_;
+  core::Encoder encoder_;
+  Factorizer factorizer_;
+};
+
+TEST_F(RobustnessTest, SurvivesTenPercentCorruption) {
+  std::size_t ok = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    const tax::Object obj = tax::random_object(taxonomy_, rng_);
+    const auto noisy = corrupt(encoder_.encode_object(obj), 0.10);
+    if (factorizer_.factorize_single(noisy).to_object(3) == obj) ++ok;
+  }
+  EXPECT_EQ(ok, static_cast<std::size_t>(trials));
+}
+
+TEST_F(RobustnessTest, FailsGracefullyAtExtremeCorruption) {
+  // 50% flips destroy all information; the factorizer must still return a
+  // well-formed (if wrong) answer, never crash or hang.
+  const tax::Object obj = tax::random_object(taxonomy_, rng_);
+  const auto noise = corrupt(encoder_.encode_object(obj), 0.5);
+  const auto got = factorizer_.factorize_single(noise);
+  EXPECT_EQ(got.classes.size(), 3u);
+}
+
+TEST_F(RobustnessTest, ZeroTargetYieldsWellFormedResult) {
+  const hdc::Hypervector zero(books_.dim());
+  const auto got = factorizer_.factorize_single(zero);
+  EXPECT_EQ(got.classes.size(), 3u);  // all ties; arbitrary but well-formed
+}
+
+TEST_F(RobustnessTest, RandomTargetDoesNotFabricateMultiObjectScenes) {
+  // Pure noise should usually produce nothing above TH (or at most noise
+  // objects that fail the combination check).
+  std::size_t fabricated = 0;
+  for (int t = 0; t < 10; ++t) {
+    const hdc::Hypervector junk = hdc::random_bipolar(books_.dim(), rng_);
+    FactorizeOptions opts;
+    opts.multi_object = true;
+    opts.num_objects_hint = 2;
+    const auto result = factorizer_.factorize(junk, opts);
+    fabricated += result.objects.size();
+  }
+  EXPECT_LE(fabricated, 2u);
+}
+
+TEST_F(RobustnessTest, MultiObjectSurvivesModerateNoise) {
+  std::size_t ok = 0;
+  const int trials = 15;
+  for (int t = 0; t < trials; ++t) {
+    const tax::Scene scene = tax::random_scene(
+        taxonomy_, rng_,
+        {.num_objects = 2, .object = {}, .allow_duplicates = false});
+    hdc::Hypervector target = encoder_.encode_scene(scene);
+    // Additive unit noise on 5% of components of the integer bundle.
+    for (std::size_t i = 0; i < target.dim(); ++i) {
+      if (rng_.bernoulli(0.05)) target[i] += rng_.bipolar();
+    }
+    FactorizeOptions opts;
+    opts.multi_object = true;
+    opts.num_objects_hint = 2;
+    opts.max_objects = 4;
+    const auto result = factorizer_.factorize(target, opts);
+    tax::Scene rec;
+    for (const auto& o : result.objects) rec.push_back(o.to_object(3));
+    if (tax::same_multiset(rec, scene)) ++ok;
+  }
+  EXPECT_GE(ok, static_cast<std::size_t>(trials - 1));
+}
+
+TEST_F(RobustnessTest, CapacityEdgeSceneDegradesNotCrashes) {
+  // Six objects at D=2048 with M=16: near the bundle capacity. Require only
+  // well-formed output and at least partial recovery.
+  const tax::Scene scene = tax::random_scene(
+      taxonomy_, rng_,
+      {.num_objects = 6, .object = {}, .allow_duplicates = false});
+  FactorizeOptions opts;
+  opts.multi_object = true;
+  opts.num_objects_hint = 6;
+  opts.max_objects = 10;
+  opts.max_candidates_per_class = 10;
+  const auto result =
+      factorizer_.factorize(encoder_.encode_scene(scene), opts);
+  EXPECT_LE(result.objects.size(), 10u);
+  std::size_t recovered = 0;
+  for (const auto& o : result.objects) {
+    const tax::Object obj = o.to_object(3);
+    for (const auto& truth : scene) {
+      if (obj == truth) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(recovered, 3u);
+}
+
+TEST_F(RobustnessTest, NegativeThresholdStillTerminates) {
+  // A pathological TH <= noise floor floods the candidate sets; the
+  // max_candidates cap and max_objects budget must keep the loop bounded.
+  const tax::Object obj = tax::random_object(taxonomy_, rng_);
+  FactorizeOptions opts;
+  opts.multi_object = true;
+  opts.threshold = 1e-6;
+  opts.max_objects = 3;
+  opts.max_candidates_per_class = 4;
+  const auto result =
+      factorizer_.factorize(encoder_.encode_object(obj), opts);
+  EXPECT_LE(result.objects.size(), 3u);
+  // The true object is still the best combination of round one.
+  ASSERT_FALSE(result.objects.empty());
+  EXPECT_EQ(result.objects[0].to_object(3), obj);
+}
+
+TEST_F(RobustnessTest, ScaledBundleFactorizesLikeUnscaled) {
+  // Multiplying the whole bundle by a constant rescales every similarity;
+  // argmax decisions are scale-free, so Rep-1 factorization must agree.
+  const tax::Object obj = tax::random_object(taxonomy_, rng_);
+  hdc::Hypervector target = encoder_.encode_object(obj);
+  hdc::Hypervector scaled = target;
+  for (std::size_t i = 0; i < scaled.dim(); ++i) scaled[i] *= 7;
+  EXPECT_EQ(factorizer_.factorize_single(target).to_object(3),
+            factorizer_.factorize_single(scaled).to_object(3));
+}
+
+}  // namespace

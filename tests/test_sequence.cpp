@@ -1,0 +1,97 @@
+// Unit tests for permutation-based sequence encodings.
+#include <gtest/gtest.h>
+
+#include "hdc/ops.hpp"
+#include "hdc/sequence.hpp"
+#include "hdc/similarity.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using namespace factorhd::hdc;
+
+class SequenceTest : public ::testing::Test {
+ protected:
+  SequenceTest() : rng_(77), cb_(2048, 16, rng_) {}
+
+  std::vector<Hypervector> items(const std::vector<std::size_t>& idx) const {
+    std::vector<Hypervector> out;
+    out.reserve(idx.size());
+    for (std::size_t j : idx) out.push_back(cb_.item(j));
+    return out;
+  }
+
+  util::Xoshiro256 rng_;
+  Codebook cb_;
+};
+
+TEST_F(SequenceTest, RoundTripsShortSequences) {
+  const std::vector<std::size_t> idx{3, 1, 4, 1, 5};
+  const Hypervector s = encode_sequence(items(idx));
+  EXPECT_EQ(decode_sequence(s, idx.size(), cb_), idx);
+}
+
+TEST_F(SequenceTest, PositionMattersForRepeatedItems) {
+  // "aba" vs "aab" must encode differently even with identical multisets.
+  const Hypervector aba = encode_sequence(items({0, 1, 0}));
+  const Hypervector aab = encode_sequence(items({0, 0, 1}));
+  EXPECT_NE(aba, aab);
+  EXPECT_EQ(decode_sequence(aba, 3, cb_), (std::vector<std::size_t>{0, 1, 0}));
+  EXPECT_EQ(decode_sequence(aab, 3, cb_), (std::vector<std::size_t>{0, 0, 1}));
+}
+
+TEST_F(SequenceTest, DecodeReportsSimilarity) {
+  const Hypervector s = encode_sequence(items({7, 2}));
+  const Match m = decode_sequence_position(s, 0, cb_);
+  EXPECT_EQ(m.index, 7u);
+  // The integer bundle keeps the full item plus a quasi-orthogonal
+  // distractor: similarity ~ 1.0 with O(1/sqrt(D)) noise.
+  EXPECT_NEAR(m.similarity, 1.0, 0.1);
+}
+
+TEST_F(SequenceTest, SingleItemSequenceIsTheItem) {
+  EXPECT_EQ(encode_sequence(items({5})), cb_.item(5));
+}
+
+TEST_F(SequenceTest, EmptyInputsThrow) {
+  EXPECT_THROW(encode_sequence({}), std::invalid_argument);
+  EXPECT_THROW(encode_ngram({}), std::invalid_argument);
+  EXPECT_THROW(encode_ngram_bag(items({1, 2}), 3), std::invalid_argument);
+  EXPECT_THROW(encode_ngram_bag(items({1, 2}), 0), std::invalid_argument);
+}
+
+TEST_F(SequenceTest, NgramIsOrderSensitive) {
+  const Hypervector ab = encode_ngram(items({0, 1}));
+  const Hypervector ba = encode_ngram(items({1, 0}));
+  EXPECT_NE(ab, ba);
+  // Both are quasi-orthogonal to each other and to their members.
+  EXPECT_LT(std::abs(similarity(ab, ba)), 0.1);
+  EXPECT_LT(std::abs(similarity(ab, cb_.item(0))), 0.1);
+}
+
+TEST_F(SequenceTest, NgramIsBipolar) {
+  EXPECT_TRUE(encode_ngram(items({2, 9, 11})).is_bipolar());
+}
+
+TEST_F(SequenceTest, NgramBagContainsItsNgrams) {
+  const auto seq = items({0, 1, 2, 3});
+  const Hypervector bag = encode_ngram_bag(seq, 2);
+  // 3 bigrams: (0,1), (1,2), (2,3); each similar to the bag.
+  for (std::size_t start = 0; start + 2 <= seq.size(); ++start) {
+    const Hypervector gram =
+        encode_ngram(std::span<const Hypervector>(seq).subspan(start, 2));
+    EXPECT_GT(similarity(bag, gram), 0.2) << "bigram " << start;
+  }
+  // A bigram NOT in the sequence is dissimilar.
+  const Hypervector absent = encode_ngram(items({3, 0}));
+  EXPECT_LT(std::abs(similarity(bag, absent)), 0.15);
+}
+
+TEST_F(SequenceTest, NgramBagWindowCountMatches) {
+  const auto seq = items({0, 1, 2, 3, 4});
+  const Hypervector bag = encode_ngram_bag(seq, 5);  // exactly one window
+  EXPECT_EQ(bag, encode_ngram(seq));
+}
+
+}  // namespace

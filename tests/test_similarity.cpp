@@ -1,0 +1,88 @@
+// Unit tests for hdc similarity metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hdc/random.hpp"
+#include "hdc/similarity.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd::hdc;
+using factorhd::util::Xoshiro256;
+
+TEST(Similarity, DotOfKnownVectors) {
+  Hypervector a{1, -1, 2};
+  Hypervector b{3, 1, -1};
+  EXPECT_EQ(dot(a, b), 0);
+  EXPECT_EQ(dot(a, a), 6);
+}
+
+TEST(Similarity, SelfSimilarityOfBipolarIsOne) {
+  Xoshiro256 rng(1);
+  const Hypervector v = random_bipolar(1000, rng);
+  EXPECT_DOUBLE_EQ(similarity(v, v), 1.0);
+}
+
+TEST(Similarity, RandomBipolarAreQuasiOrthogonal) {
+  Xoshiro256 rng(2);
+  const Hypervector a = random_bipolar(8192, rng);
+  const Hypervector b = random_bipolar(8192, rng);
+  // sigma = 1/sqrt(D) ~ 0.011; 5-sigma bound.
+  EXPECT_LT(std::abs(similarity(a, b)), 0.056);
+}
+
+TEST(Similarity, CosineOfParallelAndOpposite) {
+  Hypervector a{1, 1, 1, 1};
+  Hypervector b{2, 2, 2, 2};
+  EXPECT_NEAR(cosine(a, b), 1.0, 1e-12);
+  Hypervector c{-1, -1, -1, -1};
+  EXPECT_NEAR(cosine(a, c), -1.0, 1e-12);
+}
+
+TEST(Similarity, CosineOfZeroVectorIsZero) {
+  Hypervector z(4);
+  Hypervector a{1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(cosine(z, a), 0.0);
+}
+
+TEST(Similarity, HammingCountsDifferences) {
+  Hypervector a{1, -1, 1, 0};
+  Hypervector b{1, 1, -1, 0};
+  EXPECT_EQ(hamming(a, b), 2u);
+  EXPECT_DOUBLE_EQ(normalized_hamming(a, b), 0.5);
+}
+
+TEST(Similarity, HammingDotIdentityOnBipolar) {
+  // For bipolar HVs, dot = D - 2 * hamming.
+  Xoshiro256 rng(3);
+  const Hypervector a = random_bipolar(512, rng);
+  const Hypervector b = random_bipolar(512, rng);
+  EXPECT_EQ(dot(a, b),
+            512 - 2 * static_cast<std::int64_t>(hamming(a, b)));
+}
+
+TEST(Similarity, NormOfKnownVector) {
+  Hypervector v{3, 4};
+  EXPECT_DOUBLE_EQ(norm(v), 5.0);
+}
+
+TEST(Similarity, MismatchedDimensionsThrow) {
+  Hypervector a(4), b(8);
+  EXPECT_THROW((void)dot(a, b), std::invalid_argument);
+  EXPECT_THROW((void)hamming(a, b), std::invalid_argument);
+}
+
+TEST(Similarity, DotAccumulatesIn64Bit) {
+  // Large-magnitude components at moderate dimension would overflow int32.
+  const std::size_t d = 1000;
+  Hypervector a(d), b(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    a[i] = 100000;
+    b[i] = 100000;
+  }
+  EXPECT_EQ(dot(a, b), static_cast<std::int64_t>(d) * 10000000000LL);
+}
+
+}  // namespace

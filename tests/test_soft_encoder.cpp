@@ -1,0 +1,105 @@
+// Unit tests for the soft (probability-weighted) label encoder.
+#include <gtest/gtest.h>
+
+#include "core/factorhd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using core::SoftEncodeOptions;
+using core::SoftLabelEncoder;
+
+class SoftEncoderTest : public ::testing::Test {
+ protected:
+  SoftEncoderTest()
+      : rng_(88), taxonomy_(2, {8}), books_(taxonomy_, 1024, rng_),
+        encoder_(books_), factorizer_(encoder_) {
+    std::vector<tax::Object> labels;
+    for (std::size_t c = 0; c < 8; ++c) {
+      tax::Object obj(2);
+      obj.set_path(0, {c});
+      obj.set_path(1, {0});
+      labels.push_back(std::move(obj));
+    }
+    soft_ = std::make_unique<SoftLabelEncoder>(encoder_, labels);
+    labels_ = std::move(labels);
+  }
+
+  util::Xoshiro256 rng_;
+  tax::Taxonomy taxonomy_;
+  tax::TaxonomyCodebooks books_;
+  core::Encoder encoder_;
+  core::Factorizer factorizer_;
+  std::unique_ptr<SoftLabelEncoder> soft_;
+  std::vector<tax::Object> labels_;
+};
+
+TEST_F(SoftEncoderTest, OneHotMatchesScaledHardEncoding) {
+  std::vector<double> p(8, 0.0);
+  p[3] = 1.0;
+  const hdc::Hypervector hv = soft_->encode(p);
+  tax::Object obj(2);
+  obj.set_path(0, {3});
+  obj.set_path(1, {0});
+  const hdc::Hypervector hard = encoder_.encode_object(obj);
+  for (std::size_t d = 0; d < hv.dim(); ++d) {
+    EXPECT_EQ(hv[d], 64 * hard[d]);
+  }
+}
+
+TEST_F(SoftEncoderTest, DominantLabelFactorizesCorrectly) {
+  std::vector<double> p(8, 0.05);
+  p[5] = 0.65;
+  hdc::Hypervector hv = soft_->encode(p);
+  soft_->normalize_scale(hv);
+  const auto got = factorizer_.factorize_single(hv);
+  ASSERT_TRUE(got.classes[0].present);
+  EXPECT_EQ(got.classes[0].path[0], 5u);
+}
+
+TEST_F(SoftEncoderTest, MinProbabilityDropsTail) {
+  SoftEncodeOptions opts;
+  opts.min_probability = 0.5;
+  const SoftLabelEncoder strict(encoder_, labels_, opts);
+  std::vector<double> p(8, 0.1);  // everything below the floor
+  p[0] = 0.3;
+  EXPECT_EQ(strict.encode(p), hdc::Hypervector(1024));
+}
+
+TEST_F(SoftEncoderTest, NormalizeScaleInvertsEncoding) {
+  std::vector<double> p(8, 0.0);
+  p[2] = 1.0;
+  hdc::Hypervector hv = soft_->encode(p);
+  soft_->normalize_scale(hv);
+  tax::Object obj(2);
+  obj.set_path(0, {2});
+  obj.set_path(1, {0});
+  EXPECT_EQ(hv, encoder_.encode_object(obj));
+}
+
+TEST_F(SoftEncoderTest, FloatAndDoubleOverloadsAgree) {
+  std::vector<double> pd{0.1, 0.2, 0.3, 0.4, 0.0, 0.0, 0.0, 0.0};
+  std::vector<float> pf(pd.begin(), pd.end());
+  EXPECT_EQ(soft_->encode(std::span<const double>(pd)),
+            soft_->encode(std::span<const float>(pf)));
+}
+
+TEST_F(SoftEncoderTest, InvalidInputsThrow) {
+  EXPECT_THROW(SoftLabelEncoder(encoder_, {}), std::invalid_argument);
+  SoftEncodeOptions bad;
+  bad.scale = 0.0;
+  EXPECT_THROW(SoftLabelEncoder(encoder_, labels_, bad),
+               std::invalid_argument);
+  const std::vector<double> wrong_count{0.5, 0.5};
+  EXPECT_THROW((void)soft_->encode(std::span<const double>(wrong_count)),
+               std::invalid_argument);
+}
+
+TEST_F(SoftEncoderTest, AccessorsReportConfiguration) {
+  EXPECT_EQ(soft_->num_labels(), 8u);
+  EXPECT_EQ(soft_->dim(), 1024u);
+  EXPECT_DOUBLE_EQ(soft_->options().scale, 64.0);
+}
+
+}  // namespace

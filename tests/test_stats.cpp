@@ -1,0 +1,104 @@
+// Unit tests for util::stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace factorhd::util;
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::vector<double> xs{4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Summarize, KnownSample) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(WilsonInterval, ZeroTrials) {
+  const Interval iv = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(iv.lo, 0.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 1.0);
+}
+
+TEST(WilsonInterval, PerfectAccuracyUpperBoundIsOne) {
+  const Interval iv = wilson_interval(100, 100);
+  EXPECT_DOUBLE_EQ(iv.hi, 1.0);
+  EXPECT_GT(iv.lo, 0.9);
+}
+
+TEST(WilsonInterval, ContainsPointEstimate) {
+  const Interval iv = wilson_interval(70, 100);
+  EXPECT_LT(iv.lo, 0.7);
+  EXPECT_GT(iv.hi, 0.7);
+}
+
+TEST(WilsonInterval, NarrowsWithMoreTrials) {
+  const Interval small = wilson_interval(7, 10);
+  const Interval big = wilson_interval(700, 1000);
+  EXPECT_LT(big.hi - big.lo, small.hi - small.lo);
+}
+
+TEST(FitLinear, ExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{3, 5, 7, 9, 11};  // y = 1 + 2x
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(FitLinear, DegenerateInputs) {
+  const std::vector<double> one{1.0};
+  EXPECT_EQ(fit_linear(one, one).slope, 0.0);
+  const std::vector<double> same{2.0, 2.0, 2.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_EQ(fit_linear(same, y).slope, 0.0);  // zero x-variance
+}
+
+TEST(FitPowerLaw, RecoversExponent) {
+  std::vector<double> x, y;
+  for (double v = 1.0; v <= 64.0; v *= 2.0) {
+    x.push_back(v);
+    y.push_back(3.0 * v * v);  // y = 3 x^2
+  }
+  const LinearFit f = fit_power_law(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(std::exp(f.intercept), 3.0, 1e-9);
+}
+
+TEST(FitPowerLaw, SkipsNonPositivePairs) {
+  const std::vector<double> x{-1.0, 1.0, 2.0, 4.0};
+  const std::vector<double> y{5.0, 2.0, 4.0, 8.0};
+  const LinearFit f = fit_power_law(x, y);
+  EXPECT_NEAR(f.slope, 1.0, 1e-9);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Unit tests for util::TextTable, formatting helpers, and util::CsvWriter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace factorhd::util;
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW(t.str());
+}
+
+TEST(TextTable, ExtendsForLongRows) {
+  TextTable t({"a"});
+  t.add_row({"1", "2", "3"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find('3'), std::string::npos);
+}
+
+TEST(Formatting, Double) {
+  EXPECT_EQ(fmt_double(0.99712, 4), "0.9971");
+  EXPECT_EQ(fmt_double(1.0, 2), "1.00");
+}
+
+TEST(Formatting, Percent) {
+  EXPECT_EQ(fmt_percent(0.9971), "99.71%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+TEST(Formatting, Scientific) {
+  EXPECT_EQ(fmt_sci(16777216.0), "1.7e+07");
+}
+
+TEST(Formatting, TimeUnits) {
+  EXPECT_EQ(fmt_time_us(0.5), "500.0 ns");
+  EXPECT_EQ(fmt_time_us(12.0), "12.00 us");
+  EXPECT_EQ(fmt_time_us(2500.0), "2.50 ms");
+  EXPECT_EQ(fmt_time_us(3.2e6), "3.200 s");
+}
+
+TEST(CsvWriter, QuotesSpecialCells) {
+  const std::string path = testing::TempDir() + "factorhd_csv_test.csv";
+  {
+    CsvWriter w(path);
+    ASSERT_TRUE(w.ok());
+    w.write_row({"plain", "with,comma", "with\"quote"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,\"with,comma\",\"with\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(Env, FallbacksWhenUnset) {
+  EXPECT_EQ(env_string("FACTORHD_DEFINITELY_UNSET_VAR", "fb"), "fb");
+  EXPECT_EQ(env_int("FACTORHD_DEFINITELY_UNSET_VAR", 5), 5);
+}
+
+}  // namespace

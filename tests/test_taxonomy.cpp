@@ -1,0 +1,92 @@
+// Unit tests for tax::Taxonomy (uniform and heterogeneous shapes).
+#include <gtest/gtest.h>
+
+#include "taxonomy/taxonomy.hpp"
+
+namespace {
+
+using factorhd::tax::Taxonomy;
+
+TEST(Taxonomy, UniformShape) {
+  const Taxonomy t(3, {256, 10});
+  EXPECT_EQ(t.num_classes(), 3u);
+  EXPECT_EQ(t.max_depth(), 2u);
+  EXPECT_TRUE(t.uniform());
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(t.depth(c), 2u);
+    EXPECT_EQ(t.level_size(c, 1), 256u);
+    EXPECT_EQ(t.level_size(c, 2), 2560u);
+    EXPECT_EQ(t.paths_per_class(c), 2560u);
+  }
+  EXPECT_DOUBLE_EQ(t.problem_size(), 2560.0 * 2560.0 * 2560.0);
+}
+
+TEST(Taxonomy, HeterogeneousShape) {
+  const Taxonomy t(std::vector<std::vector<std::size_t>>{
+      {9}, {10}, {5, 6}});
+  EXPECT_EQ(t.num_classes(), 3u);
+  EXPECT_FALSE(t.uniform());
+  EXPECT_EQ(t.depth(0), 1u);
+  EXPECT_EQ(t.depth(2), 2u);
+  EXPECT_EQ(t.max_depth(), 2u);
+  EXPECT_EQ(t.level_size(2, 2), 30u);
+  EXPECT_EQ(t.max_level1_size(), 10u);
+  EXPECT_DOUBLE_EQ(t.problem_size(), 9.0 * 10.0 * 30.0);
+}
+
+TEST(Taxonomy, ParentChildArithmetic) {
+  const Taxonomy t(1, {4, 3});
+  // Level-2 items 0..11; parent of item k is k / 3.
+  EXPECT_EQ(t.parent_of(0, 2, 0), 0u);
+  EXPECT_EQ(t.parent_of(0, 2, 5), 1u);
+  EXPECT_EQ(t.parent_of(0, 2, 11), 3u);
+  const auto kids = t.children_of(0, 1, 2);
+  EXPECT_EQ(kids, (std::vector<std::size_t>{6, 7, 8}));
+  EXPECT_TRUE(t.is_child(0, 1, 2, 7));
+  EXPECT_FALSE(t.is_child(0, 1, 2, 9));
+}
+
+TEST(Taxonomy, ParentChildRoundTrip) {
+  const Taxonomy t(2, {5, 4, 3});
+  for (std::size_t parent = 0; parent < t.level_size(0, 2); ++parent) {
+    for (std::size_t child : t.children_of(0, 2, parent)) {
+      EXPECT_EQ(t.parent_of(0, 3, child), parent);
+    }
+  }
+}
+
+TEST(Taxonomy, DeepestLevelHasNoChildren) {
+  const Taxonomy t(1, {4, 3});
+  EXPECT_THROW((void)t.children_of(0, 2, 0), std::out_of_range);
+  EXPECT_FALSE(t.is_child(0, 2, 0, 0));
+}
+
+TEST(Taxonomy, Level1HasNoParent) {
+  const Taxonomy t(1, {4});
+  EXPECT_THROW((void)t.parent_of(0, 1, 0), std::out_of_range);
+}
+
+TEST(Taxonomy, InvalidSpecsThrow) {
+  EXPECT_THROW(Taxonomy(0, {4}), std::invalid_argument);
+  EXPECT_THROW(Taxonomy(2, {}), std::invalid_argument);
+  EXPECT_THROW(Taxonomy(2, {4, 0}), std::invalid_argument);
+  EXPECT_THROW(Taxonomy(std::vector<std::vector<std::size_t>>{}),
+               std::invalid_argument);
+}
+
+TEST(Taxonomy, RangeChecks) {
+  const Taxonomy t(2, {4, 3});
+  EXPECT_THROW((void)t.level_size(0, 0), std::out_of_range);
+  EXPECT_THROW((void)t.level_size(0, 3), std::out_of_range);
+  EXPECT_THROW((void)t.level_size(2, 1), std::out_of_range);
+  EXPECT_THROW((void)t.children_of(0, 1, 4), std::out_of_range);
+  EXPECT_THROW((void)t.parent_of(0, 2, 12), std::out_of_range);
+}
+
+TEST(Taxonomy, FlatProblemMatchesMF) {
+  // The classic F=3, M=256 problem: size 256^3.
+  const Taxonomy t(3, {256});
+  EXPECT_DOUBLE_EQ(t.problem_size(), 16777216.0);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Unit tests for the TH model (Eq. 2) and empirical calibration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/threshold.hpp"
+
+namespace {
+
+using namespace factorhd::core;
+
+TEST(PredictedThreshold, MatchesEquationTwo) {
+  // TH* = 0.001 (104 + 2N - 15F - 0.001D - ln M)
+  ThresholdProblem p;
+  p.num_objects = 3;
+  p.num_classes = 4;
+  p.dim = 2000;
+  p.codebook_size = 10;
+  const double expected =
+      0.001 * (104.0 + 6.0 - 60.0 - 2.0 - std::log(10.0));
+  EXPECT_NEAR(predicted_threshold(p), expected, 1e-12);
+}
+
+TEST(PredictedThreshold, IncreasesWithObjects) {
+  ThresholdProblem a, b;
+  a.num_objects = 2;
+  b.num_objects = 5;
+  EXPECT_LT(predicted_threshold(a), predicted_threshold(b));
+}
+
+TEST(PredictedThreshold, DecreasesWithFactors) {
+  ThresholdProblem a, b;
+  a.num_classes = 3;
+  b.num_classes = 5;
+  EXPECT_GT(predicted_threshold(a), predicted_threshold(b));
+}
+
+TEST(PredictedThreshold, DecreasesWithDimensionAndCodebook) {
+  ThresholdProblem a, b;
+  a.dim = 500;
+  b.dim = 4000;
+  EXPECT_GT(predicted_threshold(a), predicted_threshold(b));
+  ThresholdProblem c, d;
+  c.codebook_size = 5;
+  d.codebook_size = 100;
+  EXPECT_GT(predicted_threshold(c), predicted_threshold(d));
+}
+
+TEST(CalibrateThreshold, FindsAccurateThreshold) {
+  ThresholdProblem p;
+  p.num_objects = 2;
+  p.num_classes = 3;
+  p.dim = 2048;
+  p.codebook_size = 10;
+  CalibrationOptions opts;
+  opts.trials_per_point = 12;
+  opts.th_min = 0.02;
+  opts.th_max = 0.16;
+  opts.th_step = 0.02;
+  const CalibrationResult r = calibrate_threshold(p, opts);
+  EXPECT_EQ(r.sweep.size(), 8u);
+  EXPECT_GT(r.best_accuracy, 0.8);
+  EXPECT_GE(r.best_threshold, opts.th_min);
+  EXPECT_LE(r.best_threshold, opts.th_max + 1e-9);
+}
+
+TEST(CalibrateThreshold, PredictionIsNearEmpiricalOptimum) {
+  // Eq. 2 should land in the high-accuracy plateau found by calibration.
+  ThresholdProblem p;
+  p.num_objects = 2;
+  p.num_classes = 3;
+  p.dim = 2048;
+  p.codebook_size = 10;
+  CalibrationOptions opts;
+  opts.trials_per_point = 12;
+  const CalibrationResult r = calibrate_threshold(p, opts);
+  const double predicted = predicted_threshold(p);
+  // Find the accuracy of the grid point nearest the prediction.
+  double nearest_acc = 0.0, nearest_gap = 1e9;
+  for (const auto& pt : r.sweep) {
+    const double gap = std::abs(pt.threshold - predicted);
+    if (gap < nearest_gap) {
+      nearest_gap = gap;
+      nearest_acc = pt.accuracy;
+    }
+  }
+  EXPECT_GT(nearest_acc, 0.7) << "Eq.2 predicted " << predicted;
+}
+
+TEST(CalibrateThreshold, DeterministicGivenSeed) {
+  ThresholdProblem p;
+  p.num_objects = 2;
+  p.num_classes = 3;
+  p.dim = 1024;
+  p.codebook_size = 8;
+  CalibrationOptions opts;
+  opts.trials_per_point = 6;
+  opts.th_min = 0.04;
+  opts.th_max = 0.12;
+  opts.th_step = 0.04;
+  const CalibrationResult a = calibrate_threshold(p, opts);
+  const CalibrationResult b = calibrate_threshold(p, opts);
+  ASSERT_EQ(a.sweep.size(), b.sweep.size());
+  for (std::size_t i = 0; i < a.sweep.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.sweep[i].accuracy, b.sweep[i].accuracy);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Unit tests for util::Stopwatch and the bench environment knobs.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace factorhd::util;
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = sw.elapsed_ms();
+  EXPECT_GE(ms, 18.0);
+  EXPECT_LT(ms, 2000.0);  // generous upper bound for loaded CI machines
+}
+
+TEST(Stopwatch, UnitsAreConsistent) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = sw.elapsed_seconds();
+  const double ms = sw.elapsed_ms();
+  const double us = sw.elapsed_us();
+  // Reads are taken in sequence, so each is >= the previous one's scale.
+  EXPECT_GE(ms, s * 1e3 * 0.99);
+  EXPECT_GE(us, ms * 1e3 * 0.99);
+}
+
+TEST(Stopwatch, RestartResetsOrigin) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  sw.restart();
+  EXPECT_LT(sw.elapsed_ms(), 10.0);
+}
+
+TEST(Stopwatch, MonotoneNonDecreasing) {
+  Stopwatch sw;
+  double prev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = sw.elapsed_us();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(Env, ParsesSetVariables) {
+  ASSERT_EQ(setenv("FACTORHD_TEST_VAR_STR", "hello", 1), 0);
+  ASSERT_EQ(setenv("FACTORHD_TEST_VAR_INT", "123", 1), 0);
+  ASSERT_EQ(setenv("FACTORHD_TEST_VAR_BAD", "notanint", 1), 0);
+  EXPECT_EQ(env_string("FACTORHD_TEST_VAR_STR", "fb"), "hello");
+  EXPECT_EQ(env_int("FACTORHD_TEST_VAR_INT", 0), 123);
+  EXPECT_EQ(env_int("FACTORHD_TEST_VAR_BAD", 7), 7);
+  unsetenv("FACTORHD_TEST_VAR_STR");
+  unsetenv("FACTORHD_TEST_VAR_INT");
+  unsetenv("FACTORHD_TEST_VAR_BAD");
+}
+
+TEST(Env, EmptyValueFallsBack) {
+  ASSERT_EQ(setenv("FACTORHD_TEST_VAR_EMPTY", "", 1), 0);
+  EXPECT_EQ(env_string("FACTORHD_TEST_VAR_EMPTY", "fb"), "fb");
+  EXPECT_EQ(env_int("FACTORHD_TEST_VAR_EMPTY", 9), 9);
+  unsetenv("FACTORHD_TEST_VAR_EMPTY");
+}
+
+TEST(Env, BenchScaleFlag) {
+  ASSERT_EQ(setenv("FACTORHD_BENCH_SCALE", "full", 1), 0);
+  EXPECT_TRUE(bench_full_scale());
+  ASSERT_EQ(setenv("FACTORHD_BENCH_SCALE", "quick", 1), 0);
+  EXPECT_FALSE(bench_full_scale());
+  unsetenv("FACTORHD_BENCH_SCALE");
+  EXPECT_FALSE(bench_full_scale());
+}
+
+TEST(Env, ExperimentSeedDefaultsTo42) {
+  unsetenv("FACTORHD_SEED");
+  EXPECT_EQ(experiment_seed(), 42u);
+  ASSERT_EQ(setenv("FACTORHD_SEED", "1234", 1), 0);
+  EXPECT_EQ(experiment_seed(), 1234u);
+  unsetenv("FACTORHD_SEED");
+}
+
+}  // namespace

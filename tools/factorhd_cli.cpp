@@ -1,0 +1,179 @@
+// factorhd — command-line front end for the library's planning utilities.
+//
+// Subcommands:
+//   capacity  --classes F --items M[,M2,...] [--target ACC]
+//       Analytic capacity report: predicted accuracy across dimensions and
+//       the minimum D meeting the accuracy target.
+//   calibrate --classes F --items M --objects N --dim D [--trials T]
+//       Empirical TH* grid search for a Rep-3 problem, with the Eq. 2
+//       prediction for comparison.
+//   demo      [--seed S]
+//       One end-to-end encode/factorize round trip, printed step by step.
+//
+// Exit status: 0 on success, 1 on bad usage or a failed demo round trip.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/factorhd.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace factorhd;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::cerr << "error: " << msg << "\n\n";
+  std::cerr <<
+      "usage: factorhd <command> [options]\n"
+      "  capacity  --classes F --items M[,M2,...] [--target ACC]\n"
+      "  calibrate --classes F --items M --objects N --dim D [--trials T]\n"
+      "  demo      [--seed S]\n";
+  std::exit(1);
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage("expected --flag");
+    key = key.substr(2);
+    if (i + 1 >= argc) usage(("missing value for --" + key).c_str());
+    flags[key] = argv[++i];
+  }
+  return flags;
+}
+
+long flag_int(const std::map<std::string, std::string>& flags,
+              const std::string& key, long fallback) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  return std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double flag_double(const std::map<std::string, std::string>& flags,
+                   const std::string& key, double fallback) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::vector<std::size_t> parse_items(const std::string& spec) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(spec);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    const long v = std::strtol(part.c_str(), nullptr, 10);
+    if (v <= 0) usage("items must be positive integers");
+    out.push_back(static_cast<std::size_t>(v));
+  }
+  if (out.empty()) usage("empty --items list");
+  return out;
+}
+
+int cmd_capacity(const std::map<std::string, std::string>& flags) {
+  core::CapacityProblem p;
+  p.num_classes = static_cast<std::size_t>(flag_int(flags, "classes", 3));
+  p.branching = parse_items(
+      flags.count("items") ? flags.at("items") : std::string("16"));
+  const double target = flag_double(flags, "target", 0.99);
+
+  std::cout << "capacity report: F=" << p.num_classes << ", branching {";
+  for (std::size_t i = 0; i < p.branching.size(); ++i) {
+    std::cout << (i ? "," : "") << p.branching[i];
+  }
+  std::cout << "}\n\n";
+  util::TextTable table({"D", "predicted accuracy"});
+  for (std::size_t d = 64; d <= 8192; d *= 2) {
+    p.dim = d;
+    table.add_row({std::to_string(d),
+                   util::fmt_percent(core::predicted_object_accuracy(p))});
+  }
+  table.print(std::cout);
+  const std::size_t need = core::required_dimension(p, target);
+  std::cout << "\nminimum D for " << util::fmt_percent(target, 1)
+            << " accuracy: " << need << "\n";
+  return 0;
+}
+
+int cmd_calibrate(const std::map<std::string, std::string>& flags) {
+  core::ThresholdProblem p;
+  p.num_classes = static_cast<std::size_t>(flag_int(flags, "classes", 3));
+  p.codebook_size = static_cast<std::size_t>(flag_int(flags, "items", 10));
+  p.num_objects = static_cast<std::size_t>(flag_int(flags, "objects", 2));
+  p.dim = static_cast<std::size_t>(flag_int(flags, "dim", 2000));
+  core::CalibrationOptions opts;
+  opts.trials_per_point =
+      static_cast<std::size_t>(flag_int(flags, "trials", 24));
+
+  std::cout << "calibrating TH for N=" << p.num_objects << " F="
+            << p.num_classes << " M=" << p.codebook_size << " D=" << p.dim
+            << " (" << opts.trials_per_point << " trials/point)\n\n";
+  const core::CalibrationResult r = core::calibrate_threshold(p, opts);
+  util::TextTable table({"TH", "accuracy"});
+  for (const auto& pt : r.sweep) {
+    table.add_row({util::fmt_double(pt.threshold, 3),
+                   util::fmt_percent(pt.accuracy)});
+  }
+  table.print(std::cout);
+  std::cout << "\nempirical TH* (plateau mid): "
+            << util::fmt_double(r.best_threshold, 3) << "  plateau ["
+            << util::fmt_double(r.plateau_lo, 3) << ", "
+            << util::fmt_double(r.plateau_hi, 3) << "]\n"
+            << "Eq. 2 prediction:            "
+            << util::fmt_double(core::predicted_threshold(p), 3) << "\n";
+  return 0;
+}
+
+int cmd_demo(const std::map<std::string, std::string>& flags) {
+  const auto seed = static_cast<std::uint64_t>(flag_int(flags, "seed", 1));
+  util::Xoshiro256 rng(seed);
+  const tax::Taxonomy taxonomy(3, {8, 4});
+  const tax::TaxonomyCodebooks books(taxonomy, 2048, rng);
+  const core::Encoder encoder(books);
+  const core::Factorizer factorizer(encoder);
+
+  const tax::Scene scene = tax::random_scene(
+      taxonomy, rng,
+      {.num_objects = 2, .object = {}, .allow_duplicates = false});
+  std::cout << "scene: " << scene[0].to_string() << " + "
+            << scene[1].to_string() << "\n";
+  const hdc::Hypervector target = encoder.encode_scene(scene);
+  std::cout << "encoded into Z^" << target.dim()
+            << " bundle (max |component| " << target.max_abs() << ")\n";
+
+  core::FactorizeOptions opts;
+  opts.multi_object = true;
+  opts.num_objects_hint = 2;
+  opts.collect_trace = true;
+  const auto result = factorizer.factorize(target, opts);
+  std::cout << "factorized " << result.objects.size() << " objects in "
+            << result.trace.size() << " rounds, " << result.similarity_ops
+            << " similarity ops, " << result.combinations_checked
+            << " combination checks:\n";
+  tax::Scene recovered;
+  for (const auto& o : result.objects) {
+    recovered.push_back(o.to_object(3));
+    std::cout << "  " << recovered.back().to_string() << " (match "
+              << util::fmt_double(o.match_similarity, 3) << ")\n";
+  }
+  const bool ok = tax::same_multiset(recovered, scene);
+  std::cout << (ok ? "round trip OK" : "ROUND TRIP FAILED") << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  if (cmd == "capacity") return cmd_capacity(flags);
+  if (cmd == "calibrate") return cmd_calibrate(flags);
+  if (cmd == "demo") return cmd_demo(flags);
+  usage(("unknown command " + cmd).c_str());
+}
