@@ -24,12 +24,17 @@ core::CalibrationOptions grid_options() {
 
 void report(util::TextTable& table, const core::ThresholdProblem& p) {
   const core::CalibrationResult r = calibrate_threshold(p, grid_options());
+  // Built via append rather than chained operator+ to dodge a GCC 12
+  // -Wrestrict false positive (GCC PR 105651).
+  std::string plateau = "[";
+  plateau += util::fmt_double(r.plateau_lo, 2);
+  plateau += ", ";
+  plateau += util::fmt_double(r.plateau_hi, 2);
+  plateau += "]";
   table.add_row({std::to_string(p.dim), std::to_string(p.num_objects),
                  std::to_string(p.num_classes),
                  std::to_string(p.codebook_size),
-                 util::fmt_double(r.best_threshold, 3),
-                 "[" + util::fmt_double(r.plateau_lo, 2) + ", " +
-                     util::fmt_double(r.plateau_hi, 2) + "]",
+                 util::fmt_double(r.best_threshold, 3), plateau,
                  util::fmt_double(core::predicted_threshold(p), 3),
                  util::fmt_percent(r.best_accuracy)});
 }

@@ -1,0 +1,32 @@
+# Provides GTest::gtest / GTest::gtest_main.
+#
+# Preference order:
+#   1. An installed GoogleTest (find_package) — works offline, matches the
+#      distro toolchain.
+#   2. FetchContent of the pinned release — for machines without the package.
+#
+# Both paths end with the same imported targets, so test CMakeLists never
+# care which one won.
+
+find_package(GTest QUIET)
+if(GTest_FOUND)
+  message(STATUS "GoogleTest: using installed package")
+else()
+  message(STATUS "GoogleTest: not installed, fetching v1.14.0")
+  include(FetchContent)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  FetchContent_MakeAvailable(googletest)
+  # googletest v1.12+ defines the GTest:: aliases itself; only add them for
+  # older snapshots.
+  if(NOT TARGET GTest::gtest)
+    add_library(GTest::gtest ALIAS gtest)
+  endif()
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verify, end to end: configure, build, run the full CTest corpus.
+#
+# Usage:
+#   scripts/check.sh          # full corpus (the ROADMAP tier-1 gate)
+#   scripts/check.sh --fast   # unit-labelled suites only (pre-commit loop)
+#   scripts/check.sh --asan   # Debug + ASan/UBSan + -Werror, full corpus
+#
+# Extra arguments after the mode are forwarded to ctest.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+CMAKE_ARGS=()
+CTEST_ARGS=(--output-on-failure -j "$(nproc)")
+
+case "${1:-}" in
+  --fast)
+    shift
+    CTEST_ARGS+=(-L unit)
+    ;;
+  --asan)
+    shift
+    BUILD_DIR=build-asan
+    CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Debug -DFACTORHD_SANITIZE=ON -DFACTORHD_WERROR=ON)
+    ;;
+esac
+CTEST_ARGS+=("$@")
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"

@@ -64,7 +64,11 @@ std::string NameRegistry::class_name(std::size_t cls) const {
     throw std::out_of_range("NameRegistry: class out of range");
   }
   if (!class_names_[cls].empty()) return class_names_[cls];
-  return "c" + std::to_string(cls);
+  // Built via append rather than chained operator+ to dodge a GCC 12
+  // -Wrestrict false positive (GCC PR 105651).
+  std::string out = "c";
+  out += std::to_string(cls);
+  return out;
 }
 
 std::string NameRegistry::item_name(std::size_t cls, std::size_t level,
@@ -74,8 +78,13 @@ std::string NameRegistry::item_name(std::size_t cls, std::size_t level,
     throw std::out_of_range("NameRegistry: item index out of range");
   }
   if (!item_names_[s][index].empty()) return item_names_[s][index];
-  return "c" + std::to_string(cls) + "/l" + std::to_string(level) + "/" +
-         std::to_string(index);
+  std::string out = "c";
+  out += std::to_string(cls);
+  out += "/l";
+  out += std::to_string(level);
+  out += "/";
+  out += std::to_string(index);
+  return out;
 }
 
 std::optional<std::size_t> NameRegistry::class_index(

@@ -1,0 +1,160 @@
+// Targeted tests for Factorizer::effective_threshold (the Eq. 2 hookup) and
+// FactorizeOptions edge cases: empty selections, out-of-range class indices,
+// max_depth clamping and a candidate budget of one.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/factorhd.hpp"
+#include "taxonomy/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using core::FactorizeOptions;
+using core::FactorizeResult;
+using core::Factorizer;
+using core::ThresholdProblem;
+
+class EffectiveThresholdTest : public ::testing::Test {
+ protected:
+  EffectiveThresholdTest()
+      : rng_(7), taxonomy_(3, {10, 4}), books_(taxonomy_, 2000, rng_),
+        encoder_(books_), factorizer_(encoder_) {}
+
+  util::Xoshiro256 rng_;
+  tax::Taxonomy taxonomy_;
+  tax::TaxonomyCodebooks books_;
+  core::Encoder encoder_;
+  Factorizer factorizer_;
+};
+
+TEST_F(EffectiveThresholdTest, ExplicitThresholdIsReturnedVerbatim) {
+  FactorizeOptions opts;
+  opts.threshold = 0.123;
+  EXPECT_DOUBLE_EQ(factorizer_.effective_threshold(opts), 0.123);
+  opts.num_objects_hint = 9;  // hint must be ignored once TH is explicit
+  EXPECT_DOUBLE_EQ(factorizer_.effective_threshold(opts), 0.123);
+}
+
+TEST_F(EffectiveThresholdTest, UnsetThresholdMatchesEquationTwoPrediction) {
+  // threshold <= 0 must resolve to predicted_threshold() on a problem built
+  // from the codebooks: F from the taxonomy, D from the books, M from the
+  // largest level-1 codebook, N from the hint.
+  for (const std::size_t hint : {std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+    FactorizeOptions opts;
+    opts.num_objects_hint = hint;
+    ThresholdProblem p;
+    p.num_objects = hint;
+    p.num_classes = taxonomy_.num_classes();
+    p.dim = books_.dim();
+    p.codebook_size = taxonomy_.max_level1_size();
+    EXPECT_DOUBLE_EQ(factorizer_.effective_threshold(opts),
+                     core::predicted_threshold(p))
+        << "hint=" << hint;
+  }
+}
+
+TEST_F(EffectiveThresholdTest, ZeroAndNegativeThresholdBothSelectPrediction) {
+  FactorizeOptions zero;
+  zero.threshold = 0.0;
+  FactorizeOptions negative;
+  negative.threshold = -1.0;
+  EXPECT_DOUBLE_EQ(factorizer_.effective_threshold(zero),
+                   factorizer_.effective_threshold(negative));
+}
+
+TEST_F(EffectiveThresholdTest, PredictionGrowsWithObjectHint) {
+  // Eq. 2: TH* has a +2N term, so a larger hint must never lower TH.
+  FactorizeOptions lo, hi;
+  lo.num_objects_hint = 1;
+  hi.num_objects_hint = 6;
+  EXPECT_LT(factorizer_.effective_threshold(lo),
+            factorizer_.effective_threshold(hi));
+}
+
+class OptionEdgeCaseTest : public ::testing::Test {
+ protected:
+  OptionEdgeCaseTest()
+      : rng_(77), taxonomy_(3, {8, 4}), books_(taxonomy_, 2048, rng_),
+        encoder_(books_), factorizer_(encoder_),
+        object_(tax::random_object(taxonomy_, rng_)),
+        target_(encoder_.encode_object(object_)) {}
+
+  util::Xoshiro256 rng_;
+  tax::Taxonomy taxonomy_;
+  tax::TaxonomyCodebooks books_;
+  core::Encoder encoder_;
+  Factorizer factorizer_;
+  tax::Object object_;
+  hdc::Hypervector target_;
+};
+
+TEST_F(OptionEdgeCaseTest, EmptySelectionMeansAllClasses) {
+  FactorizeOptions none;  // selected_classes left empty
+  FactorizeOptions all;
+  all.selected_classes = {0, 1, 2};
+  const auto r_none = factorizer_.factorize(target_, none);
+  const auto r_all = factorizer_.factorize(target_, all);
+  ASSERT_EQ(r_none.objects.size(), 1u);
+  ASSERT_EQ(r_all.objects.size(), 1u);
+  ASSERT_EQ(r_none.objects[0].classes.size(), 3u);
+  EXPECT_EQ(r_none.objects[0].to_object(3), r_all.objects[0].to_object(3));
+  EXPECT_EQ(r_none.similarity_ops, r_all.similarity_ops);
+}
+
+TEST_F(OptionEdgeCaseTest, OutOfRangeClassIndexThrows) {
+  FactorizeOptions opts;
+  opts.selected_classes = {3};  // valid classes are 0..2
+  EXPECT_THROW((void)factorizer_.factorize(target_, opts),
+               std::invalid_argument);
+  // A bad index hiding behind valid ones must still be rejected.
+  opts.selected_classes = {0, 1, 17};
+  EXPECT_THROW((void)factorizer_.factorize(target_, opts),
+               std::invalid_argument);
+  // Same validation on the multi-object path.
+  opts.multi_object = true;
+  EXPECT_THROW((void)factorizer_.factorize(target_, opts),
+               std::invalid_argument);
+}
+
+TEST_F(OptionEdgeCaseTest, MaxDepthClampsToTaxonomyDepth) {
+  FactorizeOptions full;  // max_depth = 0 → full depth
+  FactorizeOptions huge;
+  huge.max_depth = 1000;  // far beyond the 2-level taxonomy
+  const auto r_full = factorizer_.factorize(target_, full);
+  const auto r_huge = factorizer_.factorize(target_, huge);
+  ASSERT_EQ(r_huge.objects.size(), 1u);
+  for (const auto& cf : r_huge.objects[0].classes) {
+    ASSERT_TRUE(cf.present);
+    EXPECT_EQ(cf.path.size(), 2u);  // clamped, not grown
+  }
+  EXPECT_EQ(r_full.objects[0].to_object(3), r_huge.objects[0].to_object(3));
+  EXPECT_EQ(r_full.similarity_ops, r_huge.similarity_ops);
+}
+
+TEST_F(OptionEdgeCaseTest, SingleCandidateBudgetStillRecoversOneObject) {
+  // With one object in the scene the top candidate per class is the right
+  // one, so max_candidates_per_class = 1 must not break recovery.
+  FactorizeOptions opts;
+  opts.multi_object = true;
+  opts.num_objects_hint = 1;
+  opts.max_objects = 3;
+  opts.max_candidates_per_class = 1;
+  opts.collect_trace = true;
+  const FactorizeResult r = factorizer_.factorize(target_, opts);
+  ASSERT_EQ(r.objects.size(), 1u);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.objects[0].to_object(3), object_);
+  // The budget must actually bind: no round may report more than one
+  // candidate path for any class.
+  ASSERT_FALSE(r.trace.empty());
+  for (const auto& round : r.trace) {
+    for (const std::size_t n : round.candidates_per_class) {
+      EXPECT_LE(n, 1u);
+    }
+  }
+}
+
+}  // namespace
