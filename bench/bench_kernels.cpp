@@ -1,7 +1,13 @@
 // Google-benchmark microbenchmarks of the HDC kernels every experiment is
 // built from: bundling, binding, dot-product similarity (int32 and packed
-// bit-level), encoding, and one-pass factorization. These quantify the
-// per-operation costs behind the Fig. 4 timing sweeps.
+// bit-level), whole-codebook similarity scans (scalar vs the hdc/kernels/
+// packed word-plane backend), encoding, and one-pass factorization. These
+// quantify the per-operation costs behind the Fig. 4 timing sweeps.
+//
+// The BM_Scan* pairs are consumed by scripts/bench.sh, which parses the
+// --benchmark_format=json output into BENCH_kernels.json including the
+// packed-over-scalar speedup per (M, D) point (see README "Kernel
+// benchmarks"). Keep their names and argument order (M, D) stable.
 #include <benchmark/benchmark.h>
 
 #include "core/factorhd.hpp"
@@ -76,6 +82,79 @@ void BM_DotPackedTernary(benchmark::State& state) {
                           static_cast<std::int64_t>(dim));
 }
 BENCHMARK(BM_DotPackedTernary)->Arg(750)->Arg(1500)->Arg(8192);
+
+// --- Whole-codebook similarity scans: scalar vs packed backend -------------
+// Arguments: (M = codebook size, D = dimension). The query is a noisy item
+// (bipolar), the shape of every cleanup scan in Algorithm 1. The M=64,
+// D=8192 point is the perf-trajectory headline tracked in BENCH_kernels.json.
+
+struct ScanFixture {
+  ScanFixture(std::size_t m, std::size_t dim, hdc::ScanBackend backend)
+      : rng(11), cb(dim, m, rng), memory(cb, backend),
+        query(hdc::flip_noise(cb.item(m / 2), 0.2, rng)) {}
+  util::Xoshiro256 rng;
+  hdc::Codebook cb;
+  hdc::ItemMemory memory;
+  hdc::Hypervector query;
+};
+
+void scan_args(benchmark::internal::Benchmark* b) {
+  b->Args({64, 63})->Args({64, 256})->Args({64, 1000})->Args({64, 8192});
+}
+
+void scan_counters(benchmark::State& state, std::size_t m, std::size_t dim) {
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m) *
+                          static_cast<std::int64_t>(dim));
+}
+
+void BM_ScanBestScalar(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  ScanFixture fx(m, dim, hdc::ScanBackend::kScalar);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.memory.best(fx.query));
+  }
+  scan_counters(state, m, dim);
+}
+BENCHMARK(BM_ScanBestScalar)->Apply(scan_args);
+
+void BM_ScanBestPacked(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  ScanFixture fx(m, dim, hdc::ScanBackend::kPacked);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.memory.best(fx.query));
+  }
+  scan_counters(state, m, dim);
+}
+BENCHMARK(BM_ScanBestPacked)->Apply(scan_args);
+
+void BM_ScanDotsScalar(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  ScanFixture fx(m, dim, hdc::ScanBackend::kScalar);
+  std::vector<std::int64_t> out(m);
+  for (auto _ : state) {
+    fx.memory.dots(fx.query, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  scan_counters(state, m, dim);
+}
+BENCHMARK(BM_ScanDotsScalar)->Apply(scan_args);
+
+void BM_ScanDotsPacked(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  ScanFixture fx(m, dim, hdc::ScanBackend::kPacked);
+  std::vector<std::int64_t> out(m);
+  for (auto _ : state) {
+    fx.memory.dots(fx.query, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  scan_counters(state, m, dim);
+}
+BENCHMARK(BM_ScanDotsPacked)->Apply(scan_args);
 
 struct Fixture {
   Fixture(std::size_t dim, std::size_t f, std::size_t m)

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Convert Google Benchmark JSON output into BENCH_kernels.json.
+
+Reads the raw ``--benchmark_format=json`` output of bench_kernels (BM_Scan*
+entries), pairs each packed benchmark with its scalar twin at the same
+(M, D), and emits the repo's perf-baseline schema (see README "Kernel
+benchmarks"):
+
+    {
+      "schema": "factorhd.bench_kernels.v1",
+      "mode": "full" | "smoke",
+      "context": {...},                  # machine/build provenance
+      "benchmarks": [{"name", "kernel", "backend", "m", "d",
+                      "real_time_ns", "cpu_time_ns", "items_per_second"}],
+      "speedup": {"scan_best/m64/d8192": 5.3, ...}   # scalar_cpu / packed_cpu
+    }
+
+Only Python stdlib is used.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# BM_ScanBestScalar/64/8192 -> kernel "scan_best", backend "scalar", m, d.
+NAME_RE = re.compile(
+    r"^BM_Scan(?P<kernel>Best|Dots)(?P<backend>Scalar|Packed)/(?P<m>\d+)/(?P<d>\d+)$"
+)
+
+
+def parse_benchmarks(raw):
+    out = []
+    for b in raw.get("benchmarks", []):
+        match = NAME_RE.match(b.get("name", ""))
+        if not match or b.get("run_type") == "aggregate":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        out.append(
+            {
+                "name": b["name"],
+                "kernel": "scan_" + match.group("kernel").lower(),
+                "backend": match.group("backend").lower(),
+                "m": int(match.group("m")),
+                "d": int(match.group("d")),
+                "real_time_ns": b["real_time"] * scale,
+                "cpu_time_ns": b["cpu_time"] * scale,
+                "items_per_second": b.get("items_per_second"),
+            }
+        )
+    return out
+
+
+def compute_speedups(benchmarks):
+    by_point = {}
+    for b in benchmarks:
+        by_point.setdefault((b["kernel"], b["m"], b["d"]), {})[b["backend"]] = b
+    speedups = {}
+    for (kernel, m, d), backends in sorted(by_point.items()):
+        if "scalar" in backends and "packed" in backends:
+            packed = backends["packed"]["cpu_time_ns"]
+            if packed > 0:
+                key = f"{kernel}/m{m}/d{d}"
+                speedups[key] = round(
+                    backends["scalar"]["cpu_time_ns"] / packed, 3
+                )
+    return speedups
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--raw", required=True, help="google-benchmark JSON file")
+    ap.add_argument("--out", required=True, help="output BENCH_kernels.json")
+    ap.add_argument("--mode", default="full", choices=["full", "smoke"])
+    ap.add_argument(
+        "--build-type",
+        default=None,
+        help="CMAKE_BUILD_TYPE of the benchmarked binary (provenance)",
+    )
+    args = ap.parse_args()
+
+    with open(args.raw, encoding="utf-8") as f:
+        raw = json.load(f)
+
+    benchmarks = parse_benchmarks(raw)
+    if not benchmarks:
+        sys.exit("bench_json.py: no BM_Scan* benchmarks in the raw output")
+
+    ctx = raw.get("context", {})
+    doc = {
+        "schema": "factorhd.bench_kernels.v1",
+        "mode": args.mode,
+        "context": {
+            "date": ctx.get("date"),
+            "host_name": ctx.get("host_name"),
+            "num_cpus": ctx.get("num_cpus"),
+            "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+            "cpu_scaling_enabled": ctx.get("cpu_scaling_enabled"),
+            # The benchmark *library*'s build type, not this repo's.
+            "library_build_type": ctx.get("library_build_type"),
+            # CMAKE_BUILD_TYPE of the benchmarked bench_kernels binary.
+            "cmake_build_type": args.build_type,
+        },
+        "benchmarks": benchmarks,
+        "speedup": compute_speedups(benchmarks),
+    }
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+if __name__ == "__main__":
+    main()

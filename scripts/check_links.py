@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the repo's markdown docs.
+
+Scans README.md and docs/*.md for markdown links and inline code paths,
+and fails when a relative link target (file or directory) does not exist
+or a `#anchor` does not match any heading in the target file. External
+(http/https/mailto) links are not fetched. Stdlib only; run from anywhere:
+
+    python3 scripts/check_links.py
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+# Inline code spans that look like repo paths (the PAPER_MAP tables map
+# reproduction claims to source files this way). Only tracked top-level
+# directories are checked; build artifacts and generic snippets are not.
+CODE_PATH_RE = re.compile(
+    r"`((?:src|tests|bench|examples|tools|scripts|docs|cmake)/[\w./-]+)`"
+)
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, spaces to dashes, punctuation out."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path):
+    text = path.read_text(encoding="utf-8")
+    return {github_slug(h) for h in HEADING_RE.findall(text)}
+
+
+def check_file(path, errors):
+    text = path.read_text(encoding="utf-8")
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        dest = path if not file_part else (path.parent / file_part).resolve()
+        if not dest.exists():
+            errors.append(f"{path.relative_to(REPO)}: broken link -> {target}")
+            continue
+        if anchor and dest.is_file() and dest.suffix == ".md":
+            if anchor not in anchors_of(dest):
+                errors.append(
+                    f"{path.relative_to(REPO)}: missing anchor -> {target}"
+                )
+    for code_path in CODE_PATH_RE.findall(text):
+        if not (REPO / code_path).exists():
+            errors.append(
+                f"{path.relative_to(REPO)}: dangling code path -> `{code_path}`"
+            )
+
+
+def main():
+    errors = []
+    checked = 0
+    for doc in DOC_FILES:
+        if not doc.exists():
+            errors.append(f"missing doc file: {doc.relative_to(REPO)}")
+            continue
+        check_file(doc, errors)
+        checked += 1
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        sys.exit(1)
+    print(f"check_links: {checked} files OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,10 @@ CIModel::CIModel(std::size_t dim, std::size_t num_classes,
     codebooks_.emplace_back(dim, codebook_size, rng,
                             "class" + std::to_string(c));
   }
+  memories_.reserve(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    memories_.emplace_back(codebooks_[c]);
+  }
 }
 
 hdc::Hypervector CIModel::encode(
@@ -52,9 +56,8 @@ std::size_t CIModel::factorize_class(const hdc::Hypervector& h,
                                      std::size_t cls,
                                      std::uint64_t* sim_ops) const {
   const hdc::Hypervector unbound = hdc::bind(h, roles_.at(cls));
-  hdc::ItemMemory memory(codebooks_[cls]);
-  const hdc::Match m = memory.best(unbound);
-  if (sim_ops != nullptr) *sim_ops += memory.similarity_ops();
+  const hdc::Match m = memories_[cls].best(unbound);
+  if (sim_ops != nullptr) *sim_ops += codebooks_[cls].size();
   return m.index;
 }
 
@@ -73,11 +76,10 @@ std::vector<std::vector<std::size_t>> CIModel::factorize_scene_sets(
   std::vector<std::vector<std::size_t>> sets(num_classes());
   for (std::size_t c = 0; c < num_classes(); ++c) {
     const hdc::Hypervector unbound = hdc::bind(h, roles_[c]);
-    hdc::ItemMemory memory(codebooks_[c]);
-    for (const hdc::Match& m : memory.top_k(unbound, num_objects)) {
+    for (const hdc::Match& m : memories_[c].top_k(unbound, num_objects)) {
       sets[c].push_back(m.index);
     }
-    if (sim_ops != nullptr) *sim_ops += memory.similarity_ops();
+    if (sim_ops != nullptr) *sim_ops += codebooks_[c].size();
   }
   return sets;
 }

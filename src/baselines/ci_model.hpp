@@ -21,6 +21,7 @@
 
 #include "hdc/codebook.hpp"
 #include "hdc/hypervector.hpp"
+#include "hdc/item_memory.hpp"
 #include "util/rng.hpp"
 
 namespace factorhd::baselines {
@@ -30,6 +31,11 @@ class CIModel {
   /// F role HVs and F codebooks of M item HVs at dimension `dim`.
   CIModel(std::size_t dim, std::size_t num_classes, std::size_t codebook_size,
           util::Xoshiro256& rng);
+
+  // The scan memories reference this object's own codebooks, so copies
+  // would dangle; the model is built in place wherever it is used.
+  CIModel(const CIModel&) = delete;
+  CIModel& operator=(const CIModel&) = delete;
 
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
   [[nodiscard]] std::size_t num_classes() const noexcept {
@@ -76,6 +82,10 @@ class CIModel {
   std::size_t dim_;
   std::vector<hdc::Hypervector> roles_;
   std::vector<hdc::Codebook> codebooks_;
+  /// Per-class scan memories, built once at construction (record queries
+  /// are integer bundles and scan scalar, but single-binding unbinds at
+  /// F = 1 and ternary records still reach the packed backend).
+  std::vector<hdc::ItemMemory> memories_;
 };
 
 }  // namespace factorhd::baselines

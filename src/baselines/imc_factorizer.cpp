@@ -8,6 +8,14 @@
 
 namespace factorhd::baselines {
 
+ImcFactorizer::ImcFactorizer(const CCModel& model, ImcOptions opts)
+    : model_(&model), opts_(opts) {
+  memories_.reserve(model.num_factors());
+  for (std::size_t f = 0; f < model.num_factors(); ++f) {
+    memories_.emplace_back(model.codebook(f));
+  }
+}
+
 ImcResult ImcFactorizer::factorize(const hdc::Hypervector& target) const {
   const std::size_t f_count = model_->num_factors();
   const std::size_t m = model_->codebook_size();
@@ -29,6 +37,7 @@ ImcResult ImcFactorizer::factorize(const hdc::Hypervector& target) const {
   }
 
   ImcResult result;
+  std::vector<std::int64_t> raw(m);
   std::vector<double> attention(m);
   std::vector<double> acc(d);
   std::vector<std::size_t> best_index(f_count, 0);
@@ -39,10 +48,14 @@ ImcResult ImcFactorizer::factorize(const hdc::Hypervector& target) const {
       for (std::size_t j = 0; j < f_count; ++j) {
         if (j != f) hdc::bind_inplace(y, est[j]);
       }
-      // Noisy normalized attention with sparse threshold activation.
+      // Noisy normalized attention with sparse threshold activation. The
+      // exact similarities come from one batched packed scan (ỹ is bipolar);
+      // the simulated analog readout noise is added on top.
+      memories_[f].dots(y, raw);
       double best = -1e300;
       for (std::size_t j = 0; j < m; ++j) {
-        const double sim = hdc::similarity(model_->codebook(f).item(j), y);
+        const double sim =
+            static_cast<double>(raw[j]) / static_cast<double>(d);
         const double noisy = sim + opts_.noise_stddev * rng.normal();
         attention[j] = noisy;
         if (noisy > best) {

@@ -28,6 +28,7 @@
 
 #include "baselines/cc_model.hpp"
 #include "hdc/hypervector.hpp"
+#include "hdc/item_memory.hpp"
 #include "util/rng.hpp"
 
 namespace factorhd::baselines {
@@ -52,16 +53,26 @@ struct ImcResult {
 
 class ImcFactorizer {
  public:
-  /// Non-owning view; `model` must outlive the factorizer.
-  explicit ImcFactorizer(const CCModel& model, ImcOptions opts = {}) noexcept
-      : model_(&model), opts_(opts) {}
+  /// Non-owning view; `model` must outlive the factorizer. As in the
+  /// resonator, each factor's codebook is wrapped in an hdc::ItemMemory so
+  /// the noiseless part of the attention readout runs on the packed
+  /// word-plane backend; the Gaussian readout noise is added on top of the
+  /// exact normalized similarities.
+  /// \param model C-C model whose codebooks define the problem.
+  /// \param opts Noise, activation-threshold, and budget settings.
+  explicit ImcFactorizer(const CCModel& model, ImcOptions opts = {});
 
   /// Factorizes a single-object product HV.
+  /// \param target Bound product HV of one item per factor.
+  /// \return Decoded indices, sweep count, convergence flag, and cost.
+  /// \throws std::invalid_argument On target dimension mismatch.
   [[nodiscard]] ImcResult factorize(const hdc::Hypervector& target) const;
 
  private:
   const CCModel* model_;
   ImcOptions opts_;
+  /// Per-factor codebook scan memories (packed backend when eligible).
+  std::vector<hdc::ItemMemory> memories_;
 };
 
 }  // namespace factorhd::baselines

@@ -8,6 +8,14 @@
 
 namespace factorhd::baselines {
 
+ResonatorNetwork::ResonatorNetwork(const CCModel& model, ResonatorOptions opts)
+    : model_(&model), opts_(opts) {
+  memories_.reserve(model.num_factors());
+  for (std::size_t f = 0; f < model.num_factors(); ++f) {
+    memories_.emplace_back(model.codebook(f));
+  }
+}
+
 ResonatorResult ResonatorNetwork::factorize(
     const hdc::Hypervector& target) const {
   const std::size_t f_count = model_->num_factors();
@@ -50,10 +58,11 @@ ResonatorResult ResonatorNetwork::factorize(
       for (std::size_t j = 0; j < f_count; ++j) {
         if (j != f) hdc::bind_inplace(y, read[j]);
       }
-      // Attention over the codebook.
+      // Attention over the codebook: one batched packed scan (ỹ is bipolar,
+      // so this runs on the word-plane kernels).
+      memories_[f].dots(y, attention);
       std::int64_t best = 0;
       for (std::size_t j = 0; j < m; ++j) {
-        attention[j] = hdc::dot(model_->codebook(f).item(j), y);
         if (j == 0 || attention[j] > best) {
           best = attention[j];
           best_index[f] = j;

@@ -32,6 +32,7 @@
 
 #include "baselines/cc_model.hpp"
 #include "hdc/hypervector.hpp"
+#include "hdc/item_memory.hpp"
 
 namespace factorhd::baselines {
 
@@ -59,21 +60,29 @@ struct ResonatorResult {
 
 class ResonatorNetwork {
  public:
-  /// Non-owning view; `model` must outlive the network.
-  explicit ResonatorNetwork(const CCModel& model,
-                            ResonatorOptions opts = {}) noexcept
-      : model_(&model), opts_(opts) {}
+  /// Non-owning view; `model` must outlive the network. Each factor's
+  /// codebook is wrapped in an hdc::ItemMemory so the attention step (the
+  /// F*M dot products per sweep) runs on the packed word-plane backend —
+  /// the unbound estimate ỹ_i is always bipolar, so every sweep qualifies.
+  /// \param model C-C model whose codebooks define the problem.
+  /// \param opts Update-schedule / cleanup variant selection.
+  explicit ResonatorNetwork(const CCModel& model, ResonatorOptions opts = {});
 
   [[nodiscard]] const ResonatorOptions& options() const noexcept {
     return opts_;
   }
 
   /// Factorizes a single-object product HV.
+  /// \param target Bound product HV of one item per factor.
+  /// \return Decoded indices, sweep count, convergence flag, and cost.
+  /// \throws std::invalid_argument On target dimension mismatch.
   [[nodiscard]] ResonatorResult factorize(const hdc::Hypervector& target) const;
 
  private:
   const CCModel* model_;
   ResonatorOptions opts_;
+  /// Per-factor codebook scan memories (packed backend when eligible).
+  std::vector<hdc::ItemMemory> memories_;
 };
 
 }  // namespace factorhd::baselines

@@ -4,7 +4,9 @@
 // BatchFactorizer is the CPU counterpart: independent targets are
 // factorized concurrently across a worker pool. Correctness relies on
 // Factorizer::factorize being const and side-effect-free apart from the
-// atomic similarity-op counters in hdc::ItemMemory.
+// atomic similarity-op counters in hdc::ItemMemory; the packed word-plane
+// scan backend is immutable after construction and shared read-only across
+// workers, so it needs no further synchronization.
 #pragma once
 
 #include <cstddef>
@@ -29,11 +31,17 @@ class BatchFactorizer {
 
   /// Factorizes every target with the same options; results are returned in
   /// input order. Propagates the first worker exception, if any.
+  /// \param targets Independent encoded targets (any mix of Rep 1/2/3).
+  /// \param opts Options applied to every target.
+  /// \return One FactorizeResult per target, in input order.
+  /// \throws Any exception thrown by Factorizer::factorize on a worker.
   [[nodiscard]] std::vector<FactorizeResult> factorize_all(
       const std::vector<hdc::Hypervector>& targets,
       const FactorizeOptions& opts = {}) const;
 
   /// Threads that factorize_all will actually use for a given batch size.
+  /// \param batch Number of targets in the batch.
+  /// \return min(configured threads, batch), at least 1 for non-empty input.
   [[nodiscard]] std::size_t effective_threads(std::size_t batch) const;
 
  private:

@@ -25,9 +25,15 @@
 namespace factorhd::core {
 
 /// Nonzero density d_k of a clipped bundle of k random bipolar HVs.
+/// \param k Number of bundled HVs (k >= 1).
+/// \return Probability that a clipped-bundle component is nonzero.
+/// \throws std::invalid_argument When k is zero.
 [[nodiscard]] double clause_density(std::size_t k);
 
 /// Correlation c_k = E[clip(sum of k bipolar HVs)_i * member_i].
+/// \param k Number of bundled HVs (k >= 1).
+/// \return The member correlation (c_1 = 1, c_2 = c_3 = 1/2, ...).
+/// \throws std::invalid_argument When k is zero.
 [[nodiscard]] double clause_member_correlation(std::size_t k);
 
 struct CapacityProblem {
@@ -40,20 +46,30 @@ struct CapacityProblem {
 };
 
 /// Probability that the correct candidate wins an argmax against
-/// `competitors` independent rivals, given signal mean `signal` and noise
-/// standard deviation `sigma` (both in similarity units).
+/// `competitors` independent rivals.
+/// \param signal Mean similarity of the true candidate.
+/// \param sigma Noise standard deviation (similarity units).
+/// \param competitors Number of independent rival candidates.
+/// \return Win probability in [0, 1].
 [[nodiscard]] double argmax_win_probability(double signal, double sigma,
                                             std::size_t competitors);
 
 /// Predicted probability that one class's full path factorizes correctly.
+/// \param p Encoding geometry.
+/// \return Per-class accuracy in [0, 1].
 [[nodiscard]] double predicted_class_accuracy(const CapacityProblem& p);
 
 /// Predicted probability that the whole object factorizes correctly
 /// (all F classes, all levels).
+/// \param p Encoding geometry.
+/// \return Object accuracy in [0, 1].
 [[nodiscard]] double predicted_object_accuracy(const CapacityProblem& p);
 
 /// Smallest dimension whose predicted object accuracy reaches `target`
-/// (binary search over [64, 1<<22]); returns 0 if unreachable.
+/// (binary search over [64, 1<<22]).
+/// \param p Encoding geometry; its `dim` field is the search variable.
+/// \param target Required object accuracy in (0, 1).
+/// \return The smallest sufficient dimension, or 0 if unreachable.
 [[nodiscard]] std::size_t required_dimension(CapacityProblem p, double target);
 
 }  // namespace factorhd::core

@@ -36,6 +36,8 @@ struct EncodeOptions {
 class Encoder {
  public:
   /// Non-owning view; `books` must outlive the encoder.
+  /// \param books Taxonomy HV material (labels, codebooks, NULL).
+  /// \param opts Encoding ablation switches.
   explicit Encoder(const tax::TaxonomyCodebooks& books,
                    EncodeOptions opts = {}) noexcept
       : books_(&books), opts_(opts) {}
@@ -47,21 +49,37 @@ class Encoder {
 
   /// The bundling clause of one class for one object: LABEL + path items, or
   /// LABEL + NULL when the class is absent. Clipped per options.
+  /// \param cls Class index.
+  /// \param path The object's subclass path in `cls`, or nullopt when the
+  ///   class is absent.
+  /// \return The (clipped) clause HV.
+  /// \throws std::invalid_argument On a bad class index or invalid path.
   [[nodiscard]] hdc::Hypervector encode_clause(
       std::size_t cls, const std::optional<tax::Path>& path) const;
 
   /// Full object HV: the bound product of all class clauses. Ternary when
-  /// clipping is enabled. Throws std::invalid_argument when the object is
-  /// not valid for the taxonomy.
+  /// clipping is enabled.
+  /// \param obj Object to encode.
+  /// \return The object HV.
+  /// \throws std::invalid_argument When the object is not valid for the
+  ///   taxonomy.
   [[nodiscard]] hdc::Hypervector encode_object(const tax::Object& obj) const;
 
   /// Object HV with every path truncated to at most `depth` levels (used by
   /// the factorizer's level-by-level combination checks).
+  /// \param obj Object to encode.
+  /// \param depth Maximum number of levels kept per class path.
+  /// \return The truncated-object HV.
+  /// \throws std::invalid_argument When the object is not valid for the
+  ///   taxonomy.
   [[nodiscard]] hdc::Hypervector encode_object_prefix(const tax::Object& obj,
                                                       std::size_t depth) const;
 
-  /// Scene HV: Z^D bundle of the component object HVs. Throws on empty
-  /// scenes or invalid member objects.
+  /// Scene HV: Z^D bundle of the component object HVs.
+  /// \param scene Scene whose objects are encoded and bundled.
+  /// \return The (un-clipped) scene bundle.
+  /// \throws std::invalid_argument On empty scenes or invalid member
+  ///   objects.
   [[nodiscard]] hdc::Hypervector encode_scene(const tax::Scene& scene) const;
 
  private:

@@ -18,16 +18,28 @@ tax::Object FactorizedObject::to_object(std::size_t num_classes) const {
   return obj;
 }
 
-Factorizer::Factorizer(const Encoder& encoder)
+Factorizer::Factorizer(const Encoder& encoder, hdc::ScanBackend backend)
     : encoder_(&encoder), books_(&encoder.books()) {
   const tax::Taxonomy& t = books_->taxonomy();
   memories_.resize(t.num_classes());
   for (std::size_t c = 0; c < t.num_classes(); ++c) {
     memories_[c].reserve(t.depth(c));
     for (std::size_t l = 1; l <= t.depth(c); ++l) {
-      memories_[c].emplace_back(books_->level_codebook(c, l));
+      memories_[c].emplace_back(books_->level_codebook(c, l), backend);
     }
   }
+}
+
+hdc::ScanBackend Factorizer::scan_backend() const noexcept {
+  for (const auto& per_class : memories_) {
+    for (const hdc::ItemMemory& m : per_class) {
+      if (m.backend() != hdc::ScanBackend::kPacked) {
+        return hdc::ScanBackend::kScalar;
+      }
+    }
+  }
+  return memories_.empty() ? hdc::ScanBackend::kScalar
+                           : hdc::ScanBackend::kPacked;
 }
 
 std::vector<std::size_t> Factorizer::resolve_classes(

@@ -124,17 +124,41 @@ struct FactorizeResult {
 class Factorizer {
  public:
   /// Non-owning view; `encoder` (and its codebooks) must outlive this.
-  explicit Factorizer(const Encoder& encoder);
+  /// Builds one hdc::ItemMemory per (class, level) codebook on the requested
+  /// scan backend; the default kAuto selects the packed word-plane kernels
+  /// for the (bipolar) taxonomy codebooks, so single-object unbound queries
+  /// (ternary/bipolar) run on XOR+popcount scans while integer residual
+  /// queries of the multi-object loop fall back to scalar per call.
+  /// \param encoder Encoder whose codebooks define the factorization problem.
+  /// \param backend Scan-backend policy for every internal ItemMemory.
+  /// \throws std::invalid_argument When `backend` is kPacked but a codebook
+  ///   is not packable (never the case for generated taxonomy codebooks).
+  explicit Factorizer(const Encoder& encoder,
+                      hdc::ScanBackend backend = hdc::ScanBackend::kAuto);
+
+  /// \return The backend the codebook scans resolved to: kPacked when every
+  ///   internal ItemMemory packed its codebook, else kScalar.
+  [[nodiscard]] hdc::ScanBackend scan_backend() const noexcept;
 
   /// Runs Algorithm 1 on `target` (an encoded object or scene).
+  /// \param target Encoded object/scene HV of the codebooks' dimension.
+  /// \param opts Mode, threshold, and partial-factorization options.
+  /// \return Factorized objects plus cost counters and optional trace.
+  /// \throws std::invalid_argument On target dimension mismatch or a
+  ///   selected class index out of range.
   [[nodiscard]] FactorizeResult factorize(const hdc::Hypervector& target,
                                           const FactorizeOptions& opts = {}) const;
 
   /// Convenience: single-object factorization of every class at full depth.
+  /// \param target Encoded object HV.
+  /// \return The single factorized object.
+  /// \throws std::invalid_argument On target dimension mismatch.
   [[nodiscard]] FactorizedObject factorize_single(
       const hdc::Hypervector& target) const;
 
   /// The effective TH the given options resolve to (Eq. 2 when unset).
+  /// \param opts Options whose threshold/num_objects_hint are consulted.
+  /// \return opts.threshold when positive, else the Eq. 2 prediction.
   [[nodiscard]] double effective_threshold(const FactorizeOptions& opts) const;
 
  private:

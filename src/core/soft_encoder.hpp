@@ -35,8 +35,12 @@ struct SoftEncodeOptions {
 class SoftLabelEncoder {
  public:
   /// Pre-encodes one tax::Object per label class; `label_objects[c]` is the
-  /// symbolic object for classifier output c. Throws std::invalid_argument
-  /// on an empty label set or invalid objects.
+  /// symbolic object for classifier output c.
+  /// \param encoder Encoder used to pre-encode the label objects.
+  /// \param label_objects One symbolic object per classifier label.
+  /// \param opts Quantization scale and probability floor.
+  /// \throws std::invalid_argument On an empty label set or invalid
+  ///   objects.
   SoftLabelEncoder(const Encoder& encoder,
                    std::vector<tax::Object> label_objects,
                    SoftEncodeOptions opts = {});
@@ -51,8 +55,11 @@ class SoftLabelEncoder {
     return opts_;
   }
 
-  /// HV of one classified sample; `probabilities.size()` must equal
-  /// num_labels(). Float overload matches nn::Mlp::softmax rows.
+  /// HV of one classified sample. Float overload matches nn::Mlp::softmax
+  /// rows.
+  /// \param probabilities Classifier output; size must equal num_labels().
+  /// \return The probability-weighted integer bundle.
+  /// \throws std::invalid_argument On a size mismatch.
   [[nodiscard]] hdc::Hypervector encode(
       std::span<const double> probabilities) const;
   [[nodiscard]] hdc::Hypervector encode(
@@ -61,6 +68,7 @@ class SoftLabelEncoder {
   /// Divides an accumulated bundle of soft encodings by the configured
   /// scale (rounding), restoring the unit-signal range multi-object
   /// factorization thresholds expect.
+  /// \param bundle Accumulated soft-encoding bundle, rescaled in place.
   void normalize_scale(hdc::Hypervector& bundle) const;
 
  private:

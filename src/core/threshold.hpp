@@ -28,6 +28,8 @@ struct ThresholdProblem {
 
 /// Eq. 2 of the paper (natural logarithm; the log base is unstated in the
 /// paper but the term is small for any reasonable base).
+/// \param p Problem shape (N, F, D, M).
+/// \return The predicted optimal threshold TH*.
 [[nodiscard]] double predicted_threshold(const ThresholdProblem& p) noexcept;
 
 struct CalibrationOptions {
@@ -58,8 +60,11 @@ struct CalibrationResult {
 
 /// Empirical TH* for a Rep-3 problem (single subclass level): sweeps TH over
 /// the configured grid, measuring exact-scene-recovery accuracy at each
-/// point. Deterministic given `opts.seed`. `plateau_tolerance` is the
-/// accuracy slack for plateau membership.
+/// point. Deterministic given `opts.seed`.
+/// \param problem Problem shape (N, F, D, M).
+/// \param opts Grid range/step, trials per point, and seed.
+/// \param plateau_tolerance Accuracy slack for plateau membership.
+/// \return Best threshold, accuracy, plateau extent, and the full sweep.
 [[nodiscard]] CalibrationResult calibrate_threshold(
     const ThresholdProblem& problem, const CalibrationOptions& opts = {},
     double plateau_tolerance = 0.011);

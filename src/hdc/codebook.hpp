@@ -17,10 +17,18 @@ namespace factorhd::hdc {
 class Codebook {
  public:
   /// Generates `size` independent random bipolar HVs of dimension `dim`.
+  /// \param dim Hypervector dimension.
+  /// \param size Number of items to generate.
+  /// \param rng Source of randomness.
+  /// \param name Optional diagnostic name.
   Codebook(std::size_t dim, std::size_t size, util::Xoshiro256& rng,
            std::string name = {});
 
-  /// Wraps existing item HVs (all must share the same non-zero dimension).
+  /// Wraps existing item HVs.
+  /// \param items Item hypervectors; all must share the same non-zero
+  ///   dimension.
+  /// \param name Optional diagnostic name.
+  /// \throws std::invalid_argument On mixed or zero dimensions.
   explicit Codebook(std::vector<Hypervector> items, std::string name = {});
 
   [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
@@ -29,7 +37,10 @@ class Codebook {
   }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
-  /// Item HV by index; throws std::out_of_range on bad index.
+  /// Item HV by index.
+  /// \param index Item index.
+  /// \return The item hypervector.
+  /// \throws std::out_of_range On bad index.
   [[nodiscard]] const Hypervector& item(std::size_t index) const {
     return items_.at(index);
   }

@@ -33,9 +33,11 @@ class Hypervector {
   Hypervector() = default;
 
   /// Zero-initialized hypervector of dimension `dim`.
+  /// \param dim Number of components.
   explicit Hypervector(std::size_t dim) : data_(dim, 0) {}
 
   /// Takes ownership of explicit component values.
+  /// \param values Component values; their count becomes the dimension.
   explicit Hypervector(std::vector<value_type> values)
       : data_(std::move(values)) {}
 
@@ -59,15 +61,16 @@ class Hypervector {
   [[nodiscard]] const value_type* data() const noexcept { return data_.data(); }
   [[nodiscard]] value_type* data() noexcept { return data_.data(); }
 
-  /// True when every component is -1 or +1.
+  /// \return True when every component is -1 or +1.
   [[nodiscard]] bool is_bipolar() const noexcept;
-  /// True when every component is -1, 0 or +1.
+  /// \return True when every component is -1, 0 or +1.
   [[nodiscard]] bool is_ternary() const noexcept;
 
-  /// Number of zero components (used in sparsity diagnostics for ternary HVs).
+  /// \return Number of zero components (used in sparsity diagnostics for
+  ///   ternary HVs).
   [[nodiscard]] std::size_t zero_count() const noexcept;
 
-  /// Largest absolute component value (0 for the empty HV).
+  /// \return Largest absolute component value (0 for the empty HV).
   [[nodiscard]] value_type max_abs() const noexcept;
 
   bool operator==(const Hypervector&) const = default;
@@ -76,7 +79,11 @@ class Hypervector {
   std::vector<value_type> data_;
 };
 
-/// Throws std::invalid_argument unless a and b have equal non-zero dimension.
+/// Validates that two operands are dimension-compatible.
+/// \param a,b Operands to check.
+/// \param op Operation name used in the error message.
+/// \throws std::invalid_argument Unless a and b have equal non-zero
+///   dimension.
 inline void require_same_dim(const Hypervector& a, const Hypervector& b,
                              const char* op) {
   if (a.dim() != b.dim() || a.dim() == 0) {

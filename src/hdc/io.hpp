@@ -19,10 +19,30 @@
 
 namespace factorhd::hdc {
 
+/// Serializes `v` in the FHV1 framing.
+/// \param os Destination stream.
+/// \param v Hypervector to write.
+/// \throws std::runtime_error When the stream write fails.
 void save_hypervector(std::ostream& os, const Hypervector& v);
+
+/// Reads one FHV1-framed hypervector.
+/// \param is Source stream positioned at a hypervector record.
+/// \return The deserialized hypervector.
+/// \throws std::runtime_error On bad magic, implausible sizes, or
+///   truncated input.
 [[nodiscard]] Hypervector load_hypervector(std::istream& is);
 
+/// Serializes `cb` in the FCB1 framing.
+/// \param os Destination stream.
+/// \param cb Codebook to write.
+/// \throws std::runtime_error When the stream write fails.
 void save_codebook(std::ostream& os, const Codebook& cb);
+
+/// Reads one FCB1-framed codebook.
+/// \param is Source stream positioned at a codebook record.
+/// \return The deserialized codebook.
+/// \throws std::runtime_error On bad magic, implausible sizes, or
+///   truncated input.
 [[nodiscard]] Codebook load_codebook(std::istream& is);
 
 }  // namespace factorhd::hdc

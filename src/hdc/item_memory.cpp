@@ -1,13 +1,54 @@
 #include "hdc/item_memory.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
+#include "hdc/kernels/packed_item_memory.hpp"
 #include "hdc/similarity.hpp"
 
 namespace factorhd::hdc {
 
+namespace {
+
+using kernels::PackedItemMemory;
+using kernels::PackedQuery;
+
+}  // namespace
+
+ItemMemory::ItemMemory(const Codebook& codebook, ScanBackend backend)
+    : codebook_(&codebook) {
+  switch (backend) {
+    case ScanBackend::kScalar:
+      break;
+    case ScanBackend::kPacked:
+      // Throws std::invalid_argument when the codebook is not packable.
+      packed_ = std::make_shared<const PackedItemMemory>(codebook);
+      break;
+    case ScanBackend::kAuto:
+      if (PackedItemMemory::packable(codebook)) {
+        packed_ = std::make_shared<const PackedItemMemory>(codebook);
+      }
+      break;
+  }
+}
+
+// Packs `query` for the kernels when the packed backend is active and the
+// query's alphabet and dimension admit plane arithmetic; nullopt routes the
+// call to the scalar loop (integer bundles, dimension mismatches — the
+// latter so the scalar path raises its usual error).
+static std::optional<PackedQuery> packed_route(
+    const std::shared_ptr<const PackedItemMemory>& packed,
+    const Hypervector& query) {
+  if (!packed || query.dim() != packed->dim()) return std::nullopt;
+  return PackedQuery::pack(query);
+}
+
 Match ItemMemory::best(const Hypervector& query) const {
+  if (auto q = packed_route(packed_, query)) {
+    count(packed_->size());
+    return packed_->best(*q);
+  }
   Match m{0, similarity(query, codebook_->item(0))};
   count(1);
   for (std::size_t j = 1; j < codebook_->size(); ++j) {
@@ -23,6 +64,10 @@ Match ItemMemory::best_among(const Hypervector& query,
   if (indices.empty()) {
     throw std::invalid_argument("ItemMemory::best_among: empty index set");
   }
+  if (auto q = packed_route(packed_, query)) {
+    count(indices.size());
+    return packed_->best_among(*q, indices);
+  }
   Match m{indices[0], similarity(query, codebook_->item(indices[0]))};
   count(1);
   for (std::size_t k = 1; k < indices.size(); ++k) {
@@ -35,35 +80,43 @@ Match ItemMemory::best_among(const Hypervector& query,
 
 std::vector<Match> ItemMemory::above(const Hypervector& query,
                                      double threshold) const {
+  if (auto q = packed_route(packed_, query)) {
+    count(packed_->size());
+    return packed_->above(*q, threshold);
+  }
   std::vector<Match> out;
   for (std::size_t j = 0; j < codebook_->size(); ++j) {
     const double s = similarity(query, codebook_->item(j));
     count(1);
     if (s > threshold) out.push_back({j, s});
   }
-  std::sort(out.begin(), out.end(), [](const Match& a, const Match& b) {
-    return a.similarity > b.similarity;
-  });
+  std::sort(out.begin(), out.end(), match_order);
   return out;
 }
 
 std::vector<Match> ItemMemory::above_among(
     const Hypervector& query, double threshold,
     const std::vector<std::size_t>& indices) const {
+  if (auto q = packed_route(packed_, query)) {
+    count(indices.size());
+    return packed_->above_among(*q, threshold, indices);
+  }
   std::vector<Match> out;
   for (std::size_t j : indices) {
     const double s = similarity(query, codebook_->item(j));
     count(1);
     if (s > threshold) out.push_back({j, s});
   }
-  std::sort(out.begin(), out.end(), [](const Match& a, const Match& b) {
-    return a.similarity > b.similarity;
-  });
+  std::sort(out.begin(), out.end(), match_order);
   return out;
 }
 
 std::vector<Match> ItemMemory::top_k(const Hypervector& query,
                                      std::size_t k) const {
+  if (auto q = packed_route(packed_, query)) {
+    count(packed_->size());
+    return packed_->top_k(*q, k);
+  }
   std::vector<Match> all;
   all.reserve(codebook_->size());
   for (std::size_t j = 0; j < codebook_->size(); ++j) {
@@ -73,11 +126,25 @@ std::vector<Match> ItemMemory::top_k(const Hypervector& query,
   const std::size_t keep = std::min(k, all.size());
   std::partial_sort(all.begin(),
                     all.begin() + static_cast<std::ptrdiff_t>(keep), all.end(),
-                    [](const Match& a, const Match& b) {
-                      return a.similarity > b.similarity;
-                    });
+                    match_order);
   all.resize(keep);
   return all;
+}
+
+void ItemMemory::dots(const Hypervector& query,
+                      std::span<std::int64_t> out) const {
+  if (out.size() != codebook_->size()) {
+    throw std::invalid_argument("ItemMemory::dots: output size mismatch");
+  }
+  if (auto q = packed_route(packed_, query)) {
+    count(packed_->size());
+    packed_->dots(*q, out);
+    return;
+  }
+  for (std::size_t j = 0; j < codebook_->size(); ++j) {
+    out[j] = dot(query, codebook_->item(j));
+    count(1);
+  }
 }
 
 }  // namespace factorhd::hdc

@@ -5,59 +5,128 @@
 // factorizer (FactorHD and all baselines) spends its time in, so the class
 // also counts similarity measurements — the unit in which the paper states
 // its O(N_M) vs M^F efficiency claims.
+//
+// Scans run on one of two backends:
+//
+//  * scalar  — int32 dot products straight off the codebook (works for any
+//    query and any codebook alphabet);
+//  * packed  — the hdc/kernels/ word-plane scans: the codebook is packed
+//    once into 64-bit sign/nonzero planes and each scan is XOR+popcount
+//    arithmetic, 64 dimensions per word operation. Bit-identical results
+//    (index, similarity, ordering) to the scalar backend.
+//
+// With the default kAuto selection, a bipolar or ternary codebook gets the
+// packed backend and every bipolar/ternary query runs on it; integer-bundle
+// queries (e.g. the multi-object residual) transparently fall back to the
+// scalar loop per call. Copies share the immutable packed planes.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "hdc/codebook.hpp"
 #include "hdc/hypervector.hpp"
+#include "hdc/match.hpp"
 
 namespace factorhd::hdc {
 
-/// One similarity match: codebook index plus the measured similarity.
-struct Match {
-  std::size_t index = 0;
-  double similarity = 0.0;
+namespace kernels {
+class PackedItemMemory;
+}  // namespace kernels
+
+/// Similarity-scan backend selection for ItemMemory.
+enum class ScanBackend {
+  kAuto,    ///< packed when the codebook is bipolar/ternary, else scalar
+  kScalar,  ///< always the int32 dot-product loops
+  kPacked,  ///< always the word-plane kernels; requires a packable codebook
 };
 
 class ItemMemory {
  public:
   /// Non-owning view over a codebook; the codebook must outlive the memory.
-  explicit ItemMemory(const Codebook& codebook) noexcept
-      : codebook_(&codebook) {}
+  /// With kAuto (the default) a bipolar/ternary codebook is additionally
+  /// packed into word planes at construction (O(size * dim) once).
+  /// \param codebook Codebook to scan; must outlive this object.
+  /// \param backend Backend selection policy (see ScanBackend).
+  /// \throws std::invalid_argument When `backend` is kPacked but the
+  ///   codebook has an entry outside {-1, 0, +1} or is empty.
+  explicit ItemMemory(const Codebook& codebook,
+                      ScanBackend backend = ScanBackend::kAuto);
 
   [[nodiscard]] const Codebook& codebook() const noexcept { return *codebook_; }
   [[nodiscard]] std::size_t size() const noexcept { return codebook_->size(); }
 
-  /// Best match over the full codebook (argmax of similarity).
+  /// \return The backend scans resolve to: kPacked when the codebook was
+  ///   packed (bipolar/ternary queries then use the kernels; integer-bundle
+  ///   queries still fall back to scalar per call), kScalar otherwise.
+  [[nodiscard]] ScanBackend backend() const noexcept {
+    return packed_ ? ScanBackend::kPacked : ScanBackend::kScalar;
+  }
+
+  /// Best match over the full codebook (argmax of similarity; the first
+  /// maximum wins on ties).
+  /// \param query Query HV of the codebook's dimension.
+  /// \return Index and similarity (dot / D) of the best entry.
+  /// \throws std::invalid_argument On dimension mismatch.
+  /// \throws std::out_of_range On an empty codebook.
   [[nodiscard]] Match best(const Hypervector& query) const;
 
   /// Best match over a subset of indices (used for hierarchy-restricted
   /// searches: "only children of the already-factorized parent item").
+  /// \param query Query HV of the codebook's dimension.
+  /// \param indices Codebook indices to scan.
+  /// \return Best match among `indices`.
+  /// \throws std::invalid_argument On dimension mismatch or empty `indices`.
+  /// \throws std::out_of_range When an index is >= size().
   [[nodiscard]] Match best_among(const Hypervector& query,
                                  const std::vector<std::size_t>& indices) const;
 
-  /// All matches with similarity strictly above `threshold`, in descending
-  /// similarity order (the TH-based multi-object candidate selection).
+  /// All matches with similarity strictly above `threshold`, sorted by
+  /// match_order — descending similarity, ascending index on ties (the
+  /// TH-based multi-object candidate selection).
+  /// \param query Query HV of the codebook's dimension.
+  /// \param threshold Exclusive similarity lower bound.
+  /// \return Possibly empty sorted match list.
+  /// \throws std::invalid_argument On dimension mismatch.
   [[nodiscard]] std::vector<Match> above(const Hypervector& query,
                                          double threshold) const;
 
   /// Restricted variant of `above`.
+  /// \param query Query HV of the codebook's dimension.
+  /// \param threshold Exclusive similarity lower bound.
+  /// \param indices Codebook indices to scan.
+  /// \return Possibly empty sorted match list.
+  /// \throws std::invalid_argument On dimension mismatch.
+  /// \throws std::out_of_range When an index is >= size().
   [[nodiscard]] std::vector<Match> above_among(
       const Hypervector& query, double threshold,
       const std::vector<std::size_t>& indices) const;
 
-  /// Top-k matches in descending similarity order.
+  /// Top-k matches sorted by match_order; k is clamped to size().
+  /// \param query Query HV of the codebook's dimension.
+  /// \param k Maximum number of matches to return.
+  /// \return min(k, size()) matches in canonical order.
+  /// \throws std::invalid_argument On dimension mismatch.
   [[nodiscard]] std::vector<Match> top_k(const Hypervector& query,
                                          std::size_t k) const;
+
+  /// Raw integer dot products of the query with every codebook entry — the
+  /// batched attention primitive of the resonator/IMC baselines. Counts
+  /// size() similarity measurements.
+  /// \param query Query HV of the codebook's dimension.
+  /// \param out Destination; `out.size()` must equal size().
+  /// \throws std::invalid_argument On dimension or output-size mismatch.
+  void dots(const Hypervector& query, std::span<std::int64_t> out) const;
 
   /// Number of similarity measurements performed since construction /
   /// last reset. Mutable bookkeeping (atomic so concurrent factorization of
   /// independent targets through core::BatchFactorizer stays race-free);
   /// reads are logically const.
+  /// \return Measurement count in codebook-entry units.
   [[nodiscard]] std::uint64_t similarity_ops() const noexcept {
     return similarity_ops_.load(std::memory_order_relaxed);
   }
@@ -65,11 +134,15 @@ class ItemMemory {
     similarity_ops_.store(0, std::memory_order_relaxed);
   }
 
-  // std::atomic pins down copy/move; counters transfer by value.
+  // std::atomic pins down copy/move; counters transfer by value and the
+  // immutable packed planes are shared between copies.
   ItemMemory(const ItemMemory& other) noexcept
-      : codebook_(other.codebook_), similarity_ops_(other.similarity_ops()) {}
+      : codebook_(other.codebook_),
+        packed_(other.packed_),
+        similarity_ops_(other.similarity_ops()) {}
   ItemMemory& operator=(const ItemMemory& other) noexcept {
     codebook_ = other.codebook_;
+    packed_ = other.packed_;
     similarity_ops_.store(other.similarity_ops(), std::memory_order_relaxed);
     return *this;
   }
@@ -80,6 +153,9 @@ class ItemMemory {
   }
 
   const Codebook* codebook_;
+  /// Word-plane packing of the codebook; null on the scalar backend. Shared
+  /// (immutable after construction) so ItemMemory copies stay cheap.
+  std::shared_ptr<const kernels::PackedItemMemory> packed_;
   mutable std::atomic<std::uint64_t> similarity_ops_{0};
 };
 

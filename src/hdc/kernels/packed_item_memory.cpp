@@ -1,0 +1,229 @@
+#include "hdc/kernels/packed_item_memory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace factorhd::hdc::kernels {
+
+namespace {
+
+enum class Alphabet { kBipolar, kTernary, kOther };
+
+Alphabet classify(const Hypervector& v) noexcept {
+  bool any_zero = false;
+  const auto* p = v.data();
+  for (std::size_t i = 0, n = v.dim(); i < n; ++i) {
+    if (p[i] > 1 || p[i] < -1) return Alphabet::kOther;
+    any_zero |= (p[i] == 0);
+  }
+  return any_zero ? Alphabet::kTernary : Alphabet::kBipolar;
+}
+
+}  // namespace
+
+bool PackedItemMemory::packable(const Codebook& codebook) noexcept {
+  if (codebook.size() == 0 || codebook.dim() == 0) return false;
+  for (const Hypervector& item : codebook.items()) {
+    if (classify(item) == Alphabet::kOther) return false;
+  }
+  return true;
+}
+
+PackedItemMemory::PackedItemMemory(const Codebook& codebook)
+    : size_(codebook.size()),
+      dim_(codebook.dim()),
+      words_(plane_words(codebook.dim())) {
+  if (size_ == 0 || dim_ == 0) {
+    throw std::invalid_argument("PackedItemMemory: empty codebook");
+  }
+  layout_ = Layout::kBipolar;
+  for (const Hypervector& item : codebook.items()) {
+    switch (classify(item)) {
+      case Alphabet::kBipolar:
+        break;
+      case Alphabet::kTernary:
+        layout_ = Layout::kTernary;
+        break;
+      case Alphabet::kOther:
+        throw std::invalid_argument(
+            "PackedItemMemory: codebook entry outside {-1,0,+1}");
+    }
+  }
+
+  sign_.assign(size_ * words_, 0);
+  if (layout_ == Layout::kTernary) nonzero_.assign(size_ * words_, 0);
+  for (std::size_t row = 0; row < size_; ++row) {
+    const auto* p = codebook.item(row).data();
+    std::uint64_t* rs = &sign_[row * words_];
+    std::uint64_t* rnz =
+        layout_ == Layout::kTernary ? &nonzero_[row * words_] : nullptr;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      if (p[i] == 0) continue;
+      if (rnz != nullptr) rnz[i / kWordBits] |= (1ULL << (i % kWordBits));
+      if (p[i] > 0) rs[i / kWordBits] |= (1ULL << (i % kWordBits));
+    }
+  }
+}
+
+std::size_t PackedItemMemory::storage_bits() const noexcept {
+  return (layout_ == Layout::kTernary ? 2 : 1) * size_ * dim_;
+}
+
+std::int64_t PackedItemMemory::row_dot(std::size_t row,
+                                       const PackedQuery& query) const noexcept {
+  const std::uint64_t* rs = &sign_[row * words_];
+  if (layout_ == Layout::kBipolar) {
+    if (query.bipolar) {
+      return dot_bipolar_bipolar(rs, query.sign.data(), words_, dim_);
+    }
+    return dot_bipolar_ternary(rs, query.nonzero.data(), query.sign.data(),
+                               words_);
+  }
+  const std::uint64_t* rnz = &nonzero_[row * words_];
+  if (query.bipolar) {
+    return dot_bipolar_ternary(query.sign.data(), rnz, rs, words_);
+  }
+  return dot_ternary_ternary(rnz, rs, query.nonzero.data(), query.sign.data(),
+                             words_);
+}
+
+void PackedItemMemory::require_query(const PackedQuery& query) const {
+  if (query.dim != dim_) {
+    throw std::invalid_argument("PackedItemMemory: query dimension mismatch");
+  }
+}
+
+PackedQuery PackedItemMemory::pack_query(const Hypervector& query) const {
+  std::optional<PackedQuery> q = PackedQuery::pack(query);
+  if (!q) {
+    throw std::invalid_argument(
+        "PackedItemMemory: query is not bipolar/ternary (use the scalar "
+        "ItemMemory path for integer bundles)");
+  }
+  return std::move(*q);
+}
+
+Match PackedItemMemory::best(const PackedQuery& query) const {
+  require_query(query);
+  // Strict > keeps the first (lowest-index) maximum, exactly like the scalar
+  // argmax loop; integer dots make the comparison tie-exact.
+  std::int64_t best_dot = row_dot(0, query);
+  std::size_t best_row = 0;
+  for (std::size_t row = 1; row < size_; ++row) {
+    const std::int64_t d = row_dot(row, query);
+    if (d > best_dot) {
+      best_dot = d;
+      best_row = row;
+    }
+  }
+  return {best_row, to_similarity(best_dot)};
+}
+
+Match PackedItemMemory::best_among(const PackedQuery& query,
+                                   std::span<const std::size_t> indices) const {
+  require_query(query);
+  if (indices.empty()) {
+    throw std::invalid_argument("PackedItemMemory::best_among: empty index set");
+  }
+  Match m{indices[0], 0.0};
+  std::int64_t best_dot = 0;
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const std::size_t row = indices[k];
+    if (row >= size_) {
+      throw std::out_of_range("PackedItemMemory::best_among: index out of range");
+    }
+    const std::int64_t d = row_dot(row, query);
+    if (k == 0 || d > best_dot) {
+      best_dot = d;
+      m.index = row;
+    }
+  }
+  m.similarity = to_similarity(best_dot);
+  return m;
+}
+
+std::vector<Match> PackedItemMemory::above(const PackedQuery& query,
+                                           double threshold) const {
+  require_query(query);
+  std::vector<Match> out;
+  for (std::size_t row = 0; row < size_; ++row) {
+    const double s = to_similarity(row_dot(row, query));
+    if (s > threshold) out.push_back({row, s});
+  }
+  std::sort(out.begin(), out.end(), match_order);
+  return out;
+}
+
+std::vector<Match> PackedItemMemory::above_among(
+    const PackedQuery& query, double threshold,
+    std::span<const std::size_t> indices) const {
+  require_query(query);
+  std::vector<Match> out;
+  for (std::size_t row : indices) {
+    if (row >= size_) {
+      throw std::out_of_range(
+          "PackedItemMemory::above_among: index out of range");
+    }
+    const double s = to_similarity(row_dot(row, query));
+    if (s > threshold) out.push_back({row, s});
+  }
+  std::sort(out.begin(), out.end(), match_order);
+  return out;
+}
+
+std::vector<Match> PackedItemMemory::top_k(const PackedQuery& query,
+                                           std::size_t k) const {
+  require_query(query);
+  std::vector<Match> all;
+  all.reserve(size_);
+  for (std::size_t row = 0; row < size_; ++row) {
+    all.push_back({row, to_similarity(row_dot(row, query))});
+  }
+  const std::size_t keep = std::min(k, all.size());
+  std::partial_sort(all.begin(),
+                    all.begin() + static_cast<std::ptrdiff_t>(keep), all.end(),
+                    match_order);
+  all.resize(keep);
+  return all;
+}
+
+void PackedItemMemory::dots(const PackedQuery& query,
+                            std::span<std::int64_t> out) const {
+  require_query(query);
+  if (out.size() != size_) {
+    throw std::invalid_argument("PackedItemMemory::dots: output size mismatch");
+  }
+  for (std::size_t row = 0; row < size_; ++row) out[row] = row_dot(row, query);
+}
+
+Match PackedItemMemory::best(const Hypervector& query) const {
+  return best(pack_query(query));
+}
+
+Match PackedItemMemory::best_among(const Hypervector& query,
+                                   std::span<const std::size_t> indices) const {
+  return best_among(pack_query(query), indices);
+}
+
+std::vector<Match> PackedItemMemory::above(const Hypervector& query,
+                                           double threshold) const {
+  return above(pack_query(query), threshold);
+}
+
+std::vector<Match> PackedItemMemory::above_among(
+    const Hypervector& query, double threshold,
+    std::span<const std::size_t> indices) const {
+  return above_among(pack_query(query), threshold, indices);
+}
+
+std::vector<Match> PackedItemMemory::top_k(const Hypervector& query,
+                                           std::size_t k) const {
+  return top_k(pack_query(query), k);
+}
+
+void PackedItemMemory::dots(const Hypervector& query,
+                            std::span<std::int64_t> out) const {
+  dots(pack_query(query), out);
+}
+
+}  // namespace factorhd::hdc::kernels

@@ -1,0 +1,155 @@
+// PackedItemMemory: whole-codebook similarity scans over bit-packed planes.
+//
+// Packs an entire codebook once into contiguous, row-major 64-bit word
+// planes — bipolar codebooks into a single sign plane, ternary codebooks
+// into nonzero + sign planes — and answers the same scan queries as the
+// scalar hdc::ItemMemory (best / best_among / above / above_among / top_k)
+// with XOR+popcount plane arithmetic: 64 dimensions per word operation
+// instead of one int32 multiply-add per dimension.
+//
+// Results are bit-identical to the scalar path. Dot products over the
+// {-1,0,+1} alphabets are exact integers either way, the similarity is the
+// same double division dot/D, argmax keeps the first (lowest-index) maximum,
+// and sorted results use the shared hdc::match_order comparator, so index,
+// similarity, and ordering all match. The equivalence suite
+// (tests/test_kernel_equivalence.cpp) asserts this across alphabets and at
+// dimensions that are not multiples of 64.
+//
+// This class is the packing + kernel layer only; backend selection and the
+// scalar fallback for integer-bundle queries live in hdc::ItemMemory, which
+// dispatches here when both the codebook and the query admit plane packing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hdc/codebook.hpp"
+#include "hdc/hypervector.hpp"
+#include "hdc/kernels/plane.hpp"
+#include "hdc/match.hpp"
+
+namespace factorhd::hdc::kernels {
+
+class PackedItemMemory {
+ public:
+  /// Plane layout selected from the codebook's alphabet at pack time.
+  enum class Layout {
+    kBipolar,  ///< one sign plane per entry (all entries in {-1,+1}^D)
+    kTernary,  ///< nonzero + sign planes per entry (entries in {-1,0,+1}^D)
+  };
+
+  /// \param codebook Codebook to test.
+  /// \return True when every entry is bipolar or every entry is ternary and
+  ///   the codebook is non-empty with non-zero dimension — the precondition
+  ///   of the packing constructor.
+  [[nodiscard]] static bool packable(const Codebook& codebook) noexcept;
+
+  /// Packs `codebook` into word planes. The codebook is only read during
+  /// construction; the packed memory owns its planes and stays valid even if
+  /// the codebook is later destroyed.
+  /// \param codebook Source codebook (bipolar or ternary entries).
+  /// \throws std::invalid_argument When `packable(codebook)` is false.
+  explicit PackedItemMemory(const Codebook& codebook);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] Layout layout() const noexcept { return layout_; }
+  /// \return Words per packed codebook row (one plane's worth).
+  [[nodiscard]] std::size_t words_per_row() const noexcept { return words_; }
+  /// \return Total packed storage in bits (the §IV-A fair-comparison unit):
+  ///   size * dim for bipolar layout, 2 * size * dim for ternary.
+  [[nodiscard]] std::size_t storage_bits() const noexcept;
+
+  // --- Scans over a pre-packed query (the ItemMemory hot path) ------------
+
+  /// Argmax scan over the full codebook; first (lowest-index) maximum wins.
+  /// \param query Packed query planes; `query.dim` must equal dim().
+  /// \return Best match (index + similarity = dot / D).
+  /// \throws std::invalid_argument On query dimension mismatch.
+  [[nodiscard]] Match best(const PackedQuery& query) const;
+
+  /// Argmax scan restricted to `indices`.
+  /// \param query Packed query planes.
+  /// \param indices Codebook rows to scan, in the order given.
+  /// \return Best match among `indices`.
+  /// \throws std::invalid_argument On dimension mismatch or empty `indices`.
+  /// \throws std::out_of_range When an index is >= size().
+  [[nodiscard]] Match best_among(const PackedQuery& query,
+                                 std::span<const std::size_t> indices) const;
+
+  /// All matches with similarity strictly above `threshold`, sorted by
+  /// hdc::match_order (descending similarity, ascending index).
+  /// \param query Packed query planes.
+  /// \param threshold Exclusive similarity lower bound.
+  /// \return Possibly empty sorted match list.
+  /// \throws std::invalid_argument On query dimension mismatch.
+  [[nodiscard]] std::vector<Match> above(const PackedQuery& query,
+                                         double threshold) const;
+
+  /// Restricted variant of `above`.
+  /// \param query Packed query planes.
+  /// \param threshold Exclusive similarity lower bound.
+  /// \param indices Codebook rows to scan.
+  /// \return Possibly empty sorted match list.
+  /// \throws std::invalid_argument On query dimension mismatch.
+  /// \throws std::out_of_range When an index is >= size().
+  [[nodiscard]] std::vector<Match> above_among(
+      const PackedQuery& query, double threshold,
+      std::span<const std::size_t> indices) const;
+
+  /// Top-k matches sorted by hdc::match_order; k is clamped to size().
+  /// \param query Packed query planes.
+  /// \param k Maximum number of matches to return.
+  /// \return min(k, size()) matches in canonical order.
+  /// \throws std::invalid_argument On query dimension mismatch.
+  [[nodiscard]] std::vector<Match> top_k(const PackedQuery& query,
+                                         std::size_t k) const;
+
+  /// Raw integer dot products of the query with every codebook row (the
+  /// batched attention primitive of the resonator/IMC baselines).
+  /// \param query Packed query planes.
+  /// \param out Destination; `out.size()` must equal size().
+  /// \throws std::invalid_argument On dimension or output-size mismatch.
+  void dots(const PackedQuery& query, std::span<std::int64_t> out) const;
+
+  // --- Convenience overloads that pack the query internally ---------------
+  // Each packs `query` once and forwards to the PackedQuery overload.
+  // \throws std::invalid_argument when `query` is not bipolar/ternary (use
+  //   the scalar ItemMemory path for integer bundles) or on dim mismatch.
+
+  [[nodiscard]] Match best(const Hypervector& query) const;
+  [[nodiscard]] Match best_among(const Hypervector& query,
+                                 std::span<const std::size_t> indices) const;
+  [[nodiscard]] std::vector<Match> above(const Hypervector& query,
+                                         double threshold) const;
+  [[nodiscard]] std::vector<Match> above_among(
+      const Hypervector& query, double threshold,
+      std::span<const std::size_t> indices) const;
+  [[nodiscard]] std::vector<Match> top_k(const Hypervector& query,
+                                         std::size_t k) const;
+  void dots(const Hypervector& query, std::span<std::int64_t> out) const;
+
+ private:
+  /// Exact integer dot of codebook row `row` with the packed query.
+  [[nodiscard]] std::int64_t row_dot(std::size_t row,
+                                     const PackedQuery& query) const noexcept;
+  /// similarity = dot / D with the same double arithmetic as the scalar path.
+  [[nodiscard]] double to_similarity(std::int64_t dot) const noexcept {
+    return static_cast<double>(dot) / static_cast<double>(dim_);
+  }
+  void require_query(const PackedQuery& query) const;
+  [[nodiscard]] PackedQuery pack_query(const Hypervector& query) const;
+
+  std::size_t size_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t words_ = 0;
+  Layout layout_ = Layout::kBipolar;
+  /// Row-major sign planes: words_[row * words_ + w].
+  std::vector<std::uint64_t> sign_;
+  /// Row-major nonzero planes; empty in bipolar layout.
+  std::vector<std::uint64_t> nonzero_;
+};
+
+}  // namespace factorhd::hdc::kernels

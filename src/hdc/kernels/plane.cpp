@@ -1,0 +1,82 @@
+#include "hdc/kernels/plane.hpp"
+
+#include <bit>
+
+namespace factorhd::hdc::kernels {
+
+std::optional<PackedQuery> PackedQuery::pack(const Hypervector& v) {
+  const std::size_t dim = v.dim();
+  if (dim == 0) return std::nullopt;
+  PackedQuery q;
+  q.dim = dim;
+  const std::size_t words = plane_words(dim);
+  q.sign.assign(words, 0);
+  q.nonzero.assign(words, 0);
+  const auto* p = v.data();
+  bool any_zero = false;
+  // Word-blocked and branchless in the per-component work: on random
+  // bipolar/ternary data, per-component `if (c > 0)`-style bit setting
+  // mispredicts about half the time and dominates the whole scan; compare
+  // results OR-ed into register-resident words cost a couple of cycles per
+  // dimension instead. The alphabet check stays an early exit — it never
+  // fires for eligible queries (perfectly predicted) and bails out of
+  // integer bundles on the first out-of-range component.
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::size_t base = w * kWordBits;
+    const std::size_t n = std::min(kWordBits, dim - base);
+    std::uint64_t nz = 0;
+    std::uint64_t sg = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int32_t c = p[base + i];
+      if (c > 1 || c < -1) return std::nullopt;  // integer bundle: scalar path
+      nz |= static_cast<std::uint64_t>(c != 0) << i;
+      sg |= static_cast<std::uint64_t>(c > 0) << i;
+    }
+    q.nonzero[w] = nz;
+    q.sign[w] = sg;
+    const std::uint64_t full =
+        n == kWordBits ? ~0ULL : (1ULL << n) - 1;
+    any_zero |= (nz != full);
+  }
+  q.bipolar = !any_zero;
+  return q;
+}
+
+std::int64_t dot_bipolar_bipolar(const std::uint64_t* a, const std::uint64_t* b,
+                                 std::size_t words, std::size_t dim) noexcept {
+  // Canonical tails XOR to zero, so no trailing mask is needed.
+  std::int64_t hamming = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    hamming += std::popcount(a[w] ^ b[w]);
+  }
+  return static_cast<std::int64_t>(dim) - 2 * hamming;
+}
+
+std::int64_t dot_bipolar_ternary(const std::uint64_t* bip,
+                                 const std::uint64_t* nz,
+                                 const std::uint64_t* sg,
+                                 std::size_t words) noexcept {
+  std::int64_t acc = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t differ = (bip[w] ^ sg[w]) & nz[w];
+    // dot = |support| - 2 * disagreements over the support.
+    acc += std::popcount(nz[w]) - 2 * std::popcount(differ);
+  }
+  return acc;
+}
+
+std::int64_t dot_ternary_ternary(const std::uint64_t* a_nz,
+                                 const std::uint64_t* a_sg,
+                                 const std::uint64_t* b_nz,
+                                 const std::uint64_t* b_sg,
+                                 std::size_t words) noexcept {
+  std::int64_t acc = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t active = a_nz[w] & b_nz[w];
+    const std::uint64_t differ = (a_sg[w] ^ b_sg[w]) & active;
+    acc += std::popcount(active) - 2 * std::popcount(differ);
+  }
+  return acc;
+}
+
+}  // namespace factorhd::hdc::kernels

@@ -28,17 +28,32 @@
 namespace factorhd::hdc {
 
 /// Builds a codebook of `levels` thermometer-interpolated bipolar HVs.
-/// Requires levels >= 2.
+/// \param dim Hypervector dimension.
+/// \param levels Number of levels; must be >= 2.
+/// \param rng Source of randomness for the endpoints and permutation.
+/// \param name Optional diagnostic name.
+/// \return The level codebook (entry i is level i).
+/// \throws std::invalid_argument When `levels` < 2 or `dim` is zero.
 [[nodiscard]] Codebook make_level_codebook(std::size_t dim, std::size_t levels,
                                            util::Xoshiro256& rng,
                                            std::string name = {});
 
 /// Maps a value in [lo, hi] to the nearest level index of an L-level
 /// codebook (clamping out-of-range values).
+/// \param value Value to quantize.
+/// \param lo,hi Value range (lo < hi).
+/// \param levels Number of levels; must be >= 2.
+/// \return Level index in [0, levels).
+/// \throws std::invalid_argument On a degenerate range or levels < 2.
 [[nodiscard]] std::size_t quantize_level(double value, double lo, double hi,
                                          std::size_t levels);
 
 /// Inverse of quantize_level: representative value of a level's bin center.
+/// \param level Level index in [0, levels).
+/// \param lo,hi Value range (lo < hi).
+/// \param levels Number of levels; must be >= 2.
+/// \return The level's representative value.
+/// \throws std::invalid_argument On a bad level/range combination.
 [[nodiscard]] double level_value(std::size_t level, double lo, double hi,
                                  std::size_t levels);
 

@@ -1,0 +1,29 @@
+// Match: the result unit of every codebook similarity scan.
+//
+// Lives in its own header so both the scalar scans (hdc/item_memory.hpp) and
+// the packed word-plane scans (hdc/kernels/) can share it without a layering
+// cycle: ItemMemory sits above the kernels layer it dispatches into.
+#pragma once
+
+#include <cstddef>
+
+namespace factorhd::hdc {
+
+/// One similarity match: codebook index plus the measured similarity.
+struct Match {
+  std::size_t index = 0;
+  double similarity = 0.0;
+};
+
+/// The canonical ordering of scan results: descending similarity with
+/// ascending index as the tie-break. Every backend sorts with this exact
+/// comparator so tied similarities produce bit-identical orderings — the
+/// property the kernel/scalar equivalence suite asserts.
+/// \param a,b Matches to compare.
+/// \return True when `a` precedes `b` in canonical order.
+[[nodiscard]] inline bool match_order(const Match& a, const Match& b) noexcept {
+  if (a.similarity != b.similarity) return a.similarity > b.similarity;
+  return a.index < b.index;
+}
+
+}  // namespace factorhd::hdc

@@ -22,7 +22,9 @@ class PackedBipolar {
  public:
   PackedBipolar() = default;
 
-  /// Packs a strictly bipolar HV; throws std::invalid_argument otherwise.
+  /// Packs a strictly bipolar HV.
+  /// \param v Hypervector with every component in {-1, +1}.
+  /// \throws std::invalid_argument When `v` is not bipolar.
   explicit PackedBipolar(const Hypervector& v);
 
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
@@ -30,15 +32,25 @@ class PackedBipolar {
   [[nodiscard]] std::size_t storage_bits() const noexcept { return dim_; }
 
   /// Unpacks back to an int32 hypervector.
+  /// \return The bipolar hypervector this was packed from.
   [[nodiscard]] Hypervector unpack() const;
 
   /// Dot product via XOR + popcount: dot = D - 2 * hamming.
+  /// \param other Packed HV of the same dimension.
+  /// \return Exact integer dot product.
+  /// \throws std::invalid_argument On dimension mismatch or empty operands.
   [[nodiscard]] std::int64_t dot(const PackedBipolar& other) const;
 
   /// Hamming distance (number of differing signs).
+  /// \param other Packed HV of the same dimension.
+  /// \return Count of differing components.
+  /// \throws std::invalid_argument On dimension mismatch or empty operands.
   [[nodiscard]] std::size_t hamming(const PackedBipolar& other) const;
 
-  /// Componentwise product (binding) — XOR of the sign planes.
+  /// Componentwise product (binding) — XNOR of the sign planes.
+  /// \param other Packed HV of the same dimension.
+  /// \return The packed bound product.
+  /// \throws std::invalid_argument On dimension mismatch or empty operands.
   [[nodiscard]] PackedBipolar bind(const PackedBipolar& other) const;
 
   bool operator==(const PackedBipolar&) const = default;
@@ -53,15 +65,21 @@ class PackedTernary {
  public:
   PackedTernary() = default;
 
-  /// Packs a ternary HV; throws std::invalid_argument otherwise.
+  /// Packs a ternary HV.
+  /// \param v Hypervector with every component in {-1, 0, +1}.
+  /// \throws std::invalid_argument When `v` is not ternary.
   explicit PackedTernary(const Hypervector& v);
 
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
   [[nodiscard]] std::size_t storage_bits() const noexcept { return 2 * dim_; }
 
+  /// \return The ternary hypervector this was packed from.
   [[nodiscard]] Hypervector unpack() const;
 
   /// Dot product using bitwise plane arithmetic (no unpacking).
+  /// \param other Packed HV of the same dimension.
+  /// \return Exact integer dot product.
+  /// \throws std::invalid_argument On dimension mismatch or empty operands.
   [[nodiscard]] std::int64_t dot(const PackedTernary& other) const;
 
   bool operator==(const PackedTernary&) const = default;
@@ -74,6 +92,8 @@ class PackedTernary {
 
 /// Storage parity helper for the fair-comparison rule: the FactorHD dimension
 /// whose 2-bit ternary storage equals `bipolar_dim` bits of bipolar storage.
+/// \param bipolar_dim Baseline bipolar dimension (1 bit/dimension).
+/// \return bipolar_dim / 2, the storage-matched ternary dimension.
 [[nodiscard]] constexpr std::size_t fair_ternary_dim(
     std::size_t bipolar_dim) noexcept {
   return bipolar_dim / 2;

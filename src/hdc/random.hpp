@@ -15,16 +15,28 @@ namespace factorhd::hdc {
 
 /// Uniform random bipolar HV in {-1,+1}^D. Draws 64 components per generator
 /// call (one bit each).
+/// \param dim Hypervector dimension.
+/// \param rng Source of randomness.
+/// \return A random bipolar hypervector.
 [[nodiscard]] Hypervector random_bipolar(std::size_t dim,
                                          util::Xoshiro256& rng);
 
 /// Random ternary HV: each component is 0 with probability `sparsity`,
 /// otherwise ±1 with equal probability.
+/// \param dim Hypervector dimension.
+/// \param sparsity Per-component zero probability in [0, 1].
+/// \param rng Source of randomness.
+/// \return A random ternary hypervector.
 [[nodiscard]] Hypervector random_ternary(std::size_t dim, double sparsity,
                                          util::Xoshiro256& rng);
 
 /// Flip each component of a bipolar HV independently with probability p
 /// (noise model used in robustness tests and the IMC factorizer simulation).
+/// \param v Hypervector to perturb (components are negated, so any alphabet
+///   works; the noise model is meaningful for bipolar inputs).
+/// \param p Per-component flip probability in [0, 1].
+/// \param rng Source of randomness.
+/// \return The noisy copy.
 [[nodiscard]] Hypervector flip_noise(const Hypervector& v, double p,
                                      util::Xoshiro256& rng);
 

@@ -22,7 +22,9 @@ Match decode_sequence_position(const Hypervector& sequence,
                                std::size_t position,
                                const Codebook& codebook) {
   const Hypervector unrotated = unpermute(sequence, position);
-  return ItemMemory(codebook).best(unrotated);
+  // Transient memory for one scan: skip the O(M*D) packing, which could
+  // never amortize here (and the unrotated bundle is usually integer).
+  return ItemMemory(codebook, ScanBackend::kScalar).best(unrotated);
 }
 
 std::vector<std::size_t> decode_sequence(const Hypervector& sequence,

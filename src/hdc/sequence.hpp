@@ -23,24 +23,43 @@
 
 namespace factorhd::hdc {
 
-/// Superposition sequence S = Σ_i ρ^i(items[i]). Throws on empty input or
-/// mixed dimensions.
+/// Superposition sequence S = Σ_i ρ^i(items[i]).
+/// \param items Non-empty span of dimension-consistent hypervectors.
+/// \return The position-protected bundle.
+/// \throws std::invalid_argument On empty input or mixed dimensions.
 [[nodiscard]] Hypervector encode_sequence(std::span<const Hypervector> items);
 
 /// Recovers the codebook index at `position` from a superposition sequence.
+/// \param sequence Encoded superposition sequence.
+/// \param position Position to decode.
+/// \param codebook Item codebook the sequence was built from.
+/// \return Best cleanup match for the unpermuted position.
+/// \throws std::invalid_argument On dimension mismatch.
 [[nodiscard]] Match decode_sequence_position(const Hypervector& sequence,
                                              std::size_t position,
                                              const Codebook& codebook);
 
 /// Decodes every position of a length-`length` superposition sequence.
+/// \param sequence Encoded superposition sequence.
+/// \param length Number of positions to decode.
+/// \param codebook Item codebook the sequence was built from.
+/// \return Decoded codebook index per position.
+/// \throws std::invalid_argument On dimension mismatch.
 [[nodiscard]] std::vector<std::size_t> decode_sequence(
     const Hypervector& sequence, std::size_t length, const Codebook& codebook);
 
 /// N-gram signature G = ⊙_i ρ^i(items[i]).
+/// \param items Non-empty span of dimension-consistent hypervectors.
+/// \return The bound n-gram signature.
+/// \throws std::invalid_argument On empty input or mixed dimensions.
 [[nodiscard]] Hypervector encode_ngram(std::span<const Hypervector> items);
 
 /// Bag-of-ngrams text/trace encoding: Σ over sliding windows of size `n`
-/// of encode_ngram(window). Requires items.size() >= n.
+/// of encode_ngram(window).
+/// \param items Token hypervectors; requires items.size() >= n > 0.
+/// \param n Sliding-window size.
+/// \return The bundled bag of n-gram signatures.
+/// \throws std::invalid_argument When the size constraint is violated.
 [[nodiscard]] Hypervector encode_ngram_bag(std::span<const Hypervector> items,
                                            std::size_t n);
 

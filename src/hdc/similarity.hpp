@@ -4,6 +4,10 @@
 // sim(V1, V2) = (V1 · V2) / D; cosine similarity and (normalized) Hamming
 // distance are provided for completeness and for the baselines that quote
 // them. A similarity near 0 indicates quasi-orthogonality.
+//
+// These are the scalar (int32) implementations valid for any alphabet; the
+// bit-packed whole-codebook variants live in hdc/kernels/ and produce
+// bit-identical values for bipolar/ternary inputs.
 #pragma once
 
 #include <cstdint>
@@ -14,23 +18,40 @@ namespace factorhd::hdc {
 
 /// Raw dot product V1 · V2 in 64-bit (bundles of many objects can exceed
 /// 32-bit partial sums at large D).
+/// \param a,b Hypervectors of equal non-zero dimension.
+/// \return The exact integer dot product.
+/// \throws std::invalid_argument On dimension mismatch or empty input.
 [[nodiscard]] std::int64_t dot(const Hypervector& a, const Hypervector& b);
 
 /// The paper's similarity metric: dot(a, b) / D.
+/// \param a,b Hypervectors of equal non-zero dimension.
+/// \return Normalized similarity (in [-1, 1] for bipolar/ternary inputs).
+/// \throws std::invalid_argument On dimension mismatch or empty input.
 [[nodiscard]] double similarity(const Hypervector& a, const Hypervector& b);
 
 /// Cosine similarity; 0 when either vector is all-zero.
+/// \param a,b Hypervectors of equal non-zero dimension.
+/// \return dot(a, b) / (|a| |b|), or 0 for an all-zero operand.
+/// \throws std::invalid_argument On dimension mismatch or empty input.
 [[nodiscard]] double cosine(const Hypervector& a, const Hypervector& b);
 
 /// Number of differing components (classical Hamming distance; meaningful
 /// for bipolar/ternary HVs).
+/// \param a,b Hypervectors of equal non-zero dimension.
+/// \return Count of positions where a and b differ.
+/// \throws std::invalid_argument On dimension mismatch or empty input.
 [[nodiscard]] std::size_t hamming(const Hypervector& a, const Hypervector& b);
 
 /// Hamming distance normalized to [0, 1].
+/// \param a,b Hypervectors of equal non-zero dimension.
+/// \return hamming(a, b) / D.
+/// \throws std::invalid_argument On dimension mismatch or empty input.
 [[nodiscard]] double normalized_hamming(const Hypervector& a,
                                         const Hypervector& b);
 
 /// Euclidean norm of the HV.
+/// \param v Any hypervector (empty gives 0).
+/// \return sqrt(Σ v_i²).
 [[nodiscard]] double norm(const Hypervector& v);
 
 }  // namespace factorhd::hdc
