@@ -8,9 +8,19 @@
 // --benchmark_format=json output into BENCH_kernels.json including the
 // packed-over-scalar speedup per (M, D) point (see README "Kernel
 // benchmarks"). Keep their names and argument order (M, D) stable.
+//
+// Besides the scalar-vs-dispatched pairs, main() registers one
+// BM_Scan{Best,Dots}Packed<Level> row per SIMD tier available on this CPU
+// (Words = forced scalar-word loops, then AVX2/AVX512/NEON), so the v2 JSON
+// records the whole dispatch ladder; the dispatched level itself is exported
+// through the benchmark context (factorhd_simd_level).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <tuple>
+
 #include "core/factorhd.hpp"
+#include "hdc/kernels/simd.hpp"
 #include "hdc/packed.hpp"
 
 namespace {
@@ -156,6 +166,31 @@ void BM_ScanDotsPacked(benchmark::State& state) {
 }
 BENCHMARK(BM_ScanDotsPacked)->Apply(scan_args);
 
+// Forced-tier variants, registered from main() only for tiers this CPU can
+// execute (a forced ItemMemory construction throws otherwise).
+
+void BM_ScanBestForced(benchmark::State& state, hdc::ScanBackend backend) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  ScanFixture fx(m, dim, backend);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.memory.best(fx.query));
+  }
+  scan_counters(state, m, dim);
+}
+
+void BM_ScanDotsForced(benchmark::State& state, hdc::ScanBackend backend) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  ScanFixture fx(m, dim, backend);
+  std::vector<std::int64_t> out(m);
+  for (auto _ : state) {
+    fx.memory.dots(fx.query, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  scan_counters(state, m, dim);
+}
+
 struct Fixture {
   Fixture(std::size_t dim, std::size_t f, std::size_t m)
       : rng(7), taxonomy(f, {m}), books(taxonomy, dim, rng), encoder(books),
@@ -208,4 +243,42 @@ BENCHMARK(BM_FactorizeRep3TwoObjects)->Arg(2000)->Arg(4000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  namespace kernels = factorhd::hdc::kernels;
+  using factorhd::hdc::ScanBackend;
+  using kernels::SimdLevel;
+
+  // One row pair per SIMD tier available here; "Words" is the forced
+  // scalar-word tier (the packed baseline every vector tier is measured
+  // against in the v2 speedup table).
+  const std::tuple<ScanBackend, SimdLevel, const char*> tiers[] = {
+      {ScanBackend::kPackedWords, SimdLevel::kScalarWords, "Words"},
+      {ScanBackend::kPackedAVX2, SimdLevel::kAVX2, "AVX2"},
+      {ScanBackend::kPackedAVX512, SimdLevel::kAVX512, "AVX512"},
+      {ScanBackend::kPackedNEON, SimdLevel::kNEON, "NEON"},
+  };
+  for (const auto& [backend, level, suffix] : tiers) {
+    if (!kernels::simd_level_available(level)) continue;
+    benchmark::RegisterBenchmark(
+        (std::string("BM_ScanBestPacked") + suffix).c_str(), BM_ScanBestForced,
+        backend)
+        ->Apply(scan_args);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_ScanDotsPacked") + suffix).c_str(), BM_ScanDotsForced,
+        backend)
+        ->Apply(scan_args);
+  }
+
+  // Provenance for bench_json.py: which tier kPacked/kAuto scans dispatched
+  // to in this run, and what the CPU would support.
+  benchmark::AddCustomContext("factorhd_simd_level",
+                              kernels::to_string(kernels::dispatched_simd_level()));
+  benchmark::AddCustomContext("factorhd_simd_detected",
+                              kernels::to_string(kernels::detect_simd_level()));
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

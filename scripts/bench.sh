@@ -18,7 +18,9 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 OUT=BENCH_kernels.json
 MODE=full
-FILTER='^BM_Scan(Best|Dots)(Scalar|Packed)/'
+# Scalar + dispatched packed + every per-tier PackedWords/AVX2/AVX512/NEON
+# row this CPU registered.
+FILTER='^BM_Scan(Best|Dots)(Scalar|Packed[A-Za-z0-9]*)/'
 BENCH_ARGS=()
 
 while [ $# -gt 0 ]; do
@@ -27,7 +29,7 @@ while [ $# -gt 0 ]; do
       MODE=smoke
       # Small dims only, and a short measurement window: the smoke run
       # exists to exercise the emitter end to end, not to produce numbers.
-      FILTER='^BM_Scan(Best|Dots)(Scalar|Packed)/64/(63|256)$'
+      FILTER='^BM_Scan(Best|Dots)(Scalar|Packed[A-Za-z0-9]*)/64/(63|256)$'
       BENCH_ARGS+=(--benchmark_min_time=0.01)
       shift
       ;;

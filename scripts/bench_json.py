@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Convert Google Benchmark JSON output into BENCH_kernels.json.
+"""Convert Google Benchmark JSON output into BENCH_kernels.json (schema v2).
 
 Reads the raw ``--benchmark_format=json`` output of bench_kernels (BM_Scan*
 entries), pairs each packed benchmark with its scalar twin at the same
@@ -7,13 +7,26 @@ entries), pairs each packed benchmark with its scalar twin at the same
 benchmarks"):
 
     {
-      "schema": "factorhd.bench_kernels.v1",
+      "schema": "factorhd.bench_kernels.v2",
       "mode": "full" | "smoke",
-      "context": {...},                  # machine/build provenance
-      "benchmarks": [{"name", "kernel", "backend", "m", "d",
+      "context": {...,                    # machine/build provenance
+                  "simd_level": "avx512", # tier kPacked scans dispatched to
+                  "simd_detected": "avx512"},
+      "benchmarks": [{"name", "kernel", "backend", "level", "m", "d",
                       "real_time_ns", "cpu_time_ns", "items_per_second"}],
-      "speedup": {"scan_best/m64/d8192": 5.3, ...}   # scalar_cpu / packed_cpu
+      "speedup": {
+        "scan_best/m64/d8192": 15.0,          # scalar_cpu / dispatched packed
+        "scan_best/m64/d8192/avx2": 8.1, ...  # scalar_cpu / forced-tier cpu
+      }
     }
+
+`level` is the SIMD tier a row executed at: null for the scalar int32
+backend, the forced tier for BM_Scan*Packed{Words,AVX2,AVX512,NEON} rows,
+and the context's dispatched tier for plain BM_Scan*Packed rows.
+
+``--check FILE`` validates an emitted file against the v2 schema (level
+fields present, speedups recorded) and exits non-zero on violations — the
+CI hook keeping the emitter and this schema in lockstep.
 
 Only Python stdlib is used.
 """
@@ -23,13 +36,23 @@ import json
 import re
 import sys
 
-# BM_ScanBestScalar/64/8192 -> kernel "scan_best", backend "scalar", m, d.
+# BM_ScanBestPackedAVX2/64/8192 -> kernel "scan_best", backend "packed",
+# level "avx2", m, d. The level suffix is absent on scalar and
+# dispatched-packed rows.
 NAME_RE = re.compile(
-    r"^BM_Scan(?P<kernel>Best|Dots)(?P<backend>Scalar|Packed)/(?P<m>\d+)/(?P<d>\d+)$"
+    r"^BM_Scan(?P<kernel>Best|Dots)(?P<backend>Scalar|Packed)"
+    r"(?P<level>Words|AVX2|AVX512|NEON)?/(?P<m>\d+)/(?P<d>\d+)$"
 )
 
+# Benchmark-name level suffix -> canonical SimdLevel name (simd.hpp).
+LEVEL_NAMES = {"Words": "scalar", "AVX2": "avx2", "AVX512": "avx512",
+               "NEON": "neon"}
+KNOWN_LEVELS = set(LEVEL_NAMES.values())
 
-def parse_benchmarks(raw):
+SCHEMA = "factorhd.bench_kernels.v2"
+
+
+def parse_benchmarks(raw, dispatched_level):
     out = []
     for b in raw.get("benchmarks", []):
         match = NAME_RE.match(b.get("name", ""))
@@ -37,11 +60,23 @@ def parse_benchmarks(raw):
             continue
         unit = b.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        backend = match.group("backend").lower()
+        suffix = match.group("level")
+        if backend == "scalar":
+            level = None  # int32 loops: no plane tier at all
+        elif suffix is not None:
+            level = LEVEL_NAMES[suffix]
+        else:
+            level = dispatched_level
         out.append(
             {
                 "name": b["name"],
                 "kernel": "scan_" + match.group("kernel").lower(),
-                "backend": match.group("backend").lower(),
+                "backend": backend,
+                "level": level,
+                # Forced-tier row (False for the dispatched kPacked pair the
+                # perf trajectory tracks).
+                "forced": suffix is not None,
                 "m": int(match.group("m")),
                 "d": int(match.group("d")),
                 "real_time_ns": b["real_time"] * scale,
@@ -52,44 +87,137 @@ def parse_benchmarks(raw):
     return out
 
 
+def speedup_slot(b):
+    """Per-point slot of a row in the speedup table: the scalar int32
+    reference, the dispatched packed pair, or a forced tier ("words" for the
+    forced scalar-word tier, so it cannot collide with the int32 slot)."""
+    if b.get("backend") == "scalar":
+        return "int32"
+    if not b.get("forced"):
+        return "packed"
+    return "words" if b.get("level") == "scalar" else b.get("level")
+
+
 def compute_speedups(benchmarks):
+    """scalar_cpu / packed_cpu per (kernel, m, d): the dispatched pair under
+    the bare key (the perf-trajectory headline), each forced tier under
+    key/<words|avx2|avx512|neon>."""
     by_point = {}
     for b in benchmarks:
-        by_point.setdefault((b["kernel"], b["m"], b["d"]), {})[b["backend"]] = b
+        by_point.setdefault((b["kernel"], b["m"], b["d"]), {})[
+            speedup_slot(b)] = b
     speedups = {}
-    for (kernel, m, d), backends in sorted(by_point.items()):
-        if "scalar" in backends and "packed" in backends:
-            packed = backends["packed"]["cpu_time_ns"]
-            if packed > 0:
-                key = f"{kernel}/m{m}/d{d}"
-                speedups[key] = round(
-                    backends["scalar"]["cpu_time_ns"] / packed, 3
-                )
+    for (kernel, m, d), slots in sorted(by_point.items()):
+        scalar = slots.get("int32")
+        if scalar is None:
+            continue
+        for slot, b in sorted(slots.items()):
+            if slot == "int32" or b["cpu_time_ns"] <= 0:
+                continue
+            key = f"{kernel}/m{m}/d{d}"
+            if slot != "packed":
+                key += f"/{slot}"
+            speedups[key] = round(scalar["cpu_time_ns"] / b["cpu_time_ns"], 3)
     return speedups
+
+
+def validate(doc):
+    """Returns a list of v2-schema violations (empty = valid)."""
+    errors = []
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if doc.get("mode") not in ("full", "smoke"):
+        errors.append(f"mode is {doc.get('mode')!r}")
+    ctx = doc.get("context", {})
+    if ctx.get("simd_level") not in KNOWN_LEVELS:
+        errors.append(f"context.simd_level is {ctx.get('simd_level')!r}")
+    if ctx.get("simd_detected") not in KNOWN_LEVELS:
+        errors.append(f"context.simd_detected is {ctx.get('simd_detected')!r}")
+    benchmarks = doc.get("benchmarks") or []
+    if not benchmarks:
+        errors.append("no benchmarks recorded")
+    well_formed = []
+    for b in benchmarks:
+        missing = [k for k in ("kernel", "backend", "level", "forced", "m",
+                               "d") if k not in b]
+        if missing:
+            errors.append(f"{b.get('name')}: missing fields {missing}")
+            continue
+        if b["backend"] == "scalar":
+            if b["level"] is not None:
+                errors.append(f"{b.get('name')}: scalar row with level")
+        elif b["level"] not in KNOWN_LEVELS:
+            errors.append(f"{b.get('name')}: bad level {b['level']!r}")
+        well_formed.append(b)
+    speedups = doc.get("speedup") or {}
+    if not speedups:
+        errors.append("no speedups recorded")
+    # Every dispatched packed point must have its headline speedup, and every
+    # forced tier measured must appear under a per-level key.
+    for b in well_formed:
+        if b["backend"] != "packed":
+            continue
+        key = f"{b['kernel']}/m{b['m']}/d{b['d']}"
+        slot = speedup_slot(b)
+        if slot != "packed":
+            key += f"/{slot}"
+        if key not in speedups:
+            errors.append(f"missing speedup entry {key!r}")
+    return errors
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--raw", required=True, help="google-benchmark JSON file")
-    ap.add_argument("--out", required=True, help="output BENCH_kernels.json")
+    ap.add_argument("--raw", help="google-benchmark JSON file")
+    ap.add_argument("--out", help="output BENCH_kernels.json")
     ap.add_argument("--mode", default="full", choices=["full", "smoke"])
     ap.add_argument(
         "--build-type",
         default=None,
         help="CMAKE_BUILD_TYPE of the benchmarked binary (provenance)",
     )
+    ap.add_argument(
+        "--check",
+        metavar="FILE",
+        help="validate FILE against the v2 schema and exit (no conversion)",
+    )
     args = ap.parse_args()
+
+    if args.check:
+        with open(args.check, encoding="utf-8") as f:
+            doc = json.load(f)
+        errors = validate(doc)
+        if errors:
+            for e in errors:
+                print(f"bench_json.py: {args.check}: {e}", file=sys.stderr)
+            sys.exit(1)
+        print(
+            f"{args.check}: schema {SCHEMA} OK "
+            f"({len(doc['benchmarks'])} rows, {len(doc['speedup'])} speedups, "
+            f"simd_level={doc['context']['simd_level']})"
+        )
+        return
+
+    if not args.raw or not args.out:
+        ap.error("--raw and --out are required unless --check is given")
 
     with open(args.raw, encoding="utf-8") as f:
         raw = json.load(f)
 
-    benchmarks = parse_benchmarks(raw)
+    ctx = raw.get("context", {})
+    dispatched = ctx.get("factorhd_simd_level")
+    if dispatched not in KNOWN_LEVELS:
+        sys.exit(
+            "bench_json.py: raw context lacks factorhd_simd_level "
+            "(bench_kernels too old for the v2 schema?)"
+        )
+
+    benchmarks = parse_benchmarks(raw, dispatched)
     if not benchmarks:
         sys.exit("bench_json.py: no BM_Scan* benchmarks in the raw output")
 
-    ctx = raw.get("context", {})
     doc = {
-        "schema": "factorhd.bench_kernels.v1",
+        "schema": SCHEMA,
         "mode": args.mode,
         "context": {
             "date": ctx.get("date"),
@@ -101,10 +229,20 @@ def main():
             "library_build_type": ctx.get("library_build_type"),
             # CMAKE_BUILD_TYPE of the benchmarked bench_kernels binary.
             "cmake_build_type": args.build_type,
+            # SIMD tier the dispatched (kPacked/kAuto) rows executed at, and
+            # the CPU's best tier (they differ only under FACTORHD_SIMD).
+            "simd_level": dispatched,
+            "simd_detected": ctx.get("factorhd_simd_detected"),
         },
         "benchmarks": benchmarks,
         "speedup": compute_speedups(benchmarks),
     }
+
+    errors = validate(doc)
+    if errors:
+        for e in errors:
+            print(f"bench_json.py: emitted doc invalid: {e}", file=sys.stderr)
+        sys.exit(1)
 
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(doc, f, indent=2)

@@ -5,6 +5,9 @@
 #   scripts/check.sh          # full corpus (the ROADMAP tier-1 gate)
 #   scripts/check.sh --fast   # unit-labelled suites only (pre-commit loop)
 #   scripts/check.sh --asan   # Debug + ASan/UBSan + -Werror, full corpus
+#   scripts/check.sh --tsan   # Debug + ThreadSanitizer + -Werror, the
+#                             # threading suites (batch determinism, kernel
+#                             # fuzz, batch) only
 #
 # Extra arguments after the mode are forwarded to ctest.
 set -euo pipefail
@@ -24,6 +27,14 @@ case "${1:-}" in
     shift
     BUILD_DIR=build-asan
     CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Debug -DFACTORHD_SANITIZE=ON -DFACTORHD_WERROR=ON)
+    ;;
+  --tsan)
+    shift
+    BUILD_DIR=build-tsan
+    CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Debug -DFACTORHD_TSAN=ON -DFACTORHD_WERROR=ON)
+    # The suites that exercise the worker pools (BatchFactorizer and the
+    # parallel plane scans); everything else is single-threaded.
+    CTEST_ARGS+=(-R 'BatchDeterminism|KernelFuzz|BatchTest')
     ;;
 esac
 CTEST_ARGS+=("$@")

@@ -5,6 +5,8 @@
 #include <exception>
 #include <thread>
 
+#include "hdc/kernels/packed_item_memory.hpp"
+
 namespace factorhd::core {
 
 std::size_t BatchFactorizer::effective_threads(std::size_t batch) const {
@@ -33,6 +35,10 @@ std::vector<FactorizeResult> BatchFactorizer::factorize_all(
   std::exception_ptr first_error;
   std::atomic<bool> failed{false};
   auto work = [&]() {
+    // Batch workers are the parallel layer; mark the thread so the packed
+    // scans underneath stay sequential instead of nesting a second pool
+    // (batch threads x scan threads) per call.
+    const hdc::kernels::ScanNestingGuard nesting_guard;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= targets.size() || failed.load(std::memory_order_relaxed)) {

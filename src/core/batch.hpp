@@ -5,8 +5,16 @@
 // factorized concurrently across a worker pool. Correctness relies on
 // Factorizer::factorize being const and side-effect-free apart from the
 // atomic similarity-op counters in hdc::ItemMemory; the packed word-plane
-// scan backend is immutable after construction and shared read-only across
-// workers, so it needs no further synchronization.
+// scan backend — including its SIMD tier, which rides in on the
+// hdc::ScanBackend the Factorizer was built with — is immutable after
+// construction and shared read-only across workers, so it needs no further
+// synchronization.
+//
+// Determinism contract (asserted by tests/test_batch_determinism.cpp):
+// every target is factorized independently and results land at the
+// target's input position, so factorize_all returns identical results for
+// any num_threads and across repeated runs — thread scheduling only decides
+// who computes an entry, never what it contains.
 #pragma once
 
 #include <cstddef>
@@ -41,7 +49,9 @@ class BatchFactorizer {
 
   /// Threads that factorize_all will actually use for a given batch size.
   /// \param batch Number of targets in the batch.
-  /// \return min(configured threads, batch), at least 1 for non-empty input.
+  /// \return min(configured threads, batch), clamped to at least 1 — also
+  ///   for batch == 0, where factorize_all returns empty without spawning
+  ///   any worker (the 1 is the sequential caller thread itself).
   [[nodiscard]] std::size_t effective_threads(std::size_t batch) const;
 
  private:

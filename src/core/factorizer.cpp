@@ -42,6 +42,18 @@ hdc::ScanBackend Factorizer::scan_backend() const noexcept {
                            : hdc::ScanBackend::kPacked;
 }
 
+std::optional<hdc::kernels::SimdLevel> Factorizer::simd_level() const noexcept {
+  // All memories are built with the same ScanBackend, but under kAuto a
+  // non-packable codebook can leave individual memories scalar — report the
+  // tier of the first memory that actually packed, nullopt when none did.
+  for (const auto& per_class : memories_) {
+    for (const hdc::ItemMemory& m : per_class) {
+      if (const auto level = m.simd_level()) return level;
+    }
+  }
+  return std::nullopt;
+}
+
 std::vector<std::size_t> Factorizer::resolve_classes(
     const FactorizeOptions& opts) const {
   const std::size_t f = books_->taxonomy().num_classes();

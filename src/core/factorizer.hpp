@@ -130,15 +130,25 @@ class Factorizer {
   /// (ternary/bipolar) run on XOR+popcount scans while integer residual
   /// queries of the multi-object loop fall back to scalar per call.
   /// \param encoder Encoder whose codebooks define the factorization problem.
-  /// \param backend Scan-backend policy for every internal ItemMemory.
+  /// \param backend Scan-backend policy for every internal ItemMemory. The
+  ///   forced hdc::ScanBackend::kPacked* values pin the packed kernels to
+  ///   one SIMD tier (throwing when that tier is unavailable on this CPU) —
+  ///   the knob the cross-backend differential tests run the whole
+  ///   Algorithm 1 pipeline on.
   /// \throws std::invalid_argument When `backend` is kPacked but a codebook
-  ///   is not packable (never the case for generated taxonomy codebooks).
+  ///   is not packable (never the case for generated taxonomy codebooks),
+  ///   or when a forced kPacked* SIMD level is unavailable on this CPU.
   explicit Factorizer(const Encoder& encoder,
                       hdc::ScanBackend backend = hdc::ScanBackend::kAuto);
 
   /// \return The backend the codebook scans resolved to: kPacked when every
   ///   internal ItemMemory packed its codebook, else kScalar.
   [[nodiscard]] hdc::ScanBackend scan_backend() const noexcept;
+
+  /// \return The SIMD tier the packed codebook scans execute at (identical
+  ///   across all internal memories); std::nullopt when scans are scalar.
+  [[nodiscard]] std::optional<hdc::kernels::SimdLevel> simd_level()
+      const noexcept;
 
   /// Runs Algorithm 1 on `target` (an encoded object or scene).
   /// \param target Encoded object/scene HV of the codebooks' dimension.

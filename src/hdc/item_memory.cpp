@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "hdc/kernels/packed_item_memory.hpp"
 #include "hdc/similarity.hpp"
@@ -13,6 +14,24 @@ namespace {
 
 using kernels::PackedItemMemory;
 using kernels::PackedQuery;
+using kernels::SimdLevel;
+
+// The SIMD tier a forced kPacked* backend names; nullopt for every backend
+// that dispatches (kAuto/kPacked) or never packs (kScalar).
+std::optional<SimdLevel> forced_simd_level(ScanBackend backend) noexcept {
+  switch (backend) {
+    case ScanBackend::kPackedWords:
+      return SimdLevel::kScalarWords;
+    case ScanBackend::kPackedAVX2:
+      return SimdLevel::kAVX2;
+    case ScanBackend::kPackedAVX512:
+      return SimdLevel::kAVX512;
+    case ScanBackend::kPackedNEON:
+      return SimdLevel::kNEON;
+    default:
+      return std::nullopt;
+  }
+}
 
 }  // namespace
 
@@ -30,18 +49,40 @@ ItemMemory::ItemMemory(const Codebook& codebook, ScanBackend backend)
         packed_ = std::make_shared<const PackedItemMemory>(codebook);
       }
       break;
+    case ScanBackend::kPackedWords:
+    case ScanBackend::kPackedAVX2:
+    case ScanBackend::kPackedAVX512:
+    case ScanBackend::kPackedNEON: {
+      const SimdLevel level = *forced_simd_level(backend);
+      // A forced level must run exactly as requested — the differential
+      // fuzz suite and the per-level benchmarks rely on never degrading.
+      if (!kernels::simd_level_available(level)) {
+        throw std::invalid_argument(
+            std::string("ItemMemory: forced SIMD level '") +
+            kernels::to_string(level) + "' is not available on this CPU");
+      }
+      packed_ = std::make_shared<const PackedItemMemory>(codebook, level);
+      break;
+    }
   }
+}
+
+std::optional<SimdLevel> ItemMemory::simd_level() const noexcept {
+  if (!packed_) return std::nullopt;
+  return packed_->simd_level();
 }
 
 // Packs `query` for the kernels when the packed backend is active and the
 // query's alphabet and dimension admit plane arithmetic; nullopt routes the
 // call to the scalar loop (integer bundles, dimension mismatches — the
-// latter so the scalar path raises its usual error).
+// latter so the scalar path raises its usual error). Packing runs at the
+// memory's own SIMD tier so forced kPacked* backends pin the whole scan,
+// packing included.
 static std::optional<PackedQuery> packed_route(
     const std::shared_ptr<const PackedItemMemory>& packed,
     const Hypervector& query) {
   if (!packed || query.dim() != packed->dim()) return std::nullopt;
-  return PackedQuery::pack(query);
+  return PackedQuery::pack(query, packed->simd_level());
 }
 
 Match ItemMemory::best(const Hypervector& query) const {

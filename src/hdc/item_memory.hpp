@@ -25,11 +25,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "hdc/codebook.hpp"
 #include "hdc/hypervector.hpp"
+#include "hdc/kernels/simd.hpp"
 #include "hdc/match.hpp"
 
 namespace factorhd::hdc {
@@ -39,10 +41,22 @@ class PackedItemMemory;
 }  // namespace kernels
 
 /// Similarity-scan backend selection for ItemMemory.
+///
+/// The packed backend runs its word-plane arithmetic on a runtime-dispatched
+/// SIMD tier (kernels::SimdLevel): kAuto/kPacked use the CPUID-detected
+/// level (clamped by the FACTORHD_SIMD env var), while the kPacked* variants
+/// force one specific tier — the knob the cross-backend differential tests
+/// and per-level benchmarks are built on. Every tier returns bit-identical
+/// results; forcing a tier the CPU cannot execute throws instead of
+/// degrading silently.
 enum class ScanBackend {
   kAuto,    ///< packed when the codebook is bipolar/ternary, else scalar
   kScalar,  ///< always the int32 dot-product loops
-  kPacked,  ///< always the word-plane kernels; requires a packable codebook
+  kPacked,  ///< word-plane kernels at the dispatched SIMD level
+  kPackedWords,   ///< word-plane kernels, forced scalar 64-bit word loops
+  kPackedAVX2,    ///< word-plane kernels, forced AVX2 tier
+  kPackedAVX512,  ///< word-plane kernels, forced AVX-512 tier
+  kPackedNEON,    ///< word-plane kernels, forced NEON tier
 };
 
 class ItemMemory {
@@ -52,8 +66,10 @@ class ItemMemory {
   /// packed into word planes at construction (O(size * dim) once).
   /// \param codebook Codebook to scan; must outlive this object.
   /// \param backend Backend selection policy (see ScanBackend).
-  /// \throws std::invalid_argument When `backend` is kPacked but the
-  ///   codebook has an entry outside {-1, 0, +1} or is empty.
+  /// \throws std::invalid_argument When `backend` is kPacked (or a forced
+  ///   kPacked* level) but the codebook has an entry outside {-1, 0, +1} or
+  ///   is empty, or when a forced SIMD level is not available on this CPU
+  ///   (kernels::simd_level_available).
   explicit ItemMemory(const Codebook& codebook,
                       ScanBackend backend = ScanBackend::kAuto);
 
@@ -66,6 +82,10 @@ class ItemMemory {
   [[nodiscard]] ScanBackend backend() const noexcept {
     return packed_ ? ScanBackend::kPacked : ScanBackend::kScalar;
   }
+
+  /// \return The SIMD tier packed scans execute at; std::nullopt on the
+  ///   scalar backend.
+  [[nodiscard]] std::optional<kernels::SimdLevel> simd_level() const noexcept;
 
   /// Best match over the full codebook (argmax of similarity; the first
   /// maximum wins on ties).

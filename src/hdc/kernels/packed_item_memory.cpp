@@ -2,12 +2,52 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
+
+#include "util/env.hpp"
 
 namespace factorhd::hdc::kernels {
 
 namespace {
 
+// A scan is worth threading only when its sequential time comfortably
+// exceeds the std::thread spawn+join overhead (tens of microseconds). That
+// break-even point depends on the SIMD tier: the scalar word loop retires a
+// few ns per plane word, the vector tiers 10-30x less, so their threshold
+// sits 16x higher (measured on AVX-512: a 2^16-word scan runs ~15 us
+// sequentially — well below spawn cost). The taxonomy codebooks of the
+// paper experiments (M <= a few hundred, D <= 8192) stay sequential;
+// million-entry codebooks partition across the pool.
+constexpr std::size_t parallel_scan_min_words(SimdLevel level) noexcept {
+  return level == SimdLevel::kScalarWords ? (std::size_t{1} << 16)
+                                          : (std::size_t{1} << 20);
+}
+
+// Depth of outer worker pools on this thread (see ScanNestingGuard).
+thread_local int scan_nesting_depth = 0;
+
+// Worker-pool width: FACTORHD_SCAN_THREADS when set (1 disables threading),
+// else min(hardware threads, 8) — a small pool, matching the BatchFactorizer
+// idiom of per-call spawn+join std::threads.
+std::size_t scan_pool_width() {
+  static const std::size_t width = [] {
+    const std::int64_t env = util::env_int("FACTORHD_SCAN_THREADS", 0);
+    if (env > 0) return static_cast<std::size_t>(env);
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    return std::min<std::size_t>(hw, 8);
+  }();
+  return width;
+}
+
 enum class Alphabet { kBipolar, kTernary, kOther };
+
+}  // namespace
+
+ScanNestingGuard::ScanNestingGuard() noexcept { ++scan_nesting_depth; }
+ScanNestingGuard::~ScanNestingGuard() { --scan_nesting_depth; }
+
+namespace {
 
 Alphabet classify(const Hypervector& v) noexcept {
   bool any_zero = false;
@@ -29,10 +69,13 @@ bool PackedItemMemory::packable(const Codebook& codebook) noexcept {
   return true;
 }
 
-PackedItemMemory::PackedItemMemory(const Codebook& codebook)
+PackedItemMemory::PackedItemMemory(const Codebook& codebook,
+                                   std::optional<SimdLevel> level)
     : size_(codebook.size()),
       dim_(codebook.dim()),
-      words_(plane_words(codebook.dim())) {
+      words_(plane_words(codebook.dim())),
+      level_(level.value_or(dispatched_simd_level())),
+      kernels_(&dot_kernels(level_)) {
   if (size_ == 0 || dim_ == 0) {
     throw std::invalid_argument("PackedItemMemory: empty codebook");
   }
@@ -74,17 +117,59 @@ std::int64_t PackedItemMemory::row_dot(std::size_t row,
   const std::uint64_t* rs = &sign_[row * words_];
   if (layout_ == Layout::kBipolar) {
     if (query.bipolar) {
-      return dot_bipolar_bipolar(rs, query.sign.data(), words_, dim_);
+      return kernels_->bipolar_bipolar(rs, query.sign.data(), words_, dim_);
     }
-    return dot_bipolar_ternary(rs, query.nonzero.data(), query.sign.data(),
-                               words_);
+    return kernels_->bipolar_ternary(rs, query.nonzero.data(),
+                                     query.sign.data(), words_);
   }
   const std::uint64_t* rnz = &nonzero_[row * words_];
   if (query.bipolar) {
-    return dot_bipolar_ternary(query.sign.data(), rnz, rs, words_);
+    return kernels_->bipolar_ternary(query.sign.data(), rnz, rs, words_);
   }
-  return dot_ternary_ternary(rnz, rs, query.nonzero.data(), query.sign.data(),
-                             words_);
+  return kernels_->ternary_ternary(rnz, rs, query.nonzero.data(),
+                                   query.sign.data(), words_);
+}
+
+std::size_t PackedItemMemory::scan_workers() const noexcept {
+  if (scan_nesting_depth > 0) return 1;  // already inside an outer pool
+  if (size_ * words_ < parallel_scan_min_words(level_)) return 1;
+  return std::min(scan_pool_width(), size_);
+}
+
+void PackedItemMemory::compute_dots(const PackedQuery& query,
+                                    std::span<std::int64_t> out) const {
+  const std::size_t workers = scan_workers();
+  if (workers <= 1) {
+    for (std::size_t row = 0; row < size_; ++row) {
+      out[row] = row_dot(row, query);
+    }
+    return;
+  }
+  // Contiguous fixed row blocks, one per worker; every worker writes a
+  // disjoint slice of `out`, so the result is byte-identical to the
+  // sequential loop for any pool width. Ceil division can leave fewer
+  // non-empty blocks than workers — stop at size_ rather than spawn idle
+  // threads.
+  const std::size_t chunk = (size_ + workers - 1) / workers;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  try {
+    for (std::size_t begin = 0; begin < size_; begin += chunk) {
+      const std::size_t end = std::min(size_, begin + chunk);
+      pool.emplace_back([this, &query, out, begin, end] {
+        for (std::size_t row = begin; row < end; ++row) {
+          out[row] = row_dot(row, query);
+        }
+      });
+    }
+  } catch (...) {
+    // A failed spawn (thread-limit pressure) must not let the vector
+    // destructor run on joinable threads (std::terminate); join what
+    // started, then propagate.
+    for (auto& t : pool) t.join();
+    throw;
+  }
+  for (auto& t : pool) t.join();
 }
 
 void PackedItemMemory::require_query(const PackedQuery& query) const {
@@ -94,7 +179,7 @@ void PackedItemMemory::require_query(const PackedQuery& query) const {
 }
 
 PackedQuery PackedItemMemory::pack_query(const Hypervector& query) const {
-  std::optional<PackedQuery> q = PackedQuery::pack(query);
+  std::optional<PackedQuery> q = PackedQuery::pack(query, level_);
   if (!q) {
     throw std::invalid_argument(
         "PackedItemMemory: query is not bipolar/ternary (use the scalar "
@@ -107,6 +192,21 @@ Match PackedItemMemory::best(const PackedQuery& query) const {
   require_query(query);
   // Strict > keeps the first (lowest-index) maximum, exactly like the scalar
   // argmax loop; integer dots make the comparison tie-exact.
+  if (scan_workers() > 1) {
+    // Parallel path: materialize the dots (disjoint slices per worker), then
+    // reduce sequentially in row order — same argmax, any thread count.
+    std::vector<std::int64_t> all(size_);
+    compute_dots(query, all);
+    std::int64_t best_dot = all[0];
+    std::size_t best_row = 0;
+    for (std::size_t row = 1; row < size_; ++row) {
+      if (all[row] > best_dot) {
+        best_dot = all[row];
+        best_row = row;
+      }
+    }
+    return {best_row, to_similarity(best_dot)};
+  }
   std::int64_t best_dot = row_dot(0, query);
   std::size_t best_row = 0;
   for (std::size_t row = 1; row < size_; ++row) {
@@ -146,9 +246,18 @@ std::vector<Match> PackedItemMemory::above(const PackedQuery& query,
                                            double threshold) const {
   require_query(query);
   std::vector<Match> out;
-  for (std::size_t row = 0; row < size_; ++row) {
-    const double s = to_similarity(row_dot(row, query));
-    if (s > threshold) out.push_back({row, s});
+  if (scan_workers() > 1) {
+    std::vector<std::int64_t> ds(size_);
+    compute_dots(query, ds);
+    for (std::size_t row = 0; row < size_; ++row) {
+      const double s = to_similarity(ds[row]);
+      if (s > threshold) out.push_back({row, s});
+    }
+  } else {
+    for (std::size_t row = 0; row < size_; ++row) {
+      const double s = to_similarity(row_dot(row, query));
+      if (s > threshold) out.push_back({row, s});
+    }
   }
   std::sort(out.begin(), out.end(), match_order);
   return out;
@@ -174,10 +283,12 @@ std::vector<Match> PackedItemMemory::above_among(
 std::vector<Match> PackedItemMemory::top_k(const PackedQuery& query,
                                            std::size_t k) const {
   require_query(query);
+  std::vector<std::int64_t> ds(size_);
+  compute_dots(query, ds);
   std::vector<Match> all;
   all.reserve(size_);
   for (std::size_t row = 0; row < size_; ++row) {
-    all.push_back({row, to_similarity(row_dot(row, query))});
+    all.push_back({row, to_similarity(ds[row])});
   }
   const std::size_t keep = std::min(k, all.size());
   std::partial_sort(all.begin(),
@@ -193,7 +304,7 @@ void PackedItemMemory::dots(const PackedQuery& query,
   if (out.size() != size_) {
     throw std::invalid_argument("PackedItemMemory::dots: output size mismatch");
   }
-  for (std::size_t row = 0; row < size_; ++row) out[row] = row_dot(row, query);
+  compute_dots(query, out);
 }
 
 Match PackedItemMemory::best(const Hypervector& query) const {

@@ -15,6 +15,14 @@
 // (tests/test_kernel_equivalence.cpp) asserts this across alphabets and at
 // dimensions that are not multiples of 64.
 //
+// Word arithmetic runs on a runtime-dispatched SIMD tier (simd.hpp): the
+// scalar 64-bit word loops, AVX2, AVX-512, or NEON, selected per memory at
+// construction (CPUID-detected by default, overridable via FACTORHD_SIMD or
+// an explicit level). Large scans are additionally partitioned across a
+// small worker pool (FACTORHD_SCAN_THREADS) in fixed row blocks, so results
+// stay independent of thread count. All tiers and thread counts produce
+// bit-identical results.
+//
 // This class is the packing + kernel layer only; backend selection and the
 // scalar fallback for integer-bundle queries live in hdc::ItemMemory, which
 // dispatches here when both the codebook and the query admit plane packing.
@@ -22,15 +30,32 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "hdc/codebook.hpp"
 #include "hdc/hypervector.hpp"
 #include "hdc/kernels/plane.hpp"
+#include "hdc/kernels/simd.hpp"
 #include "hdc/match.hpp"
 
 namespace factorhd::hdc::kernels {
+
+/// RAII marker for threads that are themselves workers of an outer pool
+/// (core::BatchFactorizer installs one per worker): while any guard is
+/// alive on the current thread, PackedItemMemory scans stay sequential, so
+/// thread counts never multiply (batch workers x scan pool) and the scan
+/// pool's spawn+join cost is not paid inside already-parallel loops.
+/// Results are unaffected either way — the parallel partition is
+/// bit-identical to the sequential scan.
+class ScanNestingGuard {
+ public:
+  ScanNestingGuard() noexcept;
+  ~ScanNestingGuard();
+  ScanNestingGuard(const ScanNestingGuard&) = delete;
+  ScanNestingGuard& operator=(const ScanNestingGuard&) = delete;
+};
 
 class PackedItemMemory {
  public:
@@ -50,12 +75,20 @@ class PackedItemMemory {
   /// construction; the packed memory owns its planes and stays valid even if
   /// the codebook is later destroyed.
   /// \param codebook Source codebook (bipolar or ternary entries).
+  /// \param level SIMD tier the scans run at; std::nullopt (the default)
+  ///   selects the runtime-dispatched level (CPUID clamped by FACTORHD_SIMD).
+  ///   An explicit level is used as given — callers gate on
+  ///   simd_level_available() (hdc::ItemMemory throws for unavailable
+  ///   forced levels).
   /// \throws std::invalid_argument When `packable(codebook)` is false.
-  explicit PackedItemMemory(const Codebook& codebook);
+  explicit PackedItemMemory(const Codebook& codebook,
+                            std::optional<SimdLevel> level = std::nullopt);
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
   [[nodiscard]] Layout layout() const noexcept { return layout_; }
+  /// \return The SIMD tier this memory's scans execute at.
+  [[nodiscard]] SimdLevel simd_level() const noexcept { return level_; }
   /// \return Words per packed codebook row (one plane's worth).
   [[nodiscard]] std::size_t words_per_row() const noexcept { return words_; }
   /// \return Total packed storage in bits (the §IV-A fair-comparison unit):
@@ -135,6 +168,14 @@ class PackedItemMemory {
   /// Exact integer dot of codebook row `row` with the packed query.
   [[nodiscard]] std::int64_t row_dot(std::size_t row,
                                      const PackedQuery& query) const noexcept;
+  /// Fills `out[row]` = row_dot(row) for every row, partitioning the scan
+  /// across the worker pool in fixed contiguous row blocks when it is large
+  /// enough to amortize thread startup (deterministic: block boundaries
+  /// depend only on size, never on timing). `out.size()` must equal size().
+  void compute_dots(const PackedQuery& query,
+                    std::span<std::int64_t> out) const;
+  /// Worker count a full scan of this memory would use (1 = sequential).
+  [[nodiscard]] std::size_t scan_workers() const noexcept;
   /// similarity = dot / D with the same double arithmetic as the scalar path.
   [[nodiscard]] double to_similarity(std::int64_t dot) const noexcept {
     return static_cast<double>(dot) / static_cast<double>(dim_);
@@ -145,6 +186,9 @@ class PackedItemMemory {
   std::size_t size_ = 0;
   std::size_t dim_ = 0;
   std::size_t words_ = 0;
+  SimdLevel level_ = SimdLevel::kScalarWords;
+  /// Kernel table of level_ (static storage inside simd.cpp, never null).
+  const DotKernels* kernels_ = nullptr;
   Layout layout_ = Layout::kBipolar;
   /// Row-major sign planes: words_[row * words_ + w].
   std::vector<std::uint64_t> sign_;

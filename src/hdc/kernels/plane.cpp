@@ -5,38 +5,25 @@
 namespace factorhd::hdc::kernels {
 
 std::optional<PackedQuery> PackedQuery::pack(const Hypervector& v) {
+  return pack(v, dispatched_simd_level());
+}
+
+std::optional<PackedQuery> PackedQuery::pack(const Hypervector& v,
+                                             SimdLevel level) {
   const std::size_t dim = v.dim();
   if (dim == 0) return std::nullopt;
   PackedQuery q;
   q.dim = dim;
   const std::size_t words = plane_words(dim);
-  q.sign.assign(words, 0);
-  q.nonzero.assign(words, 0);
-  const auto* p = v.data();
+  q.sign.resize(words);
+  q.nonzero.resize(words);
+  // The tier's fused packer: comparison masks OR-ed into register-resident
+  // words (no per-component branches), bailing out of integer bundles on the
+  // first out-of-range component. Every tier emits identical planes.
   bool any_zero = false;
-  // Word-blocked and branchless in the per-component work: on random
-  // bipolar/ternary data, per-component `if (c > 0)`-style bit setting
-  // mispredicts about half the time and dominates the whole scan; compare
-  // results OR-ed into register-resident words cost a couple of cycles per
-  // dimension instead. The alphabet check stays an early exit — it never
-  // fires for eligible queries (perfectly predicted) and bails out of
-  // integer bundles on the first out-of-range component.
-  for (std::size_t w = 0; w < words; ++w) {
-    const std::size_t base = w * kWordBits;
-    const std::size_t n = std::min(kWordBits, dim - base);
-    std::uint64_t nz = 0;
-    std::uint64_t sg = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::int32_t c = p[base + i];
-      if (c > 1 || c < -1) return std::nullopt;  // integer bundle: scalar path
-      nz |= static_cast<std::uint64_t>(c != 0) << i;
-      sg |= static_cast<std::uint64_t>(c > 0) << i;
-    }
-    q.nonzero[w] = nz;
-    q.sign[w] = sg;
-    const std::uint64_t full =
-        n == kWordBits ? ~0ULL : (1ULL << n) - 1;
-    any_zero |= (nz != full);
+  if (!dot_kernels(level).pack_planes(v.data(), dim, q.sign.data(),
+                                      q.nonzero.data(), &any_zero)) {
+    return std::nullopt;  // integer bundle: scalar path
   }
   q.bipolar = !any_zero;
   return q;

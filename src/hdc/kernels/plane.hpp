@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "hdc/hypervector.hpp"
+#include "hdc/kernels/simd.hpp"
 
 namespace factorhd::hdc::kernels {
 
@@ -43,12 +44,21 @@ struct PackedQuery {
   std::vector<std::uint64_t> sign;     ///< bit = 1 where component is +1
   std::vector<std::uint64_t> nonzero;  ///< ternary only: bit = 1 where != 0
 
-  /// Packs `v` when its alphabet admits plane arithmetic.
+  /// Packs `v` when its alphabet admits plane arithmetic, using the
+  /// runtime-dispatched SIMD tier (see simd.hpp).
   /// \param v Query hypervector of any alphabet.
   /// \return The packed planes, or std::nullopt when `v` has a component
   ///   outside {-1, 0, +1} (integer bundles must use the scalar path) or is
   ///   empty.
   [[nodiscard]] static std::optional<PackedQuery> pack(const Hypervector& v);
+
+  /// Packs with an explicit SIMD tier. Every tier produces identical planes;
+  /// the parameter only selects the instruction set doing the packing.
+  /// \param v Query hypervector of any alphabet.
+  /// \param level SIMD tier to pack with (must be available on this CPU).
+  /// \return As pack(v).
+  [[nodiscard]] static std::optional<PackedQuery> pack(const Hypervector& v,
+                                                       SimdLevel level);
 };
 
 /// Dot product of two bipolar sign planes.
