@@ -7,7 +7,7 @@
 #   scripts/check.sh --asan   # Debug + ASan/UBSan + -Werror, full corpus
 #   scripts/check.sh --tsan   # Debug + ThreadSanitizer + -Werror, the
 #                             # threading suites (batch determinism, kernel
-#                             # fuzz, batch) only
+#                             # fuzz, batch, service soak) only
 #
 # Extra arguments after the mode are forwarded to ctest.
 set -euo pipefail
@@ -32,9 +32,10 @@ case "${1:-}" in
     shift
     BUILD_DIR=build-tsan
     CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Debug -DFACTORHD_TSAN=ON -DFACTORHD_WERROR=ON)
-    # The suites that exercise the worker pools (BatchFactorizer and the
-    # parallel plane scans); everything else is single-threaded.
-    CTEST_ARGS+=(-R 'BatchDeterminism|KernelFuzz|BatchTest')
+    # The suites that exercise the worker pools (BatchFactorizer, the
+    # parallel plane scans, and the serving engine); everything else is
+    # single-threaded.
+    CTEST_ARGS+=(-R 'BatchDeterminism|KernelFuzz|BatchTest|ServiceSoak')
     ;;
 esac
 CTEST_ARGS+=("$@")

@@ -68,6 +68,11 @@ struct FactorizeOptions {
   /// FactorizeResult::trace — candidate counts, combination statistics,
   /// acceptance decisions. Off by default (allocation-free hot path).
   bool collect_trace = false;
+
+  /// Exact field-wise equality — the grouping relation of the serving
+  /// layer's micro-batcher (requests batch together only under identical
+  /// options) and part of its result-cache key.
+  bool operator==(const FactorizeOptions&) const = default;
 };
 
 /// Diagnostics for one round of the multi-object loop (collect_trace).
@@ -82,6 +87,8 @@ struct RoundTrace {
   double best_similarity = 0.0;
   /// True when the round accepted an object and subtracted it.
   bool accepted = false;
+
+  bool operator==(const RoundTrace&) const = default;
 };
 
 /// Factorization outcome for one class of one object.
@@ -95,6 +102,8 @@ struct ClassFactorization {
   std::vector<double> level_similarities;
   /// Similarity of the unbound HV with the NULL hypervector.
   double null_similarity = 0.0;
+
+  bool operator==(const ClassFactorization&) const = default;
 };
 
 struct FactorizedObject {
@@ -106,6 +115,8 @@ struct FactorizedObject {
   /// Converts to a tax::Object over `num_classes` classes (unselected classes
   /// are left absent).
   [[nodiscard]] tax::Object to_object(std::size_t num_classes) const;
+
+  bool operator==(const FactorizedObject&) const = default;
 };
 
 struct FactorizeResult {
@@ -119,6 +130,11 @@ struct FactorizeResult {
   bool converged = true;
   /// Per-round diagnostics; populated only when options.collect_trace.
   std::vector<RoundTrace> trace;
+
+  /// Exact (bit-level, doubles included) equality — the relation in which
+  /// the serving layer's differential tests state their "engine results are
+  /// identical to direct factorize calls" guarantee.
+  bool operator==(const FactorizeResult&) const = default;
 };
 
 class Factorizer {

@@ -1,0 +1,29 @@
+#include "hdc/hash.hpp"
+
+#include <cstddef>
+
+namespace factorhd::hdc {
+
+std::uint64_t hash_mix(std::uint64_t x) noexcept {
+  // splitmix64 finalizer (public domain, Vigna): full avalanche, bijective.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_hypervector(const Hypervector& v,
+                               std::uint64_t seed) noexcept {
+  // Absorb the dimension first so a vector and its zero-padded extension
+  // hash differently, then fold each component through one avalanche round.
+  // Components are sign-extended to u64 so -1 and 0xffffffff (impossible for
+  // int32, but the cast rule matters for the contract) stay distinct inputs.
+  std::uint64_t h = hash_mix(seed ^ (0x5109bba9bdbb9d5dULL + v.dim()));
+  const std::int32_t* p = v.data();
+  for (std::size_t i = 0, n = v.dim(); i < n; ++i) {
+    h = hash_mix(h ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(p[i])));
+  }
+  return h;
+}
+
+}  // namespace factorhd::hdc

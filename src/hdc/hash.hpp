@@ -1,0 +1,38 @@
+// Content hashing of hypervectors.
+//
+// The serving layer's ResultCache keys requests by the *content* of the
+// target HV (two requests carrying equal vectors must collide), so the hash
+// must be a pure function of (dim, components) — independent of storage
+// alphabet, platform, or process. hash_hypervector provides that: a 64-bit
+// mix (splitmix64-style avalanche over each component folded into a running
+// state) with the dimension absorbed first, so prefixes and zero-padded
+// variants of a vector hash differently.
+//
+// 64 bits is a fingerprint, not a proof of equality: consumers that need
+// bit-identical semantics (the ResultCache does) verify candidate hits with
+// a full component comparison and treat a mismatch as a miss.
+#pragma once
+
+#include <cstdint>
+
+#include "hdc/hypervector.hpp"
+
+namespace factorhd::hdc {
+
+/// Seed/state mixer behind hash_hypervector — one splitmix64 avalanche
+/// round. Exposed for composing hashes of aggregate keys (the service layer
+/// mixes an options fingerprint into the target hash with it).
+/// \param x Input state.
+/// \return Avalanched state (bijective on u64).
+[[nodiscard]] std::uint64_t hash_mix(std::uint64_t x) noexcept;
+
+/// Order-dependent 64-bit content hash of `v` over (dim, components).
+/// Deterministic across processes and platforms; equal vectors always hash
+/// equal, distinct vectors collide with ~2^-64 probability per pair.
+/// \param v Hypervector to fingerprint (the empty HV has a defined hash).
+/// \param seed Optional domain-separation seed.
+/// \return The 64-bit fingerprint.
+[[nodiscard]] std::uint64_t hash_hypervector(const Hypervector& v,
+                                             std::uint64_t seed = 0) noexcept;
+
+}  // namespace factorhd::hdc

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "hdc/codebook.hpp"      // IWYU pragma: export
+#include "hdc/hash.hpp"          // IWYU pragma: export
 #include "hdc/hypervector.hpp"   // IWYU pragma: export
 #include "hdc/item_memory.hpp"   // IWYU pragma: export
 #include "hdc/kernels/packed_item_memory.hpp"  // IWYU pragma: export

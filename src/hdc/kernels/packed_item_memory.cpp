@@ -28,11 +28,11 @@ thread_local int scan_nesting_depth = 0;
 
 // Worker-pool width: FACTORHD_SCAN_THREADS when set (1 disables threading),
 // else min(hardware threads, 8) — a small pool, matching the BatchFactorizer
-// idiom of per-call spawn+join std::threads.
+// idiom of per-call spawn+join std::threads. Registered in util::env_knobs().
 std::size_t scan_pool_width() {
   static const std::size_t width = [] {
-    const std::int64_t env = util::env_int("FACTORHD_SCAN_THREADS", 0);
-    if (env > 0) return static_cast<std::size_t>(env);
+    const std::size_t env = util::env_size_t("FACTORHD_SCAN_THREADS", 0, 0, 256);
+    if (env > 0) return env;
     const std::size_t hw =
         std::max<std::size_t>(1, std::thread::hardware_concurrency());
     return std::min<std::size_t>(hw, 8);

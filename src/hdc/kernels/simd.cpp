@@ -525,6 +525,8 @@ SimdLevel clamp_simd_level(SimdLevel detected, std::string_view env) noexcept {
 }
 
 SimdLevel dispatched_simd_level() noexcept {
+  // FACTORHD_SIMD is registered in util::env_knobs(); the accepted values
+  // there mirror parse_simd_level.
   static const SimdLevel dispatched = clamp_simd_level(
       detect_simd_level(), util::env_string("FACTORHD_SIMD", ""));
   return dispatched;

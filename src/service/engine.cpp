@@ -1,0 +1,256 @@
+#include "service/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace factorhd::service {
+
+namespace {
+
+std::shared_ptr<const Model> require_model(std::shared_ptr<const Model> m) {
+  if (!m) {
+    throw std::invalid_argument("FactorizationEngine: null model");
+  }
+  return m;
+}
+
+double us_since(std::chrono::steady_clock::time_point start) noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+FactorizationEngine::FactorizationEngine(std::shared_ptr<const Model> model,
+                                         ServiceOptions opts)
+    : model_(require_model(std::move(model))),
+      opts_(opts),
+      batcher_(model_->factorizer(),
+               core::BatchOptions{.num_threads = opts.batch_threads}),
+      cache_(opts.cache_capacity, opts.cache_shards) {
+  if (opts_.max_batch == 0) {
+    throw std::invalid_argument("FactorizationEngine: max_batch must be >= 1");
+  }
+  if (opts_.queue_capacity == 0) {
+    throw std::invalid_argument(
+        "FactorizationEngine: queue_capacity must be >= 1");
+  }
+  if (opts_.dispatchers == 0) {
+    throw std::invalid_argument(
+        "FactorizationEngine: dispatchers must be >= 1");
+  }
+  batcher_threads_.reserve(opts_.dispatchers);
+  for (std::size_t i = 0; i < opts_.dispatchers; ++i) {
+    batcher_threads_.emplace_back([this] { batcher_loop(); });
+  }
+}
+
+FactorizationEngine::~FactorizationEngine() { stop(); }
+
+std::future<core::FactorizeResult> FactorizationEngine::submit(
+    hdc::Hypervector target, core::FactorizeOptions opts) {
+  if (target.dim() != model_->books().dim()) {
+    throw std::invalid_argument(
+        "FactorizationEngine::submit: target dimension " +
+        std::to_string(target.dim()) + " != model dimension " +
+        std::to_string(model_->books().dim()));
+  }
+  {
+    // Checked before the cache probe too: a stopped engine must refuse
+    // every submit, including ones the cache could answer.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      throw std::invalid_argument(
+          "FactorizationEngine::submit: engine is stopped");
+    }
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t key = request_key(target, opts);
+
+  // Fast path: replay a previously computed result. Safe because lookup
+  // verifies full (target, opts) equality, and factorization is pure.
+  if (auto hit = cache_.lookup(key, target, opts)) {
+    metrics_.on_submitted();
+    metrics_.on_cache_hit();
+    std::promise<core::FactorizeResult> ready;
+    auto fut = ready.get_future();
+    ready.set_value(*std::move(hit));
+    metrics_.on_completed(us_since(start));
+    return fut;
+  }
+
+  Request req;
+  req.target = std::move(target);
+  req.opts = std::move(opts);
+  req.key = key;
+  req.submitted = start;
+  auto fut = req.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      throw std::invalid_argument(
+          "FactorizationEngine::submit: engine is stopped");
+    }
+    if (queue_.size() >= opts_.queue_capacity) {
+      if (opts_.reject_when_full) {
+        metrics_.on_rejected();
+        throw QueueFullError();
+      }
+      queue_space_.wait(lock, [this] {
+        return stopping_ || queue_.size() < opts_.queue_capacity;
+      });
+      if (stopping_) {
+        throw std::invalid_argument(
+            "FactorizationEngine::submit: engine stopped while blocked on "
+            "backpressure");
+      }
+    }
+    queue_.push_back(std::move(req));
+    // Counted while still holding the queue lock: the batcher cannot pop
+    // (and thus complete) this request before the lock is released, so a
+    // concurrent metrics snapshot never observes completed > submitted.
+    metrics_.on_submitted();
+    metrics_.on_cache_miss();
+  }
+  queue_ready_.notify_one();
+  return fut;
+}
+
+std::vector<FactorizationEngine::Request> FactorizationEngine::next_flight() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    queue_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return {};  // stopping and fully drained
+
+    // Dynamic micro-batching: give late arrivals a chance to coalesce, but
+    // never hold the oldest request past its max_delay_us budget. While
+    // draining a shutdown there is nothing to wait for.
+    if (queue_.size() < opts_.max_batch && opts_.max_delay_us > 0 &&
+        !stopping_) {
+      const auto deadline = queue_.front().submitted +
+                            std::chrono::microseconds(opts_.max_delay_us);
+      queue_ready_.wait_until(lock, deadline, [this] {
+        return stopping_ || queue_.size() >= opts_.max_batch;
+      });
+      // A sibling dispatcher may have drained the queue while we waited.
+      if (queue_.empty()) continue;
+    }
+
+    const std::size_t n = std::min(queue_.size(), opts_.max_batch);
+    std::vector<Request> flight;
+    flight.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      flight.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    queue_space_.notify_all();
+    return flight;
+  }
+}
+
+void FactorizationEngine::run_flight(std::vector<Request> flight) {
+  // Group members by identical options — BatchFactorizer applies one
+  // FactorizeOptions to a whole batch, and identical options are also what
+  // makes two results interchangeable. Flights are homogeneous in the
+  // common case, so the quadratic-looking scans below are over tiny sets.
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < flight.size(); ++i) {
+    bool placed = false;
+    for (auto& g : groups) {
+      if (flight[g.front()].opts == flight[i].opts) {
+        g.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) groups.push_back({i});
+  }
+
+  for (const auto& group : groups) {
+    const core::FactorizeOptions& gopts = flight[group.front()].opts;
+
+    // Coalesce duplicate targets within the group: factorize each distinct
+    // target once and fan the (identical, deterministic) result out to
+    // every duplicate's promise. rep[j] indexes into `targets`.
+    std::vector<hdc::Hypervector> targets;
+    std::vector<std::uint64_t> target_keys;
+    std::vector<std::size_t> rep(group.size());
+    for (std::size_t j = 0; j < group.size(); ++j) {
+      const Request& r = flight[group[j]];
+      bool found = false;
+      for (std::size_t u = 0; u < targets.size(); ++u) {
+        if (target_keys[u] == r.key && targets[u] == r.target) {
+          rep[j] = u;
+          found = true;
+          metrics_.on_coalesced();
+          break;
+        }
+      }
+      if (!found) {
+        rep[j] = targets.size();
+        targets.push_back(r.target);
+        target_keys.push_back(r.key);
+      }
+    }
+
+    metrics_.on_batch(group.size());
+    std::vector<core::FactorizeResult> results;
+    try {
+      results = batcher_.factorize_all(targets, gopts);
+    } catch (...) {
+      const auto err = std::current_exception();
+      for (const std::size_t j : group) {
+        flight[j].promise.set_exception(err);
+        // Exceptionally fulfilled is still completed: the drained-engine
+        // invariant completed == submitted must survive a failed flight.
+        metrics_.on_completed(us_since(flight[j].submitted));
+      }
+      continue;
+    }
+
+    for (std::size_t u = 0; u < targets.size(); ++u) {
+      cache_.insert(target_keys[u], targets[u], gopts, results[u]);
+    }
+    for (std::size_t j = 0; j < group.size(); ++j) {
+      Request& r = flight[group[j]];
+      r.promise.set_value(results[rep[j]]);
+      metrics_.on_completed(us_since(r.submitted));
+    }
+  }
+}
+
+void FactorizationEngine::batcher_loop() {
+  while (true) {
+    std::vector<Request> flight = next_flight();
+    if (flight.empty()) return;
+    run_flight(std::move(flight));
+  }
+}
+
+void FactorizationEngine::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  queue_ready_.notify_all();
+  queue_space_.notify_all();
+  // Serialized so concurrent stop() calls (e.g. an explicit stop racing
+  // the destructor from another owner) never double-join.
+  std::lock_guard<std::mutex> lock(join_mu_);
+  for (std::thread& t : batcher_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+MetricsSnapshot FactorizationEngine::metrics() const {
+  return metrics_.snapshot(queue_depth());
+}
+
+std::size_t FactorizationEngine::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace factorhd::service

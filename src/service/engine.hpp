@@ -1,0 +1,160 @@
+// FactorizationEngine: the asynchronous serving runtime over a Model.
+//
+//   submit(target, opts) ──► ResultCache probe ──hit──► ready future
+//        │ miss                                           ▲
+//        ▼                                                │ replay
+//   bounded MPMC queue  (backpressure: block or reject)   │
+//        │                                                │
+//        ▼                                                │
+//   micro-batcher thread: flush on max_batch or max_delay_us
+//        │  group by identical FactorizeOptions,
+//        │  coalesce duplicate targets within the flight
+//        ▼
+//   core::BatchFactorizer::factorize_all  (worker pool over the shared
+//        │                                 packed-SIMD scan planes)
+//        ▼
+//   fulfill promises + insert into ResultCache + record Metrics
+//
+// Correctness contract: every future receives a FactorizeResult that is
+// *bit-identical* to a direct Factorizer::factorize(target, opts) call —
+// regardless of how requests were batched, how many worker threads ran,
+// whether the result was coalesced with a duplicate in the same flight, or
+// replayed from the cache. This holds because factorization is a pure
+// function of (target, opts), BatchFactorizer is deterministic across
+// thread counts (its documented contract), and the cache verifies full
+// key equality before serving. tests/test_service_engine.cpp asserts it
+// differentially.
+//
+// Shutdown: stop() (and the destructor) stops accepting new work, drains
+// every queued request through the normal batch path, then joins the
+// batcher thread — no future is ever abandoned.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/factorizer.hpp"
+#include "hdc/hypervector.hpp"
+#include "service/metrics.hpp"
+#include "service/model_registry.hpp"
+#include "service/result_cache.hpp"
+
+namespace factorhd::service {
+
+struct ServiceOptions {
+  /// Flush a micro-batch once this many requests are pending.
+  std::size_t max_batch = 64;
+  /// ... or once the oldest pending request has waited this long (us).
+  /// 0 means "dispatch immediately, batch only what is already queued".
+  std::size_t max_delay_us = 200;
+  /// Bounded request-queue capacity (the backpressure surface).
+  std::size_t queue_capacity = 1024;
+  /// When the queue is full: true → submit() throws QueueFullError;
+  /// false → submit() blocks until space frees up.
+  bool reject_when_full = false;
+  /// Micro-batcher (queue-consumer) threads. 1 maximizes coalescing; more
+  /// dispatchers overlap batch formation with computation when flights are
+  /// small relative to the offered load. The queue is MPMC: any number of
+  /// submitters and dispatchers.
+  std::size_t dispatchers = 1;
+  /// Worker threads of the internal BatchFactorizer; 0 = hardware.
+  std::size_t batch_threads = 0;
+  /// ResultCache entry budget; 0 disables result caching.
+  std::size_t cache_capacity = 4096;
+  /// ResultCache shard count.
+  std::size_t cache_shards = 8;
+};
+
+/// Thrown by submit() under reject_when_full backpressure.
+class QueueFullError : public std::runtime_error {
+ public:
+  QueueFullError()
+      : std::runtime_error(
+            "FactorizationEngine: request queue full (backpressure)") {}
+};
+
+class FactorizationEngine {
+ public:
+  /// \param model Model to serve; shared (and kept alive) by the engine.
+  /// \param opts Batching, backpressure, and cache configuration.
+  /// \throws std::invalid_argument When `model` is null or max_batch /
+  ///   queue_capacity / dispatchers is 0.
+  explicit FactorizationEngine(std::shared_ptr<const Model> model,
+                               ServiceOptions opts = {});
+
+  /// Stops and drains (see stop()).
+  ~FactorizationEngine();
+
+  FactorizationEngine(const FactorizationEngine&) = delete;
+  FactorizationEngine& operator=(const FactorizationEngine&) = delete;
+
+  /// Submits one factorization request.
+  /// \param target Encoded target HV of the model's dimension.
+  /// \param opts Per-request factorization options; requests batch together
+  ///   only with identical options.
+  /// \return Future for the result (may already be ready on a cache hit).
+  /// \throws std::invalid_argument On a dimension mismatch or after stop().
+  /// \throws QueueFullError When the queue is full and reject_when_full.
+  [[nodiscard]] std::future<core::FactorizeResult> submit(
+      hdc::Hypervector target, core::FactorizeOptions opts = {});
+
+  /// Stops accepting new submissions, drains every queued request through
+  /// the batch path, and joins the batcher thread. Idempotent; called by
+  /// the destructor. After stop(), every future obtained from submit() is
+  /// ready.
+  void stop();
+
+  /// \return Counter snapshot, safe to call at any time while serving.
+  [[nodiscard]] MetricsSnapshot metrics() const;
+
+  [[nodiscard]] const Model& model() const noexcept { return *model_; }
+  [[nodiscard]] const ServiceOptions& options() const noexcept {
+    return opts_;
+  }
+  /// \return Pending (queued, not yet dispatched) request count.
+  [[nodiscard]] std::size_t queue_depth() const;
+
+ private:
+  struct Request {
+    hdc::Hypervector target;
+    core::FactorizeOptions opts;
+    std::uint64_t key = 0;  ///< request_key(target, opts)
+    std::promise<core::FactorizeResult> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  void batcher_loop();
+  /// Collects one flight from the queue (respecting max_batch/max_delay_us).
+  /// Returns an empty vector when stopping and the queue is drained.
+  [[nodiscard]] std::vector<Request> next_flight();
+  /// Factorizes one flight: groups by options, coalesces duplicates,
+  /// dispatches BatchFactorizer, fulfills promises, feeds cache + metrics.
+  void run_flight(std::vector<Request> flight);
+
+  std::shared_ptr<const Model> model_;
+  ServiceOptions opts_;
+  core::BatchFactorizer batcher_;  ///< views model_->factorizer()
+  ResultCache cache_;
+  Metrics metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_ready_;  ///< signalled on enqueue and stop
+  std::condition_variable queue_space_;  ///< signalled on dequeue
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  std::mutex join_mu_;  ///< serializes concurrent stop() joins
+  /// Dispatcher pool; last member: joins before any state tears down.
+  std::vector<std::thread> batcher_threads_;
+};
+
+}  // namespace factorhd::service

@@ -1,0 +1,98 @@
+#include "service/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace factorhd::service {
+
+namespace {
+
+/// Quantile from the power-of-two histogram: the upper bound (in us) of the
+/// bucket containing the q-th latency. 0 when the histogram is empty.
+double histogram_quantile(const std::array<std::atomic<std::uint64_t>, 64>& h,
+                          double q) {
+  std::uint64_t total = 0;
+  for (const auto& b : h) total += b.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    seen += h[i].load(std::memory_order_relaxed);
+    if (seen >= rank && seen > 0) {
+      // Bucket i covers [2^i, 2^(i+1)) ns; report the upper bound in us.
+      return std::ldexp(1.0, static_cast<int>(i) + 1) / 1e3;
+    }
+  }
+  return std::ldexp(1.0, 64) / 1e3;  // unreachable
+}
+
+}  // namespace
+
+void Metrics::on_batch(std::size_t requests) noexcept {
+  inc(batches_);
+  batched_requests_.fetch_add(requests, std::memory_order_release);
+  std::uint64_t prev = max_batch_.load(std::memory_order_relaxed);
+  while (prev < requests &&
+         !max_batch_.compare_exchange_weak(prev, requests,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t Metrics::bucket_of(double latency_us) noexcept {
+  const double ns = latency_us * 1e3;
+  if (!(ns >= 1.0)) return 0;  // sub-ns / NaN land in the first bucket
+  if (ns >= 9.2e18) return 63;
+  const auto n = static_cast<std::uint64_t>(ns);
+  return static_cast<std::size_t>(std::bit_width(n) - 1);
+}
+
+void Metrics::on_completed(double latency_us) noexcept {
+  inc(completed_);
+  latency_buckets_[bucket_of(latency_us)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+}
+
+MetricsSnapshot Metrics::snapshot(std::size_t queue_depth) const {
+  MetricsSnapshot s;
+  // Read order matters for live snapshots: every request increments
+  // `submitted` before any downstream counter (hit/miss, batch,
+  // completion), so reading the downstream counters first — acquire to
+  // order the loads — keeps the intuitive inequalities
+  // (completed <= submitted, hits + misses <= submitted) true even
+  // mid-serving. After a drain the snapshot is exact either way.
+  s.completed = completed_.load(std::memory_order_acquire);
+  s.cache_hits = cache_hits_.load(std::memory_order_acquire);
+  s.cache_misses = cache_misses_.load(std::memory_order_acquire);
+  s.batches = batches_.load(std::memory_order_acquire);
+  s.batched_requests = batched_requests_.load(std::memory_order_acquire);
+  s.coalesced = coalesced_.load(std::memory_order_acquire);
+  s.submitted = submitted_.load(std::memory_order_acquire);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.max_batch_observed =
+      static_cast<std::size_t>(max_batch_.load(std::memory_order_relaxed));
+  s.queue_depth = queue_depth;
+  s.mean_batch = s.batches == 0 ? 0.0
+                                : static_cast<double>(s.batched_requests) /
+                                      static_cast<double>(s.batches);
+  s.p50_latency_us = histogram_quantile(latency_buckets_, 0.50);
+  s.p99_latency_us = histogram_quantile(latency_buckets_, 0.99);
+  return s;
+}
+
+std::string MetricsSnapshot::to_string() const {
+  std::ostringstream os;
+  os << "requests: " << submitted << " submitted, " << completed
+     << " completed, " << rejected << " rejected, " << queue_depth
+     << " queued\n"
+     << "cache:    " << cache_hits << " hits, " << cache_misses
+     << " misses, " << coalesced << " coalesced in-batch\n"
+     << "batches:  " << batches << " dispatched, mean " << mean_batch
+     << " req/batch, max " << max_batch_observed << "\n"
+     << "latency:  p50 <= " << p50_latency_us << " us, p99 <= "
+     << p99_latency_us << " us (power-of-2 buckets)";
+  return os.str();
+}
+
+}  // namespace factorhd::service

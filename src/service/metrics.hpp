@@ -1,0 +1,86 @@
+// Serving-runtime metrics: lock-free counters plus a latency histogram,
+// snapshotable at any time while the engine is serving.
+//
+// Everything is a relaxed atomic — metrics never synchronize the hot path,
+// they only observe it. Latency percentiles come from a power-of-two bucket
+// histogram (64 buckets over nanoseconds), so a snapshot's p50/p99 are
+// bucket upper bounds: exact to within a factor of 2, which is the right
+// fidelity for a serving dashboard and keeps recording allocation- and
+// lock-free.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace factorhd::service {
+
+/// One consistent-enough view of the engine's counters (individual counters
+/// are read relaxed; a snapshot taken while serving may be mid-request, but
+/// after a drain it is exact).
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;      ///< accepted submit() calls
+  std::uint64_t rejected = 0;       ///< submits refused by backpressure
+  std::uint64_t completed = 0;      ///< futures fulfilled (incl. cache hits)
+  std::uint64_t cache_hits = 0;     ///< served straight from the ResultCache
+  std::uint64_t cache_misses = 0;   ///< enqueued for computation
+  std::uint64_t batches = 0;        ///< micro-batches dispatched
+  std::uint64_t batched_requests = 0;  ///< requests carried by those batches
+  std::uint64_t coalesced = 0;      ///< duplicate requests deduped in-batch
+  std::size_t queue_depth = 0;      ///< pending requests at snapshot time
+  std::size_t max_batch_observed = 0;
+  double mean_batch = 0.0;          ///< batched_requests / batches
+  double p50_latency_us = 0.0;      ///< submit→completion, bucket-quantized
+  double p99_latency_us = 0.0;
+
+  /// Multi-line human-readable rendering (the `stats` command of
+  /// factorhd_serve and the bench reports).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The engine's mutable counter set. All methods are thread-safe and
+/// wait-free; const methods only read.
+class Metrics {
+ public:
+  void on_submitted() noexcept { inc(submitted_); }
+  void on_rejected() noexcept { inc(rejected_); }
+  void on_cache_hit() noexcept { inc(cache_hits_); }
+  void on_cache_miss() noexcept { inc(cache_misses_); }
+  void on_coalesced() noexcept { inc(coalesced_); }
+
+  /// Records one dispatched micro-batch of `requests` requests.
+  void on_batch(std::size_t requests) noexcept;
+
+  /// Records one fulfilled future and its submit→completion latency.
+  void on_completed(double latency_us) noexcept;
+
+  /// \param queue_depth The engine's current pending-queue length (the one
+  ///   piece of state the metrics do not own).
+  [[nodiscard]] MetricsSnapshot snapshot(std::size_t queue_depth) const;
+
+ private:
+  // Release increments pair with snapshot()'s acquire loads: a snapshot
+  // that sees a request's downstream counter (hit/miss/completion) is
+  // guaranteed to also see its earlier `submitted` increment.
+  static void inc(std::atomic<std::uint64_t>& c) noexcept {
+    c.fetch_add(1, std::memory_order_release);
+  }
+  /// Histogram bucket for a latency: floor(log2(ns)), saturated.
+  static std::size_t bucket_of(double latency_us) noexcept;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> max_batch_{0};
+  /// latency_ns histogram: bucket i counts latencies in [2^i, 2^(i+1)) ns.
+  std::array<std::atomic<std::uint64_t>, 64> latency_buckets_{};
+};
+
+}  // namespace factorhd::service

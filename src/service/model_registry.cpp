@@ -1,0 +1,67 @@
+#include "service/model_registry.hpp"
+
+#include <utility>
+
+#include "taxonomy/io.hpp"
+
+namespace factorhd::service {
+
+Model::Model(std::string name, tax::TaxonomyCodebooks books,
+             hdc::ScanBackend backend)
+    : name_(std::move(name)),
+      books_(std::move(books)),
+      encoder_(books_),
+      factorizer_(encoder_, backend) {}
+
+std::shared_ptr<const Model> Model::make(std::string name,
+                                         tax::TaxonomyCodebooks books,
+                                         hdc::ScanBackend backend) {
+  return std::make_shared<const Model>(std::move(name), std::move(books),
+                                       backend);
+}
+
+std::size_t Model::num_classes() const noexcept {
+  return books_.taxonomy().num_classes();
+}
+
+std::shared_ptr<const Model> ModelRegistry::load_file(
+    const std::string& name, const std::string& path,
+    hdc::ScanBackend backend) {
+  // Load and pack outside the lock: a slow disk or a large codebook set
+  // must not stall concurrent get() calls.
+  auto model = Model::make(name, tax::load_codebooks_file(path), backend);
+  std::lock_guard<std::mutex> lock(mu_);
+  models_[name] = model;
+  return model;
+}
+
+std::shared_ptr<const Model> ModelRegistry::add(const std::string& name,
+                                                tax::TaxonomyCodebooks books,
+                                                hdc::ScanBackend backend) {
+  auto model = Model::make(name, std::move(books), backend);
+  std::lock_guard<std::mutex> lock(mu_);
+  models_[name] = model;
+  return model;
+}
+
+std::shared_ptr<const Model> ModelRegistry::get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+bool ModelRegistry::erase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.erase(name) > 0;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [name, model] : models_) out.push_back(name);
+  return out;
+}
+
+}  // namespace factorhd::service

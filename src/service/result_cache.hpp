@@ -1,0 +1,102 @@
+// ResultCache: sharded LRU cache of factorization results.
+//
+// Factorization is a pure function of (target HV, FactorizeOptions), so
+// results of repeated requests can be replayed verbatim. The cache keys
+// entries by a 64-bit content fingerprint (hdc::hash_hypervector mixed with
+// an options fingerprint) and — because 64 bits is a fingerprint, not a
+// proof — stores the full target and options alongside the result and
+// verifies them on lookup, so a hash collision degrades to a miss, never to
+// a wrong answer. Bit-identical serving semantics are preserved
+// unconditionally.
+//
+// Sharding: the key space is split across independently locked shards so
+// concurrent submit() fast paths contend only 1/shards of the time. Each
+// shard runs its own LRU list; capacity is divided evenly across shards
+// (total capacity is rounded up to shards * ceil(capacity / shards)).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/factorizer.hpp"
+#include "hdc/hypervector.hpp"
+
+namespace factorhd::service {
+
+/// 64-bit fingerprint of a FactorizeOptions value (field-wise, including
+/// selected_classes order). Equal options always fingerprint equal.
+[[nodiscard]] std::uint64_t fingerprint_options(
+    const core::FactorizeOptions& opts) noexcept;
+
+/// Combined cache key of a request: content hash of the target mixed with
+/// the options fingerprint.
+[[nodiscard]] std::uint64_t request_key(
+    const hdc::Hypervector& target,
+    const core::FactorizeOptions& opts) noexcept;
+
+class ResultCache {
+ public:
+  /// \param capacity Total entry budget; 0 disables the cache (lookups miss,
+  ///   inserts are dropped).
+  /// \param shards Number of independently locked shards; clamped to at
+  ///   least 1 and at most `capacity` (so every shard holds >= 1 entry).
+  explicit ResultCache(std::size_t capacity, std::size_t shards = 8);
+
+  [[nodiscard]] bool enabled() const noexcept { return per_shard_ > 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return per_shard_ * shards_.size();
+  }
+  /// \return Entries currently resident (sums shard sizes; approximate while
+  ///   writers are active).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Looks up the result of (target, opts) under `key` (= request_key of
+  /// the pair, passed in because callers already computed it). A hit
+  /// requires full equality of target and options with the stored entry —
+  /// fingerprint collisions report as misses. Hits refresh LRU recency.
+  /// \return The cached result, or nullopt.
+  [[nodiscard]] std::optional<core::FactorizeResult> lookup(
+      std::uint64_t key, const hdc::Hypervector& target,
+      const core::FactorizeOptions& opts);
+
+  /// Inserts (or refreshes) the result of (target, opts), evicting the
+  /// shard's least-recently-used entry when the shard is full. Key
+  /// collisions overwrite: the cache is best-effort storage, correctness
+  /// lives in lookup's verification.
+  void insert(std::uint64_t key, const hdc::Hypervector& target,
+              const core::FactorizeOptions& opts,
+              core::FactorizeResult result);
+
+  /// Drops every entry (all shards).
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    hdc::Hypervector target;
+    core::FactorizeOptions opts;
+    core::FactorizeResult result;
+  };
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+  };
+
+  [[nodiscard]] Shard& shard_of(std::uint64_t key) noexcept {
+    return *shards_[static_cast<std::size_t>(key) % shards_.size()];
+  }
+
+  std::size_t per_shard_ = 0;  ///< entry budget per shard; 0 = disabled
+  /// unique_ptr: shards hold a mutex and must stay address-stable.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace factorhd::service

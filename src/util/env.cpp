@@ -1,5 +1,6 @@
 #include "util/env.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace factorhd::util {
@@ -19,12 +20,53 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
   return parsed;
 }
 
+std::size_t env_size_t(const char* name, std::size_t fallback,
+                       std::size_t min_value, std::size_t max_value) {
+  const std::int64_t parsed = env_int(name, -1);
+  if (parsed < 0) return fallback;
+  return std::clamp(static_cast<std::size_t>(parsed), min_value, max_value);
+}
+
+std::span<const EnvKnob> env_knobs() {
+  // One row per knob, alphabetical. Keep in sync with the call sites (the
+  // parsers cite this registry) and the table in docs/ARCHITECTURE.md.
+  static const EnvKnob kKnobs[] = {
+      {"FACTORHD_BENCH_SCALE", "quick | full", "quick",
+       "bench sweep sizes: reduced laptop-scale vs paper-scale"},
+      {"FACTORHD_CSV_DIR", "directory path", "unset = no CSV",
+       "bench harness: also write per-bench CSVs here"},
+      {"FACTORHD_SCAN_THREADS", "0 (auto) .. 256", "0 = min(hardware, 8)",
+       "plane-scan worker-pool width; 1 disables scan threading"},
+      {"FACTORHD_SEED", "any u64", "42", "global experiment seed"},
+      {"FACTORHD_SERVE_CACHE_CAP", "0 (off) .. 2^24", "4096",
+       "factorhd_serve: ResultCache entries"},
+      {"FACTORHD_SERVE_MAX_BATCH", "1 .. 4096", "64",
+       "factorhd_serve: micro-batch flush size"},
+      {"FACTORHD_SERVE_MAX_DELAY_US", "0 .. 10^6", "200",
+       "factorhd_serve: micro-batch flush deadline (us)"},
+      {"FACTORHD_SERVE_QUEUE_CAP", "1 .. 2^20", "1024",
+       "factorhd_serve: bounded request-queue capacity"},
+      {"FACTORHD_SIMD", "auto | scalar | words | avx2 | avx512 | neon", "auto",
+       "clamps the dispatched SIMD tier of packed codebook scans"},
+      {"FACTORHD_TRIALS", "0 (auto) .. any", "per-bench",
+       "overrides per-point trial counts in the bench harness"},
+  };
+  return kKnobs;
+}
+
 bool bench_full_scale() {
   return env_string("FACTORHD_BENCH_SCALE", "") == "full";
 }
 
 std::uint64_t experiment_seed() {
-  return static_cast<std::uint64_t>(env_int("FACTORHD_SEED", 42));
+  // Parsed unsigned so the full u64 range the registry documents is
+  // honored (env_int's strtoll would saturate seeds above 2^63-1).
+  const std::string v = env_string("FACTORHD_SEED", "");
+  if (v.empty()) return 42;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str()) return 42;
+  return static_cast<std::uint64_t>(parsed);
 }
 
 }  // namespace factorhd::util

@@ -1,8 +1,16 @@
-// Environment-variable helpers used by the bench harness for scale control
-// (FACTORHD_BENCH_SCALE, FACTORHD_TRIALS, FACTORHD_SEED).
+// Environment-variable helpers and the registry of FACTORHD_* runtime knobs.
+//
+// Every tunable the library or a tool reads from the environment is declared
+// in env_knobs() with its accepted values, default, and effect, so the
+// `factorhd info` subcommand (and the docs) can enumerate them from one
+// place instead of each call site growing its own ad-hoc parsing. Numeric
+// knobs go through env_size_t, which range-clamps instead of trusting
+// arbitrary user input.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 
 namespace factorhd::util {
@@ -12,6 +20,30 @@ std::string env_string(const char* name, const std::string& fallback);
 
 /// Integer environment variable; returns `fallback` when unset or unparsable.
 std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Unsigned size knob with range clamping — the standard accessor for
+/// numeric FACTORHD_* knobs. Unset, empty, unparsable, or negative values
+/// yield `fallback` (returned verbatim: a caller's fallback may carry a
+/// sentinel meaning such as 0 = "auto"); parsed values are clamped into
+/// [min_value, max_value].
+/// \param name Environment variable name.
+/// \param fallback Returned when the variable is unset/empty/invalid.
+/// \param min_value,max_value Inclusive clamp range for parsed values.
+std::size_t env_size_t(const char* name, std::size_t fallback,
+                       std::size_t min_value, std::size_t max_value);
+
+/// One documented FACTORHD_* environment knob.
+struct EnvKnob {
+  const char* name;         ///< variable name, e.g. "FACTORHD_SIMD"
+  const char* values;       ///< accepted values, human-readable
+  const char* default_str;  ///< effective default, human-readable
+  const char* description;  ///< one-line effect
+};
+
+/// Registry of every FACTORHD_* environment knob the library, benches, and
+/// tools honor. Call sites that parse a knob keep a matching entry here so
+/// `factorhd info` stays complete.
+std::span<const EnvKnob> env_knobs();
 
 /// True when FACTORHD_BENCH_SCALE is "full" (paper-scale sweeps); default is
 /// the reduced laptop-scale configuration.

@@ -138,6 +138,25 @@ TEST(TaxIo, CodebooksRoundTripPreservesFactorization) {
   EXPECT_EQ(fact_loaded.factorize_single(target).to_object(3), obj);
 }
 
+TEST(TaxIo, CodebookSetEveryTruncationPointFailsCleanly) {
+  // The model files the serving registry loads are full codebook sets; a
+  // blob cut at ANY byte boundary must raise std::runtime_error from the
+  // loader — never crash, hang, or yield a partially-initialized model.
+  util::Xoshiro256 rng(11);
+  const tax::Taxonomy taxonomy(2, {3, 2});
+  const tax::TaxonomyCodebooks books(taxonomy, 32, rng);
+  std::stringstream ss;
+  tax::save_codebooks(ss, books);
+  const std::string blob = ss.str();
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    std::stringstream truncated(blob.substr(0, cut));
+    EXPECT_THROW((void)tax::load_codebooks(truncated), std::runtime_error)
+        << "cut at byte " << cut;
+  }
+  std::stringstream whole(blob);
+  EXPECT_EQ(tax::load_codebooks(whole).dim(), 32u);
+}
+
 TEST(TaxIo, FileRoundTrip) {
   util::Xoshiro256 rng(5);
   const tax::Taxonomy taxonomy(2, {4});

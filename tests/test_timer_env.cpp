@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "util/env.hpp"
@@ -66,6 +67,56 @@ TEST(Env, EmptyValueFallsBack) {
   unsetenv("FACTORHD_TEST_VAR_EMPTY");
 }
 
+TEST(Env, SizeKnobClampsIntoRange) {
+  ASSERT_EQ(setenv("FACTORHD_TEST_KNOB", "100", 1), 0);
+  EXPECT_EQ(env_size_t("FACTORHD_TEST_KNOB", 7, 0, 256), 100u);
+  ASSERT_EQ(setenv("FACTORHD_TEST_KNOB", "9999", 1), 0);
+  EXPECT_EQ(env_size_t("FACTORHD_TEST_KNOB", 7, 0, 256), 256u);
+  ASSERT_EQ(setenv("FACTORHD_TEST_KNOB", "1", 1), 0);
+  EXPECT_EQ(env_size_t("FACTORHD_TEST_KNOB", 7, 4, 256), 4u);
+  unsetenv("FACTORHD_TEST_KNOB");
+}
+
+TEST(Env, SizeKnobFallsBackVerbatim) {
+  // Unset, empty, unparsable, and negative all yield the fallback — even one
+  // outside [min, max], because fallbacks may carry sentinel meanings
+  // (FACTORHD_SCAN_THREADS uses 0 = "auto").
+  unsetenv("FACTORHD_TEST_KNOB");
+  EXPECT_EQ(env_size_t("FACTORHD_TEST_KNOB", 0, 4, 256), 0u);
+  ASSERT_EQ(setenv("FACTORHD_TEST_KNOB", "", 1), 0);
+  EXPECT_EQ(env_size_t("FACTORHD_TEST_KNOB", 9, 4, 256), 9u);
+  ASSERT_EQ(setenv("FACTORHD_TEST_KNOB", "banana", 1), 0);
+  EXPECT_EQ(env_size_t("FACTORHD_TEST_KNOB", 9, 4, 256), 9u);
+  ASSERT_EQ(setenv("FACTORHD_TEST_KNOB", "-3", 1), 0);
+  EXPECT_EQ(env_size_t("FACTORHD_TEST_KNOB", 9, 4, 256), 9u);
+  unsetenv("FACTORHD_TEST_KNOB");
+}
+
+TEST(Env, KnobRegistryListsTheParsedKnobs) {
+  const auto knobs = env_knobs();
+  ASSERT_FALSE(knobs.empty());
+  auto has = [&](const std::string& name) {
+    for (const EnvKnob& k : knobs) {
+      if (name == k.name) return true;
+    }
+    return false;
+  };
+  // Every knob a library call site parses must be registered.
+  EXPECT_TRUE(has("FACTORHD_SEED"));
+  EXPECT_TRUE(has("FACTORHD_BENCH_SCALE"));
+  EXPECT_TRUE(has("FACTORHD_TRIALS"));
+  EXPECT_TRUE(has("FACTORHD_SIMD"));
+  EXPECT_TRUE(has("FACTORHD_SCAN_THREADS"));
+  EXPECT_TRUE(has("FACTORHD_SERVE_MAX_BATCH"));
+  // Rows are complete: every field non-null and non-empty.
+  for (const EnvKnob& k : knobs) {
+    EXPECT_NE(k.name, nullptr);
+    EXPECT_NE(std::string(k.values), "");
+    EXPECT_NE(std::string(k.default_str), "");
+    EXPECT_NE(std::string(k.description), "");
+  }
+}
+
 TEST(Env, BenchScaleFlag) {
   ASSERT_EQ(setenv("FACTORHD_BENCH_SCALE", "full", 1), 0);
   EXPECT_TRUE(bench_full_scale());
@@ -80,6 +131,18 @@ TEST(Env, ExperimentSeedDefaultsTo42) {
   EXPECT_EQ(experiment_seed(), 42u);
   ASSERT_EQ(setenv("FACTORHD_SEED", "1234", 1), 0);
   EXPECT_EQ(experiment_seed(), 1234u);
+  unsetenv("FACTORHD_SEED");
+}
+
+TEST(Env, ExperimentSeedCoversTheFullU64Range) {
+  // The knob registry documents "any u64"; values above 2^63-1 must parse
+  // exactly, not saturate.
+  ASSERT_EQ(setenv("FACTORHD_SEED", "18446744073709551615", 1), 0);
+  EXPECT_EQ(experiment_seed(), 18446744073709551615ull);
+  ASSERT_EQ(setenv("FACTORHD_SEED", "9223372036854775808", 1), 0);
+  EXPECT_EQ(experiment_seed(), 9223372036854775808ull);
+  ASSERT_EQ(setenv("FACTORHD_SEED", "nonsense", 1), 0);
+  EXPECT_EQ(experiment_seed(), 42u);
   unsetenv("FACTORHD_SEED");
 }
 

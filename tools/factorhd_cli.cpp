@@ -9,6 +9,11 @@
 //       prediction for comparison.
 //   demo      [--seed S]
 //       One end-to-end encode/factorize round trip, printed step by step.
+//   info | version
+//       Build/version report: compiler and build flags, detected and
+//       dispatched SIMD scan tier, the FACTORHD_* env-knob registry, and a
+//       serving-engine self-test (one micro-batch through
+//       service::FactorizationEngine, metrics printed).
 //
 // Exit status: 0 on success, 1 on bad usage or a failed demo round trip.
 #include <cstdlib>
@@ -19,7 +24,14 @@
 #include <vector>
 
 #include "core/factorhd.hpp"
+#include "hdc/kernels/simd.hpp"
+#include "service/service.hpp"
+#include "util/env.hpp"
 #include "util/table.hpp"
+
+#ifndef FACTORHD_VERSION_STRING
+#define FACTORHD_VERSION_STRING "unknown"
+#endif
 
 namespace {
 
@@ -31,7 +43,8 @@ using namespace factorhd;
       "usage: factorhd <command> [options]\n"
       "  capacity  --classes F --items M[,M2,...] [--target ACC]\n"
       "  calibrate --classes F --items M --objects N --dim D [--trials T]\n"
-      "  demo      [--seed S]\n";
+      "  demo      [--seed S]\n"
+      "  info      (also: version) build flags, SIMD tiers, env knobs\n";
   std::exit(1);
 }
 
@@ -166,11 +179,81 @@ int cmd_demo(const std::map<std::string, std::string>& flags) {
   return ok ? 0 : 1;
 }
 
+int cmd_info() {
+  namespace hk = hdc::kernels;
+  std::cout << "factorhd " << FACTORHD_VERSION_STRING << "\n"
+            << "compiler:   " << __VERSION__ << "\n"
+            << "build:      "
+#ifdef NDEBUG
+            << "optimized (NDEBUG)"
+#else
+            << "debug (assertions on)"
+#endif
+            << ", C++" << (__cplusplus / 100 % 100) << "\n\n";
+
+  const hk::SimdLevel detected = hk::detect_simd_level();
+  const hk::SimdLevel dispatched = hk::dispatched_simd_level();
+  std::cout << "simd detected:   " << hk::to_string(detected) << "\n"
+            << "simd dispatched: " << hk::to_string(dispatched)
+            << "  (FACTORHD_SIMD=" << util::env_string("FACTORHD_SIMD", "auto")
+            << ")\n";
+  std::cout << "available tiers: ";
+  bool first = true;
+  for (const hk::SimdLevel level :
+       {hk::SimdLevel::kScalarWords, hk::SimdLevel::kAVX2,
+        hk::SimdLevel::kAVX512, hk::SimdLevel::kNEON}) {
+    if (!hk::simd_level_available(level)) continue;
+    std::cout << (first ? "" : ", ") << hk::to_string(level);
+    first = false;
+  }
+  std::cout << "\n\nenvironment knobs:\n";
+  util::TextTable table({"knob", "values", "default", "effect"});
+  for (const util::EnvKnob& k : util::env_knobs()) {
+    table.add_row({k.name, k.values, k.default_str, k.description});
+  }
+  table.print(std::cout);
+
+  // Serving-engine self-test: one micro-batch through the full service
+  // stack (registry -> engine -> BatchFactorizer -> cache), which also
+  // reports the scan tier the packed codebooks actually resolved to.
+  util::Xoshiro256 rng(1);
+  const tax::Taxonomy taxonomy(2, {8});
+  auto model = service::Model::make(
+      "self-test", tax::TaxonomyCodebooks(taxonomy, 256, rng));
+  std::cout << "\nscan backend:    "
+            << (model->factorizer().scan_backend() == hdc::ScanBackend::kPacked
+                    ? "packed"
+                    : "scalar");
+  if (const auto level = model->factorizer().simd_level()) {
+    std::cout << " @ " << hk::to_string(*level);
+  }
+  std::cout << "\n\nengine self-test (D=256, 4 requests + 1 cached repeat):\n";
+  service::FactorizationEngine engine(model, {.max_batch = 4});
+  const tax::Object obj = tax::random_object(taxonomy, rng);
+  const hdc::Hypervector target = model->encoder().encode_object(obj);
+  std::vector<std::future<core::FactorizeResult>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(engine.submit(model->encoder().encode_object(
+        tax::random_object(taxonomy, rng))));
+  }
+  futures.push_back(engine.submit(target));
+  for (auto& f : futures) (void)f.get();
+  // target's result is cached now, so the repeat exercises the hit path.
+  (void)engine.submit(target).get();
+  engine.stop();
+  std::cout << engine.metrics().to_string() << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
+  if (cmd == "info" || cmd == "version") {
+    if (argc != 2) usage("info takes no options");
+    return cmd_info();
+  }
   const auto flags = parse_flags(argc, argv, 2);
   if (cmd == "capacity") return cmd_capacity(flags);
   if (cmd == "calibrate") return cmd_calibrate(flags);
