@@ -1,0 +1,288 @@
+// Extension bench: tiered (two-stage) codebook scanning at scale — the
+// M-sweep behind the "million-item memories" ROADMAP claim.
+//
+// For each codebook size M the sweep builds one random bipolar codebook,
+// packs it (hdc/kernels/PackedItemMemory), builds the tiered index
+// (hdc/kernels/TieredItemMemory, auto configuration: K ≈ 4·sqrt(M) coarse
+// buckets, nprobe = K/16), and measures noisy cleanup queries — codebook
+// rows with a 2% bit-flip — both ways:
+//
+//   exact    PackedItemMemory::best   (every row, the PR 2-3 kernels)
+//   tiered   TieredItemMemory::best   (centroid scan -> top-nprobe buckets
+//                                      -> exact scan of survivors)
+//
+// reporting per-query wall time, the speedup, recall@1 (tiered argmax ==
+// exact argmax), and the similarity-measurement counts (the paper's
+// efficiency unit). The acceptance row (ISSUE 5): at M = 262144, tiered
+// must be >= 5x faster than exact at recall@1 >= 0.99.
+//
+// `--json FILE` additionally writes the machine-readable sweep in the
+// factorhd.bench_scale.v1 schema (validated by scripts/bench_json.py
+// --check; the committed baseline is BENCH_scale.json). `--smoke` runs a
+// tiny configuration and re-verifies the nprobe=all bound — a
+// full-coverage tiered index must be bit-identical to PackedItemMemory on
+// best/above/top_k — exiting 1 on any mismatch (the CI hook).
+//
+// FACTORHD_BENCH_SCALE=full extends the sweep to M = 1048576;
+// FACTORHD_TRIALS overrides the query count; FACTORHD_SEED the seed.
+#include <cinttypes>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "hdc/kernels/packed_item_memory.hpp"
+#include "hdc/kernels/tiered_item_memory.hpp"
+#include "hdc/random.hpp"
+
+namespace {
+
+using namespace factorhd;
+using hdc::kernels::PackedItemMemory;
+using hdc::kernels::PackedQuery;
+using hdc::kernels::TieredConfig;
+using hdc::kernels::TieredItemMemory;
+
+// The acceptance-criterion codebook size; also the repeat normalizer so
+// every sweep point spends comparable wall time.
+constexpr std::size_t kHeadlineM = 262144;
+
+struct PointResult {
+  std::size_t m = 0;
+  std::size_t clusters = 0;
+  std::size_t nprobe = 0;
+  double build_ms = 0.0;
+  double exact_us = 0.0;   ///< per query
+  double tiered_us = 0.0;  ///< per query
+  double speedup = 0.0;
+  double recall = 0.0;
+  std::uint64_t exact_ops = 0;   ///< similarity measurements per query
+  std::uint64_t tiered_ops = 0;  ///< mean, rounded
+};
+
+PointResult run_point(std::size_t m, std::size_t dim, std::size_t queries,
+                      double flip, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed + m);
+  PointResult r;
+  r.m = m;
+
+  // Generate, pack, and derive the query set inside one scope so the int32
+  // codebook (the dominant transient: M * D * 4 bytes) is freed before the
+  // timed scans; both memories own their planes.
+  std::shared_ptr<const PackedItemMemory> packed;
+  std::vector<PackedQuery> qs;
+  qs.reserve(queries);
+  {
+    const hdc::Codebook cb(dim, m, rng);
+    packed = std::make_shared<const PackedItemMemory>(cb);
+    for (std::size_t i = 0; i < queries; ++i) {
+      const hdc::Hypervector q =
+          hdc::flip_noise(cb.item(rng.uniform(m)), flip, rng);
+      qs.push_back(*PackedQuery::pack(q, packed->simd_level()));
+    }
+  }
+
+  util::Stopwatch build_sw;
+  const TieredItemMemory tiered(packed, TieredConfig{});
+  r.build_ms = build_sw.elapsed_ms();
+  r.clusters = tiered.clusters();
+  r.nprobe = tiered.nprobe();
+
+  const std::size_t reps = std::max<std::size_t>(1, kHeadlineM / m);
+
+  std::vector<std::size_t> truth(queries);
+  util::Stopwatch exact_sw;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (std::size_t i = 0; i < queries; ++i) {
+      truth[i] = packed->best(qs[i]).index;
+    }
+  }
+  r.exact_us = exact_sw.elapsed_us() / static_cast<double>(reps * queries);
+  r.exact_ops = m;
+
+  std::size_t hits = 0;
+  std::uint64_t ops = 0;
+  util::Stopwatch tiered_sw;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (std::size_t i = 0; i < queries; ++i) {
+      TieredItemMemory::ScanStats stats;
+      const hdc::Match got = tiered.best(qs[i], &stats);
+      if (rep == 0) {
+        hits += got.index == truth[i] ? 1 : 0;
+        ops += stats.centroid_dots + stats.row_dots;
+      }
+    }
+  }
+  r.tiered_us = tiered_sw.elapsed_us() / static_cast<double>(reps * queries);
+  r.speedup = r.tiered_us > 0 ? r.exact_us / r.tiered_us : 0.0;
+  r.recall = static_cast<double>(hits) / static_cast<double>(queries);
+  r.tiered_ops = ops / queries;
+  return r;
+}
+
+// The nprobe=all verification bound, re-checked in CI: full-coverage tiered
+// scans must be bit-identical to PackedItemMemory on best/above/top_k.
+bool verify_exact_bound(std::size_t m, std::size_t dim, std::size_t queries,
+                        double flip, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed ^ 0x5ca1eULL);
+  const hdc::Codebook cb(dim, m, rng);
+  const auto packed = std::make_shared<const PackedItemMemory>(cb);
+  const TieredItemMemory all(
+      packed, TieredConfig{.clusters = 0, .nprobe = m, .kmeans_iters = 2});
+  for (std::size_t i = 0; i < queries; ++i) {
+    const hdc::Hypervector q =
+        hdc::flip_noise(cb.item(rng.uniform(m)), flip, rng);
+    const auto pq = *PackedQuery::pack(q, packed->simd_level());
+    const hdc::Match ref = packed->best(pq);
+    const hdc::Match got = all.best(pq);
+    if (ref.index != got.index || ref.similarity != got.similarity) {
+      std::cerr << "MISMATCH best: m=" << m << " query " << i << "\n";
+      return false;
+    }
+    const auto ref_above = packed->above(pq, ref.similarity / 2.0);
+    const auto got_above = all.above(pq, ref.similarity / 2.0);
+    const auto ref_top = packed->top_k(pq, 10);
+    const auto got_top = all.top_k(pq, 10);
+    if (ref_above.size() != got_above.size() ||
+        ref_top.size() != got_top.size()) {
+      std::cerr << "MISMATCH sizes: m=" << m << " query " << i << "\n";
+      return false;
+    }
+    for (std::size_t j = 0; j < ref_above.size(); ++j) {
+      if (ref_above[j].index != got_above[j].index ||
+          ref_above[j].similarity != got_above[j].similarity) {
+        std::cerr << "MISMATCH above: m=" << m << " query " << i << "\n";
+        return false;
+      }
+    }
+    for (std::size_t j = 0; j < ref_top.size(); ++j) {
+      if (ref_top[j].index != got_top[j].index ||
+          ref_top[j].similarity != got_top[j].similarity) {
+        std::cerr << "MISMATCH top_k: m=" << m << " query " << i << "\n";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string fmt_num(double v, int precision = 3) {
+  std::string s = util::fmt_double(v, precision);
+  return s;
+}
+
+void write_json(const std::string& path, bool smoke, std::size_t dim,
+                std::size_t queries, double flip, std::uint64_t seed,
+                const std::vector<PointResult>& sweep) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_ext_scale: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  namespace hk = hdc::kernels;
+  out << "{\n"
+      << "  \"schema\": \"factorhd.bench_scale.v1\",\n"
+      << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+      << "  \"context\": {\n"
+      << "    \"dim\": " << dim << ",\n"
+      << "    \"queries\": " << queries << ",\n"
+      << "    \"flip_rate\": " << fmt_num(flip) << ",\n"
+      << "    \"seed\": " << seed << ",\n"
+      << "    \"simd_level\": \""
+      << hk::to_string(hk::dispatched_simd_level()) << "\",\n"
+      << "    \"simd_detected\": \""
+      << hk::to_string(hk::detect_simd_level()) << "\"\n"
+      << "  },\n"
+      << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const PointResult& r = sweep[i];
+    out << "    {\"m\": " << r.m << ", \"clusters\": " << r.clusters
+        << ", \"nprobe\": " << r.nprobe << ", \"build_ms\": "
+        << fmt_num(r.build_ms) << ", \"exact_us_per_query\": "
+        << fmt_num(r.exact_us)
+        << ", \"tiered_us_per_query\": "
+        << fmt_num(r.tiered_us) << ", \"speedup\": "
+        << fmt_num(r.speedup) << ", \"recall_at_1\": "
+        << fmt_num(r.recall, 4) << ", \"exact_sim_ops\": "
+        << r.exact_ops << ", \"tiered_sim_ops\": " << r.tiered_ops << "}"
+        << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  const PointResult& head = sweep.back();
+  out << "  ],\n"
+      << "  \"headline\": {\"m\": " << head.m << ", \"speedup\": "
+      << fmt_num(head.speedup) << ", \"recall_at_1\": "
+      << fmt_num(head.recall, 4) << "}\n"
+      << "}\n";
+  std::cout << "\nwrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::optional<std::string> json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_ext_scale [--smoke] [--json FILE]\n";
+      return 2;
+    }
+  }
+
+  std::cout << "==============================================================\n"
+            << "Extension: tiered two-stage codebook scanning at scale\n"
+            << "==============================================================\n";
+  const std::uint64_t seed = util::experiment_seed();
+  const std::size_t dim = smoke ? 256 : 8192;
+  const double flip = 0.02;
+  const std::size_t queries =
+      bench::trials_or_default(smoke ? 25 : 200, 200);
+
+  std::vector<std::size_t> ms;
+  if (smoke) {
+    ms = {256, 1024};
+  } else {
+    ms = {1024, 4096, 16384, 65536, 262144};
+    if (util::bench_full_scale()) ms.push_back(1048576);
+  }
+  std::cout << "D=" << dim << ", " << queries
+            << " noisy cleanup queries/point (2% bit flip), seed " << seed
+            << "\nauto tier config: K = 4*sqrt(M) buckets, nprobe = K/16\n\n";
+
+  std::vector<PointResult> sweep;
+  util::TextTable table({"M", "K", "nprobe", "build", "exact/q", "tiered/q",
+                         "speedup", "recall@1", "sim-ops exact/tiered"});
+  for (const std::size_t m : ms) {
+    const PointResult r = run_point(m, dim, queries, flip, seed);
+    table.add_row({std::to_string(r.m), std::to_string(r.clusters),
+                   std::to_string(r.nprobe),
+                   util::fmt_double(r.build_ms, 1) + " ms",
+                   util::fmt_double(r.exact_us, 1) + " us",
+                   util::fmt_double(r.tiered_us, 1) + " us",
+                   util::fmt_double(r.speedup, 2) + "x",
+                   util::fmt_double(r.recall, 4),
+                   std::to_string(r.exact_ops) + " / " +
+                       std::to_string(r.tiered_ops)});
+    sweep.push_back(r);
+  }
+  table.print(std::cout);
+
+  if (smoke) {
+    // CI correctness hook: the verification bound must hold bit-exactly.
+    if (!verify_exact_bound(512, dim, queries, flip, seed)) return 1;
+    std::cout << "\nnprobe=all differential vs PackedItemMemory: exact "
+                 "(best/above/top_k bit-identical)\n";
+  }
+
+  if (json_path) {
+    write_json(*json_path, smoke, dim, queries, flip, seed, sweep);
+  }
+  return 0;
+}

@@ -24,9 +24,17 @@ benchmarks"):
 backend, the forced tier for BM_Scan*Packed{Words,AVX2,AVX512,NEON} rows,
 and the context's dispatched tier for plain BM_Scan*Packed rows.
 
-``--check FILE`` validates an emitted file against the v2 schema (level
-fields present, speedups recorded) and exits non-zero on violations — the
-CI hook keeping the emitter and this schema in lockstep.
+``--check FILE`` validates an emitted file and exits non-zero on
+violations — the CI hook keeping the emitters and these schemas in
+lockstep. The file's own ``schema`` field selects the validator:
+
+* ``factorhd.bench_kernels.v2`` — the Google-Benchmark conversion above;
+* ``factorhd.bench_scale.v1`` — the tiered-scan M-sweep written directly
+  by ``bench_ext_scale --json`` (context with dim/queries/flip_rate/seed/
+  SIMD tiers; one sweep row per codebook size M with clusters, nprobe,
+  per-query times, speedup, recall@1, and similarity-op counts; a
+  ``headline`` block mirroring the largest-M row — the ISSUE 5 acceptance
+  surface, committed as BENCH_scale.json).
 
 Only Python stdlib is used.
 """
@@ -50,6 +58,7 @@ LEVEL_NAMES = {"Words": "scalar", "AVX2": "avx2", "AVX512": "avx512",
 KNOWN_LEVELS = set(LEVEL_NAMES.values())
 
 SCHEMA = "factorhd.bench_kernels.v2"
+SCALE_SCHEMA = "factorhd.bench_scale.v1"
 
 
 def parse_benchmarks(raw, dispatched_level):
@@ -166,6 +175,112 @@ def validate(doc):
     return errors
 
 
+SCALE_ROW_FIELDS = (
+    "m", "clusters", "nprobe", "build_ms", "exact_us_per_query",
+    "tiered_us_per_query", "speedup", "recall_at_1", "exact_sim_ops",
+    "tiered_sim_ops",
+)
+
+
+def validate_scale(doc):
+    """Returns a list of bench_scale.v1 violations (empty = valid)."""
+    errors = []
+    if doc.get("schema") != SCALE_SCHEMA:
+        errors.append(
+            f"schema is {doc.get('schema')!r}, expected {SCALE_SCHEMA!r}"
+        )
+    if doc.get("mode") not in ("full", "smoke"):
+        errors.append(f"mode is {doc.get('mode')!r}")
+    ctx = doc.get("context", {})
+    for field in ("dim", "queries", "flip_rate", "seed"):
+        if field not in ctx:
+            errors.append(f"context.{field} missing")
+    if ctx.get("simd_level") not in KNOWN_LEVELS:
+        errors.append(f"context.simd_level is {ctx.get('simd_level')!r}")
+    if ctx.get("simd_detected") not in KNOWN_LEVELS:
+        errors.append(f"context.simd_detected is {ctx.get('simd_detected')!r}")
+    sweep = doc.get("sweep") or []
+    if not sweep:
+        errors.append("no sweep rows recorded")
+    prev_m = 0
+    for row in sweep:
+        missing = [f for f in SCALE_ROW_FIELDS if f not in row]
+        if missing:
+            errors.append(f"sweep m={row.get('m')}: missing fields {missing}")
+            continue
+        if row["m"] <= prev_m:
+            errors.append(f"sweep m={row['m']}: rows not strictly ascending")
+        prev_m = row["m"]
+        if not 0.0 <= row["recall_at_1"] <= 1.0:
+            errors.append(f"sweep m={row['m']}: recall_at_1 out of [0, 1]")
+        if row["speedup"] <= 0:
+            errors.append(f"sweep m={row['m']}: non-positive speedup")
+        if not 1 <= row["nprobe"] <= row["clusters"]:
+            errors.append(f"sweep m={row['m']}: nprobe outside [1, clusters]")
+        if row["tiered_sim_ops"] > row["exact_sim_ops"]:
+            errors.append(
+                f"sweep m={row['m']}: tiered scans more rows than exact"
+            )
+    head = doc.get("headline") or {}
+    if sweep and all("m" in r for r in sweep):
+        last = sweep[-1]
+        for field in ("m", "speedup", "recall_at_1"):
+            if head.get(field) != last.get(field):
+                errors.append(
+                    f"headline.{field} does not mirror the largest-M row"
+                )
+    # Full-mode baselines carry the tracked acceptance bound (ISSUE 5):
+    # the M=262144 row must show >= 5x speedup at recall@1 >= 0.99, so a
+    # regenerated BENCH_scale.json cannot silently regress below it.
+    if doc.get("mode") == "full":
+        accept = next(
+            (r for r in sweep if r.get("m") == 262144
+             and not [f for f in SCALE_ROW_FIELDS if f not in r]),
+            None,
+        )
+        if accept is None:
+            errors.append("full-mode sweep lacks the M=262144 acceptance row")
+        else:
+            if accept["speedup"] < 5.0:
+                errors.append(
+                    f"acceptance row m=262144: speedup {accept['speedup']} "
+                    "< 5.0"
+                )
+            if accept["recall_at_1"] < 0.99:
+                errors.append(
+                    f"acceptance row m=262144: recall_at_1 "
+                    f"{accept['recall_at_1']} < 0.99"
+                )
+    return errors
+
+
+def run_check(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") == SCALE_SCHEMA:
+        errors, kind = validate_scale(doc), SCALE_SCHEMA
+    else:
+        errors, kind = validate(doc), SCHEMA
+    if errors:
+        for e in errors:
+            print(f"bench_json.py: {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+    if kind == SCALE_SCHEMA:
+        head = doc["headline"]
+        print(
+            f"{path}: schema {kind} OK ({len(doc['sweep'])} rows, headline "
+            f"m={head['m']} speedup={head['speedup']}x "
+            f"recall@1={head['recall_at_1']}, "
+            f"simd_level={doc['context']['simd_level']})"
+        )
+    else:
+        print(
+            f"{path}: schema {kind} OK "
+            f"({len(doc['benchmarks'])} rows, {len(doc['speedup'])} speedups, "
+            f"simd_level={doc['context']['simd_level']})"
+        )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--raw", help="google-benchmark JSON file")
@@ -179,23 +294,13 @@ def main():
     ap.add_argument(
         "--check",
         metavar="FILE",
-        help="validate FILE against the v2 schema and exit (no conversion)",
+        help="validate FILE against its declared schema (bench_kernels.v2 "
+        "or bench_scale.v1) and exit (no conversion)",
     )
     args = ap.parse_args()
 
     if args.check:
-        with open(args.check, encoding="utf-8") as f:
-            doc = json.load(f)
-        errors = validate(doc)
-        if errors:
-            for e in errors:
-                print(f"bench_json.py: {args.check}: {e}", file=sys.stderr)
-            sys.exit(1)
-        print(
-            f"{args.check}: schema {SCHEMA} OK "
-            f"({len(doc['benchmarks'])} rows, {len(doc['speedup'])} speedups, "
-            f"simd_level={doc['context']['simd_level']})"
-        )
+        run_check(args.check)
         return
 
     if not args.raw or not args.out:

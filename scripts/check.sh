@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verify, end to end: configure, build, run the full CTest corpus.
+# The default (full) mode additionally validates the committed bench
+# baselines (BENCH_kernels.json, BENCH_scale.json) against their schemas
+# and link-checks the markdown docs.
 #
 # Usage:
 #   scripts/check.sh          # full corpus (the ROADMAP tier-1 gate)
@@ -15,21 +18,25 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
+CHECK_BASELINES=1
 CMAKE_ARGS=()
 CTEST_ARGS=(--output-on-failure -j "$(nproc)")
 
 case "${1:-}" in
   --fast)
     shift
+    CHECK_BASELINES=0
     CTEST_ARGS+=(-L unit)
     ;;
   --asan)
     shift
+    CHECK_BASELINES=0
     BUILD_DIR=build-asan
     CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Debug -DFACTORHD_SANITIZE=ON -DFACTORHD_WERROR=ON)
     ;;
   --tsan)
     shift
+    CHECK_BASELINES=0
     BUILD_DIR=build-tsan
     CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Debug -DFACTORHD_TSAN=ON -DFACTORHD_WERROR=ON)
     # The suites that exercise the worker pools (BatchFactorizer, the
@@ -43,3 +50,9 @@ CTEST_ARGS+=("$@")
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"
+
+if [[ "$CHECK_BASELINES" == 1 ]]; then
+  python3 scripts/bench_json.py --check BENCH_kernels.json
+  python3 scripts/bench_json.py --check BENCH_scale.json
+  python3 scripts/check_links.py
+fi

@@ -31,15 +31,33 @@ Factorizer::Factorizer(const Encoder& encoder, hdc::ScanBackend backend)
 }
 
 hdc::ScanBackend Factorizer::scan_backend() const noexcept {
+  bool any_tiered = false;
+  bool any = false;
   for (const auto& per_class : memories_) {
     for (const hdc::ItemMemory& m : per_class) {
-      if (m.backend() != hdc::ScanBackend::kPacked) {
-        return hdc::ScanBackend::kScalar;
+      any = true;
+      switch (m.backend()) {
+        case hdc::ScanBackend::kTiered:
+          any_tiered = true;
+          break;
+        case hdc::ScanBackend::kPacked:
+          break;
+        default:
+          return hdc::ScanBackend::kScalar;
       }
     }
   }
-  return memories_.empty() ? hdc::ScanBackend::kScalar
-                           : hdc::ScanBackend::kPacked;
+  if (!any) return hdc::ScanBackend::kScalar;
+  return any_tiered ? hdc::ScanBackend::kTiered : hdc::ScanBackend::kPacked;
+}
+
+bool Factorizer::tiered() const noexcept {
+  for (const auto& per_class : memories_) {
+    for (const hdc::ItemMemory& m : per_class) {
+      if (m.backend() == hdc::ScanBackend::kTiered) return true;
+    }
+  }
+  return false;
 }
 
 std::optional<hdc::kernels::SimdLevel> Factorizer::simd_level() const noexcept {
@@ -88,14 +106,15 @@ double Factorizer::effective_threshold(const FactorizeOptions& opts) const {
 
 ClassFactorization Factorizer::factorize_class_single(
     const hdc::Hypervector& unbound, std::size_t cls, std::size_t depth,
-    std::uint64_t& sim_ops) const {
+    hdc::ScanMode mode, std::uint64_t& sim_ops) const {
   ClassFactorization cf;
   cf.cls = cls;
   cf.null_similarity = hdc::similarity(unbound, books_->null_hv());
   ++sim_ops;
 
-  const hdc::Match top = memories_[cls][0].best(unbound);
-  sim_ops += memories_[cls][0].size();
+  std::uint64_t scanned = 0;
+  const hdc::Match top = memories_[cls][0].best(unbound, mode, &scanned);
+  sim_ops += scanned;
   if (cf.null_similarity > top.similarity) {
     cf.present = false;  // the class is not part of the object
     return cf;
@@ -122,14 +141,17 @@ ClassFactorization Factorizer::factorize_class_single(
 
 Factorizer::ClassCandidates Factorizer::collect_candidates(
     const hdc::Hypervector& unbound, std::size_t cls, std::size_t depth,
-    double th, std::size_t max_paths, std::uint64_t& sim_ops) const {
+    double th, std::size_t max_paths, hdc::ScanMode mode,
+    std::uint64_t& sim_ops) const {
   ClassCandidates out;
   out.null_similarity = hdc::similarity(unbound, books_->null_hv());
   ++sim_ops;
   out.null_candidate = out.null_similarity > th;
 
-  std::vector<hdc::Match> level1 = memories_[cls][0].above(unbound, th);
-  sim_ops += memories_[cls][0].size();
+  std::uint64_t scanned = 0;
+  std::vector<hdc::Match> level1 =
+      memories_[cls][0].above(unbound, th, mode, &scanned);
+  sim_ops += scanned;
   if (level1.size() > max_paths) level1.resize(max_paths);
 
   std::vector<CandidatePath> frontier;
@@ -179,6 +201,8 @@ FactorizeResult Factorizer::factorize(const hdc::Hypervector& target,
   FactorizeResult result;
   const std::vector<std::size_t> report_classes = resolve_classes(opts);
   const std::size_t report_depth = resolve_depth(opts);
+  const hdc::ScanMode base_mode =
+      opts.exact_scan ? hdc::ScanMode::kExact : hdc::ScanMode::kDefault;
 
   if (!opts.multi_object) {
     FactorizedObject obj;
@@ -187,6 +211,7 @@ FactorizeResult Factorizer::factorize(const hdc::Hypervector& target,
       const hdc::Hypervector unbound =
           hdc::bind(target, books_->other_labels_key(cls));
       obj.classes.push_back(factorize_class_single(unbound, cls, report_depth,
+                                                   base_mode,
                                                    result.similarity_ops));
     }
     result.objects.push_back(std::move(obj));
@@ -200,83 +225,99 @@ FactorizeResult Factorizer::factorize(const hdc::Hypervector& target,
   const std::size_t full_depth = t.max_depth();
   const double th = effective_threshold(opts);
 
+  // Tiered scans can only *miss* candidates, so a stalled round (no class
+  // evidence, or no combination above TH) is re-run with exact scans before
+  // anything is concluded: convergence is never declared on an
+  // approximation artifact, and accepted objects are always verified by the
+  // exact re-encode-and-compare similarity either way.
+  const bool can_rescan = base_mode == hdc::ScanMode::kDefault && tiered();
+
   hdc::Hypervector residual = target;
   result.converged = false;
   for (std::size_t round = 0; round < opts.max_objects; ++round) {
     RoundTrace round_trace;
-    // Per-class thresholded candidate enumeration on the current residual.
     std::vector<ClassCandidates> cands;
-    cands.reserve(t.num_classes());
-    bool feasible = true;
-    for (std::size_t cls = 0; cls < t.num_classes(); ++cls) {
-      const hdc::Hypervector unbound =
-          hdc::bind(residual, books_->other_labels_key(cls));
-      ClassCandidates cc =
-          collect_candidates(unbound, cls, full_depth, th,
-                             opts.max_candidates_per_class,
-                             result.similarity_ops);
-      if (opts.collect_trace) {
-        round_trace.candidates_per_class.push_back(cc.paths.size());
-        round_trace.null_candidates += cc.null_candidate ? 1 : 0;
-      }
-      if (cc.paths.empty() && !cc.null_candidate) {
-        feasible = false;  // some class has no evidence left above TH
-        break;
-      }
-      cands.push_back(std::move(cc));
-    }
-    if (!feasible) {
-      if (opts.collect_trace) result.trace.push_back(std::move(round_trace));
-      result.converged = true;
-      break;
-    }
-
-    // Combination search: odometer over per-class options (each candidate
-    // path, plus NULL where it passed TH). Keep the combination whose
-    // re-encoding matches the residual best.
-    std::vector<std::size_t> option_count(t.num_classes());
-    for (std::size_t c = 0; c < t.num_classes(); ++c) {
-      option_count[c] =
-          cands[c].paths.size() + (cands[c].null_candidate ? 1 : 0);
-    }
-
-    std::vector<std::size_t> odo(t.num_classes(), 0);
     double best_sim = th;  // acceptance requires similarity > TH
     std::optional<tax::Object> best_object;
-    bool more = true;
-    while (more) {
-      tax::Object combo(t.num_classes());
-      bool all_absent = true;
-      for (std::size_t c = 0; c < t.num_classes(); ++c) {
-        if (odo[c] < cands[c].paths.size()) {
-          combo.set_path(c, cands[c].paths[odo[c]].path);
-          all_absent = false;
-        }
-        // else: NULL option — class left absent.
-      }
-      if (!all_absent) {
-        const hdc::Hypervector combo_hv = encoder_->encode_object(combo);
-        const double s = hdc::similarity(residual, combo_hv);
-        ++result.combinations_checked;
+    hdc::ScanMode mode = base_mode;
+    while (true) {
+      round_trace = RoundTrace{};
+      // Per-class thresholded candidate enumeration on the current residual.
+      cands.clear();
+      cands.reserve(t.num_classes());
+      bool feasible = true;
+      for (std::size_t cls = 0; cls < t.num_classes(); ++cls) {
+        const hdc::Hypervector unbound =
+            hdc::bind(residual, books_->other_labels_key(cls));
+        ClassCandidates cc =
+            collect_candidates(unbound, cls, full_depth, th,
+                               opts.max_candidates_per_class, mode,
+                               result.similarity_ops);
         if (opts.collect_trace) {
-          ++round_trace.combinations;
-          round_trace.best_similarity =
-              std::max(round_trace.best_similarity, s);
+          round_trace.candidates_per_class.push_back(cc.paths.size());
+          round_trace.null_candidates += cc.null_candidate ? 1 : 0;
         }
-        if (s > best_sim) {
-          best_sim = s;
-          best_object = combo;
-        }
-      }
-      // Advance the odometer.
-      more = false;
-      for (std::size_t c = 0; c < t.num_classes(); ++c) {
-        if (++odo[c] < option_count[c]) {
-          more = true;
+        if (cc.paths.empty() && !cc.null_candidate) {
+          feasible = false;  // some class has no evidence left above TH
           break;
         }
-        odo[c] = 0;
+        cands.push_back(std::move(cc));
       }
+
+      // Combination search: odometer over per-class options (each candidate
+      // path, plus NULL where it passed TH). Keep the combination whose
+      // re-encoding matches the residual best.
+      best_sim = th;
+      best_object.reset();
+      if (feasible) {
+        std::vector<std::size_t> option_count(t.num_classes());
+        for (std::size_t c = 0; c < t.num_classes(); ++c) {
+          option_count[c] =
+              cands[c].paths.size() + (cands[c].null_candidate ? 1 : 0);
+        }
+
+        std::vector<std::size_t> odo(t.num_classes(), 0);
+        bool more = true;
+        while (more) {
+          tax::Object combo(t.num_classes());
+          bool all_absent = true;
+          for (std::size_t c = 0; c < t.num_classes(); ++c) {
+            if (odo[c] < cands[c].paths.size()) {
+              combo.set_path(c, cands[c].paths[odo[c]].path);
+              all_absent = false;
+            }
+            // else: NULL option — class left absent.
+          }
+          if (!all_absent) {
+            const hdc::Hypervector combo_hv = encoder_->encode_object(combo);
+            const double s = hdc::similarity(residual, combo_hv);
+            ++result.combinations_checked;
+            if (opts.collect_trace) {
+              ++round_trace.combinations;
+              round_trace.best_similarity =
+                  std::max(round_trace.best_similarity, s);
+            }
+            if (s > best_sim) {
+              best_sim = s;
+              best_object = combo;
+            }
+          }
+          // Advance the odometer.
+          more = false;
+          for (std::size_t c = 0; c < t.num_classes(); ++c) {
+            if (++odo[c] < option_count[c]) {
+              more = true;
+              break;
+            }
+            odo[c] = 0;
+          }
+        }
+      }
+
+      if (best_object || mode == hdc::ScanMode::kExact || !can_rescan) break;
+      // Stalled under approximate scans: retry this round exactly.
+      mode = hdc::ScanMode::kExact;
+      ++result.exact_rescans;
     }
 
     if (!best_object) {

@@ -69,6 +69,14 @@ struct FactorizeOptions {
   /// acceptance decisions. Off by default (allocation-free hot path).
   bool collect_trace = false;
 
+  /// Force exact full-codebook scans for this call even when the
+  /// Factorizer's item memories carry a tiered (approximate) index — the
+  /// per-call accuracy override. No effect on exact backends. Without it,
+  /// tiered scans are used where available and the multi-object loop
+  /// re-scans a stalled round exactly before declaring convergence (see
+  /// FactorizeResult::exact_rescans).
+  bool exact_scan = false;
+
   /// Exact field-wise equality — the grouping relation of the serving
   /// layer's micro-batcher (requests batch together only under identical
   /// options) and part of its result-cache key.
@@ -128,6 +136,12 @@ struct FactorizeResult {
   /// True when the loop stopped because nothing above TH remained (rather
   /// than hitting max_objects).
   bool converged = true;
+  /// Multi-object rounds that stalled under tiered (approximate) scans and
+  /// were re-run with exact scans before concluding anything (0 on exact
+  /// backends and under FactorizeOptions::exact_scan). A non-zero value
+  /// means the tiered index missed candidates that round; the exact re-scan
+  /// guarantees convergence is never declared on an approximation artifact.
+  std::uint64_t exact_rescans = 0;
   /// Per-round diagnostics; populated only when options.collect_trace.
   std::vector<RoundTrace> trace;
 
@@ -150,16 +164,28 @@ class Factorizer {
   ///   forced hdc::ScanBackend::kPacked* values pin the packed kernels to
   ///   one SIMD tier (throwing when that tier is unavailable on this CPU) —
   ///   the knob the cross-backend differential tests run the whole
-  ///   Algorithm 1 pipeline on.
+  ///   Algorithm 1 pipeline on. Under kAuto, codebooks at/above
+  ///   FACTORHD_TIERED_MIN_ROWS rows additionally build the two-stage
+  ///   tiered index (hdc::ScanBackend::kTiered forces it), making full
+  ///   level-1 scans approximate; FactorizeOptions::exact_scan restores
+  ///   exact scans per call and stalled multi-object rounds re-scan
+  ///   exactly on their own.
   /// \throws std::invalid_argument When `backend` is kPacked but a codebook
   ///   is not packable (never the case for generated taxonomy codebooks),
   ///   or when a forced kPacked* SIMD level is unavailable on this CPU.
   explicit Factorizer(const Encoder& encoder,
                       hdc::ScanBackend backend = hdc::ScanBackend::kAuto);
 
-  /// \return The backend the codebook scans resolved to: kPacked when every
-  ///   internal ItemMemory packed its codebook, else kScalar.
+  /// \return The backend the codebook scans resolved to: kScalar when any
+  ///   internal ItemMemory fell back to scalar, else kTiered when any
+  ///   memory carries the two-stage index (large codebooks under kAuto, or
+  ///   an explicit kTiered backend), else kPacked.
   [[nodiscard]] hdc::ScanBackend scan_backend() const noexcept;
+
+  /// \return True when any internal ItemMemory scans through a tiered
+  ///   (approximate) index — the condition under which the multi-object
+  ///   loop arms its stall-triggered exact re-scan.
+  [[nodiscard]] bool tiered() const noexcept;
 
   /// \return The SIMD tier the packed codebook scans execute at (identical
   ///   across all internal memories); std::nullopt when scans are scalar.
@@ -204,15 +230,19 @@ class Factorizer {
       const FactorizeOptions& opts) const;
   [[nodiscard]] std::size_t resolve_depth(const FactorizeOptions& opts) const;
 
-  /// Single-object top-down argmax factorization of one class.
+  /// Single-object top-down argmax factorization of one class. `mode`
+  /// selects tiered vs exact level-1 scans (deeper levels are restricted
+  /// best_among searches, exact on every backend).
   [[nodiscard]] ClassFactorization factorize_class_single(
       const hdc::Hypervector& unbound, std::size_t cls, std::size_t depth,
-      std::uint64_t& sim_ops) const;
+      hdc::ScanMode mode, std::uint64_t& sim_ops) const;
 
-  /// Multi-object thresholded candidate enumeration for one class.
+  /// Multi-object thresholded candidate enumeration for one class; `mode`
+  /// selects tiered vs exact level-1 `above` scans.
   [[nodiscard]] ClassCandidates collect_candidates(
       const hdc::Hypervector& unbound, std::size_t cls, std::size_t depth,
-      double th, std::size_t max_paths, std::uint64_t& sim_ops) const;
+      double th, std::size_t max_paths, hdc::ScanMode mode,
+      std::uint64_t& sim_ops) const;
 
   const Encoder* encoder_;
   const tax::TaxonomyCodebooks* books_;

@@ -29,6 +29,18 @@ namespace factorhd::hdc {
 /// Order-dependent 64-bit content hash of `v` over (dim, components).
 /// Deterministic across processes and platforms; equal vectors always hash
 /// equal, distinct vectors collide with ~2^-64 probability per pair.
+///
+/// \par Contract (fingerprint, not identity)
+/// The return value is a *fingerprint*: equality of hashes is necessary
+/// but never sufficient for equality of vectors. Consumers that must not
+/// act on a false positive are required to verify candidate matches with
+/// a full `(dim, components)` comparison and treat any mismatch as
+/// "different" — i.e. collision ⇒ miss, never a wrong answer. The serving
+/// layer's `service::ResultCache` is the canonical consumer and implements
+/// exactly this discipline (`service/result_cache.hpp`); the stability
+/// guarantee (no dependence on process, platform, or storage alphabet) is
+/// what makes the fingerprint usable as a cross-restart cache key.
+///
 /// \param v Hypervector to fingerprint (the empty HV has a defined hash).
 /// \param seed Optional domain-separation seed.
 /// \return The 64-bit fingerprint.

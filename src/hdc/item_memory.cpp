@@ -4,8 +4,10 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "hdc/kernels/packed_item_memory.hpp"
+#include "hdc/kernels/tiered_item_memory.hpp"
 #include "hdc/similarity.hpp"
 
 namespace factorhd::hdc {
@@ -15,9 +17,11 @@ namespace {
 using kernels::PackedItemMemory;
 using kernels::PackedQuery;
 using kernels::SimdLevel;
+using kernels::TieredConfig;
+using kernels::TieredItemMemory;
 
 // The SIMD tier a forced kPacked* backend names; nullopt for every backend
-// that dispatches (kAuto/kPacked) or never packs (kScalar).
+// that dispatches (kAuto/kPacked/kTiered) or never packs (kScalar).
 std::optional<SimdLevel> forced_simd_level(ScanBackend backend) noexcept {
   switch (backend) {
     case ScanBackend::kPackedWords:
@@ -35,8 +39,14 @@ std::optional<SimdLevel> forced_simd_level(ScanBackend backend) noexcept {
 
 }  // namespace
 
-ItemMemory::ItemMemory(const Codebook& codebook, ScanBackend backend)
+ItemMemory::ItemMemory(const Codebook& codebook, ScanBackend backend,
+                       std::optional<TieredConfig> tiered)
     : codebook_(&codebook) {
+  if (tiered.has_value() && backend != ScanBackend::kAuto &&
+      backend != ScanBackend::kTiered) {
+    throw std::invalid_argument(
+        "ItemMemory: a TieredConfig requires the kAuto or kTiered backend");
+  }
   switch (backend) {
     case ScanBackend::kScalar:
       break;
@@ -44,9 +54,29 @@ ItemMemory::ItemMemory(const Codebook& codebook, ScanBackend backend)
       // Throws std::invalid_argument when the codebook is not packable.
       packed_ = std::make_shared<const PackedItemMemory>(codebook);
       break;
+    case ScanBackend::kTiered:
+      packed_ = std::make_shared<const PackedItemMemory>(codebook);
+      tiered_ = std::make_shared<const TieredItemMemory>(
+          packed_, tiered.value_or(kernels::tiered_config_from_env()));
+      break;
     case ScanBackend::kAuto:
+      if (tiered.has_value() && !PackedItemMemory::packable(codebook)) {
+        // An explicit config promises a tier index; never drop it silently.
+        throw std::invalid_argument(
+            "ItemMemory: TieredConfig given but the codebook is not "
+            "packable (entries outside {-1, 0, +1})");
+      }
       if (PackedItemMemory::packable(codebook)) {
         packed_ = std::make_shared<const PackedItemMemory>(codebook);
+        // Auto-upgrade to the tiered index for very large codebooks (an
+        // explicit config forces it regardless of the threshold; min_rows
+        // of 0 disables the upgrade so kAuto stays exact everywhere).
+        const std::size_t min_rows = kernels::tiered_auto_min_rows();
+        if (tiered.has_value() ||
+            (min_rows > 0 && codebook.size() >= min_rows)) {
+          tiered_ = std::make_shared<const TieredItemMemory>(
+              packed_, tiered.value_or(kernels::tiered_config_from_env()));
+        }
       }
       break;
     case ScanBackend::kPackedWords:
@@ -85,9 +115,18 @@ static std::optional<PackedQuery> packed_route(
   return PackedQuery::pack(query, packed->simd_level());
 }
 
-Match ItemMemory::best(const Hypervector& query) const {
+Match ItemMemory::best(const Hypervector& query, ScanMode mode,
+                       std::uint64_t* scanned) const {
   if (auto q = packed_route(packed_, query)) {
+    if (tiered_ && mode == ScanMode::kDefault) {
+      TieredItemMemory::ScanStats stats;
+      const Match m = tiered_->best(*q, &stats);
+      count(stats.centroid_dots + stats.row_dots);
+      if (scanned != nullptr) *scanned = stats.centroid_dots + stats.row_dots;
+      return m;
+    }
     count(packed_->size());
+    if (scanned != nullptr) *scanned = packed_->size();
     return packed_->best(*q);
   }
   Match m{0, similarity(query, codebook_->item(0))};
@@ -97,6 +136,7 @@ Match ItemMemory::best(const Hypervector& query) const {
     count(1);
     if (s > m.similarity) m = {j, s};
   }
+  if (scanned != nullptr) *scanned = codebook_->size();
   return m;
 }
 
@@ -120,9 +160,18 @@ Match ItemMemory::best_among(const Hypervector& query,
 }
 
 std::vector<Match> ItemMemory::above(const Hypervector& query,
-                                     double threshold) const {
+                                     double threshold, ScanMode mode,
+                                     std::uint64_t* scanned) const {
   if (auto q = packed_route(packed_, query)) {
+    if (tiered_ && mode == ScanMode::kDefault) {
+      TieredItemMemory::ScanStats stats;
+      std::vector<Match> out = tiered_->above(*q, threshold, &stats);
+      count(stats.centroid_dots + stats.row_dots);
+      if (scanned != nullptr) *scanned = stats.centroid_dots + stats.row_dots;
+      return out;
+    }
     count(packed_->size());
+    if (scanned != nullptr) *scanned = packed_->size();
     return packed_->above(*q, threshold);
   }
   std::vector<Match> out;
@@ -131,6 +180,7 @@ std::vector<Match> ItemMemory::above(const Hypervector& query,
     count(1);
     if (s > threshold) out.push_back({j, s});
   }
+  if (scanned != nullptr) *scanned = codebook_->size();
   std::sort(out.begin(), out.end(), match_order);
   return out;
 }
@@ -152,10 +202,19 @@ std::vector<Match> ItemMemory::above_among(
   return out;
 }
 
-std::vector<Match> ItemMemory::top_k(const Hypervector& query,
-                                     std::size_t k) const {
+std::vector<Match> ItemMemory::top_k(const Hypervector& query, std::size_t k,
+                                     ScanMode mode,
+                                     std::uint64_t* scanned) const {
   if (auto q = packed_route(packed_, query)) {
+    if (tiered_ && mode == ScanMode::kDefault) {
+      TieredItemMemory::ScanStats stats;
+      std::vector<Match> out = tiered_->top_k(*q, k, &stats);
+      count(stats.centroid_dots + stats.row_dots);
+      if (scanned != nullptr) *scanned = stats.centroid_dots + stats.row_dots;
+      return out;
+    }
     count(packed_->size());
+    if (scanned != nullptr) *scanned = packed_->size();
     return packed_->top_k(*q, k);
   }
   std::vector<Match> all;
@@ -164,6 +223,7 @@ std::vector<Match> ItemMemory::top_k(const Hypervector& query,
     all.push_back({j, similarity(query, codebook_->item(j))});
     count(1);
   }
+  if (scanned != nullptr) *scanned = codebook_->size();
   const std::size_t keep = std::min(k, all.size());
   std::partial_sort(all.begin(),
                     all.begin() + static_cast<std::ptrdiff_t>(keep), all.end(),

@@ -19,6 +19,18 @@
 // packed backend and every bipolar/ternary query runs on it; integer-bundle
 // queries (e.g. the multi-object residual) transparently fall back to the
 // scalar loop per call. Copies share the immutable packed planes.
+//
+// A third, *approximate* backend exists for codebooks far beyond the paper's
+// sizes: kTiered routes full-codebook scans (best / above / top_k) through
+// kernels::TieredItemMemory, a two-stage coarse-quantization cascade that
+// scans cluster centroids first and runs the exact packed scan only over the
+// top-nprobe buckets. kAuto upgrades to it automatically at/above
+// FACTORHD_TIERED_MIN_ROWS rows (default 65536 — far beyond every paper
+// workload, so kAuto stays bit-exact there). Tiered scans can miss rows but
+// never mis-rank the rows they scan; per call, ScanMode::kExact forces the
+// exact packed path (the Factorizer's stall fallback), and the
+// index-restricted scans (best_among / above_among) and dots are always
+// exact.
 #pragma once
 
 #include <atomic>
@@ -32,6 +44,7 @@
 #include "hdc/codebook.hpp"
 #include "hdc/hypervector.hpp"
 #include "hdc/kernels/simd.hpp"
+#include "hdc/kernels/tiered_item_memory.hpp"
 #include "hdc/match.hpp"
 
 namespace factorhd::hdc {
@@ -50,37 +63,65 @@ class PackedItemMemory;
 /// results; forcing a tier the CPU cannot execute throws instead of
 /// degrading silently.
 enum class ScanBackend {
-  kAuto,    ///< packed when the codebook is bipolar/ternary, else scalar
+  kAuto,    ///< packed when the codebook is bipolar/ternary, else scalar;
+            ///< additionally tiered at/above FACTORHD_TIERED_MIN_ROWS rows
   kScalar,  ///< always the int32 dot-product loops
   kPacked,  ///< word-plane kernels at the dispatched SIMD level
   kPackedWords,   ///< word-plane kernels, forced scalar 64-bit word loops
   kPackedAVX2,    ///< word-plane kernels, forced AVX2 tier
   kPackedAVX512,  ///< word-plane kernels, forced AVX-512 tier
   kPackedNEON,    ///< word-plane kernels, forced NEON tier
+  kTiered,  ///< two-stage coarse-then-exact scans (kernels::TieredItemMemory)
+            ///< at the dispatched SIMD level; approximate unless nprobe
+            ///< covers every cluster
+};
+
+/// Per-call accuracy selection for the full-codebook scans of a tiered
+/// ItemMemory. On the scalar/packed backends both modes are identical.
+enum class ScanMode {
+  kDefault,  ///< the memory's backend as configured (tiered when built)
+  kExact,    ///< force the exact full scan (packed kernels or scalar loop)
 };
 
 class ItemMemory {
  public:
   /// Non-owning view over a codebook; the codebook must outlive the memory.
   /// With kAuto (the default) a bipolar/ternary codebook is additionally
-  /// packed into word planes at construction (O(size * dim) once).
+  /// packed into word planes at construction (O(size * dim) once), and the
+  /// tiered index is built on top when the codebook has at least
+  /// kernels::tiered_auto_min_rows() rows (or when `tiered` is given).
   /// \param codebook Codebook to scan; must outlive this object.
   /// \param backend Backend selection policy (see ScanBackend).
-  /// \throws std::invalid_argument When `backend` is kPacked (or a forced
-  ///   kPacked* level) but the codebook has an entry outside {-1, 0, +1} or
-  ///   is empty, or when a forced SIMD level is not available on this CPU
-  ///   (kernels::simd_level_available).
-  explicit ItemMemory(const Codebook& codebook,
-                      ScanBackend backend = ScanBackend::kAuto);
+  /// \param tiered Explicit tier configuration. With kTiered it overrides
+  ///   the FACTORHD_TIERED_* env defaults; with kAuto it additionally forces
+  ///   the tiered index regardless of the row-count threshold (the hook the
+  ///   differential tests and benches configure exact-coverage indexes
+  ///   through). Invalid with every other backend.
+  /// \throws std::invalid_argument When `backend` is kPacked/kTiered (or a
+  ///   forced kPacked* level) but the codebook has an entry outside
+  ///   {-1, 0, +1} or is empty, when a forced SIMD level is not available on
+  ///   this CPU (kernels::simd_level_available), or when `tiered` is given
+  ///   with a backend that never builds the tier index.
+  explicit ItemMemory(
+      const Codebook& codebook, ScanBackend backend = ScanBackend::kAuto,
+      std::optional<kernels::TieredConfig> tiered = std::nullopt);
 
   [[nodiscard]] const Codebook& codebook() const noexcept { return *codebook_; }
   [[nodiscard]] std::size_t size() const noexcept { return codebook_->size(); }
 
-  /// \return The backend scans resolve to: kPacked when the codebook was
-  ///   packed (bipolar/ternary queries then use the kernels; integer-bundle
-  ///   queries still fall back to scalar per call), kScalar otherwise.
+  /// \return The backend scans resolve to: kTiered when the tier index was
+  ///   built (full scans are then approximate by default), kPacked when the
+  ///   codebook was packed (bipolar/ternary queries use the kernels;
+  ///   integer-bundle queries still fall back to scalar per call), kScalar
+  ///   otherwise.
   [[nodiscard]] ScanBackend backend() const noexcept {
+    if (tiered_) return ScanBackend::kTiered;
     return packed_ ? ScanBackend::kPacked : ScanBackend::kScalar;
+  }
+
+  /// \return The tier index, or nullptr on the scalar/packed backends.
+  [[nodiscard]] const kernels::TieredItemMemory* tiered() const noexcept {
+    return tiered_.get();
   }
 
   /// \return The SIMD tier packed scans execute at; std::nullopt on the
@@ -88,12 +129,21 @@ class ItemMemory {
   [[nodiscard]] std::optional<kernels::SimdLevel> simd_level() const noexcept;
 
   /// Best match over the full codebook (argmax of similarity; the first
-  /// maximum wins on ties).
+  /// maximum wins on ties). On the tiered backend this scans only the
+  /// probed buckets unless `mode` is ScanMode::kExact.
   /// \param query Query HV of the codebook's dimension.
+  /// \param mode Per-call accuracy override (tiered backend only).
+  /// \param scanned When non-null, receives the number of similarity
+  ///   measurements this call performed — a pure function of (memory,
+  ///   query), safe for deterministic per-result accounting where reading
+  ///   the shared similarity_ops() counter would race under concurrent
+  ///   batch workers.
   /// \return Index and similarity (dot / D) of the best entry.
   /// \throws std::invalid_argument On dimension mismatch.
   /// \throws std::out_of_range On an empty codebook.
-  [[nodiscard]] Match best(const Hypervector& query) const;
+  [[nodiscard]] Match best(const Hypervector& query,
+                           ScanMode mode = ScanMode::kDefault,
+                           std::uint64_t* scanned = nullptr) const;
 
   /// Best match over a subset of indices (used for hierarchy-restricted
   /// searches: "only children of the already-factorized parent item").
@@ -107,13 +157,18 @@ class ItemMemory {
 
   /// All matches with similarity strictly above `threshold`, sorted by
   /// match_order — descending similarity, ascending index on ties (the
-  /// TH-based multi-object candidate selection).
+  /// TH-based multi-object candidate selection). On the tiered backend this
+  /// scans only the probed buckets unless `mode` is ScanMode::kExact.
   /// \param query Query HV of the codebook's dimension.
   /// \param threshold Exclusive similarity lower bound.
+  /// \param mode Per-call accuracy override (tiered backend only).
+  /// \param scanned As in best(): deterministic measurement count out-param.
   /// \return Possibly empty sorted match list.
   /// \throws std::invalid_argument On dimension mismatch.
-  [[nodiscard]] std::vector<Match> above(const Hypervector& query,
-                                         double threshold) const;
+  [[nodiscard]] std::vector<Match> above(
+      const Hypervector& query, double threshold,
+      ScanMode mode = ScanMode::kDefault,
+      std::uint64_t* scanned = nullptr) const;
 
   /// Restricted variant of `above`.
   /// \param query Query HV of the codebook's dimension.
@@ -126,13 +181,19 @@ class ItemMemory {
       const Hypervector& query, double threshold,
       const std::vector<std::size_t>& indices) const;
 
-  /// Top-k matches sorted by match_order; k is clamped to size().
+  /// Top-k matches sorted by match_order; k is clamped to size(). On the
+  /// tiered backend this ranks only the probed buckets' rows unless `mode`
+  /// is ScanMode::kExact.
   /// \param query Query HV of the codebook's dimension.
   /// \param k Maximum number of matches to return.
-  /// \return min(k, size()) matches in canonical order.
+  /// \param mode Per-call accuracy override (tiered backend only).
+  /// \param scanned As in best(): deterministic measurement count out-param.
+  /// \return At most min(k, size()) matches in canonical order.
   /// \throws std::invalid_argument On dimension mismatch.
-  [[nodiscard]] std::vector<Match> top_k(const Hypervector& query,
-                                         std::size_t k) const;
+  [[nodiscard]] std::vector<Match> top_k(
+      const Hypervector& query, std::size_t k,
+      ScanMode mode = ScanMode::kDefault,
+      std::uint64_t* scanned = nullptr) const;
 
   /// Raw integer dot products of the query with every codebook entry — the
   /// batched attention primitive of the resonator/IMC baselines. Counts
@@ -155,14 +216,16 @@ class ItemMemory {
   }
 
   // std::atomic pins down copy/move; counters transfer by value and the
-  // immutable packed planes are shared between copies.
+  // immutable packed planes / tier index are shared between copies.
   ItemMemory(const ItemMemory& other) noexcept
       : codebook_(other.codebook_),
         packed_(other.packed_),
+        tiered_(other.tiered_),
         similarity_ops_(other.similarity_ops()) {}
   ItemMemory& operator=(const ItemMemory& other) noexcept {
     codebook_ = other.codebook_;
     packed_ = other.packed_;
+    tiered_ = other.tiered_;
     similarity_ops_.store(other.similarity_ops(), std::memory_order_relaxed);
     return *this;
   }
@@ -176,6 +239,9 @@ class ItemMemory {
   /// Word-plane packing of the codebook; null on the scalar backend. Shared
   /// (immutable after construction) so ItemMemory copies stay cheap.
   std::shared_ptr<const kernels::PackedItemMemory> packed_;
+  /// Two-stage tier index over packed_; null unless backend() is kTiered.
+  /// Shares packed_'s row planes (immutable after construction).
+  std::shared_ptr<const kernels::TieredItemMemory> tiered_;
   mutable std::atomic<std::uint64_t> similarity_ops_{0};
 };
 

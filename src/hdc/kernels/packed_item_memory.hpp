@@ -147,6 +147,33 @@ class PackedItemMemory {
   /// \throws std::invalid_argument On dimension or output-size mismatch.
   void dots(const PackedQuery& query, std::span<std::int64_t> out) const;
 
+  // --- Per-row primitives (the TieredItemMemory candidate-scan surface) ---
+
+  /// Exact integer dot of codebook row `row` with the packed query — the
+  /// same kernel dispatch the full scans use, exposed so the tiered index
+  /// can scan sparse candidate lists without materializing index vectors.
+  /// Preconditions (unchecked, noexcept hot path): `row < size()` and
+  /// `query.dim == dim()`.
+  [[nodiscard]] std::int64_t dot_row(std::size_t row,
+                                     const PackedQuery& query) const noexcept {
+    return row_dot(row, query);
+  }
+
+  /// Read-only view of row `row`'s sign plane: words_per_row() words with
+  /// the canonical-tail invariant. Precondition: `row < size()`.
+  [[nodiscard]] std::span<const std::uint64_t> row_sign(
+      std::size_t row) const noexcept {
+    return {&sign_[row * words_], words_};
+  }
+
+  /// Row `row`'s nonzero plane; the empty span in bipolar layout (where
+  /// every dimension is nonzero). Precondition: `row < size()`.
+  [[nodiscard]] std::span<const std::uint64_t> row_nonzero(
+      std::size_t row) const noexcept {
+    if (layout_ == Layout::kBipolar) return {};
+    return {&nonzero_[row * words_], words_};
+  }
+
   // --- Convenience overloads that pack the query internally ---------------
   // Each packs `query` once and forwards to the PackedQuery overload.
   // \throws std::invalid_argument when `query` is not bipolar/ternary (use

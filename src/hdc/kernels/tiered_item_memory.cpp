@@ -1,0 +1,318 @@
+#include "hdc/kernels/tiered_item_memory.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/env.hpp"
+
+namespace factorhd::hdc::kernels {
+
+TieredConfig tiered_config_from_env() {
+  TieredConfig cfg;
+  cfg.clusters =
+      util::env_size_t("FACTORHD_TIERED_CLUSTERS", 0, 0, std::size_t{1} << 24);
+  cfg.nprobe =
+      util::env_size_t("FACTORHD_TIERED_NPROBE", 0, 0, std::size_t{1} << 24);
+  return cfg;
+}
+
+std::size_t tiered_auto_min_rows() {
+  return util::env_size_t("FACTORHD_TIERED_MIN_ROWS", 65536, 0,
+                          std::size_t{1} << 30);
+}
+
+TieredItemMemory::TieredItemMemory(const Codebook& codebook,
+                                   TieredConfig config,
+                                   std::optional<SimdLevel> level)
+    : rows_(std::make_shared<const PackedItemMemory>(codebook, level)) {
+  build(config);
+}
+
+TieredItemMemory::TieredItemMemory(
+    std::shared_ptr<const PackedItemMemory> rows, TieredConfig config)
+    : rows_(std::move(rows)) {
+  if (!rows_) {
+    throw std::invalid_argument("TieredItemMemory: null row memory");
+  }
+  build(config);
+}
+
+std::int64_t TieredItemMemory::row_centroid_dot(
+    std::size_t row, const std::uint64_t* cent) const noexcept {
+  const DotKernels& k = dot_kernels(rows_->simd_level());
+  const std::size_t words = rows_->words_per_row();
+  const std::uint64_t* sign = rows_->row_sign(row).data();
+  if (rows_->layout() == PackedItemMemory::Layout::kBipolar) {
+    return k.bipolar_bipolar(sign, cent, words, rows_->dim());
+  }
+  return k.bipolar_ternary(cent, rows_->row_nonzero(row).data(), sign, words);
+}
+
+std::size_t TieredItemMemory::nearest_centroid(
+    std::size_t row, const std::vector<std::uint64_t>& planes,
+    std::size_t k) const noexcept {
+  const std::size_t words = rows_->words_per_row();
+  std::size_t best = 0;
+  std::int64_t best_dot = row_centroid_dot(row, planes.data());
+  for (std::size_t c = 1; c < k; ++c) {
+    const std::int64_t d = row_centroid_dot(row, &planes[c * words]);
+    if (d > best_dot) {  // strict: ties keep the lowest centroid index
+      best_dot = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void TieredItemMemory::build(const TieredConfig& config) {
+  const std::size_t m = rows_->size();
+  const std::size_t dim = rows_->dim();
+  const std::size_t words = rows_->words_per_row();
+
+  // Resolve the configuration deterministically from the row count. The
+  // auto K ≈ 4·sqrt(M) balances the two stages (K centroid dots vs
+  // nprobe·M/K candidate dots) while keeping buckets small enough that the
+  // member–centroid correlation ~ sqrt(2/(π·M/K)) stays a usable signal.
+  std::size_t k = config.clusters;
+  if (k == 0) {
+    const auto root = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(m))));
+    k = std::max<std::size_t>(2, 4 * root);
+  }
+  k = std::clamp<std::size_t>(k, 1, m);
+  nprobe_ = config.nprobe == 0 ? std::max<std::size_t>(1, k / 16)
+                               : std::min(config.nprobe, k);
+
+  // Seed centroids from evenly spaced rows (deterministic, duplicate-safe:
+  // a duplicated seed just yields an empty bucket after assignment).
+  std::vector<std::uint64_t> cent(k * words);
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto sign = rows_->row_sign(c * m / k);
+    std::copy(sign.begin(), sign.end(), cent.begin() + c * words);
+  }
+
+  // Sampled Lloyd refinement: assign an evenly spaced row sample to its
+  // nearest centroid, then replace each centroid with the elementwise
+  // majority sign of its members (ties -> +1; empty buckets keep their old
+  // centroid). Ternary rows contribute their sign plane with zeros counted
+  // as -1 — clustering is a routing structure, exactness never depends on it.
+  std::size_t sample = config.kmeans_sample == 0
+                           ? std::min(m, 8 * k)
+                           : std::min(config.kmeans_sample, m);
+  sample = std::max(sample, std::min(m, k));
+  std::vector<std::size_t> srows(sample);
+  for (std::size_t j = 0; j < sample; ++j) srows[j] = j * m / sample;
+
+  std::vector<std::size_t> assign(sample);
+  std::vector<std::size_t> bucket_count(k);
+  std::vector<std::size_t> bucket_cursor(k + 1);
+  std::vector<std::size_t> by_bucket(sample);
+  std::vector<std::uint32_t> ones(dim);
+  for (std::size_t iter = 0; iter < config.kmeans_iters; ++iter) {
+    for (std::size_t j = 0; j < sample; ++j) {
+      assign[j] = nearest_centroid(srows[j], cent, k);
+    }
+    // Counting-sort the sample by bucket so each update pass is contiguous.
+    std::fill(bucket_count.begin(), bucket_count.end(), 0);
+    for (std::size_t j = 0; j < sample; ++j) ++bucket_count[assign[j]];
+    bucket_cursor[0] = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      bucket_cursor[c + 1] = bucket_cursor[c] + bucket_count[c];
+    }
+    std::vector<std::size_t> cursor(bucket_cursor.begin(),
+                                    bucket_cursor.end() - 1);
+    for (std::size_t j = 0; j < sample; ++j) {
+      by_bucket[cursor[assign[j]]++] = srows[j];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      const std::size_t members = bucket_count[c];
+      if (members == 0) continue;
+      std::fill(ones.begin(), ones.end(), 0);
+      for (std::size_t i = bucket_cursor[c]; i < bucket_cursor[c + 1]; ++i) {
+        const auto sign = rows_->row_sign(by_bucket[i]);
+        for (std::size_t w = 0; w < words; ++w) {
+          std::uint64_t bits = sign[w];
+          while (bits != 0) {
+            const int b = std::countr_zero(bits);
+            ++ones[w * kWordBits + static_cast<std::size_t>(b)];
+            bits &= bits - 1;
+          }
+        }
+      }
+      std::uint64_t* plane = &cent[c * words];
+      std::fill(plane, plane + words, 0);
+      for (std::size_t d = 0; d < dim; ++d) {
+        if (2 * ones[d] >= members) {
+          plane[d / kWordBits] |= (1ULL << (d % kWordBits));
+        }
+      }
+    }
+  }
+
+  // Final assignment pass places every row exactly once; counting sort in
+  // row order keeps each bucket's member list ascending, so candidate scans
+  // visit rows in a canonical order.
+  std::vector<std::size_t> cluster_of(m);
+  cluster_begin_.assign(k + 1, 0);
+  for (std::size_t row = 0; row < m; ++row) {
+    const std::size_t c = nearest_centroid(row, cent, k);
+    cluster_of[row] = c;
+    ++cluster_begin_[c + 1];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    cluster_begin_[c + 1] += cluster_begin_[c];
+  }
+  member_rows_.resize(m);
+  std::vector<std::size_t> cursor(cluster_begin_.begin(),
+                                  cluster_begin_.end() - 1);
+  for (std::size_t row = 0; row < m; ++row) {
+    member_rows_[cursor[cluster_of[row]]++] = row;
+  }
+
+  // Pack the centroids into their own small memory so stage 1 runs on the
+  // same SIMD kernel tables as stage 2.
+  std::vector<Hypervector> items;
+  items.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    Hypervector h(dim);
+    const std::uint64_t* plane = &cent[c * words];
+    for (std::size_t d = 0; d < dim; ++d) {
+      h[d] = (plane[d / kWordBits] >> (d % kWordBits)) & 1u ? 1 : -1;
+    }
+    items.push_back(std::move(h));
+  }
+  const Codebook centroid_book(std::move(items));
+  centroids_ = std::make_shared<const PackedItemMemory>(centroid_book,
+                                                        rows_->simd_level());
+}
+
+std::vector<std::size_t> TieredItemMemory::probe(const PackedQuery& query,
+                                                 ScanStats* stats) const {
+  const std::size_t k = centroids_->size();
+  const std::vector<Match> top = centroids_->top_k(query, nprobe_);
+  if (stats != nullptr) stats->centroid_dots += k;
+  std::vector<std::size_t> buckets;
+  buckets.reserve(top.size());
+  for (const Match& t : top) buckets.push_back(t.index);
+  return buckets;
+}
+
+namespace {
+
+void require_dim(const PackedQuery& query, std::size_t dim) {
+  if (query.dim != dim) {
+    throw std::invalid_argument("TieredItemMemory: query dimension mismatch");
+  }
+}
+
+}  // namespace
+
+Match TieredItemMemory::best(const PackedQuery& query,
+                             ScanStats* stats) const {
+  require_dim(query, dim());
+  const std::vector<std::size_t> buckets = probe(query, stats);
+  bool found = false;
+  std::int64_t best_dot = 0;
+  std::size_t best_row = 0;
+  std::uint64_t visited = 0;
+  for (const std::size_t c : buckets) {
+    for (std::size_t i = cluster_begin_[c]; i < cluster_begin_[c + 1]; ++i) {
+      const std::size_t row = member_rows_[i];
+      const std::int64_t d = rows_->dot_row(row, query);
+      ++visited;
+      // Canonical argmax: buckets arrive in similarity order, not row
+      // order, so break dot ties toward the lowest row index explicitly —
+      // exactly the scalar scan's first-maximum rule.
+      if (!found || d > best_dot || (d == best_dot && row < best_row)) {
+        found = true;
+        best_dot = d;
+        best_row = row;
+      }
+    }
+  }
+  if (stats != nullptr) stats->row_dots += visited;
+  if (!found) {
+    // Every probed bucket was empty (possible only under degenerate
+    // clusterings with nprobe < clusters). Fall back to the exact scan
+    // rather than inventing an answer.
+    if (stats != nullptr) stats->row_dots += rows_->size();
+    return rows_->best(query);
+  }
+  return {best_row,
+          static_cast<double>(best_dot) / static_cast<double>(dim())};
+}
+
+std::vector<Match> TieredItemMemory::above(const PackedQuery& query,
+                                           double threshold,
+                                           ScanStats* stats) const {
+  require_dim(query, dim());
+  const std::vector<std::size_t> buckets = probe(query, stats);
+  const auto d_dim = static_cast<double>(dim());
+  std::vector<Match> out;
+  std::uint64_t visited = 0;
+  for (const std::size_t c : buckets) {
+    for (std::size_t i = cluster_begin_[c]; i < cluster_begin_[c + 1]; ++i) {
+      const std::size_t row = member_rows_[i];
+      const double s = static_cast<double>(rows_->dot_row(row, query)) / d_dim;
+      ++visited;
+      if (s > threshold) out.push_back({row, s});
+    }
+  }
+  if (stats != nullptr) stats->row_dots += visited;
+  std::sort(out.begin(), out.end(), match_order);
+  return out;
+}
+
+std::vector<Match> TieredItemMemory::top_k(const PackedQuery& query,
+                                           std::size_t k,
+                                           ScanStats* stats) const {
+  require_dim(query, dim());
+  const std::vector<std::size_t> buckets = probe(query, stats);
+  const auto d_dim = static_cast<double>(dim());
+  std::vector<Match> all;
+  for (const std::size_t c : buckets) {
+    for (std::size_t i = cluster_begin_[c]; i < cluster_begin_[c + 1]; ++i) {
+      const std::size_t row = member_rows_[i];
+      all.push_back(
+          {row, static_cast<double>(rows_->dot_row(row, query)) / d_dim});
+    }
+  }
+  if (stats != nullptr) stats->row_dots += all.size();
+  const std::size_t keep = std::min(k, all.size());
+  std::partial_sort(all.begin(),
+                    all.begin() + static_cast<std::ptrdiff_t>(keep), all.end(),
+                    match_order);
+  all.resize(keep);
+  return all;
+}
+
+PackedQuery TieredItemMemory::pack_query(const Hypervector& query) const {
+  std::optional<PackedQuery> q = PackedQuery::pack(query, simd_level());
+  if (!q) {
+    throw std::invalid_argument(
+        "TieredItemMemory: query is not bipolar/ternary (use the scalar "
+        "ItemMemory path for integer bundles)");
+  }
+  return std::move(*q);
+}
+
+Match TieredItemMemory::best(const Hypervector& query,
+                             ScanStats* stats) const {
+  return best(pack_query(query), stats);
+}
+
+std::vector<Match> TieredItemMemory::above(const Hypervector& query,
+                                           double threshold,
+                                           ScanStats* stats) const {
+  return above(pack_query(query), threshold, stats);
+}
+
+std::vector<Match> TieredItemMemory::top_k(const Hypervector& query,
+                                           std::size_t k,
+                                           ScanStats* stats) const {
+  return top_k(pack_query(query), k, stats);
+}
+
+}  // namespace factorhd::hdc::kernels

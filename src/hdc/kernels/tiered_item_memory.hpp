@@ -1,0 +1,205 @@
+// TieredItemMemory: a two-stage (coarse-then-exact) scan index over
+// PackedItemMemory for codebooks far larger than the paper's.
+//
+// The packed word-plane scans made each similarity measurement cheap, but a
+// whole-codebook scan still touches every row: O(M) per query. For the
+// ROADMAP's million-item memories that linear wall is the remaining cost, so
+// this class adds an IVF-style coarse quantization cascade on top of the
+// exact kernels:
+//
+//   build:  k-means-cluster the codebook rows into K coarse buckets whose
+//           centroids are bipolar HVs (elementwise majority of the members'
+//           sign planes), packed into their own small PackedItemMemory;
+//   query:  (1) scan the K centroids with the same SIMD DotKernels,
+//           (2) keep the top-`nprobe` buckets,
+//           (3) run the exact packed scan only over the surviving buckets'
+//               rows (every row lives in exactly one bucket).
+//
+// With the auto configuration (K ≈ 4·sqrt(M), nprobe = K/16) a query costs
+// ~K + M/16 dot products instead of M — an O(sqrt(M))-flavoured coarse pass
+// plus a small exact pass — at recall@1 ≥ 0.99 on noisy cleanup queries
+// (bench/bench_ext_scale.cpp measures both; tests/test_tiered_memory.cpp
+// pins a seeded regression bound).
+//
+// Verification bound: stage 2 only *selects* rows, never approximates their
+// similarity — candidate rows always get the exact kernel dot, reductions
+// use the canonical tie rules (argmax keeps the lowest index, sorted results
+// use hdc::match_order). Therefore `nprobe >= clusters()` degenerates to a
+// full exact scan that is bit-identical (index, similarity, ordering) to
+// PackedItemMemory on every surface, at every SIMD tier — the property
+// tests/test_kernel_fuzz.cpp asserts differentially. Approximation can only
+// ever *miss* rows, never mis-rank the rows it scans, which is what makes
+// the Factorizer's stall-triggered exact re-scan (core/factorizer.hpp) a
+// sound fallback.
+//
+// Construction is deterministic: centroid seeding and the k-means sample are
+// evenly spaced over the row index space, ties resolve to the lowest index,
+// and the majority rule is fixed — the same codebook and config always build
+// the same index, independent of timing, thread count, or platform.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "hdc/codebook.hpp"
+#include "hdc/hypervector.hpp"
+#include "hdc/kernels/packed_item_memory.hpp"
+#include "hdc/kernels/plane.hpp"
+#include "hdc/kernels/simd.hpp"
+#include "hdc/match.hpp"
+
+namespace factorhd::hdc::kernels {
+
+/// Build-time configuration of a TieredItemMemory. Zeros mean "auto": the
+/// resolved values are deterministic functions of the codebook row count
+/// (see resolve()). The FACTORHD_TIERED_CLUSTERS / FACTORHD_TIERED_NPROBE
+/// env knobs pre-fill clusters/nprobe via tiered_config_from_env().
+struct TieredConfig {
+  /// Coarse bucket count K; 0 = auto: min(M, max(2, 4 * ceil(sqrt(M)))).
+  std::size_t clusters = 0;
+  /// Buckets probed per query; 0 = auto: max(1, K / 16). Values >= K make
+  /// every scan exact (the verification bound).
+  std::size_t nprobe = 0;
+  /// Lloyd iterations of the sampled k-means refinement.
+  std::size_t kmeans_iters = 4;
+  /// Rows sampled for the refinement; 0 = auto: min(M, 8 * K). The final
+  /// assignment pass always places all M rows.
+  std::size_t kmeans_sample = 0;
+
+  bool operator==(const TieredConfig&) const = default;
+};
+
+/// TieredConfig with clusters/nprobe pre-filled from the
+/// FACTORHD_TIERED_CLUSTERS / FACTORHD_TIERED_NPROBE env knobs (0 = keep
+/// auto). Read per call — not cached — so tests and operators can retune
+/// between model loads.
+[[nodiscard]] TieredConfig tiered_config_from_env();
+
+/// Row-count threshold at/above which hdc::ItemMemory's kAuto backend builds
+/// the tiered index: FACTORHD_TIERED_MIN_ROWS (default 65536; 0 disables
+/// auto-tiering so kAuto never approximates). Read per call, not cached.
+[[nodiscard]] std::size_t tiered_auto_min_rows();
+
+class TieredItemMemory {
+ public:
+  /// Per-scan cost accounting in the paper's similarity-measurement unit,
+  /// filled by the scan methods when a non-null pointer is passed (the hook
+  /// hdc::ItemMemory's similarity_ops counter is fed from).
+  struct ScanStats {
+    std::uint64_t centroid_dots = 0;  ///< stage-1 coarse scan cost
+    std::uint64_t row_dots = 0;       ///< stage-2 exact candidate cost
+  };
+
+  /// Packs `codebook` and builds the tier index over it.
+  /// \param codebook Source codebook (bipolar or ternary entries); only read
+  ///   during construction.
+  /// \param config Cluster/probe configuration (zeros = auto).
+  /// \param level SIMD tier for both scan stages; std::nullopt = dispatched.
+  /// \throws std::invalid_argument When the codebook is not packable.
+  explicit TieredItemMemory(const Codebook& codebook, TieredConfig config = {},
+                            std::optional<SimdLevel> level = std::nullopt);
+
+  /// Builds the tier index over an already-packed memory (shared, immutable;
+  /// the path hdc::ItemMemory and service::Model take so exact and tiered
+  /// scans share one set of row planes).
+  /// \param rows Packed codebook rows; must be non-null.
+  /// \param config Cluster/probe configuration (zeros = auto).
+  /// \throws std::invalid_argument When `rows` is null.
+  TieredItemMemory(std::shared_ptr<const PackedItemMemory> rows,
+                   TieredConfig config = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return rows_->size(); }
+  [[nodiscard]] std::size_t dim() const noexcept { return rows_->dim(); }
+  /// \return Resolved coarse bucket count K (>= 1, <= size()).
+  [[nodiscard]] std::size_t clusters() const noexcept {
+    return centroids_->size();
+  }
+  /// \return Resolved buckets probed per query (>= 1, <= clusters()).
+  [[nodiscard]] std::size_t nprobe() const noexcept { return nprobe_; }
+  /// \return True when every scan is exact (nprobe() == clusters()).
+  [[nodiscard]] bool exact() const noexcept {
+    return nprobe_ >= centroids_->size();
+  }
+  /// \return The SIMD tier both stages execute at (the row memory's tier).
+  [[nodiscard]] SimdLevel simd_level() const noexcept {
+    return rows_->simd_level();
+  }
+  /// \return The exact packed row memory stage 2 scans (and the exact-
+  ///   fallback surface: every PackedItemMemory query works on it).
+  [[nodiscard]] const PackedItemMemory& rows() const noexcept {
+    return *rows_;
+  }
+  /// \return Shared handle to the row memory (for consumers that outlive
+  ///   this index, e.g. ItemMemory copies).
+  [[nodiscard]] std::shared_ptr<const PackedItemMemory> shared_rows()
+      const noexcept {
+    return rows_;
+  }
+  /// \return Number of rows in bucket `c`. Precondition: c < clusters().
+  [[nodiscard]] std::size_t cluster_size(std::size_t c) const noexcept {
+    return cluster_begin_[c + 1] - cluster_begin_[c];
+  }
+
+  // --- Tiered scans (approximate when nprobe() < clusters()) --------------
+  // Candidate rows are always measured with the exact kernels and reduced
+  // under the canonical tie rules, so nprobe >= clusters is bit-identical to
+  // the PackedItemMemory scans. All methods throw std::invalid_argument on a
+  // query dimension mismatch.
+
+  /// Argmax over the probed buckets' rows; lowest index wins ties.
+  [[nodiscard]] Match best(const PackedQuery& query,
+                           ScanStats* stats = nullptr) const;
+  /// Matches above `threshold` among the probed buckets' rows, sorted by
+  /// hdc::match_order.
+  [[nodiscard]] std::vector<Match> above(const PackedQuery& query,
+                                         double threshold,
+                                         ScanStats* stats = nullptr) const;
+  /// Top-k among the probed buckets' rows, sorted by hdc::match_order;
+  /// k is clamped to the candidate count.
+  [[nodiscard]] std::vector<Match> top_k(const PackedQuery& query,
+                                         std::size_t k,
+                                         ScanStats* stats = nullptr) const;
+
+  // Convenience overloads that pack the query internally (same alphabet
+  // contract as PackedItemMemory: bipolar/ternary queries only).
+  [[nodiscard]] Match best(const Hypervector& query,
+                           ScanStats* stats = nullptr) const;
+  [[nodiscard]] std::vector<Match> above(const Hypervector& query,
+                                         double threshold,
+                                         ScanStats* stats = nullptr) const;
+  [[nodiscard]] std::vector<Match> top_k(const Hypervector& query,
+                                         std::size_t k,
+                                         ScanStats* stats = nullptr) const;
+
+ private:
+  /// Deterministic k-means build: seed centroids at evenly spaced rows,
+  /// refine on an evenly spaced sample, then assign every row once.
+  void build(const TieredConfig& config);
+  /// Exact dot of row `row` (possibly ternary) with bipolar centroid plane
+  /// `cent` via the row memory's kernel table.
+  [[nodiscard]] std::int64_t row_centroid_dot(
+      std::size_t row, const std::uint64_t* cent) const noexcept;
+  /// Index of the centroid (in `planes`, K rows of words each) nearest to
+  /// `row`; lowest index wins ties.
+  [[nodiscard]] std::size_t nearest_centroid(
+      std::size_t row, const std::vector<std::uint64_t>& planes,
+      std::size_t k) const noexcept;
+  /// The probed buckets for `query`: indices of the top-nprobe centroids.
+  [[nodiscard]] std::vector<std::size_t> probe(const PackedQuery& query,
+                                               ScanStats* stats) const;
+  [[nodiscard]] PackedQuery pack_query(const Hypervector& query) const;
+
+  std::shared_ptr<const PackedItemMemory> rows_;
+  /// Packed bipolar centroid memory (stage 1); never null, size K >= 1.
+  std::shared_ptr<const PackedItemMemory> centroids_;
+  std::size_t nprobe_ = 1;
+  /// CSR bucket membership: rows of bucket c are member_rows_[
+  /// cluster_begin_[c] .. cluster_begin_[c+1]), ascending within a bucket.
+  std::vector<std::size_t> member_rows_;
+  std::vector<std::size_t> cluster_begin_;
+};
+
+}  // namespace factorhd::hdc::kernels

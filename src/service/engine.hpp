@@ -82,6 +82,21 @@ class QueueFullError : public std::runtime_error {
             "FactorizationEngine: request queue full (backpressure)") {}
 };
 
+/// Asynchronous factorization server over one immutable Model.
+///
+/// \par Contract (bit-identical serving)
+/// Every future returned by submit() carries a core::FactorizeResult that
+/// is bit-identical (doubles included) to a direct
+/// `Factorizer::factorize(target, opts)` call on the same Model —
+/// regardless of batch composition, dispatcher/worker thread counts,
+/// duplicate coalescing, or cache state. The guarantee composes from
+/// three facts: factorization is a pure function of `(target, opts)`
+/// (tiered scan approximation included — the index is immutable and its
+/// scans deterministic), BatchFactorizer is deterministic across thread
+/// counts, and the ResultCache verifies full key equality before serving
+/// (collision ⇒ miss; see service/result_cache.hpp). Asserted
+/// differentially by tests/test_service_engine.cpp and under
+/// ThreadSanitizer by tests/test_service_soak.cpp.
 class FactorizationEngine {
  public:
   /// \param model Model to serve; shared (and kept alive) by the engine.

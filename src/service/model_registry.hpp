@@ -27,6 +27,18 @@ namespace factorhd::service {
 /// construction. Non-copyable and non-movable — the encoder and factorizer
 /// hold pointers into sibling members — so it always lives behind a
 /// shared_ptr (see make()).
+///
+/// \par Contract (build once, share everywhere)
+/// Construction is where every per-codebook index is paid for exactly
+/// once: the word-plane packing of each (class, level) codebook and — for
+/// codebooks at/above FACTORHD_TIERED_MIN_ROWS rows (or under an explicit
+/// hdc::ScanBackend::kTiered) — the tiered two-stage scan index
+/// (k-means clustering + packed centroids). After make() returns, the
+/// Model is deeply immutable, so any number of engines and sessions share
+/// one instance, packed planes and tier index included, through
+/// shared_ptr<const Model> with no further synchronization and no
+/// per-request rebuild cost. Retuning a FACTORHD_TIERED_* knob therefore
+/// takes effect at the next load, never mid-flight.
 class Model {
  public:
   /// Builds a model from in-memory codebooks (the registry's file loader

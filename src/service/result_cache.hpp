@@ -40,6 +40,27 @@ namespace factorhd::service {
     const hdc::Hypervector& target,
     const core::FactorizeOptions& opts) noexcept;
 
+/// Sharded LRU cache of factorization results, keyed by 64-bit request
+/// fingerprints.
+///
+/// \par Contract (collision ⇒ miss)
+/// Keys are hdc::hash_hypervector fingerprints mixed with
+/// fingerprint_options — fingerprints, not proofs of equality. The cache
+/// therefore stores the full `(target, options)` pair with every entry
+/// and lookup() serves a result only after verifying both by exact
+/// equality (components and every option field). A fingerprint collision
+/// consequently degrades to a cache *miss* (the request is recomputed),
+/// never to a wrong answer; insert() under a colliding key simply
+/// replaces the resident entry (the cache is best-effort storage —
+/// correctness lives entirely in lookup verification). This is what lets
+/// the serving engine promise bit-identical results with the cache on or
+/// off (tests/test_service_cache.cpp and the engine differential suite
+/// assert it).
+///
+/// \par Thread safety
+/// All methods are safe for concurrent use; the key space is split across
+/// independently locked shards (each with its own LRU list), so
+/// concurrent fast paths contend only 1/shards of the time.
 class ResultCache {
  public:
   /// \param capacity Total entry budget; 0 disables the cache (lookups miss,

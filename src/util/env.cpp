@@ -48,6 +48,12 @@ std::span<const EnvKnob> env_knobs() {
        "factorhd_serve: bounded request-queue capacity"},
       {"FACTORHD_SIMD", "auto | scalar | words | avx2 | avx512 | neon", "auto",
        "clamps the dispatched SIMD tier of packed codebook scans"},
+      {"FACTORHD_TIERED_CLUSTERS", "0 (auto) .. 2^24", "0 = 4*ceil(sqrt(M))",
+       "coarse bucket count K of the tiered (two-stage) scan index"},
+      {"FACTORHD_TIERED_MIN_ROWS", "0 (never) .. 2^30", "65536",
+       "codebook row count at which kAuto memories build the tiered index"},
+      {"FACTORHD_TIERED_NPROBE", "0 (auto) .. 2^24", "0 = max(1, K/16)",
+       "buckets probed per tiered scan; >= K makes every scan exact"},
       {"FACTORHD_TRIALS", "0 (auto) .. any", "per-bench",
        "overrides per-point trial counts in the bench harness"},
   };

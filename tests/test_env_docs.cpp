@@ -1,0 +1,63 @@
+// docs/TUNING.md <-> util::env_knobs() drift check.
+//
+// TUNING.md is the operator-facing guide to every FACTORHD_* runtime knob.
+// This suite pins it to the single source of truth (the env-knob registry)
+// in both directions: every registered knob must be documented, and every
+// FACTORHD_* token the doc mentions must exist in the registry — so the doc
+// can neither lag behind a new knob nor keep advertising a removed one.
+//
+// The repo path comes in via the FACTORHD_REPO_DIR compile definition
+// (tests/CMakeLists.txt) because CTest runs from the build tree.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "util/env.hpp"
+
+#ifndef FACTORHD_REPO_DIR
+#error "FACTORHD_REPO_DIR must be defined by the build"
+#endif
+
+namespace {
+
+std::string read_doc(const std::string& relative) {
+  const std::string path = std::string(FACTORHD_REPO_DIR) + "/" + relative;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(EnvDocs, EveryRegisteredKnobIsDocumentedInTuningGuide) {
+  const std::string doc = read_doc("docs/TUNING.md");
+  for (const factorhd::util::EnvKnob& knob :
+       factorhd::util::env_knobs()) {
+    EXPECT_NE(doc.find(std::string("`") + knob.name + "`"),
+              std::string::npos)
+        << knob.name << " is registered in util::env_knobs() but not "
+        << "documented (as an inline-code token) in docs/TUNING.md";
+  }
+}
+
+TEST(EnvDocs, TuningGuideNamesOnlyRegisteredKnobs) {
+  const std::string doc = read_doc("docs/TUNING.md");
+  std::set<std::string> registered;
+  for (const factorhd::util::EnvKnob& knob :
+       factorhd::util::env_knobs()) {
+    registered.insert(knob.name);
+  }
+  const std::regex token(R"(FACTORHD_[A-Z0-9]+(?:_[A-Z0-9]+)*)");
+  for (auto it = std::sregex_iterator(doc.begin(), doc.end(), token);
+       it != std::sregex_iterator(); ++it) {
+    EXPECT_TRUE(registered.contains(it->str()))
+        << it->str() << " appears in docs/TUNING.md but is not registered "
+        << "in util::env_knobs()";
+  }
+}
+
+}  // namespace

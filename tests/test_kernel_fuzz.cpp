@@ -20,8 +20,10 @@
 #include <vector>
 
 #include "hdc/item_memory.hpp"
+#include "hdc/kernels/packed_item_memory.hpp"
 #include "hdc/kernels/plane.hpp"
 #include "hdc/kernels/simd.hpp"
+#include "hdc/kernels/tiered_item_memory.hpp"
 #include "hdc/ops.hpp"
 #include "hdc/random.hpp"
 #include "util/rng.hpp"
@@ -191,11 +193,19 @@ void run_config(const FuzzConfig& cfg, const std::vector<ScanBackend>& backends,
   const Codebook cb = make_codebook(cfg, rng);
   const ItemMemory scalar(cb, ScanBackend::kScalar);
   std::vector<ItemMemory> packed;
-  packed.reserve(backends.size());
+  packed.reserve(backends.size() + 1);
   for (ScanBackend b : backends) packed.emplace_back(cb, b);
+  // A full-coverage tiered memory (nprobe = all buckets) rides the same
+  // differential: the verification bound says it is indistinguishable from
+  // the exact backends on every scan surface.
+  packed.emplace_back(
+      cb, ScanBackend::kTiered,
+      kernels::TieredConfig{.clusters = 1 + rng.uniform(cb.size()),
+                            .nprobe = cb.size()});
   for (const Hypervector& q : make_queries(cfg, cb, rng)) {
-    for (std::size_t i = 0; i < backends.size(); ++i) {
-      SCOPED_TRACE(backend_name(backends[i]));
+    for (std::size_t i = 0; i < packed.size(); ++i) {
+      SCOPED_TRACE(i < backends.size() ? backend_name(backends[i])
+                                       : "kTiered(nprobe=all)");
       check_one_query(cb, scalar, packed[i], q, rng);
     }
   }
@@ -260,6 +270,54 @@ TEST(KernelFuzz, AllLevelsPackIdenticalPlanes) {
     for (SimdLevel l : levels) {
       EXPECT_FALSE(PackedQuery::pack(bundle_like, l).has_value())
           << kernels::to_string(l);
+    }
+  }
+}
+
+TEST(KernelFuzz, TieredNprobeAllBitIdenticalOnEveryLevel) {
+  // The tiered verification bound, pinned per SIMD tier: with nprobe
+  // covering every bucket, TieredItemMemory must reproduce the
+  // PackedItemMemory scans bit-for-bit (index, similarity, ordering) at
+  // each tier this CPU can execute — so the tier index is a pure routing
+  // structure with no arithmetic of its own.
+  using kernels::PackedItemMemory;
+  using kernels::TieredConfig;
+  using kernels::TieredItemMemory;
+  std::vector<SimdLevel> levels{SimdLevel::kScalarWords};
+  for (SimdLevel l : {SimdLevel::kAVX2, SimdLevel::kAVX512, SimdLevel::kNEON}) {
+    if (kernels::simd_level_available(l)) levels.push_back(l);
+  }
+  Xoshiro256 rng(20260729);
+  for (int round = 0; round < 24; ++round) {
+    FuzzConfig cfg;
+    cfg.dim = kBoundaryDims[rng.uniform(
+        sizeof(kBoundaryDims) / sizeof(kBoundaryDims[0]))];
+    cfg.size = 1 + rng.uniform(40);
+    cfg.ternary = rng.uniform(2) == 1;
+    cfg.tie_heavy = rng.uniform(3) == 0;
+    SCOPED_TRACE(cfg.describe());
+    const Codebook cb = make_codebook(cfg, rng);
+    const TieredConfig tiered_cfg{.clusters = 1 + rng.uniform(cfg.size),
+                                  .nprobe = cfg.size};
+    for (SimdLevel level : levels) {
+      SCOPED_TRACE(kernels::to_string(level));
+      const PackedItemMemory ref(cb, level);
+      const TieredItemMemory tiered(cb, tiered_cfg, level);
+      EXPECT_TRUE(tiered.exact());
+      EXPECT_EQ(tiered.simd_level(), level);
+      for (const Hypervector& q : make_queries(cfg, cb, rng)) {
+        const auto pq = PackedQuery::pack(q, level);
+        if (!pq) continue;  // integer bundles have no packed reference
+        const Match rb = ref.best(*pq);
+        const Match tb = tiered.best(*pq);
+        EXPECT_EQ(rb.index, tb.index);
+        EXPECT_EQ(rb.similarity, tb.similarity);
+        for (double th : {-2.0, rb.similarity, rb.similarity / 2.0}) {
+          expect_same_matches(ref.above(*pq, th), tiered.above(*pq, th));
+        }
+        expect_same_matches(ref.top_k(*pq, 1 + cfg.size / 2),
+                            tiered.top_k(*pq, 1 + cfg.size / 2));
+      }
     }
   }
 }

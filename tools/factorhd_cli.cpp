@@ -25,6 +25,7 @@
 
 #include "core/factorhd.hpp"
 #include "hdc/kernels/simd.hpp"
+#include "hdc/kernels/tiered_item_memory.hpp"
 #include "service/service.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
@@ -206,7 +207,26 @@ int cmd_info() {
     std::cout << (first ? "" : ", ") << hk::to_string(level);
     first = false;
   }
-  std::cout << "\n\nenvironment knobs:\n";
+  std::cout << "\n";
+
+  // Tiered (two-stage) scan configuration as the env knobs resolve it.
+  const std::size_t tier_min = hk::tiered_auto_min_rows();
+  const hk::TieredConfig tier_cfg = hk::tiered_config_from_env();
+  std::cout << "tiered scans:    ";
+  if (tier_min == 0) {
+    std::cout << "auto-tiering off (FACTORHD_TIERED_MIN_ROWS=0)";
+  } else {
+    std::cout << "auto at >= " << tier_min << " rows";
+  }
+  std::cout << ", clusters="
+            << (tier_cfg.clusters != 0 ? std::to_string(tier_cfg.clusters)
+                                       : std::string("auto(4*sqrt(M))"))
+            << ", nprobe="
+            << (tier_cfg.nprobe != 0 ? std::to_string(tier_cfg.nprobe)
+                                     : std::string("auto(K/16)"))
+            << "\n";
+
+  std::cout << "\nenvironment knobs:\n";
   util::TextTable table({"knob", "values", "default", "effect"});
   for (const util::EnvKnob& k : util::env_knobs()) {
     table.add_row({k.name, k.values, k.default_str, k.description});
