@@ -16,8 +16,16 @@
 // efficiency unit). The acceptance row (ISSUE 5): at M = 262144, tiered
 // must be >= 5x faster than exact at recall@1 >= 0.99.
 //
+// Since ISSUE 6 each point also measures the *build* both ways — the
+// default screened/threaded assignment vs the single-threaded exhaustive
+// reference (`TieredConfig::exhaustive_build`, skipped above the headline
+// M to bound wall time) — and round-trips the built index through an FTS1
+// snapshot file (hdc/kernels/tiered_snapshot.hpp), recording the load
+// time. Acceptance (ISSUE 6): build_speedup >= 4x at M = 262144 and a
+// sub-second snapshot load at the largest M.
+//
 // `--json FILE` additionally writes the machine-readable sweep in the
-// factorhd.bench_scale.v1 schema (validated by scripts/bench_json.py
+// factorhd.bench_scale.v2 schema (validated by scripts/bench_json.py
 // --check; the committed baseline is BENCH_scale.json). `--smoke` runs a
 // tiny configuration and re-verifies the nprobe=all bound — a
 // full-coverage tiered index must be bit-identical to PackedItemMemory on
@@ -25,8 +33,10 @@
 //
 // FACTORHD_BENCH_SCALE=full extends the sweep to M = 1048576;
 // FACTORHD_TRIALS overrides the query count; FACTORHD_SEED the seed.
+#include <algorithm>
 #include <cinttypes>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -36,6 +46,7 @@
 #include "common.hpp"
 #include "hdc/kernels/packed_item_memory.hpp"
 #include "hdc/kernels/tiered_item_memory.hpp"
+#include "hdc/kernels/tiered_snapshot.hpp"
 #include "hdc/random.hpp"
 
 namespace {
@@ -54,9 +65,12 @@ struct PointResult {
   std::size_t m = 0;
   std::size_t clusters = 0;
   std::size_t nprobe = 0;
-  double build_ms = 0.0;
-  double exact_us = 0.0;   ///< per query
-  double tiered_us = 0.0;  ///< per query
+  double build_seconds = 0.0;      ///< default (screened, pooled) build
+  double build_ref_seconds = 0.0;  ///< exhaustive 1-thread build; 0 = skipped
+  double build_speedup = 0.0;      ///< ref / default; 0 when ref skipped
+  double snap_load_seconds = 0.0;  ///< FTS1 file round-trip load (mmap)
+  double exact_us = 0.0;           ///< per query
+  double tiered_us = 0.0;          ///< per query
   double speedup = 0.0;
   double recall = 0.0;
   std::uint64_t exact_ops = 0;   ///< similarity measurements per query
@@ -87,9 +101,49 @@ PointResult run_point(std::size_t m, std::size_t dim, std::size_t queries,
 
   util::Stopwatch build_sw;
   const TieredItemMemory tiered(packed, TieredConfig{});
-  r.build_ms = build_sw.elapsed_ms();
+  r.build_seconds = build_sw.elapsed_ms() / 1e3;
   r.clusters = tiered.clusters();
   r.nprobe = tiered.nprobe();
+
+  // The build is deterministic, so repeated builds do identical work; the
+  // min over a second repetition discards transient host noise (the same
+  // rationale as min-over-trials query timing). Only worth the time at
+  // the acceptance-relevant sizes.
+  if (m <= kHeadlineM) {
+    util::Stopwatch rebuild_sw;
+    const TieredItemMemory rebuilt(packed, TieredConfig{});
+    r.build_seconds = std::min(r.build_seconds, rebuild_sw.elapsed_ms() / 1e3);
+  }
+
+  // The exhaustive single-threaded build is the reference the screened
+  // parallel build is measured against (ISSUE 6: >= 4x at the headline M).
+  // Skipped above the headline M — it alone would add minutes per point.
+  if (m <= kHeadlineM) {
+    util::Stopwatch ref_sw;
+    const TieredItemMemory reference(
+        packed, TieredConfig{.build_threads = 1, .exhaustive_build = true});
+    r.build_ref_seconds = ref_sw.elapsed_ms() / 1e3;
+    r.build_speedup =
+        r.build_seconds > 0 ? r.build_ref_seconds / r.build_seconds : 0.0;
+  }
+
+  // FTS1 round trip: persist the built index and time the (mmap) load —
+  // the cost a ModelRegistry::load_file pays instead of the build.
+  {
+    const std::string snap_path = "bench_scale_snapshot.fts.tmp";
+    hdc::kernels::save_tiered_index(snap_path, tiered);
+    util::Stopwatch load_sw;
+    const auto loaded = hdc::kernels::load_tiered_index(snap_path);
+    r.snap_load_seconds = load_sw.elapsed_ms() / 1e3;
+    const hdc::Match a = tiered.best(qs[0]);
+    const hdc::Match b = loaded->best(qs[0]);
+    if (a.index != b.index || a.similarity != b.similarity) {
+      std::cerr << "bench_ext_scale: snapshot round trip mismatch at m=" << m
+                << "\n";
+      std::exit(1);
+    }
+    std::remove(snap_path.c_str());
+  }
 
   const std::size_t reps = std::max<std::size_t>(1, kHeadlineM / m);
 
@@ -184,7 +238,7 @@ void write_json(const std::string& path, bool smoke, std::size_t dim,
   }
   namespace hk = hdc::kernels;
   out << "{\n"
-      << "  \"schema\": \"factorhd.bench_scale.v1\",\n"
+      << "  \"schema\": \"factorhd.bench_scale.v2\",\n"
       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
       << "  \"context\": {\n"
       << "    \"dim\": " << dim << ",\n"
@@ -200,8 +254,11 @@ void write_json(const std::string& path, bool smoke, std::size_t dim,
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const PointResult& r = sweep[i];
     out << "    {\"m\": " << r.m << ", \"clusters\": " << r.clusters
-        << ", \"nprobe\": " << r.nprobe << ", \"build_ms\": "
-        << fmt_num(r.build_ms) << ", \"exact_us_per_query\": "
+        << ", \"nprobe\": " << r.nprobe << ", \"build_seconds\": "
+        << fmt_num(r.build_seconds) << ", \"build_reference_seconds\": "
+        << fmt_num(r.build_ref_seconds) << ", \"build_speedup\": "
+        << fmt_num(r.build_speedup) << ", \"snapshot_load_seconds\": "
+        << fmt_num(r.snap_load_seconds, 7) << ", \"exact_us_per_query\": "
         << fmt_num(r.exact_us)
         << ", \"tiered_us_per_query\": "
         << fmt_num(r.tiered_us) << ", \"speedup\": "
@@ -210,11 +267,19 @@ void write_json(const std::string& path, bool smoke, std::size_t dim,
         << r.exact_ops << ", \"tiered_sim_ops\": " << r.tiered_ops << "}"
         << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
+  // headline mirrors the largest-M row; build_speedup comes from the
+  // headline (acceptance) M, where the exhaustive reference is measured.
   const PointResult& head = sweep.back();
+  double head_build_speedup = 0.0;
+  for (const PointResult& r : sweep) {
+    if (r.m == kHeadlineM) head_build_speedup = r.build_speedup;
+  }
   out << "  ],\n"
       << "  \"headline\": {\"m\": " << head.m << ", \"speedup\": "
       << fmt_num(head.speedup) << ", \"recall_at_1\": "
-      << fmt_num(head.recall, 4) << "}\n"
+      << fmt_num(head.recall, 4) << ", \"snapshot_load_seconds\": "
+      << fmt_num(head.snap_load_seconds, 7) << ", \"build_speedup\": "
+      << fmt_num(head_build_speedup) << "}\n"
       << "}\n";
   std::cout << "\nwrote " << path << "\n";
 }
@@ -257,13 +322,18 @@ int main(int argc, char** argv) {
             << "\nauto tier config: K = 4*sqrt(M) buckets, nprobe = K/16\n\n";
 
   std::vector<PointResult> sweep;
-  util::TextTable table({"M", "K", "nprobe", "build", "exact/q", "tiered/q",
-                         "speedup", "recall@1", "sim-ops exact/tiered"});
+  util::TextTable table({"M", "K", "nprobe", "build", "bld-spdup", "snap-load",
+                         "exact/q", "tiered/q", "speedup", "recall@1",
+                         "sim-ops exact/tiered"});
   for (const std::size_t m : ms) {
     const PointResult r = run_point(m, dim, queries, flip, seed);
     table.add_row({std::to_string(r.m), std::to_string(r.clusters),
                    std::to_string(r.nprobe),
-                   util::fmt_double(r.build_ms, 1) + " ms",
+                   util::fmt_double(r.build_seconds, 2) + " s",
+                   r.build_ref_seconds > 0
+                       ? util::fmt_double(r.build_speedup, 2) + "x"
+                       : std::string("-"),
+                   util::fmt_double(r.snap_load_seconds * 1e3, 1) + " ms",
                    util::fmt_double(r.exact_us, 1) + " us",
                    util::fmt_double(r.tiered_us, 1) + " us",
                    util::fmt_double(r.speedup, 2) + "x",

@@ -34,7 +34,15 @@ lockstep. The file's own ``schema`` field selects the validator:
   SIMD tiers; one sweep row per codebook size M with clusters, nprobe,
   per-query times, speedup, recall@1, and similarity-op counts; a
   ``headline`` block mirroring the largest-M row — the ISSUE 5 acceptance
-  surface, committed as BENCH_scale.json).
+  surface). Accepted for older baselines; current emitters write v2.
+* ``factorhd.bench_scale.v2`` — v1 plus the ISSUE 6 build/persistence
+  columns per row: ``build_seconds`` (default screened/pooled build),
+  ``build_reference_seconds`` (single-threaded exhaustive build; 0 when
+  skipped above the headline M), ``build_speedup`` (reference/default),
+  and ``snapshot_load_seconds`` (FTS1 file round-trip load). Full-mode
+  baselines must show build_speedup >= 4.0 on the M=262144 row and a
+  sub-second snapshot load on the largest-M row (committed as
+  BENCH_scale.json).
 
 Only Python stdlib is used.
 """
@@ -59,6 +67,7 @@ KNOWN_LEVELS = set(LEVEL_NAMES.values())
 
 SCHEMA = "factorhd.bench_kernels.v2"
 SCALE_SCHEMA = "factorhd.bench_scale.v1"
+SCALE_SCHEMA_V2 = "factorhd.bench_scale.v2"
 
 
 def parse_benchmarks(raw, dispatched_level):
@@ -175,19 +184,37 @@ def validate(doc):
     return errors
 
 
-SCALE_ROW_FIELDS = (
+SCALE_ROW_FIELDS_V1 = (
     "m", "clusters", "nprobe", "build_ms", "exact_us_per_query",
     "tiered_us_per_query", "speedup", "recall_at_1", "exact_sim_ops",
     "tiered_sim_ops",
 )
 
+# v2 renames build_ms -> build_seconds and adds the ISSUE 6 build /
+# persistence measurements.
+SCALE_ROW_FIELDS_V2 = (
+    "m", "clusters", "nprobe", "build_seconds", "build_reference_seconds",
+    "build_speedup", "snapshot_load_seconds", "exact_us_per_query",
+    "tiered_us_per_query", "speedup", "recall_at_1", "exact_sim_ops",
+    "tiered_sim_ops",
+)
 
-def validate_scale(doc):
-    """Returns a list of bench_scale.v1 violations (empty = valid)."""
+# The M=262144 acceptance row of full-mode baselines must show at least
+# this build speedup (screened/pooled build vs the exhaustive
+# single-threaded reference) ...
+MIN_BUILD_SPEEDUP = 4.0
+# ... and the largest-M row must load its snapshot in under a second.
+MAX_SNAPSHOT_LOAD_SECONDS = 1.0
+
+
+def validate_scale(doc, schema=SCALE_SCHEMA):
+    """Returns a list of bench_scale v1/v2 violations (empty = valid)."""
+    v2 = schema == SCALE_SCHEMA_V2
+    row_fields = SCALE_ROW_FIELDS_V2 if v2 else SCALE_ROW_FIELDS_V1
     errors = []
-    if doc.get("schema") != SCALE_SCHEMA:
+    if doc.get("schema") != schema:
         errors.append(
-            f"schema is {doc.get('schema')!r}, expected {SCALE_SCHEMA!r}"
+            f"schema is {doc.get('schema')!r}, expected {schema!r}"
         )
     if doc.get("mode") not in ("full", "smoke"):
         errors.append(f"mode is {doc.get('mode')!r}")
@@ -204,7 +231,7 @@ def validate_scale(doc):
         errors.append("no sweep rows recorded")
     prev_m = 0
     for row in sweep:
-        missing = [f for f in SCALE_ROW_FIELDS if f not in row]
+        missing = [f for f in row_fields if f not in row]
         if missing:
             errors.append(f"sweep m={row.get('m')}: missing fields {missing}")
             continue
@@ -221,21 +248,40 @@ def validate_scale(doc):
             errors.append(
                 f"sweep m={row['m']}: tiered scans more rows than exact"
             )
+        if v2:
+            if row["build_seconds"] <= 0:
+                errors.append(f"sweep m={row['m']}: non-positive build time")
+            if row["snapshot_load_seconds"] <= 0:
+                errors.append(
+                    f"sweep m={row['m']}: non-positive snapshot load time"
+                )
+            # The exhaustive reference may be skipped (0) above the headline
+            # M, but a measured reference must come with its speedup.
+            if row["build_reference_seconds"] > 0 and row["build_speedup"] <= 0:
+                errors.append(
+                    f"sweep m={row['m']}: reference measured but no "
+                    "build_speedup"
+                )
     head = doc.get("headline") or {}
     if sweep and all("m" in r for r in sweep):
         last = sweep[-1]
-        for field in ("m", "speedup", "recall_at_1"):
+        mirror = ("m", "speedup", "recall_at_1")
+        if v2:
+            mirror += ("snapshot_load_seconds",)
+        for field in mirror:
             if head.get(field) != last.get(field):
                 errors.append(
                     f"headline.{field} does not mirror the largest-M row"
                 )
-    # Full-mode baselines carry the tracked acceptance bound (ISSUE 5):
-    # the M=262144 row must show >= 5x speedup at recall@1 >= 0.99, so a
-    # regenerated BENCH_scale.json cannot silently regress below it.
+    # Full-mode baselines carry the tracked acceptance bounds (ISSUE 5/6):
+    # the M=262144 row must show >= 5x scan speedup at recall@1 >= 0.99 —
+    # and, in v2, a >= 4x build speedup plus a sub-second snapshot load at
+    # the largest M — so a regenerated BENCH_scale.json cannot silently
+    # regress below them.
     if doc.get("mode") == "full":
         accept = next(
             (r for r in sweep if r.get("m") == 262144
-             and not [f for f in SCALE_ROW_FIELDS if f not in r]),
+             and not [f for f in row_fields if f not in r]),
             None,
         )
         if accept is None:
@@ -251,26 +297,46 @@ def validate_scale(doc):
                     f"acceptance row m=262144: recall_at_1 "
                     f"{accept['recall_at_1']} < 0.99"
                 )
+            if v2 and accept["build_speedup"] < MIN_BUILD_SPEEDUP:
+                errors.append(
+                    f"acceptance row m=262144: build_speedup "
+                    f"{accept['build_speedup']} < {MIN_BUILD_SPEEDUP}"
+                )
+        if v2 and sweep:
+            last = sweep[-1]
+            if last.get("snapshot_load_seconds", 0) >= MAX_SNAPSHOT_LOAD_SECONDS:
+                errors.append(
+                    f"largest-M row m={last.get('m')}: snapshot_load_seconds "
+                    f"{last.get('snapshot_load_seconds')} >= "
+                    f"{MAX_SNAPSHOT_LOAD_SECONDS}"
+                )
     return errors
 
 
 def run_check(path):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
-    if doc.get("schema") == SCALE_SCHEMA:
-        errors, kind = validate_scale(doc), SCALE_SCHEMA
+    if doc.get("schema") in (SCALE_SCHEMA, SCALE_SCHEMA_V2):
+        kind = doc["schema"]
+        errors = validate_scale(doc, kind)
     else:
         errors, kind = validate(doc), SCHEMA
     if errors:
         for e in errors:
             print(f"bench_json.py: {path}: {e}", file=sys.stderr)
         sys.exit(1)
-    if kind == SCALE_SCHEMA:
+    if kind in (SCALE_SCHEMA, SCALE_SCHEMA_V2):
         head = doc["headline"]
+        build = (
+            f" build_speedup={head['build_speedup']}x"
+            f" snapshot_load={head['snapshot_load_seconds']}s"
+            if kind == SCALE_SCHEMA_V2
+            else ""
+        )
         print(
             f"{path}: schema {kind} OK ({len(doc['sweep'])} rows, headline "
             f"m={head['m']} speedup={head['speedup']}x "
-            f"recall@1={head['recall_at_1']}, "
+            f"recall@1={head['recall_at_1']}{build}, "
             f"simd_level={doc['context']['simd_level']})"
         )
     else:

@@ -10,7 +10,8 @@
 #   scripts/check.sh --asan   # Debug + ASan/UBSan + -Werror, full corpus
 #   scripts/check.sh --tsan   # Debug + ThreadSanitizer + -Werror, the
 #                             # threading suites (batch determinism, kernel
-#                             # fuzz, batch, service soak) only
+#                             # fuzz, batch, service soak, tiered
+#                             # snapshot/parallel build) only
 #
 # Extra arguments after the mode are forwarded to ctest.
 set -euo pipefail
@@ -40,9 +41,9 @@ case "${1:-}" in
     BUILD_DIR=build-tsan
     CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Debug -DFACTORHD_TSAN=ON -DFACTORHD_WERROR=ON)
     # The suites that exercise the worker pools (BatchFactorizer, the
-    # parallel plane scans, and the serving engine); everything else is
-    # single-threaded.
-    CTEST_ARGS+=(-R 'BatchDeterminism|KernelFuzz|BatchTest|ServiceSoak')
+    # parallel plane scans, the parallel tier build, and the serving
+    # engine); everything else is single-threaded.
+    CTEST_ARGS+=(-R 'BatchDeterminism|KernelFuzz|BatchTest|ServiceSoak|TieredSnapshot|ModelSnapshot')
     ;;
 esac
 CTEST_ARGS+=("$@")

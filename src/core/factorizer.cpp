@@ -18,16 +18,44 @@ tax::Object FactorizedObject::to_object(std::size_t num_classes) const {
   return obj;
 }
 
-Factorizer::Factorizer(const Encoder& encoder, hdc::ScanBackend backend)
+Factorizer::Factorizer(const Encoder& encoder, hdc::ScanBackend backend,
+                       const TierSnapshots* snapshots)
     : encoder_(&encoder), books_(&encoder.books()) {
   const tax::Taxonomy& t = books_->taxonomy();
   memories_.resize(t.num_classes());
   for (std::size_t c = 0; c < t.num_classes(); ++c) {
     memories_[c].reserve(t.depth(c));
     for (std::size_t l = 1; l <= t.depth(c); ++l) {
-      memories_[c].emplace_back(books_->level_codebook(c, l), backend);
+      std::shared_ptr<const hdc::kernels::TieredItemMemory> offered;
+      if (snapshots != nullptr) {
+        const auto it = snapshots->find({c, l});
+        if (it != snapshots->end()) offered = it->second;
+      }
+      memories_[c].emplace_back(books_->level_codebook(c, l), backend,
+                                std::nullopt, offered);
+      if (offered != nullptr) {
+        // Adoption is pointer identity: the memory either took the offered
+        // index as-is or rebuilt its own.
+        if (memories_[c].back().tiered() == offered.get()) {
+          ++snapshots_adopted_;
+        } else {
+          ++snapshots_rejected_;
+        }
+      }
     }
   }
+}
+
+TierSnapshots Factorizer::tier_snapshots() const {
+  TierSnapshots out;
+  for (std::size_t c = 0; c < memories_.size(); ++c) {
+    for (std::size_t i = 0; i < memories_[c].size(); ++i) {
+      if (auto tier = memories_[c][i].shared_tiered()) {
+        out.emplace(std::make_pair(c, i + 1), std::move(tier));
+      }
+    }
+  }
+  return out;
 }
 
 hdc::ScanBackend Factorizer::scan_backend() const noexcept {

@@ -27,7 +27,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/encoder.hpp"
@@ -37,6 +40,16 @@
 #include "taxonomy/object.hpp"
 
 namespace factorhd::core {
+
+/// Pre-built tier indexes keyed by (class, 1-based level) — the payload of
+/// a model snapshot sidecar (service layer) offered to the Factorizer so
+/// construction can skip the k-means build for codebooks whose saved index
+/// still matches. Each entry is verified against a fresh packing before
+/// adoption (see hdc::ItemMemory), so a stale or mismatched snapshot can
+/// only cost a rebuild, never a wrong scan.
+using TierSnapshots =
+    std::map<std::pair<std::size_t, std::size_t>,
+             std::shared_ptr<const hdc::kernels::TieredItemMemory>>;
 
 struct FactorizeOptions {
   /// Use the thresholded multi-object algorithm (Rep 3). When false the
@@ -173,8 +186,14 @@ class Factorizer {
   /// \throws std::invalid_argument When `backend` is kPacked but a codebook
   ///   is not packable (never the case for generated taxonomy codebooks),
   ///   or when a forced kPacked* SIMD level is unavailable on this CPU.
+  ///
+  /// \param snapshots Optional pre-built tier indexes per (class, level)
+  ///   slot, offered to the matching ItemMemory constructions (adopt after
+  ///   verification, else rebuild). Consulted only during construction; may
+  ///   be null. Tally the outcome via snapshots_adopted() / rejected().
   explicit Factorizer(const Encoder& encoder,
-                      hdc::ScanBackend backend = hdc::ScanBackend::kAuto);
+                      hdc::ScanBackend backend = hdc::ScanBackend::kAuto,
+                      const TierSnapshots* snapshots = nullptr);
 
   /// \return The backend the codebook scans resolved to: kScalar when any
   ///   internal ItemMemory fell back to scalar, else kTiered when any
@@ -191,6 +210,22 @@ class Factorizer {
   ///   across all internal memories); std::nullopt when scans are scalar.
   [[nodiscard]] std::optional<hdc::kernels::SimdLevel> simd_level()
       const noexcept;
+
+  /// \return Offered snapshots adopted at construction (planes verified
+  ///   bit-equal, k-means build skipped).
+  [[nodiscard]] std::size_t snapshots_adopted() const noexcept {
+    return snapshots_adopted_;
+  }
+  /// \return Offered snapshots rejected at construction (mismatched or for
+  ///   a slot that builds no tier index) — each one cost a fresh build.
+  [[nodiscard]] std::size_t snapshots_rejected() const noexcept {
+    return snapshots_rejected_;
+  }
+
+  /// \return Every tier index this factorizer scans through, keyed by
+  ///   (class, level) — what the model snapshot sidecar persists. Empty on
+  ///   exact backends.
+  [[nodiscard]] TierSnapshots tier_snapshots() const;
 
   /// Runs Algorithm 1 on `target` (an encoded object or scene).
   /// \param target Encoded object/scene HV of the codebooks' dimension.
@@ -248,6 +283,8 @@ class Factorizer {
   const tax::TaxonomyCodebooks* books_;
   /// Item memories per class per level: memories_[cls][level-1].
   std::vector<std::vector<hdc::ItemMemory>> memories_;
+  std::size_t snapshots_adopted_ = 0;
+  std::size_t snapshots_rejected_ = 0;
 };
 
 }  // namespace factorhd::core

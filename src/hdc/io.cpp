@@ -17,6 +17,10 @@ constexpr std::uint32_t kCbMagic = 0x31424346;  // 'FCB1'
 // Sanity bound on deserialized sizes: rejects corrupt headers before any
 // allocation attempt (2^32 components ~ 16 GiB would be a broken file).
 constexpr std::uint64_t kMaxReasonable = 1ULL << 32;
+// Codebook names are short human labels; a tight bound keeps 8 corrupt
+// header bytes from turning into a multi-GiB string allocation (the generic
+// kMaxReasonable is far too loose for a name).
+constexpr std::uint64_t kMaxNameLen = 1ULL << 20;
 
 template <typename T>
 void write_pod(std::ostream& os, T value) {
@@ -78,7 +82,7 @@ Codebook load_codebook(std::istream& is) {
   }
   const auto size = read_pod<std::uint64_t>(is, "codebook size");
   const auto name_len = read_pod<std::uint64_t>(is, "codebook name length");
-  if (size == 0 || size > kMaxReasonable || name_len > kMaxReasonable) {
+  if (size == 0 || size > kMaxReasonable || name_len > kMaxNameLen) {
     throw std::runtime_error("hdc::io: implausible codebook header");
   }
   std::string name(static_cast<std::size_t>(name_len), '\0');
@@ -88,6 +92,14 @@ Codebook load_codebook(std::istream& is) {
   items.reserve(static_cast<std::size_t>(size));
   for (std::uint64_t j = 0; j < size; ++j) {
     items.push_back(load_hypervector(is));
+    // Codebook requires uniform dimensions; diagnose a mixed-dim file here
+    // with an io error instead of letting the constructor report it as a
+    // generic argument problem long after the bytes are forgotten.
+    if (items.back().dim() != items.front().dim()) {
+      throw std::runtime_error(
+          "hdc::io: codebook items disagree on dimension (corrupt or "
+          "mixed-dim file)");
+    }
   }
   return Codebook(std::move(items), std::move(name));
 }

@@ -37,16 +37,54 @@ std::optional<SimdLevel> forced_simd_level(ScanBackend backend) noexcept {
   }
 }
 
+// A loaded snapshot is adopted only when its packed rows are bit-equal to
+// a fresh packing of the codebook: same geometry, same SIMD tier, and
+// plane-for-plane identical words. Anything else — a snapshot of a
+// different codebook, a stale save, a different dimension — is rejected
+// and the caller rebuilds, so adoption can never change a scan result.
+bool snapshot_matches(const TieredItemMemory& snapshot,
+                      const PackedItemMemory& fresh) noexcept {
+  const PackedItemMemory& rows = snapshot.rows();
+  if (rows.layout() != fresh.layout() || rows.dim() != fresh.dim() ||
+      rows.size() != fresh.size() ||
+      rows.simd_level() != fresh.simd_level()) {
+    return false;
+  }
+  const auto sign_a = rows.sign_plane();
+  const auto sign_b = fresh.sign_plane();
+  if (!std::equal(sign_a.begin(), sign_a.end(), sign_b.begin(),
+                  sign_b.end())) {
+    return false;
+  }
+  const auto nz_a = rows.nonzero_plane();
+  const auto nz_b = fresh.nonzero_plane();
+  return std::equal(nz_a.begin(), nz_a.end(), nz_b.begin(), nz_b.end());
+}
+
 }  // namespace
 
 ItemMemory::ItemMemory(const Codebook& codebook, ScanBackend backend,
-                       std::optional<TieredConfig> tiered)
+                       std::optional<TieredConfig> tiered,
+                       std::shared_ptr<const TieredItemMemory> snapshot)
     : codebook_(&codebook) {
   if (tiered.has_value() && backend != ScanBackend::kAuto &&
       backend != ScanBackend::kTiered) {
     throw std::invalid_argument(
         "ItemMemory: a TieredConfig requires the kAuto or kTiered backend");
   }
+  // Adopt the offered snapshot after verification, or pay the k-means
+  // build. On adoption packed_ switches to the snapshot's planes so exact
+  // and tiered scans read the same (possibly mmap-shared) memory and the
+  // verification packing is freed.
+  const auto build_tier = [&] {
+    if (snapshot != nullptr && snapshot_matches(*snapshot, *packed_)) {
+      packed_ = snapshot->shared_rows();
+      tiered_ = std::move(snapshot);
+      return;
+    }
+    tiered_ = std::make_shared<const TieredItemMemory>(
+        packed_, tiered.value_or(kernels::tiered_config_from_env()));
+  };
   switch (backend) {
     case ScanBackend::kScalar:
       break;
@@ -56,8 +94,7 @@ ItemMemory::ItemMemory(const Codebook& codebook, ScanBackend backend,
       break;
     case ScanBackend::kTiered:
       packed_ = std::make_shared<const PackedItemMemory>(codebook);
-      tiered_ = std::make_shared<const TieredItemMemory>(
-          packed_, tiered.value_or(kernels::tiered_config_from_env()));
+      build_tier();
       break;
     case ScanBackend::kAuto:
       if (tiered.has_value() && !PackedItemMemory::packable(codebook)) {
@@ -74,8 +111,7 @@ ItemMemory::ItemMemory(const Codebook& codebook, ScanBackend backend,
         const std::size_t min_rows = kernels::tiered_auto_min_rows();
         if (tiered.has_value() ||
             (min_rows > 0 && codebook.size() >= min_rows)) {
-          tiered_ = std::make_shared<const TieredItemMemory>(
-              packed_, tiered.value_or(kernels::tiered_config_from_env()));
+          build_tier();
         }
       }
       break;

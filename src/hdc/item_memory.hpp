@@ -102,9 +102,21 @@ class ItemMemory {
   ///   {-1, 0, +1} or is empty, when a forced SIMD level is not available on
   ///   this CPU (kernels::simd_level_available), or when `tiered` is given
   ///   with a backend that never builds the tier index.
+  ///
+  /// \param snapshot Optional pre-built tier index (a loaded FTS1 snapshot,
+  ///   see hdc/kernels/tiered_snapshot.hpp) offered in place of the k-means
+  ///   build. It is adopted only where this constructor would build a tier
+  ///   index anyway, and only after its packed row planes are verified
+  ///   bit-equal to a fresh packing of `codebook` — a snapshot of the wrong
+  ///   or a stale codebook is silently rejected and the tier is rebuilt, so
+  ///   scans are bit-identical either way. On adoption the memory's exact
+  ///   scans also run off the snapshot's (possibly mmap-shared) planes and
+  ///   the fresh packing is dropped. Check adoption via tiered() pointer
+  ///   identity.
   explicit ItemMemory(
       const Codebook& codebook, ScanBackend backend = ScanBackend::kAuto,
-      std::optional<kernels::TieredConfig> tiered = std::nullopt);
+      std::optional<kernels::TieredConfig> tiered = std::nullopt,
+      std::shared_ptr<const kernels::TieredItemMemory> snapshot = nullptr);
 
   [[nodiscard]] const Codebook& codebook() const noexcept { return *codebook_; }
   [[nodiscard]] std::size_t size() const noexcept { return codebook_->size(); }
@@ -122,6 +134,13 @@ class ItemMemory {
   /// \return The tier index, or nullptr on the scalar/packed backends.
   [[nodiscard]] const kernels::TieredItemMemory* tiered() const noexcept {
     return tiered_.get();
+  }
+
+  /// \return Shared ownership of the tier index (null on exact backends) —
+  ///   what the snapshot writer serializes (hdc/kernels/tiered_snapshot.hpp).
+  [[nodiscard]] std::shared_ptr<const kernels::TieredItemMemory>
+  shared_tiered() const noexcept {
+    return tiered_;
   }
 
   /// \return The SIMD tier packed scans execute at; std::nullopt on the

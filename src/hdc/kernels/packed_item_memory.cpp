@@ -26,6 +26,10 @@ constexpr std::size_t parallel_scan_min_words(SimdLevel level) noexcept {
 // Depth of outer worker pools on this thread (see ScanNestingGuard).
 thread_local int scan_nesting_depth = 0;
 
+enum class Alphabet { kBipolar, kTernary, kOther };
+
+}  // namespace
+
 // Worker-pool width: FACTORHD_SCAN_THREADS when set (1 disables threading),
 // else min(hardware threads, 8) — a small pool, matching the BatchFactorizer
 // idiom of per-call spawn+join std::threads. Registered in util::env_knobs().
@@ -39,10 +43,6 @@ std::size_t scan_pool_width() {
   }();
   return width;
 }
-
-enum class Alphabet { kBipolar, kTernary, kOther };
-
-}  // namespace
 
 ScanNestingGuard::ScanNestingGuard() noexcept { ++scan_nesting_depth; }
 ScanNestingGuard::~ScanNestingGuard() { --scan_nesting_depth; }
@@ -93,18 +93,46 @@ PackedItemMemory::PackedItemMemory(const Codebook& codebook,
     }
   }
 
-  sign_.assign(size_ * words_, 0);
-  if (layout_ == Layout::kTernary) nonzero_.assign(size_ * words_, 0);
+  owned_sign_.assign(size_ * words_, 0);
+  if (layout_ == Layout::kTernary) owned_nonzero_.assign(size_ * words_, 0);
   for (std::size_t row = 0; row < size_; ++row) {
     const auto* p = codebook.item(row).data();
-    std::uint64_t* rs = &sign_[row * words_];
+    std::uint64_t* rs = &owned_sign_[row * words_];
     std::uint64_t* rnz =
-        layout_ == Layout::kTernary ? &nonzero_[row * words_] : nullptr;
+        layout_ == Layout::kTernary ? &owned_nonzero_[row * words_] : nullptr;
     for (std::size_t i = 0; i < dim_; ++i) {
       if (p[i] == 0) continue;
       if (rnz != nullptr) rnz[i / kWordBits] |= (1ULL << (i % kWordBits));
       if (p[i] > 0) rs[i / kWordBits] |= (1ULL << (i % kWordBits));
     }
+  }
+  sign_ = owned_sign_.data();
+  if (layout_ == Layout::kTernary) nonzero_ = owned_nonzero_.data();
+}
+
+PackedItemMemory::PackedItemMemory(Layout layout, std::size_t dim,
+                                   std::size_t size, const std::uint64_t* sign,
+                                   const std::uint64_t* nonzero,
+                                   std::shared_ptr<const void> keepalive,
+                                   std::optional<SimdLevel> level)
+    : size_(size),
+      dim_(dim),
+      words_(plane_words(dim)),
+      level_(level.value_or(dispatched_simd_level())),
+      kernels_(&dot_kernels(level_)),
+      layout_(layout),
+      sign_(sign),
+      nonzero_(nonzero),
+      keepalive_(std::move(keepalive)) {
+  if (size_ == 0 || dim_ == 0) {
+    throw std::invalid_argument("PackedItemMemory: empty plane adoption");
+  }
+  if (sign_ == nullptr) {
+    throw std::invalid_argument("PackedItemMemory: null sign plane");
+  }
+  if ((layout_ == Layout::kTernary) != (nonzero_ != nullptr)) {
+    throw std::invalid_argument(
+        "PackedItemMemory: nonzero plane inconsistent with layout");
   }
 }
 

@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -41,6 +42,12 @@
 #include "hdc/match.hpp"
 
 namespace factorhd::hdc::kernels {
+
+/// Width of the scan worker pool: FACTORHD_SCAN_THREADS when set (1 disables
+/// threading), else min(hardware threads, 8). Cached on first use. Shared by
+/// the full-codebook scans here and the tiered-index build's assignment
+/// passes (tiered_item_memory.cpp).
+[[nodiscard]] std::size_t scan_pool_width();
 
 /// RAII marker for threads that are themselves workers of an outer pool
 /// (core::BatchFactorizer installs one per worker): while any guard is
@@ -83,6 +90,34 @@ class PackedItemMemory {
   /// \throws std::invalid_argument When `packable(codebook)` is false.
   explicit PackedItemMemory(const Codebook& codebook,
                             std::optional<SimdLevel> level = std::nullopt);
+
+  /// Adopts pre-packed planes without copying — the snapshot-load path
+  /// (tiered_snapshot.hpp), where the planes live in an mmap'd file or a
+  /// deserialized buffer owned by `keepalive`.
+  ///
+  /// The planes must be row-major with plane_words(dim) words per row and
+  /// the canonical-tail invariant (bits >= dim in the last word zero); the
+  /// snapshot loader verifies this before constructing. `keepalive` is held
+  /// for the memory's lifetime, so one mapping can back many memories.
+  /// \param layout Plane layout the planes were packed with.
+  /// \param dim Hypervector dimension.
+  /// \param size Number of rows.
+  /// \param sign Row-major sign planes, `size * plane_words(dim)` words.
+  /// \param nonzero Row-major nonzero planes for kTernary layout; must be
+  ///   nullptr for kBipolar.
+  /// \param keepalive Owner of the plane storage (kept alive by this memory).
+  /// \param level As the packing constructor.
+  /// \throws std::invalid_argument On zero size/dim, a null `sign`, or a
+  ///   `nonzero` inconsistent with `layout`.
+  PackedItemMemory(Layout layout, std::size_t dim, std::size_t size,
+                   const std::uint64_t* sign, const std::uint64_t* nonzero,
+                   std::shared_ptr<const void> keepalive,
+                   std::optional<SimdLevel> level = std::nullopt);
+
+  // The plane pointers alias the owned vectors on the packing path, so the
+  // defaulted copies would dangle. Scans share one memory via shared_ptr.
+  PackedItemMemory(const PackedItemMemory&) = delete;
+  PackedItemMemory& operator=(const PackedItemMemory&) = delete;
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
@@ -163,7 +198,7 @@ class PackedItemMemory {
   /// the canonical-tail invariant. Precondition: `row < size()`.
   [[nodiscard]] std::span<const std::uint64_t> row_sign(
       std::size_t row) const noexcept {
-    return {&sign_[row * words_], words_};
+    return {sign_ + row * words_, words_};
   }
 
   /// Row `row`'s nonzero plane; the empty span in bipolar layout (where
@@ -171,7 +206,19 @@ class PackedItemMemory {
   [[nodiscard]] std::span<const std::uint64_t> row_nonzero(
       std::size_t row) const noexcept {
     if (layout_ == Layout::kBipolar) return {};
-    return {&nonzero_[row * words_], words_};
+    return {nonzero_ + row * words_, words_};
+  }
+
+  /// The whole contiguous sign plane: size() * words_per_row() words. Used
+  /// by the snapshot writer and the snapshot-adoption plane comparison.
+  [[nodiscard]] std::span<const std::uint64_t> sign_plane() const noexcept {
+    return {sign_, size_ * words_};
+  }
+
+  /// The whole contiguous nonzero plane; empty in bipolar layout.
+  [[nodiscard]] std::span<const std::uint64_t> nonzero_plane() const noexcept {
+    if (layout_ == Layout::kBipolar) return {};
+    return {nonzero_, size_ * words_};
   }
 
   // --- Convenience overloads that pack the query internally ---------------
@@ -217,10 +264,17 @@ class PackedItemMemory {
   /// Kernel table of level_ (static storage inside simd.cpp, never null).
   const DotKernels* kernels_ = nullptr;
   Layout layout_ = Layout::kBipolar;
-  /// Row-major sign planes: words_[row * words_ + w].
-  std::vector<std::uint64_t> sign_;
-  /// Row-major nonzero planes; empty in bipolar layout.
-  std::vector<std::uint64_t> nonzero_;
+  /// Row-major sign planes: sign_[row * words_ + w]. Points into owned_sign_
+  /// on the packing path, or into `keepalive_`-owned storage (an mmap'd
+  /// snapshot or a deserialized buffer) on the adoption path.
+  const std::uint64_t* sign_ = nullptr;
+  /// Row-major nonzero planes; nullptr in bipolar layout.
+  const std::uint64_t* nonzero_ = nullptr;
+  /// Plane storage built by the packing constructor (empty when adopted).
+  std::vector<std::uint64_t> owned_sign_;
+  std::vector<std::uint64_t> owned_nonzero_;
+  /// Owner of adopted plane storage; null on the packing path.
+  std::shared_ptr<const void> keepalive_;
 };
 
 }  // namespace factorhd::hdc::kernels

@@ -86,6 +86,27 @@ bool pack_planes_scalar(const std::int32_t* p, std::size_t dim,
 constexpr DotKernels kScalarKernels{dot_bb_scalar, dot_bt_scalar,
                                     dot_tt_scalar, pack_planes_scalar};
 
+// Batch tier reference: the per-row kernels applied in row order. Every
+// vectorized batch loop must reproduce these integers exactly.
+
+void batch_bb_scalar(const std::uint64_t* query, const std::uint64_t* rows,
+                     std::size_t count, std::size_t words, std::size_t dim,
+                     std::int64_t* out) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = dot_bipolar_bipolar(query, rows + i * words, words, dim);
+  }
+}
+
+void batch_bt_scalar(const std::uint64_t* q_nz, const std::uint64_t* q_sg,
+                     const std::uint64_t* rows, std::size_t count,
+                     std::size_t words, std::int64_t* out) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = dot_bipolar_ternary(rows + i * words, q_nz, q_sg, words);
+  }
+}
+
+constexpr BatchDotKernels kScalarBatchKernels{batch_bb_scalar, batch_bt_scalar};
+
 #if FACTORHD_X86_SIMD
 
 // GCC 12 flags the intentionally-undefined vectors inside the AVX-512
@@ -239,8 +260,104 @@ __attribute__((target("avx2"))) bool pack_planes_avx2(
   return true;
 }
 
+// Batch loops: two rows per iteration share each query load and keep two
+// popcount accumulators in flight, so the per-row horizontal reduction and
+// loop control overlap with the neighbouring row's popcount chain.
+
+__attribute__((target("avx2"))) void batch_bb_avx2(
+    const std::uint64_t* query, const std::uint64_t* rows, std::size_t count,
+    std::size_t words, std::size_t dim, std::int64_t* out) noexcept {
+  const auto sdim = static_cast<std::int64_t>(dim);
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const std::uint64_t* r0 = rows + i * words;
+    const std::uint64_t* r1 = r0 + words;
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    std::size_t w = 0;
+    for (; w + 4 <= words; w += 4) {
+      const __m256i q =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(query + w));
+      acc0 = _mm256_add_epi64(
+          acc0, popcount_epi64_avx2(_mm256_xor_si256(
+                    q, _mm256_loadu_si256(
+                           reinterpret_cast<const __m256i*>(r0 + w)))));
+      acc1 = _mm256_add_epi64(
+          acc1, popcount_epi64_avx2(_mm256_xor_si256(
+                    q, _mm256_loadu_si256(
+                           reinterpret_cast<const __m256i*>(r1 + w)))));
+    }
+    std::int64_t h0 = hsum_epi64_avx2(acc0);
+    std::int64_t h1 = hsum_epi64_avx2(acc1);
+    for (; w < words; ++w) {
+      h0 += std::popcount(query[w] ^ r0[w]);
+      h1 += std::popcount(query[w] ^ r1[w]);
+    }
+    out[i] = sdim - 2 * h0;
+    out[i + 1] = sdim - 2 * h1;
+  }
+  if (i < count) out[i] = dot_bb_avx2(query, rows + i * words, words, dim);
+}
+
+__attribute__((target("avx2"))) void batch_bt_avx2(
+    const std::uint64_t* q_nz, const std::uint64_t* q_sg,
+    const std::uint64_t* rows, std::size_t count, std::size_t words,
+    std::int64_t* out) noexcept {
+  // The support term Σ popcount(q_nz) is row-independent: hoist it.
+  std::int64_t support = 0;
+  {
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t w = 0;
+    for (; w + 4 <= words; w += 4) {
+      acc = _mm256_add_epi64(
+          acc, popcount_epi64_avx2(_mm256_loadu_si256(
+                   reinterpret_cast<const __m256i*>(q_nz + w))));
+    }
+    support = hsum_epi64_avx2(acc);
+    for (; w < words; ++w) support += std::popcount(q_nz[w]);
+  }
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const std::uint64_t* r0 = rows + i * words;
+    const std::uint64_t* r1 = r0 + words;
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    std::size_t w = 0;
+    for (; w + 4 <= words; w += 4) {
+      const __m256i vn =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q_nz + w));
+      const __m256i vs =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q_sg + w));
+      acc0 = _mm256_add_epi64(
+          acc0, popcount_epi64_avx2(_mm256_and_si256(
+                    _mm256_xor_si256(
+                        _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i*>(r0 + w)),
+                        vs),
+                    vn)));
+      acc1 = _mm256_add_epi64(
+          acc1, popcount_epi64_avx2(_mm256_and_si256(
+                    _mm256_xor_si256(
+                        _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i*>(r1 + w)),
+                        vs),
+                    vn)));
+    }
+    std::int64_t d0 = hsum_epi64_avx2(acc0);
+    std::int64_t d1 = hsum_epi64_avx2(acc1);
+    for (; w < words; ++w) {
+      d0 += std::popcount((r0[w] ^ q_sg[w]) & q_nz[w]);
+      d1 += std::popcount((r1[w] ^ q_sg[w]) & q_nz[w]);
+    }
+    out[i] = support - 2 * d0;
+    out[i + 1] = support - 2 * d1;
+  }
+  if (i < count) out[i] = dot_bt_avx2(rows + i * words, q_nz, q_sg, words);
+}
+
 constexpr DotKernels kAVX2Kernels{dot_bb_avx2, dot_bt_avx2, dot_tt_avx2,
                                   pack_planes_avx2};
+constexpr BatchDotKernels kAVX2BatchKernels{batch_bb_avx2, batch_bt_avx2};
 
 // --- AVX-512 tier -----------------------------------------------------------
 // Native 64-bit-lane popcount (VPOPCNTQ, requires AVX512VPOPCNTDQ) over 8
@@ -368,8 +485,193 @@ __attribute__((target("avx512f,avx512bw"))) bool pack_planes_avx512(
   return true;
 }
 
+// Sums eight per-row lane accumulators into one vector holding the eight
+// row totals in order — a 3-level shuffle/add tree, ~3 ops per row where
+// _mm512_reduce_add_epi64 per row costs ~7. Level 1 pairs rows within
+// 128-bit lanes; levels 2-3 fold across lanes.
+__attribute__((target("avx512f"))) inline __m512i hsum8_epi64_avx512(
+    __m512i a0, __m512i a1, __m512i a2, __m512i a3, __m512i a4, __m512i a5,
+    __m512i a6, __m512i a7) noexcept {
+  const __m512i p01 = _mm512_add_epi64(_mm512_unpacklo_epi64(a0, a1),
+                                       _mm512_unpackhi_epi64(a0, a1));
+  const __m512i p23 = _mm512_add_epi64(_mm512_unpacklo_epi64(a2, a3),
+                                       _mm512_unpackhi_epi64(a2, a3));
+  const __m512i p45 = _mm512_add_epi64(_mm512_unpacklo_epi64(a4, a5),
+                                       _mm512_unpackhi_epi64(a4, a5));
+  const __m512i p67 = _mm512_add_epi64(_mm512_unpacklo_epi64(a6, a7),
+                                       _mm512_unpackhi_epi64(a6, a7));
+  const __m512i q0123 =
+      _mm512_add_epi64(_mm512_shuffle_i64x2(p01, p23, 0x88),
+                       _mm512_shuffle_i64x2(p01, p23, 0xdd));
+  const __m512i q4567 =
+      _mm512_add_epi64(_mm512_shuffle_i64x2(p45, p67, 0x88),
+                       _mm512_shuffle_i64x2(p45, p67, 0xdd));
+  return _mm512_add_epi64(_mm512_shuffle_i64x2(q0123, q4567, 0x88),
+                          _mm512_shuffle_i64x2(q0123, q4567, 0xdd));
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) void batch_bb_avx512(
+    const std::uint64_t* query, const std::uint64_t* rows, std::size_t count,
+    std::size_t words, std::size_t dim, std::int64_t* out) noexcept {
+  const auto sdim = static_cast<std::int64_t>(dim);
+  const auto tail =
+      static_cast<__mmask8>((1u << (words % 8)) - 1);  // 0 when words % 8 == 0
+  std::size_t i = 0;
+  const __m512i vdim = _mm512_set1_epi64(sdim);
+  for (; i + 8 <= count; i += 8) {
+    const std::uint64_t* r = rows + i * words;
+    __m512i acc[8] = {_mm512_setzero_si512(), _mm512_setzero_si512(),
+                      _mm512_setzero_si512(), _mm512_setzero_si512(),
+                      _mm512_setzero_si512(), _mm512_setzero_si512(),
+                      _mm512_setzero_si512(), _mm512_setzero_si512()};
+    std::size_t w = 0;
+    for (; w + 8 <= words; w += 8) {
+      const __m512i q = _mm512_loadu_si512(query + w);
+      for (std::size_t j = 0; j < 8; ++j) {
+        acc[j] = _mm512_add_epi64(
+            acc[j], _mm512_popcnt_epi64(_mm512_xor_si512(
+                        q, _mm512_loadu_si512(r + j * words + w))));
+      }
+    }
+    if (w < words) {
+      const __m512i q = _mm512_maskz_loadu_epi64(tail, query + w);
+      for (std::size_t j = 0; j < 8; ++j) {
+        acc[j] = _mm512_add_epi64(
+            acc[j], _mm512_popcnt_epi64(_mm512_xor_si512(
+                        q, _mm512_maskz_loadu_epi64(tail, r + j * words + w))));
+      }
+    }
+    const __m512i h = hsum8_epi64_avx512(acc[0], acc[1], acc[2], acc[3],
+                                         acc[4], acc[5], acc[6], acc[7]);
+    _mm512_storeu_si512(out + i,
+                        _mm512_sub_epi64(vdim, _mm512_add_epi64(h, h)));
+  }
+  for (; i + 2 <= count; i += 2) {
+    const std::uint64_t* r0 = rows + i * words;
+    const std::uint64_t* r1 = r0 + words;
+    __m512i acc0 = _mm512_setzero_si512();
+    __m512i acc1 = _mm512_setzero_si512();
+    std::size_t w = 0;
+    for (; w + 8 <= words; w += 8) {
+      const __m512i q = _mm512_loadu_si512(query + w);
+      acc0 = _mm512_add_epi64(
+          acc0, _mm512_popcnt_epi64(
+                    _mm512_xor_si512(q, _mm512_loadu_si512(r0 + w))));
+      acc1 = _mm512_add_epi64(
+          acc1, _mm512_popcnt_epi64(
+                    _mm512_xor_si512(q, _mm512_loadu_si512(r1 + w))));
+    }
+    if (w < words) {
+      const __m512i q = _mm512_maskz_loadu_epi64(tail, query + w);
+      acc0 = _mm512_add_epi64(
+          acc0, _mm512_popcnt_epi64(_mm512_xor_si512(
+                    q, _mm512_maskz_loadu_epi64(tail, r0 + w))));
+      acc1 = _mm512_add_epi64(
+          acc1, _mm512_popcnt_epi64(_mm512_xor_si512(
+                    q, _mm512_maskz_loadu_epi64(tail, r1 + w))));
+    }
+    out[i] = sdim - 2 * _mm512_reduce_add_epi64(acc0);
+    out[i + 1] = sdim - 2 * _mm512_reduce_add_epi64(acc1);
+  }
+  if (i < count) out[i] = dot_bb_avx512(query, rows + i * words, words, dim);
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) void batch_bt_avx512(
+    const std::uint64_t* q_nz, const std::uint64_t* q_sg,
+    const std::uint64_t* rows, std::size_t count, std::size_t words,
+    std::int64_t* out) noexcept {
+  const auto tail = static_cast<__mmask8>((1u << (words % 8)) - 1);
+  std::int64_t support = 0;
+  {
+    __m512i acc = _mm512_setzero_si512();
+    std::size_t w = 0;
+    for (; w + 8 <= words; w += 8) {
+      acc = _mm512_add_epi64(acc,
+                             _mm512_popcnt_epi64(_mm512_loadu_si512(q_nz + w)));
+    }
+    if (w < words) {
+      acc = _mm512_add_epi64(
+          acc, _mm512_popcnt_epi64(_mm512_maskz_loadu_epi64(tail, q_nz + w)));
+    }
+    support = _mm512_reduce_add_epi64(acc);
+  }
+  std::size_t i = 0;
+  const __m512i vsupport = _mm512_set1_epi64(support);
+  for (; i + 8 <= count; i += 8) {
+    const std::uint64_t* r = rows + i * words;
+    __m512i acc[8] = {_mm512_setzero_si512(), _mm512_setzero_si512(),
+                      _mm512_setzero_si512(), _mm512_setzero_si512(),
+                      _mm512_setzero_si512(), _mm512_setzero_si512(),
+                      _mm512_setzero_si512(), _mm512_setzero_si512()};
+    std::size_t w = 0;
+    for (; w + 8 <= words; w += 8) {
+      const __m512i vn = _mm512_loadu_si512(q_nz + w);
+      const __m512i vs = _mm512_loadu_si512(q_sg + w);
+      for (std::size_t j = 0; j < 8; ++j) {
+        acc[j] = _mm512_add_epi64(
+            acc[j],
+            _mm512_popcnt_epi64(_mm512_and_si512(
+                _mm512_xor_si512(_mm512_loadu_si512(r + j * words + w), vs),
+                vn)));
+      }
+    }
+    if (w < words) {
+      const __m512i vn = _mm512_maskz_loadu_epi64(tail, q_nz + w);
+      const __m512i vs = _mm512_maskz_loadu_epi64(tail, q_sg + w);
+      for (std::size_t j = 0; j < 8; ++j) {
+        acc[j] = _mm512_add_epi64(
+            acc[j], _mm512_popcnt_epi64(_mm512_and_si512(
+                        _mm512_xor_si512(
+                            _mm512_maskz_loadu_epi64(tail, r + j * words + w),
+                            vs),
+                        vn)));
+      }
+    }
+    const __m512i h = hsum8_epi64_avx512(acc[0], acc[1], acc[2], acc[3],
+                                         acc[4], acc[5], acc[6], acc[7]);
+    _mm512_storeu_si512(out + i,
+                        _mm512_sub_epi64(vsupport, _mm512_add_epi64(h, h)));
+  }
+  for (; i + 2 <= count; i += 2) {
+    const std::uint64_t* r0 = rows + i * words;
+    const std::uint64_t* r1 = r0 + words;
+    __m512i acc0 = _mm512_setzero_si512();
+    __m512i acc1 = _mm512_setzero_si512();
+    std::size_t w = 0;
+    for (; w + 8 <= words; w += 8) {
+      const __m512i vn = _mm512_loadu_si512(q_nz + w);
+      const __m512i vs = _mm512_loadu_si512(q_sg + w);
+      acc0 = _mm512_add_epi64(
+          acc0, _mm512_popcnt_epi64(_mm512_and_si512(
+                    _mm512_xor_si512(_mm512_loadu_si512(r0 + w), vs), vn)));
+      acc1 = _mm512_add_epi64(
+          acc1, _mm512_popcnt_epi64(_mm512_and_si512(
+                    _mm512_xor_si512(_mm512_loadu_si512(r1 + w), vs), vn)));
+    }
+    if (w < words) {
+      const __m512i vn = _mm512_maskz_loadu_epi64(tail, q_nz + w);
+      const __m512i vs = _mm512_maskz_loadu_epi64(tail, q_sg + w);
+      acc0 = _mm512_add_epi64(
+          acc0, _mm512_popcnt_epi64(_mm512_and_si512(
+                    _mm512_xor_si512(_mm512_maskz_loadu_epi64(tail, r0 + w),
+                                     vs),
+                    vn)));
+      acc1 = _mm512_add_epi64(
+          acc1, _mm512_popcnt_epi64(_mm512_and_si512(
+                    _mm512_xor_si512(_mm512_maskz_loadu_epi64(tail, r1 + w),
+                                     vs),
+                    vn)));
+    }
+    out[i] = support - 2 * _mm512_reduce_add_epi64(acc0);
+    out[i + 1] = support - 2 * _mm512_reduce_add_epi64(acc1);
+  }
+  if (i < count) out[i] = dot_bt_avx512(rows + i * words, q_nz, q_sg, words);
+}
+
 constexpr DotKernels kAVX512Kernels{dot_bb_avx512, dot_bt_avx512,
                                     dot_tt_avx512, pack_planes_avx512};
+constexpr BatchDotKernels kAVX512BatchKernels{batch_bb_avx512,
+                                              batch_bt_avx512};
 
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic pop
@@ -457,6 +759,27 @@ std::int64_t dot_tt_neon(const std::uint64_t* a_nz, const std::uint64_t* a_sg,
 
 constexpr DotKernels kNEONKernels{dot_bb_neon, dot_bt_neon, dot_tt_neon,
                                   pack_planes_scalar};
+
+// Batch loops: per-row NEON dots. This already removes the indirect call per
+// prefix dot; no two-row unroll until a target shows it pays.
+
+void batch_bb_neon(const std::uint64_t* query, const std::uint64_t* rows,
+                   std::size_t count, std::size_t words, std::size_t dim,
+                   std::int64_t* out) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = dot_bb_neon(query, rows + i * words, words, dim);
+  }
+}
+
+void batch_bt_neon(const std::uint64_t* q_nz, const std::uint64_t* q_sg,
+                   const std::uint64_t* rows, std::size_t count,
+                   std::size_t words, std::int64_t* out) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = dot_bt_neon(rows + i * words, q_nz, q_sg, words);
+  }
+}
+
+constexpr BatchDotKernels kNEONBatchKernels{batch_bb_neon, batch_bt_neon};
 
 #endif  // FACTORHD_NEON_SIMD
 
@@ -550,6 +873,25 @@ const DotKernels& dot_kernels(SimdLevel level) noexcept {
       // Level not compiled into this binary; callers that must not degrade
       // check simd_level_available() first (hdc::ItemMemory throws).
       return kScalarKernels;
+  }
+}
+
+const BatchDotKernels& batch_dot_kernels(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::kScalarWords:
+      return kScalarBatchKernels;
+#if FACTORHD_X86_SIMD
+    case SimdLevel::kAVX2:
+      return kAVX2BatchKernels;
+    case SimdLevel::kAVX512:
+      return kAVX512BatchKernels;
+#endif
+#if FACTORHD_NEON_SIMD
+    case SimdLevel::kNEON:
+      return kNEONBatchKernels;
+#endif
+    default:
+      return kScalarBatchKernels;  // same aliasing rule as dot_kernels()
   }
 }
 

@@ -4,10 +4,60 @@
 #include <bit>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
 #include "util/env.hpp"
 
 namespace factorhd::hdc::kernels {
+
+namespace {
+
+// Screened assignment (see build()) engages once the centroid count makes
+// the exhaustive O(K) scan clearly dearer than the prefix screen's
+// ~K/8 + K/32 full-dot equivalents, and the planes are wide enough that a
+// 1/8 prefix still carries a usable ranking signal. Both bounds are quality
+// gates as much as cost gates: at small K or narrow planes the prefix
+// ranking gets noisy enough to visibly dent recall (the seeded regression
+// in tests/test_tiered_memory.cpp patrols the K=256 point).
+constexpr std::size_t kScreenMinCentroids = 512;
+constexpr std::size_t kScreenMinWords = 16;
+
+// Assignment batches below this size stay sequential: one assignment costs
+// on the order of 10 us, so smaller batches cannot amortize thread
+// spawn+join.
+constexpr std::size_t kParallelAssignMinRows = 1024;
+
+// Runs fn(begin, end) over fixed contiguous blocks of [0, n), one block per
+// worker. Every call writes a disjoint output slice and each element depends
+// only on its own index, so the result is bit-identical for every worker
+// count (the same policy as PackedItemMemory::compute_dots). The first block
+// runs on the calling thread.
+template <typename Fn>
+void parallel_blocks(std::size_t n, std::size_t workers, const Fn& fn) {
+  workers = std::min(workers, n);
+  if (workers <= 1) {
+    if (n > 0) fn(std::size_t{0}, n);
+    return;
+  }
+  const std::size_t chunk = (n + workers - 1) / workers;
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  try {
+    for (std::size_t begin = chunk; begin < n; begin += chunk) {
+      pool.emplace_back(fn, begin, std::min(n, begin + chunk));
+    }
+  } catch (...) {
+    // A failed spawn must not destroy joinable threads (std::terminate);
+    // join what started, then propagate.
+    for (auto& t : pool) t.join();
+    throw;
+  }
+  fn(std::size_t{0}, std::min(n, chunk));
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace
 
 TieredConfig tiered_config_from_env() {
   TieredConfig cfg;
@@ -15,6 +65,8 @@ TieredConfig tiered_config_from_env() {
       util::env_size_t("FACTORHD_TIERED_CLUSTERS", 0, 0, std::size_t{1} << 24);
   cfg.nprobe =
       util::env_size_t("FACTORHD_TIERED_NPROBE", 0, 0, std::size_t{1} << 24);
+  cfg.build_threads =
+      util::env_size_t("FACTORHD_TIERED_BUILD_THREADS", 0, 0, 256);
   return cfg;
 }
 
@@ -39,6 +91,55 @@ TieredItemMemory::TieredItemMemory(
   build(config);
 }
 
+TieredItemMemory::TieredItemMemory(
+    std::shared_ptr<const PackedItemMemory> rows,
+    std::shared_ptr<const PackedItemMemory> centroids, std::size_t nprobe,
+    std::vector<std::size_t> member_rows, std::vector<std::size_t> cluster_begin)
+    : rows_(std::move(rows)),
+      centroids_(std::move(centroids)),
+      member_rows_(std::move(member_rows)),
+      cluster_begin_(std::move(cluster_begin)) {
+  if (!rows_ || !centroids_) {
+    throw std::invalid_argument("TieredItemMemory: null memory adoption");
+  }
+  const std::size_t m = rows_->size();
+  const std::size_t k = centroids_->size();
+  if (centroids_->dim() != rows_->dim() ||
+      centroids_->layout() != PackedItemMemory::Layout::kBipolar ||
+      centroids_->simd_level() != rows_->simd_level()) {
+    throw std::invalid_argument(
+        "TieredItemMemory: centroid memory incompatible with row memory");
+  }
+  nprobe_ = std::clamp<std::size_t>(nprobe, 1, k);
+  if (cluster_begin_.size() != k + 1 || cluster_begin_.front() != 0 ||
+      cluster_begin_.back() != m) {
+    throw std::invalid_argument("TieredItemMemory: malformed cluster offsets");
+  }
+  if (member_rows_.size() != m) {
+    throw std::invalid_argument("TieredItemMemory: malformed member list");
+  }
+  // The CSR structure the scans walk blind: offsets non-decreasing, members
+  // ascending within each bucket, and the whole list a permutation of the
+  // row indices (each checked row is marked seen exactly once).
+  std::vector<bool> seen(m, false);
+  for (std::size_t c = 0; c < k; ++c) {
+    if (cluster_begin_[c] > cluster_begin_[c + 1]) {
+      throw std::invalid_argument(
+          "TieredItemMemory: cluster offsets not non-decreasing");
+    }
+    for (std::size_t i = cluster_begin_[c]; i < cluster_begin_[c + 1]; ++i) {
+      const std::size_t row = member_rows_[i];
+      if (row >= m || seen[row] ||
+          (i > cluster_begin_[c] && member_rows_[i - 1] >= row)) {
+        throw std::invalid_argument(
+            "TieredItemMemory: member list is not an ascending partition of "
+            "the rows");
+      }
+      seen[row] = true;
+    }
+  }
+}
+
 std::int64_t TieredItemMemory::row_centroid_dot(
     std::size_t row, const std::uint64_t* cent) const noexcept {
   const DotKernels& k = dot_kernels(rows_->simd_level());
@@ -61,6 +162,66 @@ std::size_t TieredItemMemory::nearest_centroid(
     if (d > best_dot) {  // strict: ties keep the lowest centroid index
       best_dot = d;
       best = c;
+    }
+  }
+  return best;
+}
+
+std::size_t TieredItemMemory::nearest_centroid_screened(
+    std::size_t row, const std::vector<std::uint64_t>& planes,
+    const std::vector<std::uint64_t>& prefix_planes, std::size_t k,
+    std::size_t prefix_words, std::size_t keep,
+    std::span<std::int64_t> prefix_dot,
+    std::span<std::uint32_t> hist) const noexcept {
+  const BatchDotKernels& batch = batch_dot_kernels(rows_->simd_level());
+  const std::size_t words = rows_->words_per_row();
+  const std::uint64_t* sign = rows_->row_sign(row).data();
+  // Partial dots over the plane prefix — exact dots of the first
+  // prefix_words*64 dimensions (prefix_words < words, so no tail masking).
+  const std::size_t prefix_dim = prefix_words * kWordBits;
+  if (rows_->layout() == PackedItemMemory::Layout::kBipolar) {
+    batch.bipolar_rows(sign, prefix_planes.data(), k, prefix_words,
+                       prefix_dim, prefix_dot.data());
+  } else {
+    batch.ternary_rows(rows_->row_nonzero(row).data(), sign,
+                       prefix_planes.data(), k, prefix_words,
+                       prefix_dot.data());
+  }
+  // Survivor selection by dot histogram: prefix dots live in
+  // [-prefix_dim, prefix_dim], so bucket counts give the keep-th largest
+  // value (the threshold t) in one O(K) pass plus a bounded walk — the same
+  // survivor set a comparison select under (dot desc, index asc) yields:
+  // every centroid above t plus the lowest-indexed ones exactly at t.
+  std::fill(hist.begin(), hist.end(), 0);
+  const auto bias = static_cast<std::int64_t>(prefix_dim);
+  for (std::size_t c = 0; c < k; ++c) {
+    ++hist[static_cast<std::size_t>(prefix_dot[c] + bias)];
+  }
+  std::size_t t = hist.size();
+  std::size_t above = 0;  // survivors strictly above the threshold
+  for (std::size_t cum = 0; t-- > 0;) {
+    cum += hist[t];
+    if (cum >= keep) {
+      above = cum - hist[t];
+      break;
+    }
+  }
+  std::size_t at_threshold = keep - above;
+  // Exact rescoring of the survivors, in ascending centroid order — strict
+  // improvement gives the canonical lowest-index tie rule for free.
+  const auto threshold = static_cast<std::int64_t>(t) - bias;
+  std::size_t best = k;
+  std::int64_t best_dot = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (prefix_dot[c] < threshold) continue;
+    if (prefix_dot[c] == threshold) {
+      if (at_threshold == 0) continue;
+      --at_threshold;
+    }
+    const std::int64_t d = row_centroid_dot(row, &planes[c * words]);
+    if (best == k || d > best_dot) {
+      best = c;
+      best_dot = d;
     }
   }
   return best;
@@ -105,15 +266,72 @@ void TieredItemMemory::build(const TieredConfig& config) {
   std::vector<std::size_t> srows(sample);
   for (std::size_t j = 0; j < sample; ++j) srows[j] = j * m / sample;
 
+  // Assignment machinery. The assign passes dominate the build (O(M·K) dots
+  // exhaustively), so two orthogonal accelerations apply, both preserving
+  // the determinism contract of the header:
+  //
+  //  - Prefix screening: for large K, score every centroid on the first
+  //    words/8 plane words only (~K/8 full-dot equivalents), keep the
+  //    top-K/32 by that partial dot, and rescore the survivors with exact
+  //    full-width dots. The survivor *set* is deterministic (the selection
+  //    order is a strict total order: partial dot desc, index asc) and the
+  //    final argmax uses the canonical lowest-index tie rule, so screening
+  //    is bit-stable; it can at worst place a row in a near-best bucket.
+  //    config.exhaustive_build forces the all-K reference scan instead.
+  //  - Fixed-block threading: rows are partitioned into contiguous blocks
+  //    across the build workers; each element of the output depends only on
+  //    its own row, so any worker count produces identical bits.
+  const bool screened = !config.exhaustive_build &&
+                        k >= kScreenMinCentroids && words >= kScreenMinWords;
+  const std::size_t screen_words = screened ? words / 8 : 0;
+  const std::size_t screen_keep =
+      screened ? std::min(k, std::max<std::size_t>(64, k / 32)) : 0;
+  const std::size_t build_workers =
+      config.build_threads != 0 ? config.build_threads : scan_pool_width();
+
+  // Fills out[j] with the cluster of row idx[j] (or row j when `idx` is
+  // empty) against the current centroid planes.
+  std::vector<std::uint64_t> prefix_planes(screened ? k * screen_words : 0);
+  const auto assign_pass = [&](const std::vector<std::uint64_t>& cent,
+                               std::span<const std::size_t> idx,
+                               std::span<std::size_t> out) {
+    const std::size_t n = out.size();
+    const std::size_t workers =
+        n >= kParallelAssignMinRows ? build_workers : 1;
+    if (screened) {
+      // Contiguous copy of the centroid prefixes, so the per-row batch scan
+      // streams K*prefix_words sequential words instead of striding through
+      // the full planes (shared read-only across the workers).
+      for (std::size_t c = 0; c < k; ++c) {
+        std::copy_n(&cent[c * words], screen_words,
+                    &prefix_planes[c * screen_words]);
+      }
+    }
+    parallel_blocks(n, workers, [&](std::size_t begin, std::size_t end) {
+      if (screened) {
+        // Per-worker scratch, reused across the block's rows.
+        std::vector<std::int64_t> prefix_dot(k);
+        std::vector<std::uint32_t> hist(2 * screen_words * kWordBits + 1);
+        for (std::size_t j = begin; j < end; ++j) {
+          out[j] = nearest_centroid_screened(idx.empty() ? j : idx[j], cent,
+                                             prefix_planes, k, screen_words,
+                                             screen_keep, prefix_dot, hist);
+        }
+      } else {
+        for (std::size_t j = begin; j < end; ++j) {
+          out[j] = nearest_centroid(idx.empty() ? j : idx[j], cent, k);
+        }
+      }
+    });
+  };
+
   std::vector<std::size_t> assign(sample);
   std::vector<std::size_t> bucket_count(k);
   std::vector<std::size_t> bucket_cursor(k + 1);
   std::vector<std::size_t> by_bucket(sample);
   std::vector<std::uint32_t> ones(dim);
   for (std::size_t iter = 0; iter < config.kmeans_iters; ++iter) {
-    for (std::size_t j = 0; j < sample; ++j) {
-      assign[j] = nearest_centroid(srows[j], cent, k);
-    }
+    assign_pass(cent, srows, assign);
     // Counting-sort the sample by bucket so each update pass is contiguous.
     std::fill(bucket_count.begin(), bucket_count.end(), 0);
     for (std::size_t j = 0; j < sample; ++j) ++bucket_count[assign[j]];
@@ -155,11 +373,10 @@ void TieredItemMemory::build(const TieredConfig& config) {
   // row order keeps each bucket's member list ascending, so candidate scans
   // visit rows in a canonical order.
   std::vector<std::size_t> cluster_of(m);
+  assign_pass(cent, {}, cluster_of);
   cluster_begin_.assign(k + 1, 0);
   for (std::size_t row = 0; row < m; ++row) {
-    const std::size_t c = nearest_centroid(row, cent, k);
-    cluster_of[row] = c;
-    ++cluster_begin_[c + 1];
+    ++cluster_begin_[cluster_of[row] + 1];
   }
   for (std::size_t c = 0; c < k; ++c) {
     cluster_begin_[c + 1] += cluster_begin_[c];
@@ -171,21 +388,13 @@ void TieredItemMemory::build(const TieredConfig& config) {
     member_rows_[cursor[cluster_of[row]]++] = row;
   }
 
-  // Pack the centroids into their own small memory so stage 1 runs on the
-  // same SIMD kernel tables as stage 2.
-  std::vector<Hypervector> items;
-  items.reserve(k);
-  for (std::size_t c = 0; c < k; ++c) {
-    Hypervector h(dim);
-    const std::uint64_t* plane = &cent[c * words];
-    for (std::size_t d = 0; d < dim; ++d) {
-      h[d] = (plane[d / kWordBits] >> (d % kWordBits)) & 1u ? 1 : -1;
-    }
-    items.push_back(std::move(h));
-  }
-  const Codebook centroid_book(std::move(items));
-  centroids_ = std::make_shared<const PackedItemMemory>(centroid_book,
-                                                        rows_->simd_level());
+  // Give the centroid planes their own storage (cent dies with this call)
+  // and wrap them in a small memory so stage 1 runs on the same SIMD kernel
+  // tables as stage 2.
+  auto plane_copy = std::make_shared<const std::vector<std::uint64_t>>(cent);
+  centroids_ = std::make_shared<const PackedItemMemory>(
+      PackedItemMemory::Layout::kBipolar, dim, k, plane_copy->data(), nullptr,
+      plane_copy, rows_->simd_level());
 }
 
 std::vector<std::size_t> TieredItemMemory::probe(const PackedQuery& query,
@@ -261,6 +470,13 @@ std::vector<Match> TieredItemMemory::above(const PackedQuery& query,
     }
   }
   if (stats != nullptr) stats->row_dots += visited;
+  if (visited == 0) {
+    // Every probed bucket was empty — the same degenerate clustering best()
+    // guards against. An empty result here would be indistinguishable from
+    // "nothing above threshold", so fall back to the exact scan.
+    if (stats != nullptr) stats->row_dots += rows_->size();
+    return rows_->above(query, threshold);
+  }
   std::sort(out.begin(), out.end(), match_order);
   return out;
 }
@@ -280,6 +496,13 @@ std::vector<Match> TieredItemMemory::top_k(const PackedQuery& query,
     }
   }
   if (stats != nullptr) stats->row_dots += all.size();
+  if (all.empty()) {
+    // Empty probed buckets (degenerate clustering): a short/empty result
+    // would silently underfill k, so fall back to the exact scan like
+    // best() does.
+    if (stats != nullptr) stats->row_dots += rows_->size();
+    return rows_->top_k(query, k);
+  }
   const std::size_t keep = std::min(k, all.size());
   std::partial_sort(all.begin(),
                     all.begin() + static_cast<std::ptrdiff_t>(keep), all.end(),

@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "hdc/codebook.hpp"
@@ -68,6 +69,19 @@ struct TieredConfig {
   /// Rows sampled for the refinement; 0 = auto: min(M, 8 * K). The final
   /// assignment pass always places all M rows.
   std::size_t kmeans_sample = 0;
+  /// Worker threads of the build's assignment passes; 0 = auto: the scan
+  /// pool width (FACTORHD_SCAN_THREADS, see scan_pool_width()). Rows are
+  /// partitioned into fixed contiguous blocks writing disjoint slices, so
+  /// the built index is bit-identical for every value. Pre-filled from
+  /// FACTORHD_TIERED_BUILD_THREADS by tiered_config_from_env().
+  std::size_t build_threads = 0;
+  /// Assign rows by scanning all K centroids at full width instead of the
+  /// default prefix-screened scan (see build() — screening cuts the
+  /// dominant O(M·K) assignment cost ~5-6x for large K). Both modes are
+  /// deterministic and yield equally valid clusterings, but not always the
+  /// same one; the exhaustive mode is the reference the build benchmark
+  /// compares against.
+  bool exhaustive_build = false;
 
   bool operator==(const TieredConfig&) const = default;
 };
@@ -111,6 +125,25 @@ class TieredItemMemory {
   TieredItemMemory(std::shared_ptr<const PackedItemMemory> rows,
                    TieredConfig config = {});
 
+  /// Adopts a prebuilt clustering without running k-means — the snapshot
+  /// load path (tiered_snapshot.hpp). Validates every structural invariant
+  /// the scans rely on; the caller (the snapshot loader) has already
+  /// verified section digests, so a throw here means a semantically
+  /// inconsistent (not just bit-corrupted) snapshot.
+  /// \param rows Packed codebook rows (non-null).
+  /// \param centroids Packed bipolar centroid memory (non-null, same dim
+  ///   and SIMD tier as `rows`).
+  /// \param nprobe Buckets probed per query; clamped to [1, K].
+  /// \param member_rows Concatenated bucket member lists (a permutation of
+  ///   0..M-1, ascending within each bucket).
+  /// \param cluster_begin CSR offsets (K+1 entries, non-decreasing, first 0,
+  ///   last M).
+  /// \throws std::invalid_argument On any violated invariant.
+  TieredItemMemory(std::shared_ptr<const PackedItemMemory> rows,
+                   std::shared_ptr<const PackedItemMemory> centroids,
+                   std::size_t nprobe, std::vector<std::size_t> member_rows,
+                   std::vector<std::size_t> cluster_begin);
+
   [[nodiscard]] std::size_t size() const noexcept { return rows_->size(); }
   [[nodiscard]] std::size_t dim() const noexcept { return rows_->dim(); }
   /// \return Resolved coarse bucket count K (>= 1, <= size()).
@@ -141,6 +174,20 @@ class TieredItemMemory {
   /// \return Number of rows in bucket `c`. Precondition: c < clusters().
   [[nodiscard]] std::size_t cluster_size(std::size_t c) const noexcept {
     return cluster_begin_[c + 1] - cluster_begin_[c];
+  }
+  /// \return The packed centroid memory (stage 1; the snapshot writer
+  ///   serializes its sign plane).
+  [[nodiscard]] const PackedItemMemory& centroid_memory() const noexcept {
+    return *centroids_;
+  }
+  /// \return Concatenated bucket member lists (see cluster_begins()).
+  [[nodiscard]] std::span<const std::size_t> member_rows() const noexcept {
+    return member_rows_;
+  }
+  /// \return CSR bucket offsets: clusters()+1 entries; bucket c's rows are
+  ///   member_rows()[cluster_begins()[c] .. cluster_begins()[c+1]).
+  [[nodiscard]] std::span<const std::size_t> cluster_begins() const noexcept {
+    return cluster_begin_;
   }
 
   // --- Tiered scans (approximate when nprobe() < clusters()) --------------
@@ -176,7 +223,11 @@ class TieredItemMemory {
 
  private:
   /// Deterministic k-means build: seed centroids at evenly spaced rows,
-  /// refine on an evenly spaced sample, then assign every row once.
+  /// refine on an evenly spaced sample, then assign every row once. The
+  /// assignment passes run over fixed row blocks across
+  /// TieredConfig::build_threads workers and, for large K, screen centroids
+  /// by prefix dots before exact rescoring (see the .cpp) — both
+  /// bit-identical for any thread count.
   void build(const TieredConfig& config);
   /// Exact dot of row `row` (possibly ternary) with bipolar centroid plane
   /// `cent` via the row memory's kernel table.
@@ -187,6 +238,20 @@ class TieredItemMemory {
   [[nodiscard]] std::size_t nearest_centroid(
       std::size_t row, const std::vector<std::uint64_t>& planes,
       std::size_t k) const noexcept;
+  /// Screened variant: ranks all K centroids by the dot over the first
+  /// `prefix_words` plane words (batch-scanned from `prefix_planes`, a
+  /// contiguous K x prefix_words copy of the centroid prefixes), exactly
+  /// rescores the top `keep`, and returns their argmax (lowest index on
+  /// ties). `prefix_dot` is K-sized scratch, `hist` is a
+  /// 2*prefix_words*64+1 sized dot histogram used to pick the survivor set
+  /// deterministically under a strict total order (partial dot desc, index
+  /// asc) in O(K) instead of a comparison select.
+  [[nodiscard]] std::size_t nearest_centroid_screened(
+      std::size_t row, const std::vector<std::uint64_t>& planes,
+      const std::vector<std::uint64_t>& prefix_planes, std::size_t k,
+      std::size_t prefix_words, std::size_t keep,
+      std::span<std::int64_t> prefix_dot,
+      std::span<std::uint32_t> hist) const noexcept;
   /// The probed buckets for `query`: indices of the top-nprobe centroids.
   [[nodiscard]] std::vector<std::size_t> probe(const PackedQuery& query,
                                                ScanStats* stats) const;

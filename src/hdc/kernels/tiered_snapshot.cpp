@@ -1,0 +1,433 @@
+#include "hdc/kernels/tiered_snapshot.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "hdc/hash.hpp"
+#include "hdc/kernels/plane.hpp"
+#include "util/env.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FACTORHD_HAS_SNAPSHOT_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace factorhd::hdc::kernels {
+
+namespace {
+
+// Plane pointers are adopted straight out of snapshot bytes, so the on-disk
+// u64 entries must be exactly the in-memory CSR entry type.
+static_assert(sizeof(std::size_t) == sizeof(std::uint64_t),
+              "FTS1 snapshots require a 64-bit size_t");
+
+constexpr std::uint64_t kMagic = 0x31535446;  // 'FTS1'
+constexpr std::uint64_t kVersion = 1;
+constexpr std::size_t kHeaderWords = 18;
+constexpr std::size_t kHeaderBytes = kHeaderWords * sizeof(std::uint64_t);
+constexpr std::size_t kAlign = 64;
+constexpr std::size_t kSections = 5;
+// Geometry sanity bounds (same spirit as hdc::io's kMaxReasonable): reject
+// corrupt headers before any multiplication can overflow or any allocation
+// can be attempted.
+constexpr std::uint64_t kMaxDim = 1ULL << 32;
+constexpr std::uint64_t kMaxRows = 1ULL << 32;
+constexpr std::uint64_t kMaxPlaneWords = 1ULL << 37;  // 1 TiB of plane data
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("hdc::tiered_snapshot: " + what);
+}
+
+constexpr std::uint64_t aligned_up(std::uint64_t n) noexcept {
+  return (n + (kAlign - 1)) & ~static_cast<std::uint64_t>(kAlign - 1);
+}
+
+/// Digest of `n` u64 words: four interleaved splitmix64 lanes (hash_mix is
+/// a ~5-cycle latency chain, so one lane alone runs far below memory
+/// bandwidth; four independent chains keep the multiplier busy), folded
+/// with the length so zero-extended sections cannot collide.
+std::uint64_t digest_words(const std::uint64_t* data, std::size_t n) noexcept {
+  std::uint64_t lane0 = 0x243f6a8885a308d3ULL;
+  std::uint64_t lane1 = 0x13198a2e03707344ULL;
+  std::uint64_t lane2 = 0xa4093822299f31d0ULL;
+  std::uint64_t lane3 = 0x082efa98ec4e6c89ULL;
+  std::size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    lane0 = hash_mix(lane0 ^ data[w]);
+    lane1 = hash_mix(lane1 ^ data[w + 1]);
+    lane2 = hash_mix(lane2 ^ data[w + 2]);
+    lane3 = hash_mix(lane3 ^ data[w + 3]);
+  }
+  for (; w < n; ++w) lane0 = hash_mix(lane0 ^ data[w]);
+  return hash_mix(hash_mix(lane0 ^ hash_mix(lane1 ^ hash_mix(lane2 ^ lane3))) ^
+                  static_cast<std::uint64_t>(n));
+}
+
+/// Validated header geometry: the five section sizes (in bytes) and their
+/// file offsets are fully determined by (dim, rows, clusters, layout).
+struct Geometry {
+  std::uint64_t dim = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t clusters = 0;
+  std::uint64_t nprobe = 0;
+  bool ternary = false;
+  std::uint64_t words = 0;
+  std::array<std::uint64_t, kSections> section_bytes{};
+  std::array<std::uint64_t, kSections> section_offset{};
+  std::array<std::uint64_t, kSections> digest{};
+  std::uint64_t total_bytes = 0;
+};
+
+/// Parses and fully validates an FTS1 header: magic, version, digest,
+/// plausibility bounds, and section sizes consistent with the geometry.
+Geometry parse_header(const std::uint64_t (&h)[kHeaderWords]) {
+  if ((h[0] & 0xffffffffULL) != kMagic) fail("bad magic (not an FTS1 file)");
+  if ((h[0] >> 32) != kVersion) {
+    fail("unsupported format version " + std::to_string(h[0] >> 32));
+  }
+  if (h[17] != digest_words(h, kHeaderWords - 1)) {
+    fail("header digest mismatch (corrupt header)");
+  }
+  Geometry g;
+  g.dim = h[1];
+  g.rows = h[2];
+  g.clusters = h[3];
+  g.nprobe = h[4];
+  g.words = h[6];
+  if (h[5] > 1) fail("invalid layout code");
+  g.ternary = h[5] == 1;
+  if (g.dim == 0 || g.dim > kMaxDim) fail("implausible dimension");
+  if (g.words != plane_words(static_cast<std::size_t>(g.dim))) {
+    fail("words_per_row inconsistent with dimension");
+  }
+  if (g.rows == 0 || g.rows > kMaxRows) fail("implausible row count");
+  if (g.clusters == 0 || g.clusters > g.rows) fail("implausible cluster count");
+  if (g.nprobe == 0 || g.nprobe > g.clusters) fail("implausible nprobe");
+  if (g.rows * g.words > kMaxPlaneWords) fail("implausible plane size");
+
+  const std::uint64_t plane_bytes = g.rows * g.words * 8;
+  const std::array<std::uint64_t, kSections> expect = {
+      plane_bytes,                 // row_sign
+      g.ternary ? plane_bytes : 0, // row_nonzero
+      g.clusters * g.words * 8,    // centroid_sign
+      (g.clusters + 1) * 8,        // cluster_begin
+      g.rows * 8,                  // member_rows
+  };
+  std::uint64_t offset = aligned_up(kHeaderBytes);
+  for (std::size_t s = 0; s < kSections; ++s) {
+    if (h[7 + s] != expect[s]) {
+      fail("section size inconsistent with header geometry");
+    }
+    g.section_bytes[s] = expect[s];
+    g.section_offset[s] = offset;
+    g.digest[s] = h[12 + s];
+    offset = aligned_up(offset + expect[s]);
+  }
+  g.total_bytes = offset;
+  return g;
+}
+
+/// Assembles the loaded index from validated section pointers. The CSR
+/// arrays are copied (vectors own their storage); the plane sections are
+/// adopted in place, kept alive by `keepalive`.
+std::shared_ptr<const TieredItemMemory> assemble(
+    const Geometry& g, const std::uint64_t* row_sign,
+    const std::uint64_t* row_nonzero, const std::uint64_t* centroid_sign,
+    const std::uint64_t* cluster_begin, const std::uint64_t* member_rows,
+    std::shared_ptr<const void> keepalive, std::optional<SimdLevel> level) {
+  // Both memories must sit on the same kernel tier (the from-parts
+  // constructor enforces it); resolve the default once.
+  const SimdLevel resolved = level.value_or(dispatched_simd_level());
+  auto rows_mem = std::make_shared<const PackedItemMemory>(
+      g.ternary ? PackedItemMemory::Layout::kTernary
+                : PackedItemMemory::Layout::kBipolar,
+      static_cast<std::size_t>(g.dim), static_cast<std::size_t>(g.rows),
+      row_sign, g.ternary ? row_nonzero : nullptr, keepalive, resolved);
+  auto cent_mem = std::make_shared<const PackedItemMemory>(
+      PackedItemMemory::Layout::kBipolar, static_cast<std::size_t>(g.dim),
+      static_cast<std::size_t>(g.clusters), centroid_sign, nullptr, keepalive,
+      resolved);
+  std::vector<std::size_t> begins(cluster_begin,
+                                  cluster_begin + g.clusters + 1);
+  std::vector<std::size_t> members(member_rows, member_rows + g.rows);
+  try {
+    return std::make_shared<const TieredItemMemory>(
+        std::move(rows_mem), std::move(cent_mem),
+        static_cast<std::size_t>(g.nprobe), std::move(members),
+        std::move(begins));
+  } catch (const std::invalid_argument& e) {
+    // A checksummed-but-inconsistent structure (a forged file): surface it
+    // as the module's own load error.
+    fail(std::string("snapshot structure invalid: ") + e.what());
+  }
+}
+
+void verify_section(const Geometry& g, std::size_t s,
+                    const std::uint64_t* data) {
+  if (digest_words(data, static_cast<std::size_t>(g.section_bytes[s] / 8)) !=
+      g.digest[s]) {
+    fail("section digest mismatch (corrupt snapshot)");
+  }
+}
+
+void verify_zero(const unsigned char* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p[i] != 0) fail("nonzero padding byte (corrupt snapshot)");
+  }
+}
+
+}  // namespace
+
+std::uint64_t tiered_snapshot_bytes(const TieredItemMemory& tier) {
+  const bool ternary =
+      tier.rows().layout() == PackedItemMemory::Layout::kTernary;
+  const std::uint64_t plane_bytes =
+      static_cast<std::uint64_t>(tier.size()) * tier.rows().words_per_row() *
+      8;
+  std::uint64_t total = aligned_up(kHeaderBytes);
+  total = aligned_up(total + plane_bytes);                      // row_sign
+  total = aligned_up(total + (ternary ? plane_bytes : 0));      // row_nonzero
+  total = aligned_up(total + static_cast<std::uint64_t>(tier.clusters()) *
+                                 tier.rows().words_per_row() * 8);
+  total = aligned_up(total + (tier.clusters() + 1) * 8);        // cluster_begin
+  total = aligned_up(total + static_cast<std::uint64_t>(tier.size()) * 8);
+  return total;
+}
+
+void save_tiered_index(std::ostream& os, const TieredItemMemory& tier) {
+  const PackedItemMemory& rows = tier.rows();
+  const bool ternary = rows.layout() == PackedItemMemory::Layout::kTernary;
+  const std::span<const std::uint64_t> row_sign = rows.sign_plane();
+  const std::span<const std::uint64_t> row_nonzero =
+      ternary ? rows.nonzero_plane() : std::span<const std::uint64_t>{};
+  const std::span<const std::uint64_t> cent_sign =
+      tier.centroid_memory().sign_plane();
+  const std::span<const std::size_t> begins = tier.cluster_begins();
+  const std::span<const std::size_t> members = tier.member_rows();
+
+  const std::array<const std::uint64_t*, kSections> data = {
+      row_sign.data(), row_nonzero.data(), cent_sign.data(),
+      reinterpret_cast<const std::uint64_t*>(begins.data()),
+      reinterpret_cast<const std::uint64_t*>(members.data())};
+  const std::array<std::uint64_t, kSections> bytes = {
+      row_sign.size() * 8, row_nonzero.size() * 8, cent_sign.size() * 8,
+      begins.size() * 8, members.size() * 8};
+
+  std::uint64_t header[kHeaderWords] = {};
+  header[0] = kMagic | (kVersion << 32);
+  header[1] = tier.dim();
+  header[2] = tier.size();
+  header[3] = tier.clusters();
+  header[4] = tier.nprobe();
+  header[5] = ternary ? 1 : 0;
+  header[6] = rows.words_per_row();
+  for (std::size_t s = 0; s < kSections; ++s) {
+    header[7 + s] = bytes[s];
+    header[12 + s] =
+        digest_words(data[s], static_cast<std::size_t>(bytes[s] / 8));
+  }
+  header[17] = digest_words(header, kHeaderWords - 1);
+
+  const std::array<char, kAlign> zeros{};
+  const auto pad_to = [&](std::uint64_t written) {
+    const std::uint64_t pad = aligned_up(written) - written;
+    if (pad > 0) os.write(zeros.data(), static_cast<std::streamsize>(pad));
+    return aligned_up(written);
+  };
+  os.write(reinterpret_cast<const char*>(header), kHeaderBytes);
+  std::uint64_t written = pad_to(kHeaderBytes);
+  for (std::size_t s = 0; s < kSections; ++s) {
+    if (bytes[s] > 0) {
+      os.write(reinterpret_cast<const char*>(data[s]),
+               static_cast<std::streamsize>(bytes[s]));
+    }
+    written = pad_to(written + bytes[s]);
+  }
+  if (!os) fail("write failed");
+}
+
+void save_tiered_index(const std::string& path,
+                       const TieredItemMemory& tier) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) fail("cannot create '" + path + "'");
+  save_tiered_index(os, tier);
+  os.flush();
+  if (!os) fail("write failed for '" + path + "'");
+}
+
+std::shared_ptr<const TieredItemMemory> load_tiered_index(
+    std::istream& is, std::optional<SimdLevel> level) {
+  std::uint64_t header[kHeaderWords];
+  is.read(reinterpret_cast<char*>(header), kHeaderBytes);
+  if (!is) fail("truncated header");
+  const Geometry g = parse_header(header);
+
+  // One owned buffer holds all five sections (plus their padding, so the
+  // zero checks run on the same bytes the digests cover on disk).
+  const std::uint64_t body_bytes = g.total_bytes - aligned_up(kHeaderBytes);
+  auto body = std::make_shared<std::vector<std::uint64_t>>(
+      static_cast<std::size_t>(body_bytes / 8));
+  {
+    std::array<char, kAlign> pad;
+    const std::uint64_t head_pad = aligned_up(kHeaderBytes) - kHeaderBytes;
+    is.read(pad.data(), static_cast<std::streamsize>(head_pad));
+    if (!is) fail("truncated snapshot body");
+    verify_zero(reinterpret_cast<const unsigned char*>(pad.data()),
+                static_cast<std::size_t>(head_pad));
+  }
+  is.read(reinterpret_cast<char*>(body->data()),
+          static_cast<std::streamsize>(body_bytes));
+  if (!is) fail("truncated snapshot body");
+
+  const std::uint64_t body_base = aligned_up(kHeaderBytes);
+  std::array<const std::uint64_t*, kSections> ptr{};
+  for (std::size_t s = 0; s < kSections; ++s) {
+    ptr[s] = body->data() + (g.section_offset[s] - body_base) / 8;
+    verify_section(g, s, ptr[s]);
+    const std::uint64_t end = g.section_offset[s] + g.section_bytes[s];
+    verify_zero(reinterpret_cast<const unsigned char*>(body->data()) +
+                    (end - body_base),
+                static_cast<std::size_t>(aligned_up(end) - end));
+  }
+  std::shared_ptr<const void> keepalive = body;
+  return assemble(g, ptr[0], ptr[1], ptr[2], ptr[3], ptr[4],
+                  std::move(keepalive), level);
+}
+
+namespace {
+
+std::uint64_t read_header_from_file(const std::string& path,
+                                    std::uint64_t (&header)[kHeaderWords]) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) fail("cannot open '" + path + "'");
+  const auto size = static_cast<std::uint64_t>(is.tellg());
+  is.seekg(0);
+  is.read(reinterpret_cast<char*>(header), kHeaderBytes);
+  if (!is) fail("truncated header in '" + path + "'");
+  return size;
+}
+
+#if FACTORHD_HAS_SNAPSHOT_MMAP
+
+/// Owns one read-only file mapping; PackedItemMemory keepalives hold it.
+struct Mapping {
+  const unsigned char* base = nullptr;
+  std::size_t bytes = 0;
+  ~Mapping() {
+    if (base != nullptr) {
+      ::munmap(const_cast<unsigned char*>(base), bytes);
+    }
+  }
+};
+
+std::shared_ptr<const TieredItemMemory> load_mapped(
+    const std::string& path, std::uint64_t file_size,
+    std::optional<SimdLevel> level) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("cannot open '" + path + "'");
+  void* base =
+      ::mmap(nullptr, static_cast<std::size_t>(file_size), PROT_READ,
+             MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (base == MAP_FAILED) fail("mmap failed for '" + path + "'");
+  auto mapping = std::make_shared<Mapping>();
+  mapping->base = static_cast<const unsigned char*>(base);
+  mapping->bytes = static_cast<std::size_t>(file_size);
+
+  std::uint64_t consumed = 0;
+  auto tier = load_tiered_index(
+      std::span<const std::uint64_t>(
+          reinterpret_cast<const std::uint64_t*>(mapping->base),
+          static_cast<std::size_t>(file_size / 8)),
+      mapping, &consumed, level);
+  if (consumed != file_size) {
+    fail("trailing bytes after snapshot in '" + path + "'");
+  }
+  return tier;
+}
+
+#endif  // FACTORHD_HAS_SNAPSHOT_MMAP
+
+}  // namespace
+
+std::shared_ptr<const TieredItemMemory> load_tiered_index(
+    std::span<const std::uint64_t> bytes_as_words,
+    std::shared_ptr<const void> keepalive, std::uint64_t* consumed,
+    std::optional<SimdLevel> level) {
+  if (bytes_as_words.size() < kHeaderWords) fail("truncated header");
+  std::uint64_t header[kHeaderWords];
+  std::memcpy(header, bytes_as_words.data(), kHeaderBytes);
+  const Geometry g = parse_header(header);
+  if (bytes_as_words.size() * 8 < g.total_bytes) {
+    fail("truncated snapshot body");
+  }
+  const auto* base =
+      reinterpret_cast<const unsigned char*>(bytes_as_words.data());
+  verify_zero(base + kHeaderBytes,
+              static_cast<std::size_t>(aligned_up(kHeaderBytes) -
+                                       kHeaderBytes));
+  std::array<const std::uint64_t*, kSections> ptr{};
+  for (std::size_t s = 0; s < kSections; ++s) {
+    ptr[s] = bytes_as_words.data() + g.section_offset[s] / 8;
+    verify_section(g, s, ptr[s]);
+    const std::uint64_t end = g.section_offset[s] + g.section_bytes[s];
+    verify_zero(base + end,
+                static_cast<std::size_t>(aligned_up(end) - end));
+  }
+  if (consumed != nullptr) *consumed = g.total_bytes;
+  return assemble(g, ptr[0], ptr[1], ptr[2], ptr[3], ptr[4],
+                  std::move(keepalive), level);
+}
+
+std::shared_ptr<const TieredItemMemory> load_tiered_index(
+    const std::string& path, std::optional<SimdLevel> level) {
+#if FACTORHD_HAS_SNAPSHOT_MMAP
+  // FACTORHD_SNAPSHOT_MMAP (registered in util::env_knobs()) gates the
+  // mapped path; the stream fallback below is bit-identical, just private.
+  if (util::env_size_t("FACTORHD_SNAPSHOT_MMAP", 1, 0, 1) == 1) {
+    std::uint64_t header[kHeaderWords];
+    const std::uint64_t file_size = read_header_from_file(path, header);
+    const Geometry g = parse_header(header);
+    if (g.total_bytes != file_size) {
+      fail("file size mismatch in '" + path + "'");
+    }
+    return load_mapped(path, file_size, level);
+  }
+#endif
+  std::ifstream is(path, std::ios::binary);
+  if (!is) fail("cannot open '" + path + "'");
+  auto tier = load_tiered_index(is, level);
+  // A file snapshot must be exactly one snapshot: trailing bytes mean a
+  // truncated write of something larger or a corrupt concatenation.
+  is.peek();
+  if (!is.eof()) fail("trailing bytes after snapshot in '" + path + "'");
+  return tier;
+}
+
+TieredSnapshotInfo read_tiered_index_info(const std::string& path) {
+  std::uint64_t header[kHeaderWords];
+  const std::uint64_t file_size = read_header_from_file(path, header);
+  const Geometry g = parse_header(header);
+  if (g.total_bytes != file_size) fail("file size mismatch in '" + path + "'");
+  TieredSnapshotInfo info;
+  info.version = kVersion;
+  info.dim = g.dim;
+  info.rows = g.rows;
+  info.clusters = g.clusters;
+  info.nprobe = g.nprobe;
+  info.ternary = g.ternary;
+  info.words_per_row = g.words;
+  info.total_bytes = g.total_bytes;
+  return info;
+}
+
+}  // namespace factorhd::hdc::kernels

@@ -1,0 +1,114 @@
+// Versioned on-disk snapshots of TieredItemMemory (`FTS1`).
+//
+// BENCH_scale.json's build wall (minutes of sampled k-means at M=1M) is an
+// offline cost, but before this module it was paid *online*: the tiered
+// index died with the process, so every serving start repaid the full
+// build. FTS1 is the operational split standard for IVF-style indexes —
+// build once, serve forever from a read-only artifact:
+//
+//   offset 0    header: 18 little-endian u64 words
+//     w0      magic 'FTS1' (lo32) | format version (hi32)
+//     w1..w6  dim, rows, clusters, nprobe, layout (0 bipolar / 1 ternary),
+//             words_per_row
+//     w7..w11 section byte sizes   ┐ row_sign, row_nonzero, centroid_sign,
+//     w12..w16 section digests     ┘ cluster_begin, member_rows (in order)
+//     w17     digest of header words w0..w16
+//   then the five sections, each starting on a 64-byte boundary, with the
+//   padding bytes written (and verified) as zero.
+//
+// Every content byte is covered by a digest (4-lane interleaved splitmix64
+// over hdc::hash_mix) and every padding byte is pinned to zero, so *any*
+// byte flip or truncation anywhere in the file throws at load — a snapshot
+// can fail to load, but it can never mis-scan. Section sizes are fully
+// determined by the header geometry and cross-checked, and the loaded
+// structure passes the TieredItemMemory from-parts validation (CSR offsets,
+// member permutation), so a forged-but-checksummed file still cannot build
+// an inconsistent index.
+//
+// Loading from a file prefers a read-only mmap (FACTORHD_SNAPSHOT_MMAP=0
+// disables it): the packed row and centroid planes are adopted straight out
+// of the page-cache-backed mapping — shared, not copied, so N serving
+// processes on one host map one physical copy — while the small CSR arrays
+// are copied into owned vectors. Stream loading copies everything and works
+// on any istream. Snapshots are little-endian and not portable to
+// big-endian hosts (none are targeted).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "hdc/kernels/simd.hpp"
+#include "hdc/kernels/tiered_item_memory.hpp"
+
+namespace factorhd::hdc::kernels {
+
+/// Header fields of an FTS1 snapshot, as read_tiered_index_info() reports
+/// them (header digest verified; section contents not read).
+struct TieredSnapshotInfo {
+  std::uint64_t version = 0;
+  std::uint64_t dim = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t clusters = 0;
+  std::uint64_t nprobe = 0;
+  bool ternary = false;
+  std::uint64_t words_per_row = 0;
+  /// Exact byte length of the snapshot (header + padded sections).
+  std::uint64_t total_bytes = 0;
+};
+
+/// Writes `tier` to `os` as one FTS1 snapshot.
+/// \throws std::runtime_error On stream write failure.
+void save_tiered_index(std::ostream& os, const TieredItemMemory& tier);
+
+/// Writes `tier` to a new file at `path` (overwrites).
+/// \throws std::runtime_error When the file cannot be created or written.
+void save_tiered_index(const std::string& path, const TieredItemMemory& tier);
+
+/// Reads one FTS1 snapshot from `is`, copying the planes into owned
+/// storage. The stream is left positioned at the first byte after the
+/// snapshot, so snapshots can be embedded in enclosing formats.
+/// \param level SIMD tier for the loaded memories (default: dispatched).
+/// \throws std::runtime_error On truncation, any digest/padding mismatch,
+///   or an implausible/inconsistent header.
+[[nodiscard]] std::shared_ptr<const TieredItemMemory> load_tiered_index(
+    std::istream& is, std::optional<SimdLevel> level = std::nullopt);
+
+/// Loads the snapshot at `path` — via a shared read-only mmap where the
+/// platform has one (and FACTORHD_SNAPSHOT_MMAP is not 0), else by stream
+/// read. The file must contain exactly one snapshot.
+/// \throws std::runtime_error As the stream overload, plus file-size
+///   mismatches.
+[[nodiscard]] std::shared_ptr<const TieredItemMemory> load_tiered_index(
+    const std::string& path, std::optional<SimdLevel> level = std::nullopt);
+
+/// Parses one snapshot from the front of `bytes`, adopting the plane
+/// sections in place (zero-copy): `keepalive` must own the bytes — an mmap
+/// holder, a deserialized buffer — and is retained by the loaded memories.
+/// This is the primitive that lets an enclosing multi-snapshot container
+/// (service-layer model sidecars) share one file mapping across all of its
+/// records. `bytes` must be 8-byte aligned and may extend past the
+/// snapshot; on success `*consumed` (when non-null) receives the
+/// snapshot's exact byte length.
+/// \throws std::runtime_error As the stream overload.
+[[nodiscard]] std::shared_ptr<const TieredItemMemory> load_tiered_index(
+    std::span<const std::uint64_t> bytes_as_words,
+    std::shared_ptr<const void> keepalive,
+    std::uint64_t* consumed = nullptr,
+    std::optional<SimdLevel> level = std::nullopt);
+
+/// Reads and validates only the header of the snapshot at `path`.
+/// \throws std::runtime_error On a missing/truncated file, bad magic or
+///   version, header digest mismatch, or inconsistent geometry.
+[[nodiscard]] TieredSnapshotInfo read_tiered_index_info(
+    const std::string& path);
+
+/// Exact serialized size in bytes of `tier`'s snapshot (header + sections +
+/// alignment padding) — what save_tiered_index will write.
+[[nodiscard]] std::uint64_t tiered_snapshot_bytes(const TieredItemMemory& tier);
+
+}  // namespace factorhd::hdc::kernels

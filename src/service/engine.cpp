@@ -61,8 +61,7 @@ std::future<core::FactorizeResult> FactorizationEngine::submit(
     // every submit, including ones the cache could answer.
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
-      throw std::invalid_argument(
-          "FactorizationEngine::submit: engine is stopped");
+      throw EngineStoppedError("engine is stopped");
     }
   }
   const auto start = std::chrono::steady_clock::now();
@@ -89,8 +88,7 @@ std::future<core::FactorizeResult> FactorizationEngine::submit(
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (stopping_) {
-      throw std::invalid_argument(
-          "FactorizationEngine::submit: engine is stopped");
+      throw EngineStoppedError("engine is stopped");
     }
     if (queue_.size() >= opts_.queue_capacity) {
       if (opts_.reject_when_full) {
@@ -101,9 +99,11 @@ std::future<core::FactorizeResult> FactorizationEngine::submit(
         return stopping_ || queue_.size() < opts_.queue_capacity;
       });
       if (stopping_) {
-        throw std::invalid_argument(
-            "FactorizationEngine::submit: engine stopped while blocked on "
-            "backpressure");
+        // The wakeup came from stop(), not from freed space: the request
+        // was never enqueued and will never complete.
+        throw EngineStoppedError(
+            "engine stopped while this request was blocked on backpressure "
+            "(request was never enqueued)");
       }
     }
     queue_.push_back(std::move(req));

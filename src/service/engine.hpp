@@ -38,6 +38,7 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -82,6 +83,17 @@ class QueueFullError : public std::runtime_error {
             "FactorizationEngine: request queue full (backpressure)") {}
 };
 
+/// Thrown by submit() once stop() has begun: the engine's lifecycle state —
+/// not the caller's arguments — rejected the request, so it is a runtime
+/// error like QueueFullError, and callers can catch the two uniformly as
+/// "not accepted right now" without also swallowing genuine usage bugs.
+class EngineStoppedError : public std::runtime_error {
+ public:
+  explicit EngineStoppedError(const char* detail)
+      : std::runtime_error(std::string("FactorizationEngine::submit: ") +
+                           detail) {}
+};
+
 /// Asynchronous factorization server over one immutable Model.
 ///
 /// \par Contract (bit-identical serving)
@@ -117,7 +129,10 @@ class FactorizationEngine {
   /// \param opts Per-request factorization options; requests batch together
   ///   only with identical options.
   /// \return Future for the result (may already be ready on a cache hit).
-  /// \throws std::invalid_argument On a dimension mismatch or after stop().
+  /// \throws std::invalid_argument On a dimension mismatch.
+  /// \throws EngineStoppedError After stop() has begun — including when
+  ///   stop() lands while the caller is blocked on backpressure (the
+  ///   request was never enqueued and will never complete).
   /// \throws QueueFullError When the queue is full and reject_when_full.
   [[nodiscard]] std::future<core::FactorizeResult> submit(
       hdc::Hypervector target, core::FactorizeOptions opts = {});

@@ -1,23 +1,26 @@
 #include "service/model_registry.hpp"
 
+#include <exception>
 #include <utility>
 
+#include "service/model_snapshot.hpp"
 #include "taxonomy/io.hpp"
 
 namespace factorhd::service {
 
 Model::Model(std::string name, tax::TaxonomyCodebooks books,
-             hdc::ScanBackend backend)
+             hdc::ScanBackend backend, const core::TierSnapshots* snapshots)
     : name_(std::move(name)),
       books_(std::move(books)),
       encoder_(books_),
-      factorizer_(encoder_, backend) {}
+      factorizer_(encoder_, backend, snapshots) {}
 
 std::shared_ptr<const Model> Model::make(std::string name,
                                          tax::TaxonomyCodebooks books,
-                                         hdc::ScanBackend backend) {
+                                         hdc::ScanBackend backend,
+                                         const core::TierSnapshots* snapshots) {
   return std::make_shared<const Model>(std::move(name), std::move(books),
-                                       backend);
+                                       backend, snapshots);
 }
 
 std::size_t Model::num_classes() const noexcept {
@@ -29,7 +32,18 @@ std::shared_ptr<const Model> ModelRegistry::load_file(
     hdc::ScanBackend backend) {
   // Load and pack outside the lock: a slow disk or a large codebook set
   // must not stall concurrent get() calls.
-  auto model = Model::make(name, tax::load_codebooks_file(path), backend);
+  auto books = tax::load_codebooks_file(path);
+  // A sidecar only ever saves build time: every record is re-verified
+  // against the codebooks before adoption, so a missing, corrupt, or stale
+  // sidecar degrades to the plain rebuild instead of failing the load.
+  core::TierSnapshots snapshots;
+  try {
+    snapshots = load_model_snapshots(model_snapshot_path(path));
+  } catch (const std::exception&) {
+    snapshots.clear();
+  }
+  auto model = Model::make(name, std::move(books), backend,
+                           snapshots.empty() ? nullptr : &snapshots);
   std::lock_guard<std::mutex> lock(mu_);
   models_[name] = model;
   return model;

@@ -46,12 +46,18 @@ class Model {
   /// \param name Registry name (diagnostic; the registry enforces keys).
   /// \param books Codebook material; moved in and owned by the model.
   /// \param backend Scan backend for the factorizer's item memories.
+  /// \param snapshots Optional pre-built tier indexes (a loaded sidecar,
+  ///   see service/model_snapshot.hpp) offered to the factorizer so
+  ///   construction can skip the k-means builds whose saved index verifies
+  ///   against the codebooks; consulted only during this call. Check
+  ///   factorizer().snapshots_adopted() / rejected() for the outcome.
   /// \return The shared immutable model.
   /// \throws std::invalid_argument From the Factorizer constructor (forced
   ///   unavailable SIMD tier, unpackable codebook under kPacked).
   [[nodiscard]] static std::shared_ptr<const Model> make(
       std::string name, tax::TaxonomyCodebooks books,
-      hdc::ScanBackend backend = hdc::ScanBackend::kAuto);
+      hdc::ScanBackend backend = hdc::ScanBackend::kAuto,
+      const core::TierSnapshots* snapshots = nullptr);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const tax::TaxonomyCodebooks& books() const noexcept {
@@ -72,7 +78,7 @@ class Model {
 
   /// Public only for make()'s std::make_shared; use make().
   Model(std::string name, tax::TaxonomyCodebooks books,
-        hdc::ScanBackend backend);
+        hdc::ScanBackend backend, const core::TierSnapshots* snapshots);
 
  private:
   std::string name_;
@@ -87,6 +93,13 @@ class Model {
 class ModelRegistry {
  public:
   /// Loads a codebook-set model file (taxonomy/io framing) and registers it.
+  ///
+  /// When a snapshot sidecar (`<path>.tix`, see service/model_snapshot.hpp)
+  /// is present and loads cleanly, its tier indexes are offered to the
+  /// model build — a verified match skips that codebook's k-means build. A
+  /// missing, corrupt, or mismatched sidecar silently falls back to the
+  /// full rebuild: sidecars are an acceleration, never a correctness
+  /// input. Errors from the model file itself always propagate.
   /// \param name Registry key.
   /// \param path Model file written by tax::save_codebooks_file.
   /// \param backend Scan backend for the model's factorizer.

@@ -1,0 +1,174 @@
+#include "service/model_snapshot.hpp"
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "hdc/kernels/tiered_snapshot.hpp"
+#include "util/env.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FACTORHD_HAS_SNAPSHOT_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace factorhd::service {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x31585446;  // 'FTX1'
+constexpr std::uint64_t kVersion = 1;
+constexpr std::size_t kAlign = 64;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("service::model_snapshot: " + what);
+}
+
+void insert_record(core::TierSnapshots& out, std::uint64_t cls,
+                   std::uint64_t level,
+                   std::shared_ptr<const hdc::kernels::TieredItemMemory> tier) {
+  const auto key = std::make_pair(static_cast<std::size_t>(cls),
+                                  static_cast<std::size_t>(level));
+  if (!out.emplace(key, std::move(tier)).second) {
+    fail("duplicate (class, level) record");
+  }
+}
+
+#if FACTORHD_HAS_SNAPSHOT_MMAP
+
+/// One read-only mapping of the whole sidecar, shared as the keepalive of
+/// every record's adopted planes.
+struct Mapping {
+  const std::uint64_t* words = nullptr;
+  std::size_t bytes = 0;
+  ~Mapping() {
+    if (words != nullptr) {
+      ::munmap(const_cast<std::uint64_t*>(words), bytes);
+    }
+  }
+};
+
+core::TierSnapshots load_mapped(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("cannot open '" + path + "'");
+  struct ::stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    fail("cannot stat '" + path + "'");
+  }
+  const auto file_bytes = static_cast<std::uint64_t>(st.st_size);
+  if (file_bytes < kAlign || file_bytes % 8 != 0) {
+    ::close(fd);
+    fail("truncated sidecar '" + path + "'");
+  }
+  void* base = ::mmap(nullptr, static_cast<std::size_t>(file_bytes),
+                      PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) fail("mmap failed for '" + path + "'");
+  auto mapping = std::make_shared<Mapping>();
+  mapping->words = static_cast<const std::uint64_t*>(base);
+  mapping->bytes = static_cast<std::size_t>(file_bytes);
+
+  const std::uint64_t* w = mapping->words;
+  const std::uint64_t total_words = file_bytes / 8;
+  if ((w[0] & 0xffffffffULL) != kMagic) fail("bad magic (not an FTX1 file)");
+  if ((w[0] >> 32) != kVersion) fail("unsupported sidecar version");
+  const std::uint64_t count = w[1];
+
+  core::TierSnapshots out;
+  std::uint64_t pos = kAlign / 8;  // first record, in words
+  for (std::uint64_t r = 0; r < count; ++r) {
+    if (pos + kAlign / 8 > total_words) fail("truncated record header");
+    const std::uint64_t cls = w[pos];
+    const std::uint64_t level = w[pos + 1];
+    const std::uint64_t blob_bytes = w[pos + 2];
+    pos += kAlign / 8;
+    if (blob_bytes % kAlign != 0 || blob_bytes / 8 > total_words - pos) {
+      fail("record length inconsistent with file size");
+    }
+    std::uint64_t consumed = 0;
+    auto tier = hdc::kernels::load_tiered_index(
+        std::span<const std::uint64_t>(w + pos, total_words - pos), mapping,
+        &consumed);
+    if (consumed != blob_bytes) {
+      fail("record length disagrees with its snapshot");
+    }
+    insert_record(out, cls, level, std::move(tier));
+    pos += blob_bytes / 8;
+  }
+  if (pos != total_words) fail("trailing bytes after last record");
+  return out;
+}
+
+#endif  // FACTORHD_HAS_SNAPSHOT_MMAP
+
+core::TierSnapshots load_streamed(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) fail("cannot open '" + path + "'");
+  std::array<std::uint64_t, kAlign / 8> head{};
+  is.read(reinterpret_cast<char*>(head.data()), kAlign);
+  if (!is) fail("truncated sidecar '" + path + "'");
+  if ((head[0] & 0xffffffffULL) != kMagic) fail("bad magic (not an FTX1 file)");
+  if ((head[0] >> 32) != kVersion) fail("unsupported sidecar version");
+  const std::uint64_t count = head[1];
+
+  core::TierSnapshots out;
+  for (std::uint64_t r = 0; r < count; ++r) {
+    std::array<std::uint64_t, kAlign / 8> rec{};
+    is.read(reinterpret_cast<char*>(rec.data()), kAlign);
+    if (!is) fail("truncated record header");
+    auto tier = hdc::kernels::load_tiered_index(is);
+    if (hdc::kernels::tiered_snapshot_bytes(*tier) != rec[2]) {
+      fail("record length disagrees with its snapshot");
+    }
+    insert_record(out, rec[0], rec[1], std::move(tier));
+  }
+  is.peek();
+  if (!is.eof()) fail("trailing bytes after last record");
+  return out;
+}
+
+}  // namespace
+
+std::string model_snapshot_path(const std::string& model_path) {
+  return model_path + ".tix";
+}
+
+std::size_t save_model_snapshots(const std::string& path,
+                                 const Model& model) {
+  const core::TierSnapshots tiers = model.factorizer().tier_snapshots();
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) fail("cannot create '" + path + "'");
+  std::array<std::uint64_t, kAlign / 8> block{};
+  block[0] = kMagic | (kVersion << 32);
+  block[1] = tiers.size();
+  os.write(reinterpret_cast<const char*>(block.data()), kAlign);
+  for (const auto& [key, tier] : tiers) {
+    block.fill(0);
+    block[0] = key.first;
+    block[1] = key.second;
+    block[2] = hdc::kernels::tiered_snapshot_bytes(*tier);
+    os.write(reinterpret_cast<const char*>(block.data()), kAlign);
+    hdc::kernels::save_tiered_index(os, *tier);
+  }
+  os.flush();
+  if (!os) fail("write failed for '" + path + "'");
+  return tiers.size();
+}
+
+core::TierSnapshots load_model_snapshots(const std::string& path) {
+#if FACTORHD_HAS_SNAPSHOT_MMAP
+  if (util::env_size_t("FACTORHD_SNAPSHOT_MMAP", 1, 0, 1) == 1) {
+    return load_mapped(path);
+  }
+#endif
+  return load_streamed(path);
+}
+
+}  // namespace factorhd::service

@@ -1,0 +1,52 @@
+// Model snapshot sidecars (`FTX1`): persisted tier indexes for a Model.
+//
+// A Model's construction cost is dominated by the tiered-index k-means
+// build of its large codebooks (see hdc/kernels/tiered_snapshot.hpp). The
+// sidecar persists every one of those indexes next to the model file —
+// `model.fhm` gets `model.fhm.tix` — so ModelRegistry::load_file can skip
+// the builds on the next load:
+//
+//   offset 0   u64: magic 'FTX1' (lo32) | version (hi32)
+//              u64: record count
+//              zero padding to 64 bytes
+//   records    u64 class, u64 level (1-based), u64 byte length of the
+//              embedded FTS1 snapshot; zero padding to 64 bytes; then the
+//              FTS1 blob itself (intrinsically a multiple of 64 bytes)
+//
+// The record framing is deliberately *not* checksummed: each embedded FTS1
+// blob carries its own digests, and the (class, level) keys are only
+// offers — a record that lands on the wrong slot fails the plane
+// verification in hdc::ItemMemory and triggers a rebuild of that slot.
+// Corruption therefore costs build time, never correctness. Where the
+// platform has mmap (and FACTORHD_SNAPSHOT_MMAP is not 0), all records of
+// one sidecar share a single read-only file mapping.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/factorizer.hpp"
+#include "service/model_registry.hpp"
+
+namespace factorhd::service {
+
+/// \return The sidecar path for a model file: `<model_path>.tix`.
+[[nodiscard]] std::string model_snapshot_path(const std::string& model_path);
+
+/// Writes every tier index of `model`'s factorizer to `path` (FTX1,
+/// overwrites). A model with no tier indexes produces a valid empty
+/// sidecar.
+/// \return Number of records written.
+/// \throws std::runtime_error When the file cannot be created or written.
+std::size_t save_model_snapshots(const std::string& path, const Model& model);
+
+/// Loads every record of the sidecar at `path`.
+/// \return Tier indexes keyed by (class, level), ready to offer to
+///   Model::make.
+/// \throws std::runtime_error On a missing/unreadable file, bad magic or
+///   version, duplicate (class, level) records, framing inconsistencies,
+///   or any embedded-snapshot corruption (the FTS1 guarantees).
+[[nodiscard]] core::TierSnapshots load_model_snapshots(
+    const std::string& path);
+
+}  // namespace factorhd::service

@@ -48,6 +48,11 @@ std::span<const EnvKnob> env_knobs() {
        "factorhd_serve: bounded request-queue capacity"},
       {"FACTORHD_SIMD", "auto | scalar | words | avx2 | avx512 | neon", "auto",
        "clamps the dispatched SIMD tier of packed codebook scans"},
+      {"FACTORHD_SNAPSHOT_MMAP", "0 (stream) | 1 (mmap)", "1",
+       "load FTS1/FTX1 snapshots via a shared read-only mmap where available"},
+      {"FACTORHD_TIERED_BUILD_THREADS", "0 (auto) .. 256", "0 = scan pool",
+       "worker threads of the tiered-index clustering build (bit-identical "
+       "results at any width)"},
       {"FACTORHD_TIERED_CLUSTERS", "0 (auto) .. 2^24", "0 = 4*ceil(sqrt(M))",
        "coarse bucket count K of the tiered (two-stage) scan index"},
       {"FACTORHD_TIERED_MIN_ROWS", "0 (never) .. 2^30", "65536",

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "core/encoder.hpp"
@@ -99,6 +100,44 @@ TEST(HdcIo, ImplausibleDimensionIsRejectedBeforeAllocation) {
   ss.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
   ss.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
   EXPECT_THROW((void)hdc::load_hypervector(ss), std::runtime_error);
+}
+
+TEST(HdcIo, OversizedCodebookNameLengthIsRejectedBeforeAllocation) {
+  // A corrupt name_len header word used to be accepted up to 2^32, turning
+  // 8 flipped bytes into a ~4 GiB string allocation before any read. The
+  // bound is now 1 MiB: one byte past it must throw from the header check.
+  util::Xoshiro256 rng(9);
+  std::stringstream ss;
+  hdc::save_codebook(ss, hdc::Codebook(32, 2, rng, "ok"));
+  std::string blob = ss.str();
+  const std::uint64_t absurd = (1ULL << 20) + 1;  // name_len at offset 12
+  std::memcpy(blob.data() + 12, &absurd, sizeof(absurd));
+  std::stringstream corrupted(blob);
+  EXPECT_THROW((void)hdc::load_codebook(corrupted), std::runtime_error);
+}
+
+TEST(HdcIo, MixedDimensionCodebookIsRejectedWithIoError) {
+  // Splice a 16-dim hypervector over the second item of a 32-dim codebook:
+  // the loader must diagnose the dimension disagreement as a corrupt file
+  // instead of deferring to a generic constructor error.
+  util::Xoshiro256 rng(10);
+  std::stringstream ss;
+  hdc::save_codebook(ss, hdc::Codebook(32, 2, rng, ""));
+  const std::string whole = ss.str();
+  std::stringstream item;
+  hdc::save_hypervector(item, hdc::random_bipolar(32, rng));
+  const std::size_t item_bytes = item.str().size();
+  std::stringstream spliced;
+  spliced << whole.substr(0, whole.size() - item_bytes);
+  hdc::save_hypervector(spliced, hdc::random_bipolar(16, rng));
+  try {
+    (void)hdc::load_codebook(spliced);
+    FAIL() << "mixed-dim codebook loaded";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("disagree on dimension"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(TaxIo, TaxonomyRoundTrip) {

@@ -11,6 +11,7 @@
 
 #include <chrono>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "core/factorhd.hpp"
@@ -167,7 +168,7 @@ TEST_F(ServiceEngineTest, SubmitAfterStopThrowsEvenOnACachedTarget) {
   (void)fut.get();  // result is now cached
   engine.stop();
   EXPECT_THROW((void)engine.submit(work_[0].target, work_[0].opts),
-               std::invalid_argument)
+               service::EngineStoppedError)
       << "a stopped engine must refuse cache-answerable submits too";
 }
 
@@ -186,7 +187,7 @@ TEST_F(ServiceEngineTest, StopDrainsEveryInFlightRequest) {
     EXPECT_TRUE(futures[i].get() == work_[i].expected);
   }
   EXPECT_THROW((void)engine.submit(work_[0].target, work_[0].opts),
-               std::invalid_argument);
+               service::EngineStoppedError);
   engine.stop();  // idempotent
 }
 
@@ -215,6 +216,30 @@ TEST_F(ServiceEngineTest, RejectsWhenQueueFull) {
     EXPECT_TRUE(f.get() == work_[0].expected);
   }
   EXPECT_EQ(engine.metrics().rejected, rejected);
+}
+
+TEST_F(ServiceEngineTest, StopWhileBlockedOnBackpressureThrowsStoppedError) {
+  // A parked batcher (huge max_batch + long flush deadline) with a
+  // capacity-1 queue: the first submit fills the queue, the second blocks
+  // on backpressure. stop() must wake it with EngineStoppedError — the
+  // request was never enqueued, so fulfilling it is impossible.
+  service::FactorizationEngine engine(model_, {.max_batch = 1000,
+                                               .max_delay_us = 5000000,
+                                               .queue_capacity = 1,
+                                               .reject_when_full = false,
+                                               .cache_capacity = 0});
+  auto queued = engine.submit(work_[0].target, work_[0].opts);
+  auto blocked = std::async(std::launch::async, [&] {
+    return engine.submit(work_[1].target, work_[1].opts);
+  });
+  // Give the async submit a moment to reach the backpressure wait; if stop()
+  // wins the race anyway, submit still throws EngineStoppedError, just from
+  // the earlier stopped check.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  engine.stop();
+  EXPECT_THROW((void)blocked.get(), service::EngineStoppedError);
+  EXPECT_TRUE(queued.get() == work_[0].expected)
+      << "stop() must still drain the request that did get enqueued";
 }
 
 TEST_F(ServiceEngineTest, BlockingBackpressureEventuallyServesEverything) {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/factorhd.hpp"
+#include "service/model_snapshot.hpp"
 #include "service/service.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
@@ -116,12 +117,31 @@ void cmd_model(ServerState& st, const std::vector<std::string>& args,
     if (args[0] == "load") {
       auto m = st.registry.load_file(args[1], args[2]);
       os << "ok loaded " << args[1] << " (D=" << m->books().dim() << ", "
-         << m->num_classes() << " classes)\n";
+         << m->num_classes() << " classes";
+      // Surface what the snapshot sidecar bought (or cost): adopted
+      // records skipped their k-means build, rejected ones were rebuilt.
+      const auto& f = m->factorizer();
+      if (f.snapshots_adopted() + f.snapshots_rejected() > 0) {
+        os << ", snapshots " << f.snapshots_adopted() << " adopted";
+        if (f.snapshots_rejected() > 0) {
+          os << " / " << f.snapshots_rejected() << " rejected";
+        }
+      }
+      os << ")\n";
     } else {
       auto m = st.registry.get(args[1]);
       if (!m) throw std::invalid_argument("unknown model " + args[1]);
       tax::save_codebooks_file(args[2], m->books());
-      os << "ok saved " << args[1] << " to " << args[2] << "\n";
+      os << "ok saved " << args[1] << " to " << args[2];
+      // Persist the tier indexes alongside, so the next `model load` of
+      // this file starts in milliseconds instead of re-clustering.
+      if (m->factorizer().tiered()) {
+        const std::string sidecar = service::model_snapshot_path(args[2]);
+        const std::size_t n = service::save_model_snapshots(sidecar, *m);
+        os << " (+" << n << " tier snapshot" << (n == 1 ? "" : "s") << " -> "
+           << sidecar << ")";
+      }
+      os << "\n";
     }
     return;
   }

@@ -1,0 +1,89 @@
+# CTest smoke driver for the offline-index pipeline: a model file round
+# trips through `factorhd_serve model save` -> `factorhd index build` ->
+# `factorhd index info` -> `factorhd_serve model load`, and the final load
+# must adopt every snapshot the build produced. Run as
+#   cmake -DCLI_BIN=<path> -DSERVE_BIN=<path> -P index_smoke.cmake
+# FACTORHD_TIERED_MIN_ROWS=64 forces tiering of the small smoke codebooks
+# (256 rows) so the pipeline is exercised without a large build; nprobe ==
+# clusters makes the tiered scans exact-coverage, so the roundtrip checks
+# are deterministic rather than at the mercy of coarse probing at D=2048.
+set(workdir ${CMAKE_CURRENT_BINARY_DIR}/index_smoke)
+file(REMOVE_RECURSE ${workdir})
+file(MAKE_DIRECTORY ${workdir})
+set(model ${workdir}/model.fhm)
+set(sidecar ${model}.tix)
+set(ENV{FACTORHD_TIERED_MIN_ROWS} 64)
+set(ENV{FACTORHD_TIERED_CLUSTERS} 16)
+set(ENV{FACTORHD_TIERED_NPROBE} 16)
+
+# 1. Generate and save a model (no sidecar yet: the generating session has
+#    min_rows forced too, so `model save` writes one — delete it to prove
+#    `index build` recreates it from the model file alone).
+set(tmp ${workdir}/gen_input.txt)
+file(WRITE ${tmp} "model gen smoke 2 256 2048 7
+model save smoke ${model}
+quit
+")
+execute_process(COMMAND ${SERVE_BIN} INPUT_FILE ${tmp}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "ok saved smoke")
+  message(FATAL_ERROR "model save failed (rc=${rc}):\n${out}\n${err}")
+endif()
+file(REMOVE ${sidecar})
+
+# 2. Build the sidecar offline.
+execute_process(
+  COMMAND ${CLI_BIN} index build --model ${model} --clusters 16 --nprobe 16
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "built 2 tier indexes")
+  message(FATAL_ERROR "index build failed (rc=${rc}):\n${out}\n${err}")
+endif()
+if(NOT EXISTS ${sidecar})
+  message(FATAL_ERROR "index build did not write ${sidecar}")
+endif()
+
+# 3. Validate the sidecar (digests verified in full).
+execute_process(COMMAND ${CLI_BIN} index info --snapshot ${sidecar}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "ok: FTX1 sidecar, 2 records")
+  message(FATAL_ERROR "index info failed (rc=${rc}):\n${out}\n${err}")
+endif()
+
+# 4. Load through the serving registry: both snapshots must be adopted
+#    (plane verification passed, k-means builds skipped), and the served
+#    roundtrip must still be exact.
+set(tmp ${workdir}/load_input.txt)
+file(WRITE ${tmp} "model load smoke ${model}
+serve smoke
+roundtrip 1
+quit
+")
+execute_process(COMMAND ${SERVE_BIN} INPUT_FILE ${tmp}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve load session failed (rc=${rc}):\n${out}\n${err}")
+endif()
+foreach(needle "snapshots 2 adopted" "ok roundtrip exact")
+  if(NOT out MATCHES "${needle}")
+    message(FATAL_ERROR "expected '${needle}' in serve output:\n${out}")
+  endif()
+endforeach()
+
+# 5. A corrupted sidecar must degrade to a rebuild, never break the load:
+#    overwrite it with garbage that still leads with the right magic.
+file(WRITE ${sidecar} "FTX1 corrupt")
+execute_process(COMMAND ${SERVE_BIN} INPUT_FILE ${tmp}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "corrupt-sidecar load failed (rc=${rc}):\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "ok loaded smoke")
+  message(FATAL_ERROR "corrupt sidecar broke the model load:\n${out}")
+endif()
+if(out MATCHES "snapshots [0-9]+ adopted")
+  message(FATAL_ERROR "corrupt sidecar must not be adopted:\n${out}")
+endif()
+if(NOT out MATCHES "ok roundtrip exact")
+  message(FATAL_ERROR "rebuild after corrupt sidecar not exact:\n${out}")
+endif()
+file(REMOVE_RECURSE ${workdir})
