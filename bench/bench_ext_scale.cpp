@@ -24,8 +24,15 @@
 // time. Acceptance (ISSUE 6): build_speedup >= 4x at M = 262144 and a
 // sub-second snapshot load at the largest M.
 //
+// Since ISSUE 7 each point also re-views the built clustering through the
+// adaptive-probing adoption ctor (floor = auto nprobe/8, ceiling =
+// nprobe/2) and measures the adaptive scan's recall@1 plus the mean
+// buckets actually probed per query — the centroid-score margin rule
+// stopping early on confident queries. Acceptance (ISSUE 7): at
+// M = 262144, adaptive recall@1 >= 0.99 with mean probes <= 0.5 * K/16.
+//
 // `--json FILE` additionally writes the machine-readable sweep in the
-// factorhd.bench_scale.v2 schema (validated by scripts/bench_json.py
+// factorhd.bench_scale.v3 schema (validated by scripts/bench_json.py
 // --check; the committed baseline is BENCH_scale.json). `--smoke` runs a
 // tiny configuration and re-verifies the nprobe=all bound — a
 // full-coverage tiered index must be bit-identical to PackedItemMemory on
@@ -75,6 +82,10 @@ struct PointResult {
   double recall = 0.0;
   std::uint64_t exact_ops = 0;   ///< similarity measurements per query
   std::uint64_t tiered_ops = 0;  ///< mean, rounded
+  std::size_t adaptive_min = 0;  ///< adaptive probing floor (resolved)
+  std::size_t adaptive_max = 0;  ///< adaptive probing ceiling (resolved)
+  double mean_probes = 0.0;      ///< mean buckets probed by the adaptive scan
+  double adaptive_recall = 0.0;  ///< adaptive recall@1 vs the exact argmax
 };
 
 PointResult run_point(std::size_t m, std::size_t dim, std::size_t queries,
@@ -174,6 +185,36 @@ PointResult run_point(std::size_t m, std::size_t dim, std::size_t queries,
   r.speedup = r.tiered_us > 0 ? r.exact_us / r.tiered_us : 0.0;
   r.recall = static_cast<double>(hits) / static_cast<double>(queries);
   r.tiered_ops = ops / queries;
+
+  // Adaptive probing over the *same* clustering: the adoption ctor re-views
+  // the built buckets with a floor (auto: nprobe/8) and a ceiling (nprobe/2)
+  // so no second k-means run is paid. The margin rule stops at the floor on
+  // confident queries and escalates toward the ceiling on ambiguous ones;
+  // the ceiling keeps worst-case recall while mean probes stay below the
+  // fixed nprobe.
+  {
+    const TieredItemMemory adaptive(
+        tiered.shared_rows(), tiered.shared_centroids(), tiered.nprobe(),
+        std::vector<std::size_t>(tiered.member_rows().begin(),
+                                 tiered.member_rows().end()),
+        std::vector<std::size_t>(tiered.cluster_begins().begin(),
+                                 tiered.cluster_begins().end()),
+        0, std::max<std::size_t>(1, tiered.nprobe() / 2));
+    r.adaptive_min = adaptive.nprobe_min();
+    r.adaptive_max = adaptive.nprobe_max();
+    std::size_t adaptive_hits = 0;
+    std::uint64_t probes = 0;
+    for (std::size_t i = 0; i < queries; ++i) {
+      TieredItemMemory::ScanStats stats;
+      const hdc::Match got = adaptive.best(qs[i], &stats);
+      adaptive_hits += got.index == truth[i] ? 1 : 0;
+      probes += stats.probes;
+    }
+    r.mean_probes =
+        static_cast<double>(probes) / static_cast<double>(queries);
+    r.adaptive_recall =
+        static_cast<double>(adaptive_hits) / static_cast<double>(queries);
+  }
   return r;
 }
 
@@ -238,7 +279,7 @@ void write_json(const std::string& path, bool smoke, std::size_t dim,
   }
   namespace hk = hdc::kernels;
   out << "{\n"
-      << "  \"schema\": \"factorhd.bench_scale.v2\",\n"
+      << "  \"schema\": \"factorhd.bench_scale.v3\",\n"
       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
       << "  \"context\": {\n"
       << "    \"dim\": " << dim << ",\n"
@@ -264,8 +305,12 @@ void write_json(const std::string& path, bool smoke, std::size_t dim,
         << fmt_num(r.tiered_us) << ", \"speedup\": "
         << fmt_num(r.speedup) << ", \"recall_at_1\": "
         << fmt_num(r.recall, 4) << ", \"exact_sim_ops\": "
-        << r.exact_ops << ", \"tiered_sim_ops\": " << r.tiered_ops << "}"
-        << (i + 1 < sweep.size() ? "," : "") << "\n";
+        << r.exact_ops << ", \"tiered_sim_ops\": " << r.tiered_ops
+        << ", \"adaptive_nprobe_min\": " << r.adaptive_min
+        << ", \"adaptive_nprobe_max\": " << r.adaptive_max
+        << ", \"mean_probes\": " << fmt_num(r.mean_probes, 2)
+        << ", \"adaptive_recall_at_1\": " << fmt_num(r.adaptive_recall, 4)
+        << "}" << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
   // headline mirrors the largest-M row; build_speedup comes from the
   // headline (acceptance) M, where the exhaustive reference is measured.
@@ -324,7 +369,8 @@ int main(int argc, char** argv) {
   std::vector<PointResult> sweep;
   util::TextTable table({"M", "K", "nprobe", "build", "bld-spdup", "snap-load",
                          "exact/q", "tiered/q", "speedup", "recall@1",
-                         "sim-ops exact/tiered"});
+                         "sim-ops exact/tiered", "adpt-probe",
+                         "adpt-recall@1"});
   for (const std::size_t m : ms) {
     const PointResult r = run_point(m, dim, queries, flip, seed);
     table.add_row({std::to_string(r.m), std::to_string(r.clusters),
@@ -339,7 +385,11 @@ int main(int argc, char** argv) {
                    util::fmt_double(r.speedup, 2) + "x",
                    util::fmt_double(r.recall, 4),
                    std::to_string(r.exact_ops) + " / " +
-                       std::to_string(r.tiered_ops)});
+                       std::to_string(r.tiered_ops),
+                   util::fmt_double(r.mean_probes, 1) + " [" +
+                       std::to_string(r.adaptive_min) + "," +
+                       std::to_string(r.adaptive_max) + "]",
+                   util::fmt_double(r.adaptive_recall, 4)});
     sweep.push_back(r);
   }
   table.print(std::cout);

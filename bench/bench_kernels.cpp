@@ -6,8 +6,10 @@
 //
 // The BM_Scan* pairs are consumed by scripts/bench.sh, which parses the
 // --benchmark_format=json output into BENCH_kernels.json including the
-// packed-over-scalar speedup per (M, D) point (see README "Kernel
-// benchmarks"). Keep their names and argument order (M, D) stable.
+// packed-over-scalar speedup per (M, D) point and the blocked-scan Q=64 over
+// Q=1 ratio per BM_ScanBlockPacked (M, D) sweep (see README "Kernel
+// benchmarks"). Keep their names and argument orders (M, D) / (M, D, Q)
+// stable.
 //
 // Besides the scalar-vs-dispatched pairs, main() registers one
 // BM_Scan{Best,Dots}Packed<Level> row per SIMD tier available on this CPU
@@ -18,8 +20,10 @@
 
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "core/factorhd.hpp"
+#include "hdc/kernels/packed_item_memory.hpp"
 #include "hdc/kernels/simd.hpp"
 #include "hdc/packed.hpp"
 
@@ -165,6 +169,55 @@ void BM_ScanDotsPacked(benchmark::State& state) {
   scan_counters(state, m, dim);
 }
 BENCHMARK(BM_ScanDotsPacked)->Apply(scan_args);
+
+// --- Multi-query blocked scans: the Q-sweep behind the block-speedup table --
+// Arguments: (M, D, Q). Each iteration scans one block of Q pre-packed noisy
+// queries through PackedItemMemory::best_block; Q = 1 is the degenerate
+// single-query block, the baseline of the BENCH_kernels.json v3
+// block_speedup entries. Items = Q * M * D per iteration, so
+// items_per_second is per-query scan throughput and the Q=64 over Q=1 ratio
+// measures how well the blocked kernels amortize one codebook stream across
+// the block (the >= 3x acceptance bound at M=4096, D=8192).
+
+struct BlockScanFixture {
+  BlockScanFixture(std::size_t m, std::size_t dim, std::size_t q)
+      : rng(12), cb(dim, m, rng), memory(cb) {
+    queries.reserve(q);
+    for (std::size_t i = 0; i < q; ++i) {
+      auto packed = hdc::kernels::PackedQuery::pack(
+          hdc::flip_noise(cb.item(i % m), 0.2, rng), memory.simd_level());
+      queries.push_back(std::move(*packed));
+    }
+  }
+  util::Xoshiro256 rng;
+  hdc::Codebook cb;
+  hdc::kernels::PackedItemMemory memory;
+  std::vector<hdc::kernels::PackedQuery> queries;
+};
+
+void block_args(benchmark::internal::Benchmark* b) {
+  // The smoke pair first (tiny dims, exercised by scripts/bench.sh --smoke),
+  // then the tracked M x Q sweep at the headline dimension.
+  for (long q : {1, 64}) b->Args({64, 256, q});
+  for (long m : {64, 4096}) {
+    for (long q : {1, 2, 3, 8, 33, 64}) b->Args({m, 8192, q});
+  }
+}
+
+void BM_ScanBlockPacked(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  const auto q = static_cast<std::size_t>(state.range(2));
+  BlockScanFixture fx(m, dim, q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.memory.best_block(fx.queries));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(q) *
+                          static_cast<std::int64_t>(m) *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_ScanBlockPacked)->Apply(block_args);
 
 // Forced-tier variants, registered from main() only for tiers this CPU can
 // execute (a forced ItemMemory construction throws otherwise).

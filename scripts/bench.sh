@@ -19,8 +19,9 @@ BUILD_DIR=${BUILD_DIR:-build}
 OUT=BENCH_kernels.json
 MODE=full
 # Scalar + dispatched packed + every per-tier PackedWords/AVX2/AVX512/NEON
-# row this CPU registered.
-FILTER='^BM_Scan(Best|Dots)(Scalar|Packed[A-Za-z0-9]*)/'
+# row this CPU registered, plus the BM_ScanBlockPacked/M/D/Q multi-query
+# sweep behind the v3 block_speedup table.
+FILTER='^BM_Scan((Best|Dots)(Scalar|Packed[A-Za-z0-9]*)|BlockPacked)/'
 BENCH_ARGS=()
 
 while [ $# -gt 0 ]; do
@@ -29,7 +30,7 @@ while [ $# -gt 0 ]; do
       MODE=smoke
       # Small dims only, and a short measurement window: the smoke run
       # exists to exercise the emitter end to end, not to produce numbers.
-      FILTER='^BM_Scan(Best|Dots)(Scalar|Packed[A-Za-z0-9]*)/64/(63|256)$'
+      FILTER='^BM_Scan((Best|Dots)(Scalar|Packed[A-Za-z0-9]*)/64/(63|256)|BlockPacked/64/256/(1|64))$'
       BENCH_ARGS+=(--benchmark_min_time=0.01)
       shift
       ;;

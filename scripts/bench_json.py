@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Convert Google Benchmark JSON output into BENCH_kernels.json (schema v2).
+"""Convert Google Benchmark JSON output into BENCH_kernels.json (schema v3).
 
 Reads the raw ``--benchmark_format=json`` output of bench_kernels (BM_Scan*
 entries), pairs each packed benchmark with its scalar twin at the same
@@ -7,7 +7,7 @@ entries), pairs each packed benchmark with its scalar twin at the same
 benchmarks"):
 
     {
-      "schema": "factorhd.bench_kernels.v2",
+      "schema": "factorhd.bench_kernels.v3",
       "mode": "full" | "smoke",
       "context": {...,                    # machine/build provenance
                   "simd_level": "avx512", # tier kPacked scans dispatched to
@@ -17,24 +17,37 @@ benchmarks"):
       "speedup": {
         "scan_best/m64/d8192": 15.0,          # scalar_cpu / dispatched packed
         "scan_best/m64/d8192/avx2": 8.1, ...  # scalar_cpu / forced-tier cpu
+      },
+      "block_speedup": {
+        "scan_block/m4096/d8192": 3.8, ...    # per-query ips: Q=64 over Q=1
       }
     }
 
 `level` is the SIMD tier a row executed at: null for the scalar int32
 backend, the forced tier for BM_Scan*Packed{Words,AVX2,AVX512,NEON} rows,
 and the context's dispatched tier for plain BM_Scan*Packed rows.
+``BM_ScanBlockPacked/M/D/Q`` rows (kernel ``scan_block``) carry an extra
+``q`` field — the number of packed queries per ``best_block`` call — and
+feed the ``block_speedup`` table: per-query throughput at Q=64 over Q=1
+for each (M, D), the multi-query amortization the blocked kernels buy.
 
 ``--check FILE`` validates an emitted file and exits non-zero on
 violations — the CI hook keeping the emitters and these schemas in
 lockstep. The file's own ``schema`` field selects the validator:
 
-* ``factorhd.bench_kernels.v2`` — the Google-Benchmark conversion above;
+* ``factorhd.bench_kernels.v2`` — the Google-Benchmark conversion above
+  without the blocked-scan rows. Accepted for older baselines.
+* ``factorhd.bench_kernels.v3`` — v2 plus ``scan_block`` rows and the
+  ``block_speedup`` table. Full-mode baselines must show
+  ``scan_block/m4096/d8192 >= 3.0`` (the ISSUE 7 blocked-scan acceptance
+  bound; at tiny M the per-plane row pass is too short to amortize, so
+  the bound is pinned at the GEMM-shaped 4096-row point).
 * ``factorhd.bench_scale.v1`` — the tiered-scan M-sweep written directly
   by ``bench_ext_scale --json`` (context with dim/queries/flip_rate/seed/
   SIMD tiers; one sweep row per codebook size M with clusters, nprobe,
   per-query times, speedup, recall@1, and similarity-op counts; a
   ``headline`` block mirroring the largest-M row — the ISSUE 5 acceptance
-  surface). Accepted for older baselines; current emitters write v2.
+  surface). Accepted for older baselines; current emitters write v3.
 * ``factorhd.bench_scale.v2`` — v1 plus the ISSUE 6 build/persistence
   columns per row: ``build_seconds`` (default screened/pooled build),
   ``build_reference_seconds`` (single-threaded exhaustive build; 0 when
@@ -43,6 +56,13 @@ lockstep. The file's own ``schema`` field selects the validator:
   baselines must show build_speedup >= 4.0 on the M=262144 row and a
   sub-second snapshot load on the largest-M row (committed as
   BENCH_scale.json).
+* ``factorhd.bench_scale.v3`` — v2 plus the ISSUE 7 adaptive-probing
+  columns per row: ``adaptive_nprobe_min`` / ``adaptive_nprobe_max`` (the
+  floor/ceiling the adaptive view re-probed the same clustering with),
+  ``mean_probes`` (mean buckets actually probed per query), and
+  ``adaptive_recall_at_1``. Full-mode baselines must show
+  adaptive_recall_at_1 >= 0.99 with mean_probes <= 0.5 * clusters / 16
+  on the M=262144 acceptance row.
 
 Only Python stdlib is used.
 """
@@ -60,24 +80,57 @@ NAME_RE = re.compile(
     r"(?P<level>Words|AVX2|AVX512|NEON)?/(?P<m>\d+)/(?P<d>\d+)$"
 )
 
+# BM_ScanBlockPacked/4096/8192/64 -> kernel "scan_block" at Q = 64 packed
+# queries per best_block call (dispatched tier only; no forced variants).
+BLOCK_NAME_RE = re.compile(
+    r"^BM_ScanBlockPacked/(?P<m>\d+)/(?P<d>\d+)/(?P<q>\d+)$"
+)
+
 # Benchmark-name level suffix -> canonical SimdLevel name (simd.hpp).
 LEVEL_NAMES = {"Words": "scalar", "AVX2": "avx2", "AVX512": "avx512",
                "NEON": "neon"}
 KNOWN_LEVELS = set(LEVEL_NAMES.values())
 
-SCHEMA = "factorhd.bench_kernels.v2"
+SCHEMA_V2 = "factorhd.bench_kernels.v2"
+SCHEMA = "factorhd.bench_kernels.v3"
 SCALE_SCHEMA = "factorhd.bench_scale.v1"
 SCALE_SCHEMA_V2 = "factorhd.bench_scale.v2"
+SCALE_SCHEMA_V3 = "factorhd.bench_scale.v3"
+
+# Full-mode blocked-scan acceptance (ISSUE 7): per-query throughput at
+# Q=64 must be at least this multiple of Q=1 on the m=4096/d=8192 point.
+MIN_BLOCK_SPEEDUP = 3.0
+BLOCK_ACCEPTANCE_KEY = "scan_block/m4096/d8192"
 
 
 def parse_benchmarks(raw, dispatched_level):
     out = []
     for b in raw.get("benchmarks", []):
-        match = NAME_RE.match(b.get("name", ""))
-        if not match or b.get("run_type") == "aggregate":
+        if b.get("run_type") == "aggregate":
             continue
         unit = b.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        block = BLOCK_NAME_RE.match(b.get("name", ""))
+        if block:
+            out.append(
+                {
+                    "name": b["name"],
+                    "kernel": "scan_block",
+                    "backend": "packed",
+                    "level": dispatched_level,
+                    "forced": False,
+                    "m": int(block.group("m")),
+                    "d": int(block.group("d")),
+                    "q": int(block.group("q")),
+                    "real_time_ns": b["real_time"] * scale,
+                    "cpu_time_ns": b["cpu_time"] * scale,
+                    "items_per_second": b.get("items_per_second"),
+                }
+            )
+            continue
+        match = NAME_RE.match(b.get("name", ""))
+        if not match:
+            continue
         backend = match.group("backend").lower()
         suffix = match.group("level")
         if backend == "scalar":
@@ -139,11 +192,35 @@ def compute_speedups(benchmarks):
     return speedups
 
 
-def validate(doc):
-    """Returns a list of v2-schema violations (empty = valid)."""
+def compute_block_speedups(benchmarks):
+    """Per-query throughput amortization of the blocked scan: for each
+    (m, d) with both a Q=1 and a Q=64 scan_block row, cpu_per_query(Q=1) /
+    cpu_per_query(Q=64) under key "scan_block/m{m}/d{d}"."""
+    by_point = {}
+    for b in benchmarks:
+        if b["kernel"] != "scan_block":
+            continue
+        by_point.setdefault((b["m"], b["d"]), {})[b["q"]] = b
+    speedups = {}
+    for (m, d), rows in sorted(by_point.items()):
+        q1, q64 = rows.get(1), rows.get(64)
+        if q1 is None or q64 is None:
+            continue
+        per_query_q64 = q64["cpu_time_ns"] / 64.0
+        if per_query_q64 <= 0:
+            continue
+        speedups[f"scan_block/m{m}/d{d}"] = round(
+            q1["cpu_time_ns"] / per_query_q64, 3
+        )
+    return speedups
+
+
+def validate(doc, schema=SCHEMA):
+    """Returns a list of kernels v2/v3-schema violations (empty = valid)."""
+    v3 = schema == SCHEMA
     errors = []
-    if doc.get("schema") != SCHEMA:
-        errors.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if doc.get("schema") != schema:
+        errors.append(f"schema is {doc.get('schema')!r}, expected {schema!r}")
     if doc.get("mode") not in ("full", "smoke"):
         errors.append(f"mode is {doc.get('mode')!r}")
     ctx = doc.get("context", {})
@@ -156,8 +233,10 @@ def validate(doc):
         errors.append("no benchmarks recorded")
     well_formed = []
     for b in benchmarks:
-        missing = [k for k in ("kernel", "backend", "level", "forced", "m",
-                               "d") if k not in b]
+        required = ("kernel", "backend", "level", "forced", "m", "d")
+        if b.get("kernel") == "scan_block":
+            required += ("q",)
+        missing = [k for k in required if k not in b]
         if missing:
             errors.append(f"{b.get('name')}: missing fields {missing}")
             continue
@@ -171,9 +250,10 @@ def validate(doc):
     if not speedups:
         errors.append("no speedups recorded")
     # Every dispatched packed point must have its headline speedup, and every
-    # forced tier measured must appear under a per-level key.
+    # forced tier measured must appear under a per-level key. scan_block rows
+    # live in the block_speedup table instead.
     for b in well_formed:
-        if b["backend"] != "packed":
+        if b["backend"] != "packed" or b["kernel"] == "scan_block":
             continue
         key = f"{b['kernel']}/m{b['m']}/d{b['d']}"
         slot = speedup_slot(b)
@@ -181,6 +261,32 @@ def validate(doc):
             key += f"/{slot}"
         if key not in speedups:
             errors.append(f"missing speedup entry {key!r}")
+    if v3:
+        block_rows = [b for b in well_formed if b["kernel"] == "scan_block"]
+        if not block_rows:
+            errors.append("v3 file has no scan_block rows")
+        block_speedups = doc.get("block_speedup") or {}
+        # Every (m, d) measured at both Q=1 and Q=64 must carry its
+        # amortization ratio.
+        qs_by_point = {}
+        for b in block_rows:
+            qs_by_point.setdefault((b["m"], b["d"]), set()).add(b["q"])
+        for (m, d), qs in sorted(qs_by_point.items()):
+            if {1, 64} <= qs and f"scan_block/m{m}/d{d}" not in block_speedups:
+                errors.append(f"missing block_speedup entry scan_block/m{m}/d{d}")
+        # Full-mode acceptance (ISSUE 7): Q=64 must amortize >= 3x over
+        # Q=1 per query on the GEMM-shaped m=4096/d=8192 point.
+        if doc.get("mode") == "full":
+            got = block_speedups.get(BLOCK_ACCEPTANCE_KEY)
+            if got is None:
+                errors.append(
+                    f"full-mode v3 file lacks {BLOCK_ACCEPTANCE_KEY!r}"
+                )
+            elif got < MIN_BLOCK_SPEEDUP:
+                errors.append(
+                    f"block_speedup {BLOCK_ACCEPTANCE_KEY}: {got} < "
+                    f"{MIN_BLOCK_SPEEDUP}"
+                )
     return errors
 
 
@@ -199,18 +305,38 @@ SCALE_ROW_FIELDS_V2 = (
     "tiered_sim_ops",
 )
 
+# v3 adds the ISSUE 7 adaptive-probing measurements: the floor/ceiling the
+# adaptive view re-probed the clustering with, the mean buckets actually
+# probed per query, and the recall the adaptive scan achieved.
+SCALE_ROW_FIELDS_V3 = SCALE_ROW_FIELDS_V2 + (
+    "adaptive_nprobe_min", "adaptive_nprobe_max", "mean_probes",
+    "adaptive_recall_at_1",
+)
+
 # The M=262144 acceptance row of full-mode baselines must show at least
 # this build speedup (screened/pooled build vs the exhaustive
 # single-threaded reference) ...
 MIN_BUILD_SPEEDUP = 4.0
 # ... and the largest-M row must load its snapshot in under a second.
 MAX_SNAPSHOT_LOAD_SECONDS = 1.0
+# v3 adaptive-probing acceptance at M=262144 (ISSUE 7): recall@1 at least
+# this ...
+MIN_ADAPTIVE_RECALL = 0.99
+# ... with mean probes at most this fraction of the fixed-probing default
+# (nprobe = clusters / 16).
+MAX_MEAN_PROBE_FRACTION = 0.5
 
 
 def validate_scale(doc, schema=SCALE_SCHEMA):
-    """Returns a list of bench_scale v1/v2 violations (empty = valid)."""
-    v2 = schema == SCALE_SCHEMA_V2
-    row_fields = SCALE_ROW_FIELDS_V2 if v2 else SCALE_ROW_FIELDS_V1
+    """Returns a list of bench_scale v1/v2/v3 violations (empty = valid)."""
+    v3 = schema == SCALE_SCHEMA_V3
+    v2 = v3 or schema == SCALE_SCHEMA_V2
+    if v3:
+        row_fields = SCALE_ROW_FIELDS_V3
+    elif v2:
+        row_fields = SCALE_ROW_FIELDS_V2
+    else:
+        row_fields = SCALE_ROW_FIELDS_V1
     errors = []
     if doc.get("schema") != schema:
         errors.append(
@@ -262,6 +388,23 @@ def validate_scale(doc, schema=SCALE_SCHEMA):
                     f"sweep m={row['m']}: reference measured but no "
                     "build_speedup"
                 )
+        if v3:
+            if not (1 <= row["adaptive_nprobe_min"]
+                    <= row["adaptive_nprobe_max"] <= row["clusters"]):
+                errors.append(
+                    f"sweep m={row['m']}: adaptive bounds violate "
+                    "1 <= min <= max <= clusters"
+                )
+            if not (row["adaptive_nprobe_min"] <= row["mean_probes"]
+                    <= row["adaptive_nprobe_max"]):
+                errors.append(
+                    f"sweep m={row['m']}: mean_probes outside "
+                    "[adaptive_nprobe_min, adaptive_nprobe_max]"
+                )
+            if not 0.0 <= row["adaptive_recall_at_1"] <= 1.0:
+                errors.append(
+                    f"sweep m={row['m']}: adaptive_recall_at_1 out of [0, 1]"
+                )
     head = doc.get("headline") or {}
     if sweep and all("m" in r for r in sweep):
         last = sweep[-1]
@@ -302,6 +445,22 @@ def validate_scale(doc, schema=SCALE_SCHEMA):
                     f"acceptance row m=262144: build_speedup "
                     f"{accept['build_speedup']} < {MIN_BUILD_SPEEDUP}"
                 )
+            if v3:
+                if accept["adaptive_recall_at_1"] < MIN_ADAPTIVE_RECALL:
+                    errors.append(
+                        f"acceptance row m=262144: adaptive_recall_at_1 "
+                        f"{accept['adaptive_recall_at_1']} < "
+                        f"{MIN_ADAPTIVE_RECALL}"
+                    )
+                probe_bound = (
+                    MAX_MEAN_PROBE_FRACTION * accept["clusters"] / 16.0
+                )
+                if accept["mean_probes"] > probe_bound:
+                    errors.append(
+                        f"acceptance row m=262144: mean_probes "
+                        f"{accept['mean_probes']} > {probe_bound} "
+                        f"(= {MAX_MEAN_PROBE_FRACTION} * clusters / 16)"
+                    )
         if v2 and sweep:
             last = sweep[-1]
             if last.get("snapshot_load_seconds", 0) >= MAX_SNAPSHOT_LOAD_SECONDS:
@@ -316,34 +475,44 @@ def validate_scale(doc, schema=SCALE_SCHEMA):
 def run_check(path):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
-    if doc.get("schema") in (SCALE_SCHEMA, SCALE_SCHEMA_V2):
+    if doc.get("schema") in (SCALE_SCHEMA, SCALE_SCHEMA_V2, SCALE_SCHEMA_V3):
         kind = doc["schema"]
         errors = validate_scale(doc, kind)
     else:
-        errors, kind = validate(doc), SCHEMA
+        kind = SCHEMA_V2 if doc.get("schema") == SCHEMA_V2 else SCHEMA
+        errors = validate(doc, kind)
     if errors:
         for e in errors:
             print(f"bench_json.py: {path}: {e}", file=sys.stderr)
         sys.exit(1)
-    if kind in (SCALE_SCHEMA, SCALE_SCHEMA_V2):
+    if kind in (SCALE_SCHEMA, SCALE_SCHEMA_V2, SCALE_SCHEMA_V3):
         head = doc["headline"]
         build = (
             f" build_speedup={head['build_speedup']}x"
             f" snapshot_load={head['snapshot_load_seconds']}s"
-            if kind == SCALE_SCHEMA_V2
+            if kind in (SCALE_SCHEMA_V2, SCALE_SCHEMA_V3)
             else ""
         )
+        adaptive = ""
+        if kind == SCALE_SCHEMA_V3:
+            last = doc["sweep"][-1]
+            adaptive = (
+                f" mean_probes={last['mean_probes']}"
+                f" adaptive_recall@1={last['adaptive_recall_at_1']}"
+            )
         print(
             f"{path}: schema {kind} OK ({len(doc['sweep'])} rows, headline "
             f"m={head['m']} speedup={head['speedup']}x "
-            f"recall@1={head['recall_at_1']}{build}, "
+            f"recall@1={head['recall_at_1']}{build}{adaptive}, "
             f"simd_level={doc['context']['simd_level']})"
         )
     else:
+        blocks = doc.get("block_speedup") or {}
+        block = f", {len(blocks)} block speedups" if kind == SCHEMA else ""
         print(
             f"{path}: schema {kind} OK "
-            f"({len(doc['benchmarks'])} rows, {len(doc['speedup'])} speedups, "
-            f"simd_level={doc['context']['simd_level']})"
+            f"({len(doc['benchmarks'])} rows, {len(doc['speedup'])} speedups"
+            f"{block}, simd_level={doc['context']['simd_level']})"
         )
 
 
@@ -360,8 +529,8 @@ def main():
     ap.add_argument(
         "--check",
         metavar="FILE",
-        help="validate FILE against its declared schema (bench_kernels.v2 "
-        "or bench_scale.v1) and exit (no conversion)",
+        help="validate FILE against its declared schema (bench_kernels.v2/"
+        "v3 or bench_scale.v1/v2/v3) and exit (no conversion)",
     )
     args = ap.parse_args()
 
@@ -407,6 +576,7 @@ def main():
         },
         "benchmarks": benchmarks,
         "speedup": compute_speedups(benchmarks),
+        "block_speedup": compute_block_speedups(benchmarks),
     }
 
     errors = validate(doc)

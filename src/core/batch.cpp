@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <span>
 #include <thread>
 
 #include "hdc/kernels/packed_item_memory.hpp"
@@ -24,6 +25,49 @@ std::vector<FactorizeResult> BatchFactorizer::factorize_all(
   if (targets.empty()) return results;
 
   const std::size_t workers = effective_threads(targets.size());
+
+  if (!opts.multi_object) {
+    // Single-object batches route through Factorizer::factorize_block so
+    // each worker's slice shares one codebook stream per class (the blocked
+    // QueryBlockKernels scan). Slices are fixed contiguous ranges writing
+    // disjoint result slots, and factorize_block is bit-identical per
+    // target to factorize, so the determinism contract holds unchanged for
+    // every worker count.
+    const std::span<const hdc::Hypervector> all(targets);
+    if (workers == 1) {
+      return factorizer_->factorize_block(all, opts);
+    }
+    std::atomic<bool> slice_failed{false};
+    std::exception_ptr slice_error;
+    auto slice_work = [&](std::size_t begin, std::size_t end) {
+      const hdc::kernels::ScanNestingGuard nesting_guard;
+      try {
+        std::vector<FactorizeResult> part =
+            factorizer_->factorize_block(all.subspan(begin, end - begin), opts);
+        std::move(part.begin(), part.end(),
+                  results.begin() + static_cast<std::ptrdiff_t>(begin));
+      } catch (...) {
+        if (!slice_failed.exchange(true)) {
+          slice_error = std::current_exception();
+        }
+      }
+    };
+    const std::size_t base = targets.size() / workers;
+    const std::size_t extra = targets.size() % workers;
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    std::size_t begin = 0;
+    for (std::size_t w = 0; w + 1 < workers; ++w) {
+      const std::size_t end = begin + base + (w < extra ? 1 : 0);
+      pool.emplace_back(slice_work, begin, end);
+      begin = end;
+    }
+    slice_work(begin, targets.size());
+    for (auto& t : pool) t.join();
+    if (slice_error) std::rethrow_exception(slice_error);
+    return results;
+  }
+
   if (workers == 1) {
     for (std::size_t i = 0; i < targets.size(); ++i) {
       results[i] = factorizer_->factorize(targets[i], opts);

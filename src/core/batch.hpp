@@ -39,6 +39,14 @@ class BatchFactorizer {
 
   /// Factorizes every target with the same options; results are returned in
   /// input order. Propagates the first worker exception, if any.
+  ///
+  /// Single-object batches (!opts.multi_object) are partitioned into fixed
+  /// contiguous slices, one per worker, each running
+  /// Factorizer::factorize_block — the class-major blocked scan that streams
+  /// every level-1 codebook once per slice instead of once per target.
+  /// factorize_block is bit-identical per target to factorize, so results
+  /// (and the determinism contract above) are unchanged. Multi-object
+  /// batches keep the dynamic per-target work queue.
   /// \param targets Independent encoded targets (any mix of Rep 1/2/3).
   /// \param opts Options applied to every target.
   /// \return One FactorizeResult per target, in input order.

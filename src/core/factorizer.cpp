@@ -143,9 +143,18 @@ ClassFactorization Factorizer::factorize_class_single(
   std::uint64_t scanned = 0;
   const hdc::Match top = memories_[cls][0].best(unbound, mode, &scanned);
   sim_ops += scanned;
+  descend_class_single(unbound, cls, depth, top, cf, sim_ops);
+  return cf;
+}
+
+void Factorizer::descend_class_single(const hdc::Hypervector& unbound,
+                                      std::size_t cls, std::size_t depth,
+                                      const hdc::Match& top,
+                                      ClassFactorization& cf,
+                                      std::uint64_t& sim_ops) const {
   if (cf.null_similarity > top.similarity) {
     cf.present = false;  // the class is not part of the object
-    return cf;
+    return;
   }
   cf.present = true;
   cf.path.push_back(top.index);
@@ -164,7 +173,62 @@ ClassFactorization Factorizer::factorize_class_single(
     cf.path.push_back(m.index);
     cf.level_similarities.push_back(m.similarity);
   }
-  return cf;
+}
+
+std::vector<FactorizeResult> Factorizer::factorize_block(
+    std::span<const hdc::Hypervector> targets,
+    const FactorizeOptions& opts) const {
+  std::vector<FactorizeResult> results(targets.size());
+  if (targets.empty()) return results;
+  if (opts.multi_object) {
+    // The residual subtract-and-repeat loop is sequential per target;
+    // nothing to block across.
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      results[i] = factorize(targets[i], opts);
+    }
+    return results;
+  }
+  for (const hdc::Hypervector& target : targets) {
+    if (target.dim() != books_->dim()) {
+      throw std::invalid_argument("Factorizer: target dimension mismatch");
+    }
+  }
+  const std::vector<std::size_t> report_classes = resolve_classes(opts);
+  const std::size_t report_depth = resolve_depth(opts);
+  const hdc::ScanMode mode =
+      opts.exact_scan ? hdc::ScanMode::kExact : hdc::ScanMode::kDefault;
+
+  for (FactorizeResult& r : results) {
+    r.objects.emplace_back();
+    r.objects.front().classes.reserve(report_classes.size());
+  }
+
+  // Class-outer, target-inner: every target's class-cls unbinding is scanned
+  // against the class's level-1 codebook in one blocked pass, so the planes
+  // stream from memory once per batch. Deeper levels are per-target
+  // restricted best_among searches (a handful of rows each). sim_ops sums
+  // the exact same per-call counts as factorize, just in class-major order.
+  std::vector<hdc::Hypervector> unbound;
+  unbound.reserve(targets.size());
+  std::vector<std::uint64_t> scanned(targets.size());
+  for (std::size_t cls : report_classes) {
+    unbound.clear();
+    for (const hdc::Hypervector& target : targets) {
+      unbound.push_back(hdc::bind(target, books_->other_labels_key(cls)));
+    }
+    const std::vector<hdc::Match> tops =
+        memories_[cls][0].best_block(unbound, mode, scanned.data());
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      ClassFactorization cf;
+      cf.cls = cls;
+      cf.null_similarity = hdc::similarity(unbound[i], books_->null_hv());
+      results[i].similarity_ops += 1 + scanned[i];
+      descend_class_single(unbound[i], cls, report_depth, tops[i], cf,
+                           results[i].similarity_ops);
+      results[i].objects.front().classes.push_back(std::move(cf));
+    }
+  }
+  return results;
 }
 
 Factorizer::ClassCandidates Factorizer::collect_candidates(

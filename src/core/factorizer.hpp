@@ -30,6 +30,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -236,6 +237,25 @@ class Factorizer {
   [[nodiscard]] FactorizeResult factorize(const hdc::Hypervector& target,
                                           const FactorizeOptions& opts = {}) const;
 
+  /// Blocked batch variant of factorize(): one FactorizeResult per target,
+  /// in input order, each bit-identical (objects, similarity_ops, every
+  /// field) to the matching factorize(target, opts) call. Single-object
+  /// batches restructure the loop class-by-class so each class's level-1
+  /// codebook is scanned for the WHOLE batch in one blocked pass
+  /// (hdc::ItemMemory::best_block, kernels::QueryBlockKernels underneath) —
+  /// the codebook planes stream from memory once per batch instead of once
+  /// per target, which is where large-codebook batches spend their time.
+  /// Multi-object targets (whose residual loops are inherently sequential
+  /// per target) run plain factorize() per target.
+  /// \param targets Independent encoded targets.
+  /// \param opts Options applied to every target.
+  /// \return One result per target, in input order.
+  /// \throws std::invalid_argument On any target dimension mismatch or a
+  ///   selected class index out of range.
+  [[nodiscard]] std::vector<FactorizeResult> factorize_block(
+      std::span<const hdc::Hypervector> targets,
+      const FactorizeOptions& opts = {}) const;
+
   /// Convenience: single-object factorization of every class at full depth.
   /// \param target Encoded object HV.
   /// \return The single factorized object.
@@ -271,6 +291,16 @@ class Factorizer {
   [[nodiscard]] ClassFactorization factorize_class_single(
       const hdc::Hypervector& unbound, std::size_t cls, std::size_t depth,
       hdc::ScanMode mode, std::uint64_t& sim_ops) const;
+
+  /// Completes a single-object class factorization from its level-1 argmax
+  /// `top` — the NULL-vs-top decision plus the restricted level 2..depth
+  /// descent. Shared by factorize_class_single and factorize_block so the
+  /// blocked path is bit-identical to the per-target one by construction;
+  /// cf.cls and cf.null_similarity must already be set.
+  void descend_class_single(const hdc::Hypervector& unbound, std::size_t cls,
+                            std::size_t depth, const hdc::Match& top,
+                            ClassFactorization& cf,
+                            std::uint64_t& sim_ops) const;
 
   /// Multi-object thresholded candidate enumeration for one class; `mode`
   /// selects tiered vs exact level-1 `above` scans.

@@ -176,6 +176,39 @@ Match ItemMemory::best(const Hypervector& query, ScanMode mode,
   return m;
 }
 
+std::vector<Match> ItemMemory::best_block(std::span<const Hypervector> queries,
+                                          ScanMode mode,
+                                          std::uint64_t* scanned) const {
+  if (queries.empty()) return {};
+  // The one-pass blocked kernels need the packed planes, exact
+  // full-codebook semantics, and a packable alphabet for every query.
+  // Everything else takes the per-query path below — bit-identical by the
+  // kernels' contract, so this routing never changes a result.
+  if (packed_ && (!tiered_ || mode == ScanMode::kExact)) {
+    std::vector<PackedQuery> packed;
+    packed.reserve(queries.size());
+    for (const Hypervector& query : queries) {
+      auto q = packed_route(packed_, query);
+      if (!q) break;
+      packed.push_back(std::move(*q));
+    }
+    if (packed.size() == queries.size()) {
+      count(queries.size() * packed_->size());
+      if (scanned != nullptr) {
+        std::fill_n(scanned, queries.size(), packed_->size());
+      }
+      return packed_->best_block(packed);
+    }
+  }
+  std::vector<Match> out;
+  out.reserve(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    out.push_back(
+        best(queries[q], mode, scanned != nullptr ? scanned + q : nullptr));
+  }
+  return out;
+}
+
 Match ItemMemory::best_among(const Hypervector& query,
                              const std::vector<std::size_t>& indices) const {
   if (indices.empty()) {
@@ -241,6 +274,13 @@ std::vector<Match> ItemMemory::above_among(
 std::vector<Match> ItemMemory::top_k(const Hypervector& query, std::size_t k,
                                      ScanMode mode,
                                      std::uint64_t* scanned) const {
+  if (k == 0) {
+    // Nothing was asked for: answer without scanning (on every backend —
+    // the tiered path would otherwise risk its empty-bucket exact-scan
+    // fallback and charge a full-memory scan for an empty result).
+    if (scanned != nullptr) *scanned = 0;
+    return {};
+  }
   if (auto q = packed_route(packed_, query)) {
     if (tiered_ && mode == ScanMode::kDefault) {
       TieredItemMemory::ScanStats stats;

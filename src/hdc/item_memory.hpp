@@ -164,6 +164,29 @@ class ItemMemory {
                            ScanMode mode = ScanMode::kDefault,
                            std::uint64_t* scanned = nullptr) const;
 
+  /// Blocked variant of best(): one Match per query, in input order, each
+  /// bit-identical (index, similarity, tie order — and the per-query
+  /// measurement count) to the matching best(query, mode) call. When the
+  /// codebook is packed, the scan is an exact full scan (no tier index, or
+  /// `mode` is ScanMode::kExact), and every query's alphabet packs, the
+  /// whole block runs in ONE pass over the codebook planes through
+  /// kernels::QueryBlockKernels — the codebook streams from memory once per
+  /// block instead of once per query. Any other shape (tiered default scans,
+  /// integer-bundle queries, scalar backend) falls back to per-query best(),
+  /// so routing here is purely a performance decision.
+  /// \param queries Query HVs of the codebook's dimension.
+  /// \param mode Per-call accuracy override (tiered backend only).
+  /// \param scanned When non-null, must point at queries.size() entries;
+  ///   scanned[q] receives the measurement count of query q (exactly what
+  ///   best() would report for it).
+  /// \return One Match per query, in input order.
+  /// \throws std::invalid_argument On a dimension mismatch.
+  /// \throws std::out_of_range On an empty codebook.
+  [[nodiscard]] std::vector<Match> best_block(
+      std::span<const Hypervector> queries,
+      ScanMode mode = ScanMode::kDefault,
+      std::uint64_t* scanned = nullptr) const;
+
   /// Best match over a subset of indices (used for hierarchy-restricted
   /// searches: "only children of the already-factorized parent item").
   /// \param query Query HV of the codebook's dimension.

@@ -311,6 +311,7 @@ std::vector<Match> PackedItemMemory::above_among(
 std::vector<Match> PackedItemMemory::top_k(const PackedQuery& query,
                                            std::size_t k) const {
   require_query(query);
+  if (k == 0) return {};  // don't pay a full scan for an empty answer
   std::vector<std::int64_t> ds(size_);
   compute_dots(query, ds);
   std::vector<Match> all;
@@ -333,6 +334,286 @@ void PackedItemMemory::dots(const PackedQuery& query,
     throw std::invalid_argument("PackedItemMemory::dots: output size mismatch");
   }
   compute_dots(query, out);
+}
+
+namespace {
+
+// Rows per blocked-scan chunk: bounds the per-chunk dots scratch to
+// queries * 2 KiB while leaving the QueryBlockKernels register tiles plenty
+// of rows to amortize each query visit over.
+constexpr std::size_t kBlockChunkRows = 256;
+
+}  // namespace
+
+PackedItemMemory::BlockView PackedItemMemory::make_block_view(
+    std::span<const PackedQuery> queries) const {
+  BlockView view;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const PackedQuery& pq = queries[q];
+    if (pq.bipolar) {
+      view.bip.push_back(pq.sign.data());
+      view.bip_idx.push_back(q);
+    } else {
+      view.ter_nz.push_back(pq.nonzero.data());
+      view.ter_sg.push_back(pq.sign.data());
+      view.ter_idx.push_back(q);
+    }
+  }
+  return view;
+}
+
+void PackedItemMemory::block_dots_range(const BlockView& view,
+                                        std::size_t begin, std::size_t end,
+                                        std::int64_t* scratch) const {
+  const std::size_t count = end - begin;
+  const QueryBlockKernels& kernels = query_block_kernels(level_);
+  const std::uint64_t* rows = sign_ + begin * words_;
+  if (!view.bip.empty()) {
+    kernels.bipolar_rows(view.bip.data(), view.bip.size(), rows, count, words_,
+                         dim_, scratch);
+  }
+  if (!view.ter_nz.empty()) {
+    kernels.ternary_rows(view.ter_nz.data(), view.ter_sg.data(),
+                         view.ter_nz.size(), rows, count, words_,
+                         scratch + view.bip.size() * count);
+  }
+}
+
+std::vector<Match> PackedItemMemory::best_block(
+    std::span<const PackedQuery> queries) const {
+  for (const PackedQuery& q : queries) require_query(q);
+  const std::size_t nq = queries.size();
+  std::vector<Match> out(nq);
+  if (nq == 0) return out;
+  if (layout_ != Layout::kBipolar) {
+    // Ternary-layout rows have no query-block kernel; the per-query scans
+    // produce the same results without the amortization.
+    for (std::size_t q = 0; q < nq; ++q) out[q] = best(queries[q]);
+    return out;
+  }
+  const BlockView view = make_block_view(queries);
+  const auto orig_index = [&view](std::size_t slot) {
+    return slot < view.bip_idx.size()
+               ? view.bip_idx[slot]
+               : view.ter_idx[slot - view.bip_idx.size()];
+  };
+  // Running per-slot argmax over ascending row chunks; INT64_MIN is below
+  // any dot in [-dim, dim], so strict > keeps the first (lowest-index)
+  // maximum exactly like the single-query loop.
+  const auto reduce_range = [this, &view, nq](std::size_t range_begin,
+                                              std::size_t range_end,
+                                              std::int64_t* best_dot,
+                                              std::size_t* best_row) {
+    std::vector<std::int64_t> scratch(
+        nq * std::min<std::size_t>(kBlockChunkRows, range_end - range_begin));
+    for (std::size_t begin = range_begin; begin < range_end;
+         begin += kBlockChunkRows) {
+      const std::size_t end = std::min(range_end, begin + kBlockChunkRows);
+      const std::size_t count = end - begin;
+      block_dots_range(view, begin, end, scratch.data());
+      for (std::size_t t = 0; t < nq; ++t) {
+        const std::int64_t* d = scratch.data() + t * count;
+        std::int64_t bd = best_dot[t];
+        std::size_t br = best_row[t];
+        for (std::size_t i = 0; i < count; ++i) {
+          if (d[i] > bd) {
+            bd = d[i];
+            br = begin + i;
+          }
+        }
+        best_dot[t] = bd;
+        best_row[t] = br;
+      }
+    }
+  };
+  const std::size_t workers = scan_workers();
+  std::vector<std::int64_t> best_dot(nq, INT64_MIN);
+  std::vector<std::size_t> best_row(nq, 0);
+  if (workers <= 1) {
+    reduce_range(0, size_, best_dot.data(), best_row.data());
+  } else {
+    // Contiguous fixed row ranges, one per worker; merging in ascending
+    // range order with strict > reproduces the sequential argmax for any
+    // pool width.
+    const std::size_t chunk = (size_ + workers - 1) / workers;
+    const std::size_t slots = (size_ + chunk - 1) / chunk;
+    std::vector<std::vector<std::int64_t>> wdot(
+        slots, std::vector<std::int64_t>(nq, INT64_MIN));
+    std::vector<std::vector<std::size_t>> wrow(
+        slots, std::vector<std::size_t>(nq, 0));
+    std::vector<std::thread> pool;
+    pool.reserve(slots);
+    try {
+      for (std::size_t s = 0; s < slots; ++s) {
+        const std::size_t begin = s * chunk;
+        const std::size_t end = std::min(size_, begin + chunk);
+        pool.emplace_back([&reduce_range, &wdot, &wrow, s, begin, end] {
+          reduce_range(begin, end, wdot[s].data(), wrow[s].data());
+        });
+      }
+    } catch (...) {
+      for (auto& t : pool) t.join();
+      throw;
+    }
+    for (auto& t : pool) t.join();
+    for (std::size_t s = 0; s < slots; ++s) {
+      for (std::size_t t = 0; t < nq; ++t) {
+        if (wdot[s][t] > best_dot[t]) {
+          best_dot[t] = wdot[s][t];
+          best_row[t] = wrow[s][t];
+        }
+      }
+    }
+  }
+  for (std::size_t t = 0; t < nq; ++t) {
+    out[orig_index(t)] = {best_row[t], to_similarity(best_dot[t])};
+  }
+  return out;
+}
+
+std::vector<std::vector<Match>> PackedItemMemory::top_k_block(
+    std::span<const PackedQuery> queries, std::size_t k) const {
+  for (const PackedQuery& q : queries) require_query(q);
+  const std::size_t nq = queries.size();
+  std::vector<std::vector<Match>> out(nq);
+  if (nq == 0 || k == 0) return out;  // k = 0: nothing to scan for
+  if (layout_ != Layout::kBipolar) {
+    for (std::size_t q = 0; q < nq; ++q) out[q] = top_k(queries[q], k);
+    return out;
+  }
+  const std::size_t keep = std::min(k, size_);
+  const BlockView view = make_block_view(queries);
+  const auto orig_index = [&view](std::size_t slot) {
+    return slot < view.bip_idx.size()
+               ? view.bip_idx[slot]
+               : view.ter_idx[slot - view.bip_idx.size()];
+  };
+  // Candidate lists pruned to `keep` by the canonical match_order after
+  // every chunk: selection by a total order, so the survivors — and their
+  // final sorted order — are identical to the single-query materialize +
+  // partial_sort at any chunking or thread count.
+  const auto prune = [keep](std::vector<Match>& cand) {
+    if (cand.size() <= keep) return;
+    std::partial_sort(cand.begin(),
+                      cand.begin() + static_cast<std::ptrdiff_t>(keep),
+                      cand.end(), match_order);
+    cand.resize(keep);
+  };
+  const auto reduce_range = [this, &view, nq, &prune](
+                                std::size_t range_begin, std::size_t range_end,
+                                std::vector<std::vector<Match>>& cand) {
+    std::vector<std::int64_t> scratch(
+        nq * std::min<std::size_t>(kBlockChunkRows, range_end - range_begin));
+    for (std::size_t begin = range_begin; begin < range_end;
+         begin += kBlockChunkRows) {
+      const std::size_t end = std::min(range_end, begin + kBlockChunkRows);
+      const std::size_t count = end - begin;
+      block_dots_range(view, begin, end, scratch.data());
+      for (std::size_t t = 0; t < nq; ++t) {
+        const std::int64_t* d = scratch.data() + t * count;
+        for (std::size_t i = 0; i < count; ++i) {
+          cand[t].push_back({begin + i, to_similarity(d[i])});
+        }
+        prune(cand[t]);
+      }
+    }
+  };
+  const std::size_t workers = scan_workers();
+  std::vector<std::vector<Match>> cand(nq);
+  if (workers <= 1) {
+    reduce_range(0, size_, cand);
+  } else {
+    const std::size_t chunk = (size_ + workers - 1) / workers;
+    const std::size_t slots = (size_ + chunk - 1) / chunk;
+    std::vector<std::vector<std::vector<Match>>> wcand(
+        slots, std::vector<std::vector<Match>>(nq));
+    std::vector<std::thread> pool;
+    pool.reserve(slots);
+    try {
+      for (std::size_t s = 0; s < slots; ++s) {
+        const std::size_t begin = s * chunk;
+        const std::size_t end = std::min(size_, begin + chunk);
+        pool.emplace_back([&reduce_range, &wcand, s, begin, end] {
+          reduce_range(begin, end, wcand[s]);
+        });
+      }
+    } catch (...) {
+      for (auto& t : pool) t.join();
+      throw;
+    }
+    for (auto& t : pool) t.join();
+    for (std::size_t s = 0; s < slots; ++s) {
+      for (std::size_t t = 0; t < nq; ++t) {
+        cand[t].insert(cand[t].end(), wcand[s][t].begin(), wcand[s][t].end());
+      }
+    }
+  }
+  for (std::size_t t = 0; t < nq; ++t) {
+    std::sort(cand[t].begin(), cand[t].end(), match_order);
+    cand[t].resize(std::min(keep, cand[t].size()));
+    out[orig_index(t)] = std::move(cand[t]);
+  }
+  return out;
+}
+
+void PackedItemMemory::dots_block(std::span<const PackedQuery> queries,
+                                  std::span<std::int64_t> out) const {
+  for (const PackedQuery& q : queries) require_query(q);
+  const std::size_t nq = queries.size();
+  if (out.size() != nq * size_) {
+    throw std::invalid_argument(
+        "PackedItemMemory::dots_block: output size mismatch");
+  }
+  if (nq == 0) return;
+  if (layout_ != Layout::kBipolar) {
+    for (std::size_t q = 0; q < nq; ++q) {
+      compute_dots(queries[q], out.subspan(q * size_, size_));
+    }
+    return;
+  }
+  const BlockView view = make_block_view(queries);
+  const bool uniform = view.bip.empty() || view.ter_nz.empty();
+  const std::size_t workers = scan_workers();
+  if (workers <= 1 && uniform) {
+    // One alphabet in query order: the kernel's query-major layout with
+    // count = size() is exactly `out` — no scratch, no copy.
+    block_dots_range(view, 0, size_, out.data());
+    return;
+  }
+  const auto orig_index = [&view](std::size_t slot) {
+    return slot < view.bip_idx.size()
+               ? view.bip_idx[slot]
+               : view.ter_idx[slot - view.bip_idx.size()];
+  };
+  // Mixed alphabets or a threaded scan: per-range scratch in the kernel's
+  // (slot, range) layout, copied out to each slot's query-order row span.
+  const auto fill_range = [this, &view, nq, out, &orig_index](
+                              std::size_t begin, std::size_t end) {
+    const std::size_t count = end - begin;
+    std::vector<std::int64_t> scratch(nq * count);
+    block_dots_range(view, begin, end, scratch.data());
+    for (std::size_t t = 0; t < nq; ++t) {
+      std::copy_n(scratch.data() + t * count, count,
+                  out.data() + orig_index(t) * size_ + begin);
+    }
+  };
+  if (workers <= 1) {
+    fill_range(0, size_);
+    return;
+  }
+  const std::size_t chunk = (size_ + workers - 1) / workers;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  try {
+    for (std::size_t begin = 0; begin < size_; begin += chunk) {
+      const std::size_t end = std::min(size_, begin + chunk);
+      pool.emplace_back([&fill_range, begin, end] { fill_range(begin, end); });
+    }
+  } catch (...) {
+    for (auto& t : pool) t.join();
+    throw;
+  }
+  for (auto& t : pool) t.join();
 }
 
 Match PackedItemMemory::best(const Hypervector& query) const {

@@ -182,6 +182,41 @@ class PackedItemMemory {
   /// \throws std::invalid_argument On dimension or output-size mismatch.
   void dots(const PackedQuery& query, std::span<std::int64_t> out) const;
 
+  // --- Multi-query blocked scans (the micro-batch hot path) ---------------
+  // Scan a whole block of packed queries in one pass over the codebook via
+  // the QueryBlockKernels loop nest (simd.hpp): row blocks stay
+  // cache-resident while every query of the block visits them, so a grouped
+  // batch streams the planes once per block instead of once per query.
+  // Queries are grouped by alphabet internally (one kernel pass per
+  // alphabet), so mixed blocks amortize too; ternary-layout codebooks fall
+  // back to per-query scans (same results, no amortization). Results are
+  // bit-identical to calling the single-query overloads per query — same
+  // argmax tie rule, same hdc::match_order ordering — at any block size.
+
+  /// best() for every query of the block.
+  /// \param queries Packed queries; each must match dim().
+  /// \return One Match per query, in query order.
+  /// \throws std::invalid_argument On any query dimension mismatch.
+  [[nodiscard]] std::vector<Match> best_block(
+      std::span<const PackedQuery> queries) const;
+
+  /// top_k() for every query of the block; k is clamped to size().
+  /// \param queries Packed queries; each must match dim().
+  /// \param k Maximum number of matches per query (0 returns empty lists
+  ///   without scanning).
+  /// \return One canonical-order match list per query, in query order.
+  /// \throws std::invalid_argument On any query dimension mismatch.
+  [[nodiscard]] std::vector<std::vector<Match>> top_k_block(
+      std::span<const PackedQuery> queries, std::size_t k) const;
+
+  /// dots() for every query of the block, query-major.
+  /// \param queries Packed queries; each must match dim().
+  /// \param out Destination; out[q * size() + row] = dot(query q, row).
+  ///   `out.size()` must equal queries.size() * size().
+  /// \throws std::invalid_argument On dimension or output-size mismatch.
+  void dots_block(std::span<const PackedQuery> queries,
+                  std::span<std::int64_t> out) const;
+
   // --- Per-row primitives (the TieredItemMemory candidate-scan surface) ---
 
   /// Exact integer dot of codebook row `row` with the packed query — the
@@ -239,6 +274,26 @@ class PackedItemMemory {
   void dots(const Hypervector& query, std::span<std::int64_t> out) const;
 
  private:
+  /// Query block regrouped by alphabet for the QueryBlockKernels loop nest:
+  /// one plane-pointer array per alphabet plus the original query index of
+  /// each subgroup entry, so reductions map kernel output back to query
+  /// order.
+  struct BlockView {
+    std::vector<const std::uint64_t*> bip;  ///< bipolar sign planes
+    std::vector<std::size_t> bip_idx;       ///< their original query indices
+    std::vector<const std::uint64_t*> ter_nz;  ///< ternary nonzero planes
+    std::vector<const std::uint64_t*> ter_sg;  ///< ternary sign planes
+    std::vector<std::size_t> ter_idx;          ///< their original indices
+  };
+  [[nodiscard]] BlockView make_block_view(
+      std::span<const PackedQuery> queries) const;
+  /// Runs the query-block kernels for rows [begin, end): fills
+  /// scratch[t * (end - begin) + (row - begin)] for subgroup slot `t`
+  /// (bipolar slots first, then ternary), mirroring BlockView order.
+  /// `scratch` must hold queries.size() * (end - begin) entries.
+  void block_dots_range(const BlockView& view, std::size_t begin,
+                        std::size_t end, std::int64_t* scratch) const;
+
   /// Exact integer dot of codebook row `row` with the packed query.
   [[nodiscard]] std::int64_t row_dot(std::size_t row,
                                      const PackedQuery& query) const noexcept;

@@ -107,6 +107,30 @@ void batch_bt_scalar(const std::uint64_t* q_nz, const std::uint64_t* q_sg,
 
 constexpr BatchDotKernels kScalarBatchKernels{batch_bb_scalar, batch_bt_scalar};
 
+// Query-block tier reference: the per-query batch loops applied in query
+// order. Every blocked loop nest must reproduce these integers exactly.
+
+void block_bb_scalar(const std::uint64_t* const* queries, std::size_t nq,
+                     const std::uint64_t* rows, std::size_t count,
+                     std::size_t words, std::size_t dim,
+                     std::int64_t* out) noexcept {
+  for (std::size_t q = 0; q < nq; ++q) {
+    batch_bb_scalar(queries[q], rows, count, words, dim, out + q * count);
+  }
+}
+
+void block_bt_scalar(const std::uint64_t* const* q_nz,
+                     const std::uint64_t* const* q_sg, std::size_t nq,
+                     const std::uint64_t* rows, std::size_t count,
+                     std::size_t words, std::int64_t* out) noexcept {
+  for (std::size_t q = 0; q < nq; ++q) {
+    batch_bt_scalar(q_nz[q], q_sg[q], rows, count, words, out + q * count);
+  }
+}
+
+constexpr QueryBlockKernels kScalarQueryBlockKernels{block_bb_scalar,
+                                                     block_bt_scalar};
+
 #if FACTORHD_X86_SIMD
 
 // GCC 12 flags the intentionally-undefined vectors inside the AVX-512
@@ -358,6 +382,43 @@ __attribute__((target("avx2"))) void batch_bt_avx2(
 constexpr DotKernels kAVX2Kernels{dot_bb_avx2, dot_bt_avx2, dot_tt_avx2,
                                   pack_planes_avx2};
 constexpr BatchDotKernels kAVX2BatchKernels{batch_bb_avx2, batch_bt_avx2};
+
+// Blocked loops: cache blocking only. A 64-row chunk (up to 64 KiB of
+// planes at D=8192) stays L1/L2-resident while every query of the block
+// visits it, so the codebook streams from memory once per chunk instead of
+// once per query. Within a chunk the per-query batch loops run unchanged —
+// the same integers in the same row order, just a different visit order.
+
+__attribute__((target("avx2"))) void block_bb_avx2(
+    const std::uint64_t* const* queries, std::size_t nq,
+    const std::uint64_t* rows, std::size_t count, std::size_t words,
+    std::size_t dim, std::int64_t* out) noexcept {
+  constexpr std::size_t kChunkRows = 64;
+  for (std::size_t i = 0; i < count; i += kChunkRows) {
+    const std::size_t c = std::min(kChunkRows, count - i);
+    for (std::size_t q = 0; q < nq; ++q) {
+      batch_bb_avx2(queries[q], rows + i * words, c, words, dim,
+                    out + q * count + i);
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void block_bt_avx2(
+    const std::uint64_t* const* q_nz, const std::uint64_t* const* q_sg,
+    std::size_t nq, const std::uint64_t* rows, std::size_t count,
+    std::size_t words, std::int64_t* out) noexcept {
+  constexpr std::size_t kChunkRows = 64;
+  for (std::size_t i = 0; i < count; i += kChunkRows) {
+    const std::size_t c = std::min(kChunkRows, count - i);
+    for (std::size_t q = 0; q < nq; ++q) {
+      batch_bt_avx2(q_nz[q], q_sg[q], rows + i * words, c, words,
+                    out + q * count + i);
+    }
+  }
+}
+
+constexpr QueryBlockKernels kAVX2QueryBlockKernels{block_bb_avx2,
+                                                   block_bt_avx2};
 
 // --- AVX-512 tier -----------------------------------------------------------
 // Native 64-bit-lane popcount (VPOPCNTQ, requires AVX512VPOPCNTDQ) over 8
@@ -673,6 +734,233 @@ constexpr DotKernels kAVX512Kernels{dot_bb_avx512, dot_bt_avx512,
 constexpr BatchDotKernels kAVX512BatchKernels{batch_bb_avx512,
                                               batch_bt_avx512};
 
+// Blocked loops: 2-query x 8-row register tile. Each 8-row block's plane
+// words are loaded once per query pair and shared by both queries' popcount
+// chains, and the row blocks stay L1-resident across the whole query loop —
+// the codebook streams from memory once per block pass instead of once per
+// query. Row remainders fall back to the per-query batch loops, query
+// remainders to a single-query 8-row tile; both produce the same integers,
+// so any (count, nq) is bit-identical to the per-query path.
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) void block_bb_avx512(
+    const std::uint64_t* const* queries, std::size_t nq,
+    const std::uint64_t* rows, std::size_t count, std::size_t words,
+    std::size_t dim, std::int64_t* out) noexcept {
+  const __m512i vdim = _mm512_set1_epi64(static_cast<std::int64_t>(dim));
+  const auto tail = static_cast<__mmask8>((1u << (words % 8)) - 1);
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const std::uint64_t* r = rows + i * words;
+    std::size_t q = 0;
+    for (; q + 2 <= nq; q += 2) {
+      const std::uint64_t* q0 = queries[q];
+      const std::uint64_t* q1 = queries[q + 1];
+      __m512i a0[8];
+      __m512i a1[8];
+      for (std::size_t j = 0; j < 8; ++j) {
+        a0[j] = _mm512_setzero_si512();
+        a1[j] = _mm512_setzero_si512();
+      }
+      std::size_t w = 0;
+      for (; w + 8 <= words; w += 8) {
+        const __m512i v0 = _mm512_loadu_si512(q0 + w);
+        const __m512i v1 = _mm512_loadu_si512(q1 + w);
+        for (std::size_t j = 0; j < 8; ++j) {
+          const __m512i rv = _mm512_loadu_si512(r + j * words + w);
+          a0[j] = _mm512_add_epi64(
+              a0[j], _mm512_popcnt_epi64(_mm512_xor_si512(v0, rv)));
+          a1[j] = _mm512_add_epi64(
+              a1[j], _mm512_popcnt_epi64(_mm512_xor_si512(v1, rv)));
+        }
+      }
+      if (w < words) {
+        const __m512i v0 = _mm512_maskz_loadu_epi64(tail, q0 + w);
+        const __m512i v1 = _mm512_maskz_loadu_epi64(tail, q1 + w);
+        for (std::size_t j = 0; j < 8; ++j) {
+          const __m512i rv = _mm512_maskz_loadu_epi64(tail, r + j * words + w);
+          a0[j] = _mm512_add_epi64(
+              a0[j], _mm512_popcnt_epi64(_mm512_xor_si512(v0, rv)));
+          a1[j] = _mm512_add_epi64(
+              a1[j], _mm512_popcnt_epi64(_mm512_xor_si512(v1, rv)));
+        }
+      }
+      const __m512i h0 = hsum8_epi64_avx512(a0[0], a0[1], a0[2], a0[3], a0[4],
+                                            a0[5], a0[6], a0[7]);
+      const __m512i h1 = hsum8_epi64_avx512(a1[0], a1[1], a1[2], a1[3], a1[4],
+                                            a1[5], a1[6], a1[7]);
+      _mm512_storeu_si512(out + q * count + i,
+                          _mm512_sub_epi64(vdim, _mm512_add_epi64(h0, h0)));
+      _mm512_storeu_si512(out + (q + 1) * count + i,
+                          _mm512_sub_epi64(vdim, _mm512_add_epi64(h1, h1)));
+    }
+    if (q < nq) {
+      const std::uint64_t* qp = queries[q];
+      __m512i acc[8];
+      for (std::size_t j = 0; j < 8; ++j) acc[j] = _mm512_setzero_si512();
+      std::size_t w = 0;
+      for (; w + 8 <= words; w += 8) {
+        const __m512i qv = _mm512_loadu_si512(qp + w);
+        for (std::size_t j = 0; j < 8; ++j) {
+          acc[j] = _mm512_add_epi64(
+              acc[j], _mm512_popcnt_epi64(_mm512_xor_si512(
+                          qv, _mm512_loadu_si512(r + j * words + w))));
+        }
+      }
+      if (w < words) {
+        const __m512i qv = _mm512_maskz_loadu_epi64(tail, qp + w);
+        for (std::size_t j = 0; j < 8; ++j) {
+          acc[j] = _mm512_add_epi64(
+              acc[j],
+              _mm512_popcnt_epi64(_mm512_xor_si512(
+                  qv, _mm512_maskz_loadu_epi64(tail, r + j * words + w))));
+        }
+      }
+      const __m512i h = hsum8_epi64_avx512(acc[0], acc[1], acc[2], acc[3],
+                                           acc[4], acc[5], acc[6], acc[7]);
+      _mm512_storeu_si512(out + q * count + i,
+                          _mm512_sub_epi64(vdim, _mm512_add_epi64(h, h)));
+    }
+  }
+  if (i < count) {
+    for (std::size_t q = 0; q < nq; ++q) {
+      batch_bb_avx512(queries[q], rows + i * words, count - i, words, dim,
+                      out + q * count + i);
+    }
+  }
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) void block_bt_avx512(
+    const std::uint64_t* const* q_nz, const std::uint64_t* const* q_sg,
+    std::size_t nq, const std::uint64_t* rows, std::size_t count,
+    std::size_t words, std::int64_t* out) noexcept {
+  // The support term Σ popcount(q_nz) is row-independent; hoist it per query
+  // into a fixed stack buffer, processing queries in groups so the kernel
+  // stays allocation-free at any nq.
+  constexpr std::size_t kGroup = 64;
+  const auto tail = static_cast<__mmask8>((1u << (words % 8)) - 1);
+  std::int64_t support[kGroup];
+  for (std::size_t qb = 0; qb < nq; qb += kGroup) {
+    const std::size_t qn = std::min(kGroup, nq - qb);
+    for (std::size_t t = 0; t < qn; ++t) {
+      const std::uint64_t* nzp = q_nz[qb + t];
+      __m512i acc = _mm512_setzero_si512();
+      std::size_t w = 0;
+      for (; w + 8 <= words; w += 8) {
+        acc = _mm512_add_epi64(acc,
+                               _mm512_popcnt_epi64(_mm512_loadu_si512(nzp + w)));
+      }
+      if (w < words) {
+        acc = _mm512_add_epi64(
+            acc, _mm512_popcnt_epi64(_mm512_maskz_loadu_epi64(tail, nzp + w)));
+      }
+      support[t] = _mm512_reduce_add_epi64(acc);
+    }
+    std::size_t i = 0;
+    for (; i + 8 <= count; i += 8) {
+      const std::uint64_t* r = rows + i * words;
+      std::size_t t = 0;
+      for (; t + 2 <= qn; t += 2) {
+        const std::uint64_t* nz0 = q_nz[qb + t];
+        const std::uint64_t* sg0 = q_sg[qb + t];
+        const std::uint64_t* nz1 = q_nz[qb + t + 1];
+        const std::uint64_t* sg1 = q_sg[qb + t + 1];
+        __m512i a0[8];
+        __m512i a1[8];
+        for (std::size_t j = 0; j < 8; ++j) {
+          a0[j] = _mm512_setzero_si512();
+          a1[j] = _mm512_setzero_si512();
+        }
+        std::size_t w = 0;
+        for (; w + 8 <= words; w += 8) {
+          const __m512i vn0 = _mm512_loadu_si512(nz0 + w);
+          const __m512i vs0 = _mm512_loadu_si512(sg0 + w);
+          const __m512i vn1 = _mm512_loadu_si512(nz1 + w);
+          const __m512i vs1 = _mm512_loadu_si512(sg1 + w);
+          for (std::size_t j = 0; j < 8; ++j) {
+            const __m512i rv = _mm512_loadu_si512(r + j * words + w);
+            a0[j] = _mm512_add_epi64(
+                a0[j], _mm512_popcnt_epi64(_mm512_and_si512(
+                           _mm512_xor_si512(rv, vs0), vn0)));
+            a1[j] = _mm512_add_epi64(
+                a1[j], _mm512_popcnt_epi64(_mm512_and_si512(
+                           _mm512_xor_si512(rv, vs1), vn1)));
+          }
+        }
+        if (w < words) {
+          const __m512i vn0 = _mm512_maskz_loadu_epi64(tail, nz0 + w);
+          const __m512i vs0 = _mm512_maskz_loadu_epi64(tail, sg0 + w);
+          const __m512i vn1 = _mm512_maskz_loadu_epi64(tail, nz1 + w);
+          const __m512i vs1 = _mm512_maskz_loadu_epi64(tail, sg1 + w);
+          for (std::size_t j = 0; j < 8; ++j) {
+            const __m512i rv =
+                _mm512_maskz_loadu_epi64(tail, r + j * words + w);
+            a0[j] = _mm512_add_epi64(
+                a0[j], _mm512_popcnt_epi64(_mm512_and_si512(
+                           _mm512_xor_si512(rv, vs0), vn0)));
+            a1[j] = _mm512_add_epi64(
+                a1[j], _mm512_popcnt_epi64(_mm512_and_si512(
+                           _mm512_xor_si512(rv, vs1), vn1)));
+          }
+        }
+        const __m512i h0 = hsum8_epi64_avx512(a0[0], a0[1], a0[2], a0[3],
+                                              a0[4], a0[5], a0[6], a0[7]);
+        const __m512i h1 = hsum8_epi64_avx512(a1[0], a1[1], a1[2], a1[3],
+                                              a1[4], a1[5], a1[6], a1[7]);
+        const __m512i vsup0 = _mm512_set1_epi64(support[t]);
+        const __m512i vsup1 = _mm512_set1_epi64(support[t + 1]);
+        _mm512_storeu_si512(out + (qb + t) * count + i,
+                            _mm512_sub_epi64(vsup0, _mm512_add_epi64(h0, h0)));
+        _mm512_storeu_si512(out + (qb + t + 1) * count + i,
+                            _mm512_sub_epi64(vsup1, _mm512_add_epi64(h1, h1)));
+      }
+      if (t < qn) {
+        const std::uint64_t* nzp = q_nz[qb + t];
+        const std::uint64_t* sgp = q_sg[qb + t];
+        __m512i acc[8];
+        for (std::size_t j = 0; j < 8; ++j) acc[j] = _mm512_setzero_si512();
+        std::size_t w = 0;
+        for (; w + 8 <= words; w += 8) {
+          const __m512i vn = _mm512_loadu_si512(nzp + w);
+          const __m512i vs = _mm512_loadu_si512(sgp + w);
+          for (std::size_t j = 0; j < 8; ++j) {
+            acc[j] = _mm512_add_epi64(
+                acc[j], _mm512_popcnt_epi64(_mm512_and_si512(
+                            _mm512_xor_si512(
+                                _mm512_loadu_si512(r + j * words + w), vs),
+                            vn)));
+          }
+        }
+        if (w < words) {
+          const __m512i vn = _mm512_maskz_loadu_epi64(tail, nzp + w);
+          const __m512i vs = _mm512_maskz_loadu_epi64(tail, sgp + w);
+          for (std::size_t j = 0; j < 8; ++j) {
+            acc[j] = _mm512_add_epi64(
+                acc[j],
+                _mm512_popcnt_epi64(_mm512_and_si512(
+                    _mm512_xor_si512(
+                        _mm512_maskz_loadu_epi64(tail, r + j * words + w), vs),
+                    vn)));
+          }
+        }
+        const __m512i h = hsum8_epi64_avx512(acc[0], acc[1], acc[2], acc[3],
+                                             acc[4], acc[5], acc[6], acc[7]);
+        const __m512i vsup = _mm512_set1_epi64(support[t]);
+        _mm512_storeu_si512(out + (qb + t) * count + i,
+                            _mm512_sub_epi64(vsup, _mm512_add_epi64(h, h)));
+      }
+    }
+    if (i < count) {
+      for (std::size_t t = 0; t < qn; ++t) {
+        batch_bt_avx512(q_nz[qb + t], q_sg[qb + t], rows + i * words,
+                        count - i, words, out + (qb + t) * count + i);
+      }
+    }
+  }
+}
+
+constexpr QueryBlockKernels kAVX512QueryBlockKernels{block_bb_avx512,
+                                                     block_bt_avx512};
+
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic pop
 #endif
@@ -780,6 +1068,40 @@ void batch_bt_neon(const std::uint64_t* q_nz, const std::uint64_t* q_sg,
 }
 
 constexpr BatchDotKernels kNEONBatchKernels{batch_bb_neon, batch_bt_neon};
+
+// Blocked loops: cache blocking over 64-row chunks, as in the AVX2 tier —
+// the per-query NEON batch loops run unchanged within each chunk.
+
+void block_bb_neon(const std::uint64_t* const* queries, std::size_t nq,
+                   const std::uint64_t* rows, std::size_t count,
+                   std::size_t words, std::size_t dim,
+                   std::int64_t* out) noexcept {
+  constexpr std::size_t kChunkRows = 64;
+  for (std::size_t i = 0; i < count; i += kChunkRows) {
+    const std::size_t c = std::min(kChunkRows, count - i);
+    for (std::size_t q = 0; q < nq; ++q) {
+      batch_bb_neon(queries[q], rows + i * words, c, words, dim,
+                    out + q * count + i);
+    }
+  }
+}
+
+void block_bt_neon(const std::uint64_t* const* q_nz,
+                   const std::uint64_t* const* q_sg, std::size_t nq,
+                   const std::uint64_t* rows, std::size_t count,
+                   std::size_t words, std::int64_t* out) noexcept {
+  constexpr std::size_t kChunkRows = 64;
+  for (std::size_t i = 0; i < count; i += kChunkRows) {
+    const std::size_t c = std::min(kChunkRows, count - i);
+    for (std::size_t q = 0; q < nq; ++q) {
+      batch_bt_neon(q_nz[q], q_sg[q], rows + i * words, c, words,
+                    out + q * count + i);
+    }
+  }
+}
+
+constexpr QueryBlockKernels kNEONQueryBlockKernels{block_bb_neon,
+                                                   block_bt_neon};
 
 #endif  // FACTORHD_NEON_SIMD
 
@@ -892,6 +1214,25 @@ const BatchDotKernels& batch_dot_kernels(SimdLevel level) noexcept {
 #endif
     default:
       return kScalarBatchKernels;  // same aliasing rule as dot_kernels()
+  }
+}
+
+const QueryBlockKernels& query_block_kernels(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::kScalarWords:
+      return kScalarQueryBlockKernels;
+#if FACTORHD_X86_SIMD
+    case SimdLevel::kAVX2:
+      return kAVX2QueryBlockKernels;
+    case SimdLevel::kAVX512:
+      return kAVX512QueryBlockKernels;
+#endif
+#if FACTORHD_NEON_SIMD
+    case SimdLevel::kNEON:
+      return kNEONQueryBlockKernels;
+#endif
+    default:
+      return kScalarQueryBlockKernels;  // same aliasing rule as dot_kernels()
   }
 }
 

@@ -133,4 +133,38 @@ struct BatchDotKernels {
 [[nodiscard]] const BatchDotKernels& batch_dot_kernels(
     SimdLevel level) noexcept;
 
+/// Multi-query blocked scan kernels: Q queries against a contiguous
+/// row-major bipolar plane buffer in ONE pass over the rows, GEMM-style.
+///
+/// The single-query batch loops above re-stream the whole codebook from
+/// memory for every query in a micro-batch; once the planes spill L2 that
+/// stream dominates the scan. These kernels invert the loop nest — row
+/// blocks stay register/L1-resident while every query visits them — so a
+/// grouped batch pays the codebook memory traffic once per block instead of
+/// once per query. Queries are passed as a pointer array (one plane pointer
+/// per query, each `words` long with canonical tails); results land
+/// query-major: out[q * count + i] = dot(query q, row i).
+///
+/// Every tier computes the exact same integers as calling the matching
+/// BatchDotKernels entry per query — bit-identical across levels and block
+/// sizes (tests/test_kernel_fuzz.cpp pins blocked == per-query per tier).
+struct QueryBlockKernels {
+  /// out[q * count + i] = bipolar×bipolar dot of queries[q] against row i.
+  void (*bipolar_rows)(const std::uint64_t* const* queries, std::size_t nq,
+                       const std::uint64_t* rows, std::size_t count,
+                       std::size_t words, std::size_t dim,
+                       std::int64_t* out) noexcept;
+  /// out[q * count + i] = dot of ternary query q (q_nz[q], q_sg[q] plane
+  /// pairs) against bipolar row i.
+  void (*ternary_rows)(const std::uint64_t* const* q_nz,
+                       const std::uint64_t* const* q_sg, std::size_t nq,
+                       const std::uint64_t* rows, std::size_t count,
+                       std::size_t words, std::int64_t* out) noexcept;
+};
+
+/// Query-block kernel table for `level`; same aliasing rule as
+/// dot_kernels().
+[[nodiscard]] const QueryBlockKernels& query_block_kernels(
+    SimdLevel level) noexcept;
+
 }  // namespace factorhd::hdc::kernels

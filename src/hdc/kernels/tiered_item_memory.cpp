@@ -28,6 +28,15 @@ constexpr std::size_t kScreenMinWords = 16;
 // spawn+join.
 constexpr std::size_t kParallelAssignMinRows = 1024;
 
+// Adaptive probing margin, in units of the centroid-dot noise standard
+// deviation sqrt(dim) (a random +-1 query against a random bipolar centroid
+// has dot stddev sqrt(dim)). A centroid scoring within this many sigma of
+// the stage-1 winner is still a plausible home for the true match, so its
+// bucket is probed; everything further behind is dropped once the floor is
+// satisfied. 3 sigma keeps the false-drop probability per bucket below
+// ~1e-3 while letting confident queries stop at the floor.
+constexpr double kAdaptiveMarginSigma = 3.0;
+
 // Runs fn(begin, end) over fixed contiguous blocks of [0, n), one block per
 // worker. Every call writes a disjoint output slice and each element depends
 // only on its own index, so the result is bit-identical for every worker
@@ -65,6 +74,10 @@ TieredConfig tiered_config_from_env() {
       util::env_size_t("FACTORHD_TIERED_CLUSTERS", 0, 0, std::size_t{1} << 24);
   cfg.nprobe =
       util::env_size_t("FACTORHD_TIERED_NPROBE", 0, 0, std::size_t{1} << 24);
+  cfg.nprobe_min = util::env_size_t("FACTORHD_TIERED_NPROBE_MIN", 0, 0,
+                                    std::size_t{1} << 24);
+  cfg.nprobe_max = util::env_size_t("FACTORHD_TIERED_NPROBE_MAX", 0, 0,
+                                    std::size_t{1} << 24);
   cfg.build_threads =
       util::env_size_t("FACTORHD_TIERED_BUILD_THREADS", 0, 0, 256);
   return cfg;
@@ -94,7 +107,8 @@ TieredItemMemory::TieredItemMemory(
 TieredItemMemory::TieredItemMemory(
     std::shared_ptr<const PackedItemMemory> rows,
     std::shared_ptr<const PackedItemMemory> centroids, std::size_t nprobe,
-    std::vector<std::size_t> member_rows, std::vector<std::size_t> cluster_begin)
+    std::vector<std::size_t> member_rows, std::vector<std::size_t> cluster_begin,
+    std::size_t nprobe_min, std::size_t nprobe_max)
     : rows_(std::move(rows)),
       centroids_(std::move(centroids)),
       member_rows_(std::move(member_rows)),
@@ -111,6 +125,13 @@ TieredItemMemory::TieredItemMemory(
         "TieredItemMemory: centroid memory incompatible with row memory");
   }
   nprobe_ = std::clamp<std::size_t>(nprobe, 1, k);
+  if (nprobe_max > 0) {
+    // Same resolution as build(): floor <= ceiling, both in [1, K].
+    nprobe_min_ = nprobe_min == 0 ? std::max<std::size_t>(1, nprobe_ / 8)
+                                  : std::min(nprobe_min, k);
+    nprobe_max_ =
+        std::max(nprobe_min_, std::clamp<std::size_t>(nprobe_max, 1, k));
+  }
   if (cluster_begin_.size() != k + 1 || cluster_begin_.front() != 0 ||
       cluster_begin_.back() != m) {
     throw std::invalid_argument("TieredItemMemory: malformed cluster offsets");
@@ -245,6 +266,18 @@ void TieredItemMemory::build(const TieredConfig& config) {
   k = std::clamp<std::size_t>(k, 1, m);
   nprobe_ = config.nprobe == 0 ? std::max<std::size_t>(1, k / 16)
                                : std::min(config.nprobe, k);
+  if (config.nprobe_max > 0) {
+    // Adaptive probing: resolve floor <= ceiling, both in [1, K]. An auto
+    // floor of nprobe/8 keeps confident queries ~8x cheaper than the fixed
+    // default while the margin rule escalates ambiguous ones. A floor of K
+    // (the ceiling is raised to meet it) makes every scan exact — the same
+    // verification bound as nprobe >= K.
+    nprobe_min_ = config.nprobe_min == 0
+                      ? std::max<std::size_t>(1, nprobe_ / 8)
+                      : std::min(config.nprobe_min, k);
+    nprobe_max_ =
+        std::max(nprobe_min_, std::clamp<std::size_t>(config.nprobe_max, 1, k));
+  }
 
   // Seed centroids from evenly spaced rows (deterministic, duplicate-safe:
   // a duplicated seed just yields an empty bucket after assignment).
@@ -400,11 +433,26 @@ void TieredItemMemory::build(const TieredConfig& config) {
 std::vector<std::size_t> TieredItemMemory::probe(const PackedQuery& query,
                                                  ScanStats* stats) const {
   const std::size_t k = centroids_->size();
-  const std::vector<Match> top = centroids_->top_k(query, nprobe_);
+  const std::size_t want = adaptive() ? nprobe_max_ : nprobe_;
+  const std::vector<Match> top = centroids_->top_k(query, want);
   if (stats != nullptr) stats->centroid_dots += k;
+  std::size_t take = top.size();
+  if (adaptive() && take > nprobe_min_) {
+    // Margin rule: keep every centroid whose score trails the winner by at
+    // most kAdaptiveMarginSigma noise sigmas (sqrt(dim) in dot units,
+    // /dim here because Match carries similarity). top is match_order
+    // sorted, so the kept set is always a prefix; the floor is
+    // unconditional. Pure function of (index, query) — no RNG, no timing.
+    const double cut =
+        top.front().similarity -
+        kAdaptiveMarginSigma / std::sqrt(static_cast<double>(dim()));
+    take = nprobe_min_;
+    while (take < top.size() && top[take].similarity >= cut) ++take;
+  }
+  if (stats != nullptr) stats->probes += take;
   std::vector<std::size_t> buckets;
-  buckets.reserve(top.size());
-  for (const Match& t : top) buckets.push_back(t.index);
+  buckets.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) buckets.push_back(top[i].index);
   return buckets;
 }
 
@@ -485,6 +533,10 @@ std::vector<Match> TieredItemMemory::top_k(const PackedQuery& query,
                                            std::size_t k,
                                            ScanStats* stats) const {
   require_dim(query, dim());
+  // k == 0 can return nothing without probing anything — in particular it
+  // must not reach the empty-candidate exact-scan fallback below, which
+  // would charge a full-memory scan for an empty answer.
+  if (k == 0) return {};
   const std::vector<std::size_t> buckets = probe(query, stats);
   const auto d_dim = static_cast<double>(dim());
   std::vector<Match> all;

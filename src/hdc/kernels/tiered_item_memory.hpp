@@ -64,6 +64,23 @@ struct TieredConfig {
   /// Buckets probed per query; 0 = auto: max(1, K / 16). Values >= K make
   /// every scan exact (the verification bound).
   std::size_t nprobe = 0;
+  /// Adaptive per-query probing floor/ceiling (0 = disabled). With
+  /// nprobe_max > 0 the probe count is derived per query from the stage-1
+  /// centroid-score margin: at least nprobe_min buckets are always probed,
+  /// then every further centroid whose score sits within a few noise
+  /// standard deviations (~3 * sqrt(dim) in dot units) of the best one, up
+  /// to nprobe_max. Confident queries (a clear coarse winner) stop at the
+  /// floor; ambiguous ones escalate toward the ceiling — toward exact when
+  /// nprobe_max == K. nprobe_min of 0 means auto: max(1, resolved
+  /// nprobe / 8); nprobe_min >= K forces every scan exact and bit-identical
+  /// to PackedItemMemory, the same verification bound as nprobe >= K
+  /// (tests/test_adaptive_nprobe.cpp pins it). Both are pre-filled from
+  /// FACTORHD_TIERED_NPROBE_MIN / _MAX by tiered_config_from_env(). The
+  /// fixed `nprobe` above is ignored while adaptive probing is enabled
+  /// (except as the basis of the auto floor). Selection is a pure function
+  /// of (index, query), so probe accounting stays deterministic.
+  std::size_t nprobe_min = 0;
+  std::size_t nprobe_max = 0;
   /// Lloyd iterations of the sampled k-means refinement.
   std::size_t kmeans_iters = 4;
   /// Rows sampled for the refinement; 0 = auto: min(M, 8 * K). The final
@@ -105,6 +122,11 @@ class TieredItemMemory {
   struct ScanStats {
     std::uint64_t centroid_dots = 0;  ///< stage-1 coarse scan cost
     std::uint64_t row_dots = 0;       ///< stage-2 exact candidate cost
+    /// Buckets stage 1 selected for this scan — nprobe() on fixed-probe
+    /// indexes, the margin-derived per-query count in [nprobe_min(),
+    /// nprobe_max()] on adaptive ones. A pure function of (index, query):
+    /// deterministic under concurrent batch workers.
+    std::uint64_t probes = 0;
   };
 
   /// Packs `codebook` and builds the tier index over it.
@@ -138,11 +160,18 @@ class TieredItemMemory {
   ///   0..M-1, ascending within each bucket).
   /// \param cluster_begin CSR offsets (K+1 entries, non-decreasing, first 0,
   ///   last M).
+  /// \param nprobe_min Adaptive probing floor; meaningful only with
+  ///   `nprobe_max` > 0, same resolution as TieredConfig::nprobe_min (0 =
+  ///   auto). The snapshot loader passes neither (fixed probing); the bench
+  ///   uses them to re-view an already-built clustering adaptively.
+  /// \param nprobe_max Adaptive probing ceiling; 0 (the default) keeps
+  ///   probing fixed, same semantics as TieredConfig::nprobe_max.
   /// \throws std::invalid_argument On any violated invariant.
   TieredItemMemory(std::shared_ptr<const PackedItemMemory> rows,
                    std::shared_ptr<const PackedItemMemory> centroids,
                    std::size_t nprobe, std::vector<std::size_t> member_rows,
-                   std::vector<std::size_t> cluster_begin);
+                   std::vector<std::size_t> cluster_begin,
+                   std::size_t nprobe_min = 0, std::size_t nprobe_max = 0);
 
   [[nodiscard]] std::size_t size() const noexcept { return rows_->size(); }
   [[nodiscard]] std::size_t dim() const noexcept { return rows_->dim(); }
@@ -150,11 +179,21 @@ class TieredItemMemory {
   [[nodiscard]] std::size_t clusters() const noexcept {
     return centroids_->size();
   }
-  /// \return Resolved buckets probed per query (>= 1, <= clusters()).
+  /// \return Resolved buckets probed per query (>= 1, <= clusters()) when
+  ///   probing is fixed; ignored while adaptive() (see nprobe_min/max()).
   [[nodiscard]] std::size_t nprobe() const noexcept { return nprobe_; }
-  /// \return True when every scan is exact (nprobe() == clusters()).
+  /// \return True when the per-query probe count is margin-derived
+  ///   (TieredConfig::nprobe_max > 0) rather than fixed.
+  [[nodiscard]] bool adaptive() const noexcept { return nprobe_max_ > 0; }
+  /// \return Adaptive probing floor (0 when adaptive() is false).
+  [[nodiscard]] std::size_t nprobe_min() const noexcept { return nprobe_min_; }
+  /// \return Adaptive probing ceiling (0 when adaptive() is false).
+  [[nodiscard]] std::size_t nprobe_max() const noexcept { return nprobe_max_; }
+  /// \return True when every scan is exact: the fixed nprobe() — or the
+  ///   adaptive floor, which lower-bounds every per-query count — covers
+  ///   all clusters.
   [[nodiscard]] bool exact() const noexcept {
-    return nprobe_ >= centroids_->size();
+    return (adaptive() ? nprobe_min_ : nprobe_) >= centroids_->size();
   }
   /// \return The SIMD tier both stages execute at (the row memory's tier).
   [[nodiscard]] SimdLevel simd_level() const noexcept {
@@ -179,6 +218,13 @@ class TieredItemMemory {
   ///   serializes its sign plane).
   [[nodiscard]] const PackedItemMemory& centroid_memory() const noexcept {
     return *centroids_;
+  }
+  /// \return Shared handle to the centroid memory — with shared_rows(),
+  ///   member_rows(), and cluster_begins() enough to adopt this clustering
+  ///   into another index (e.g. an adaptive-probing view of the same build).
+  [[nodiscard]] std::shared_ptr<const PackedItemMemory> shared_centroids()
+      const noexcept {
+    return centroids_;
   }
   /// \return Concatenated bucket member lists (see cluster_begins()).
   [[nodiscard]] std::span<const std::size_t> member_rows() const noexcept {
@@ -261,6 +307,11 @@ class TieredItemMemory {
   /// Packed bipolar centroid memory (stage 1); never null, size K >= 1.
   std::shared_ptr<const PackedItemMemory> centroids_;
   std::size_t nprobe_ = 1;
+  /// Adaptive probing bounds; both 0 (fixed probing) unless
+  /// TieredConfig::nprobe_max — or the adoption ctor's nprobe_max — was set.
+  /// The snapshot loader never sets them: loaded indexes probe fixed.
+  std::size_t nprobe_min_ = 0;
+  std::size_t nprobe_max_ = 0;
   /// CSR bucket membership: rows of bucket c are member_rows_[
   /// cluster_begin_[c] .. cluster_begin_[c+1]), ascending within a bucket.
   std::vector<std::size_t> member_rows_;

@@ -59,6 +59,12 @@ std::span<const EnvKnob> env_knobs() {
        "codebook row count at which kAuto memories build the tiered index"},
       {"FACTORHD_TIERED_NPROBE", "0 (auto) .. 2^24", "0 = max(1, K/16)",
        "buckets probed per tiered scan; >= K makes every scan exact"},
+      {"FACTORHD_TIERED_NPROBE_MAX", "0 (off) .. 2^24", "0 = fixed nprobe",
+       "adaptive probing ceiling: derive per-query probe counts from the "
+       "centroid-score margin, up to this many buckets"},
+      {"FACTORHD_TIERED_NPROBE_MIN", "0 (auto) .. 2^24", "0 = max(1, nprobe/8)",
+       "adaptive probing floor: buckets always probed before the margin rule "
+       "may stop; >= K keeps every scan exact"},
       {"FACTORHD_TRIALS", "0 (auto) .. any", "per-bench",
        "overrides per-point trial counts in the bench harness"},
   };

@@ -1,0 +1,313 @@
+// Adaptive tiered probing (TieredConfig::nprobe_min / nprobe_max).
+//
+// With adaptive probing enabled, the per-query probe count is derived from
+// the stage-1 centroid-score margin instead of being fixed: at least
+// nprobe_min buckets are always probed, then every further centroid within
+// ~3 noise standard deviations of the best one, up to nprobe_max. This
+// suite pins the properties that make the feature safe to enable:
+//
+//  * metamorphic rank safety — an adaptive scan may MISS rows an exact scan
+//    would return, but it can never mis-rank the rows it does scan: every
+//    adaptive result list is a subsequence of the exact full ranking under
+//    hdc::match_order (candidate rows always get the exact kernel dot);
+//  * the verification bound — nprobe_min >= K degenerates to the exact full
+//    scan, bit-identical to PackedItemMemory on every surface (the same
+//    bound tests/test_kernel_fuzz.cpp pins for fixed nprobe >= K);
+//  * seeded recall — on the bench-style noisy-cleanup workload the margin
+//    rule keeps recall@1 >= 0.99 while probing far fewer buckets on average
+//    than the fixed auto nprobe;
+//  * deterministic accounting — ScanStats.probes is a pure function of
+//    (index, query), so concurrent scans (the BatchFactorizer worker shape)
+//    report identical per-query stats;
+//  * the k = 0 / k > M regressions on all three ItemMemory backends — k = 0
+//    used to reach the tiered empty-candidate exact-scan fallback and scan
+//    the whole memory for an empty result.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "hdc/codebook.hpp"
+#include "hdc/hypervector.hpp"
+#include "hdc/item_memory.hpp"
+#include "hdc/kernels/packed_item_memory.hpp"
+#include "hdc/kernels/tiered_item_memory.hpp"
+#include "hdc/match.hpp"
+#include "hdc/random.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using namespace factorhd::hdc;
+using factorhd::util::Xoshiro256;
+using kernels::PackedItemMemory;
+using kernels::PackedQuery;
+using kernels::TieredConfig;
+using kernels::TieredItemMemory;
+
+void expect_same_matches(const std::vector<Match>& ref,
+                         const std::vector<Match>& got) {
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].index, got[i].index) << "position " << i;
+    EXPECT_EQ(ref[i].similarity, got[i].similarity) << "position " << i;
+  }
+}
+
+TEST(AdaptiveNprobe, ResolvedBoundsAndExactness) {
+  Xoshiro256 rng(1);
+  const Codebook cb(256, 64, rng);
+
+  // Disabled by default: fixed probing, no adaptive bounds.
+  const TieredItemMemory fixed(cb, TieredConfig{.clusters = 16, .nprobe = 2});
+  EXPECT_FALSE(fixed.adaptive());
+  EXPECT_EQ(fixed.nprobe_min(), 0u);
+  EXPECT_EQ(fixed.nprobe_max(), 0u);
+
+  // nprobe_max alone enables it; the floor autos to max(1, nprobe / 8).
+  const TieredItemMemory adaptive(
+      cb, TieredConfig{.clusters = 16, .nprobe = 8, .nprobe_max = 12});
+  EXPECT_TRUE(adaptive.adaptive());
+  EXPECT_EQ(adaptive.nprobe_min(), 1u);
+  EXPECT_EQ(adaptive.nprobe_max(), 12u);
+  EXPECT_FALSE(adaptive.exact());
+
+  // The ceiling is clamped to K and never drops below the floor.
+  const TieredItemMemory clamped(
+      cb, TieredConfig{.clusters = 16, .nprobe_min = 10, .nprobe_max = 1000});
+  EXPECT_EQ(clamped.nprobe_min(), 10u);
+  EXPECT_EQ(clamped.nprobe_max(), 16u);
+
+  // Floor >= K forces every scan exact (the verification bound knob).
+  const TieredItemMemory exact(
+      cb, TieredConfig{.clusters = 16, .nprobe_min = 64, .nprobe_max = 64});
+  EXPECT_TRUE(exact.adaptive());
+  EXPECT_TRUE(exact.exact());
+}
+
+TEST(AdaptiveNprobe, RankSafeSubsequenceOfExactRanking) {
+  // Metamorphic property over an aggressive (miss-prone) adaptive config:
+  // every adaptive top_k / above / best result is a subsequence of the exact
+  // full ranking — misses allowed, mis-ranking never. hdc::match_order is a
+  // strict total order (similarity desc, index asc), so ranks are unique and
+  // "subsequence" is well-defined even on tie-heavy codebooks.
+  Xoshiro256 rng(20260808);
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t dim = 192 + rng.uniform(129);
+    const std::size_t size = 200 + rng.uniform(312);
+    const Codebook cb(dim, size, rng);
+    const TieredItemMemory tiered(
+        cb, TieredConfig{.clusters = 1 + rng.uniform(32),
+                         .nprobe_min = 1,
+                         .nprobe_max = 1 + rng.uniform(4)});
+    ASSERT_TRUE(tiered.adaptive());
+    const PackedItemMemory& exact = tiered.rows();
+    for (int qi = 0; qi < 6; ++qi) {
+      const Hypervector query =
+          qi % 2 == 0 ? flip_noise(cb.item(rng.uniform(size)), 0.1, rng)
+                      : random_bipolar(dim, rng);
+      const auto pq = PackedQuery::pack(query, tiered.simd_level());
+      ASSERT_TRUE(pq.has_value());
+      // Exact full ranking, position by row index.
+      const std::vector<Match> full = exact.top_k(*pq, size);
+      std::vector<std::size_t> rank(size);
+      for (std::size_t r = 0; r < size; ++r) rank[full[r].index] = r;
+
+      TieredItemMemory::ScanStats stats;
+      const std::vector<Match> got = tiered.top_k(*pq, size / 2, &stats);
+      EXPECT_GE(stats.probes, tiered.nprobe_min());
+      EXPECT_LE(stats.probes, tiered.nprobe_max());
+      std::size_t prev = 0;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        // Exact similarity for the row it names...
+        EXPECT_EQ(got[i].similarity, full[rank[got[i].index]].similarity);
+        // ...and strictly increasing exact rank: a subsequence.
+        if (i > 0) {
+          EXPECT_GT(rank[got[i].index], prev) << "position " << i;
+        }
+        prev = rank[got[i].index];
+      }
+
+      // best() is the head of its own top_k and rank-consistent too.
+      const Match best = tiered.best(*pq);
+      if (!got.empty()) {
+        EXPECT_EQ(best.index, got.front().index);
+        EXPECT_EQ(best.similarity, got.front().similarity);
+      }
+      for (const Match& m : tiered.above(*pq, 0.05)) {
+        EXPECT_EQ(m.similarity, full[rank[m.index]].similarity);
+        EXPECT_GT(m.similarity, 0.05);
+      }
+    }
+  }
+}
+
+TEST(AdaptiveNprobe, FloorAtClustersIsBitIdenticalToPacked) {
+  // nprobe_min == K: the adaptive index must reproduce PackedItemMemory
+  // bit-for-bit on every surface — index, similarity, ordering — including
+  // tie-heavy codebooks, exactly like the fixed nprobe >= K bound.
+  Xoshiro256 rng(20260809);
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t dim = 63 + rng.uniform(200);
+    const std::size_t size = 1 + rng.uniform(60);
+    // Half the rounds tie-heavy: a few distinct rows repeated.
+    std::vector<Hypervector> items;
+    if (round % 2 == 0) {
+      std::vector<Hypervector> base;
+      for (std::size_t i = 0; i < 1 + rng.uniform(3); ++i) {
+        base.push_back(random_bipolar(dim, rng));
+      }
+      for (std::size_t i = 0; i < size; ++i) {
+        items.push_back(base[rng.uniform(base.size())]);
+      }
+    } else {
+      for (std::size_t i = 0; i < size; ++i) {
+        items.push_back(random_bipolar(dim, rng));
+      }
+    }
+    const Codebook cb(std::move(items));
+    const TieredItemMemory tiered(
+        cb, TieredConfig{.clusters = 1 + rng.uniform(size),
+                         .nprobe_min = size,
+                         .nprobe_max = size});
+    ASSERT_TRUE(tiered.exact());
+    const PackedItemMemory ref(cb);
+    for (int qi = 0; qi < 4; ++qi) {
+      const Hypervector query = qi == 0 ? cb.item(rng.uniform(size))
+                                        : random_bipolar(dim, rng);
+      const auto pq = PackedQuery::pack(query, tiered.simd_level());
+      ASSERT_TRUE(pq.has_value());
+      const Match rb = ref.best(*pq);
+      const Match tb = tiered.best(*pq);
+      EXPECT_EQ(rb.index, tb.index);
+      EXPECT_EQ(rb.similarity, tb.similarity);
+      for (double th : {-2.0, rb.similarity, rb.similarity / 2.0}) {
+        expect_same_matches(ref.above(*pq, th), tiered.above(*pq, th));
+      }
+      expect_same_matches(ref.top_k(*pq, 1 + size / 2),
+                          tiered.top_k(*pq, 1 + size / 2));
+    }
+  }
+}
+
+TEST(AdaptiveNprobe, SeededRecallOnNoisyCleanupQueries) {
+  // The bench-style workload at test scale: M = 4096 rows, noisy cleanup
+  // queries (2% bit flips of a stored row). With the margin rule under a
+  // ceiling of half the fixed auto nprobe (= K/16), recall@1 must stay
+  // >= 0.99 while the mean probe count lands well under the ceiling —
+  // confident queries stop at the margin cut, only ambiguous ones pay it.
+  Xoshiro256 rng(20260810);
+  const std::size_t dim = 2048;
+  const std::size_t size = 4096;
+  const Codebook cb(dim, size, rng);
+  const TieredItemMemory tiered(cb, TieredConfig{.nprobe_max = 8});
+  ASSERT_TRUE(tiered.adaptive());
+  EXPECT_EQ(tiered.nprobe_max(), 8u);
+  EXPECT_EQ(tiered.nprobe(), 16u);  // the fixed auto probe count it replaces
+
+  const std::size_t queries = 200;
+  std::size_t hits = 0;
+  std::uint64_t probes = 0;
+  for (std::size_t i = 0; i < queries; ++i) {
+    const std::size_t truth = rng.uniform(size);
+    const Hypervector query = flip_noise(cb.item(truth), 0.02, rng);
+    TieredItemMemory::ScanStats stats;
+    if (tiered.best(query, &stats).index == truth) ++hits;
+    probes += stats.probes;
+  }
+  const double recall = static_cast<double>(hits) / queries;
+  const double mean_probes = static_cast<double>(probes) / queries;
+  EXPECT_GE(recall, 0.99) << "mean probes " << mean_probes;
+  // Fixed probing would pay K/16 buckets per query; the margin rule must
+  // beat half of that on this confident workload.
+  const double fixed = static_cast<double>(tiered.nprobe());
+  EXPECT_LE(mean_probes, fixed / 2.0) << "fixed nprobe " << fixed;
+  EXPECT_GE(mean_probes, static_cast<double>(tiered.nprobe_min()));
+}
+
+TEST(AdaptiveNprobe, ProbeAccountingDeterministicUnderConcurrentScans) {
+  // ScanStats (probes included) is a pure function of (index, query):
+  // concurrent workers re-scanning the same queries — the BatchFactorizer
+  // shape — must observe byte-identical per-query stats and results.
+  Xoshiro256 rng(20260811);
+  const std::size_t dim = 512;
+  const std::size_t size = 1024;
+  const Codebook cb(dim, size, rng);
+  const TieredItemMemory tiered(
+      cb, TieredConfig{.nprobe_min = 1, .nprobe_max = 8});
+  std::vector<Hypervector> queries;
+  for (int i = 0; i < 16; ++i) {
+    queries.push_back(flip_noise(cb.item(rng.uniform(size)), 0.05, rng));
+  }
+  // Sequential reference.
+  std::vector<TieredItemMemory::ScanStats> ref_stats(queries.size());
+  std::vector<Match> ref_best(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ref_best[i] = tiered.best(queries[i], &ref_stats[i]);
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&] {
+      for (int rep = 0; rep < 8; ++rep) {
+        for (std::size_t i = 0; i < queries.size(); ++i) {
+          TieredItemMemory::ScanStats stats;
+          const Match got = tiered.best(queries[i], &stats);
+          if (got.index != ref_best[i].index ||
+              got.similarity != ref_best[i].similarity ||
+              stats.centroid_dots != ref_stats[i].centroid_dots ||
+              stats.row_dots != ref_stats[i].row_dots ||
+              stats.probes != ref_stats[i].probes) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(AdaptiveNprobe, TopKZeroAndOversizedOnEveryBackend) {
+  // Regression: k = 0 on the tiered backend used to fall into the
+  // empty-candidate exact-scan fallback — a full-memory scan for an empty
+  // result, with the measurement counter charged accordingly. Every backend
+  // must return empty at zero cost; k > M stays exact where the backend is.
+  Xoshiro256 rng(20260812);
+  const std::size_t dim = 256;
+  const std::size_t size = 64;
+  const Codebook cb(dim, size, rng);
+  const ItemMemory scalar(cb, ScanBackend::kScalar);
+  const ItemMemory packed(cb, ScanBackend::kPacked);
+  const ItemMemory tiered(cb, ScanBackend::kTiered,
+                          TieredConfig{.clusters = 16, .nprobe = 1});
+  const Hypervector query = flip_noise(cb.item(3), 0.05, rng);
+
+  for (const ItemMemory* memory : {&scalar, &packed, &tiered}) {
+    for (ScanMode mode : {ScanMode::kDefault, ScanMode::kExact}) {
+      std::uint64_t scanned = ~std::uint64_t{0};
+      EXPECT_TRUE(memory->top_k(query, 0, mode, &scanned).empty());
+      EXPECT_EQ(scanned, 0u);
+    }
+  }
+  // TieredItemMemory itself: k = 0 neither probes nor scans.
+  TieredItemMemory::ScanStats stats;
+  EXPECT_TRUE(tiered.tiered()->top_k(query, 0, &stats).empty());
+  EXPECT_EQ(stats.centroid_dots, 0u);
+  EXPECT_EQ(stats.row_dots, 0u);
+  EXPECT_EQ(stats.probes, 0u);
+
+  // k > M: the exact backends return the full ranking, identically; the
+  // tiered default may return fewer rows (probed buckets only) but ranks
+  // them consistently, and kExact restores the full ranking.
+  const std::vector<Match> full = scalar.top_k(query, size + 7);
+  ASSERT_EQ(full.size(), size);
+  expect_same_matches(full, packed.top_k(query, size + 7));
+  expect_same_matches(full, tiered.top_k(query, size + 7, ScanMode::kExact));
+  EXPECT_LE(tiered.top_k(query, size + 7).size(), size);
+}
+
+}  // namespace

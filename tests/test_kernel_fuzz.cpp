@@ -12,8 +12,16 @@
 // dimensions straddling the 64-bit word and 256/512-bit vector boundaries
 // (63/64/65/255/256/257) and tie-heavy codebooks built from a handful of
 // distinct rows, where any backend that broke tie ordering would diverge.
+//
+// The multi-query blocked scans (PackedItemMemory::*_block and
+// hdc::ItemMemory::best_block) ride the same differential with a block-size
+// axis: at every block size Q in {1, 2, 3, 8, 33, 64} the blocked result
+// must be bit-identical to Q independent single-query scans, on every SIMD
+// tier, including tie-heavy codebooks and blocks whose queries force the
+// per-query fallback (integer bundles, tiered default scans).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -38,6 +46,12 @@ using kernels::SimdLevel;
 
 // Word- and vector-boundary dimensions every fuzz run must cover.
 const std::size_t kBoundaryDims[] = {63, 64, 65, 255, 256, 257};
+
+// Block sizes the blocked-scan differential covers: the degenerate
+// single-query block, sizes below/at/above the AVX-512 2-query register
+// tile, a straddle of the ternary kernel's 64-query support-hoist group
+// (33), and one full group (64).
+const std::size_t kBlockSizes[] = {1, 2, 3, 8, 33, 64};
 
 // Every packed backend this CPU can execute, scalar-word tier first.
 std::vector<ScanBackend> packed_backends() {
@@ -319,6 +333,151 @@ TEST(KernelFuzz, TieredNprobeAllBitIdenticalOnEveryLevel) {
                             tiered.top_k(*pq, 1 + cfg.size / 2));
       }
     }
+  }
+}
+
+// Packable query block for a codebook: the make_queries representations
+// minus the integer bundle (which cannot pack), cycled to block size `q`.
+std::vector<PackedQuery> make_packed_block(const FuzzConfig& cfg,
+                                           const Codebook& cb, SimdLevel level,
+                                           std::size_t q, Xoshiro256& rng) {
+  const std::vector<Hypervector> pool = make_queries(cfg, cb, rng);
+  std::vector<PackedQuery> block;
+  block.reserve(q);
+  std::size_t i = 0;
+  while (block.size() < q) {
+    auto packed = PackedQuery::pack(pool[i++ % pool.size()], level);
+    if (packed) block.push_back(std::move(*packed));
+  }
+  return block;
+}
+
+TEST(KernelFuzz, BlockedScansMatchPerQueryAtEveryBlockSize) {
+  // The tentpole contract: PackedItemMemory's blocked scans are bit-identical
+  // to per-query scans at every block size, on every tier this CPU has,
+  // through every surface (best_block / top_k_block / dots_block) — so block
+  // size, like ScanBackend, is a pure performance knob.
+  using kernels::PackedItemMemory;
+  std::vector<SimdLevel> levels{SimdLevel::kScalarWords};
+  for (SimdLevel l : {SimdLevel::kAVX2, SimdLevel::kAVX512, SimdLevel::kNEON}) {
+    if (kernels::simd_level_available(l)) levels.push_back(l);
+  }
+  Xoshiro256 rng(20260806);
+  std::size_t round = 0;
+  for (std::size_t q : kBlockSizes) {
+    for (bool ternary : {false, true}) {
+      FuzzConfig cfg;
+      cfg.dim = kBoundaryDims[round % (sizeof(kBoundaryDims) /
+                                       sizeof(kBoundaryDims[0]))];
+      cfg.size = 1 + rng.uniform(40);
+      cfg.ternary = ternary;
+      cfg.tie_heavy = round % 2 == 0;
+      ++round;
+      SCOPED_TRACE(cfg.describe() + " block=" + std::to_string(q));
+      const Codebook cb = make_codebook(cfg, rng);
+      for (SimdLevel level : levels) {
+        SCOPED_TRACE(kernels::to_string(level));
+        const PackedItemMemory pm(cb, level);
+        const std::vector<PackedQuery> block =
+            make_packed_block(cfg, cb, level, q, rng);
+
+        const std::vector<Match> best = pm.best_block(block);
+        ASSERT_EQ(best.size(), q);
+        for (std::size_t i = 0; i < q; ++i) {
+          const Match ref = pm.best(block[i]);
+          EXPECT_EQ(ref.index, best[i].index) << "query " << i;
+          EXPECT_EQ(ref.similarity, best[i].similarity) << "query " << i;
+        }
+
+        for (std::size_t k : {std::size_t{0}, std::size_t{1},
+                              cfg.size / 2 + 1, cfg.size + 3}) {
+          const std::vector<std::vector<Match>> lists = pm.top_k_block(block, k);
+          ASSERT_EQ(lists.size(), q);
+          for (std::size_t i = 0; i < q; ++i) {
+            SCOPED_TRACE("query " + std::to_string(i) +
+                         " k=" + std::to_string(k));
+            if (k == 0) {
+              EXPECT_TRUE(lists[i].empty());
+              continue;
+            }
+            expect_same_matches(pm.top_k(block[i], k), lists[i]);
+          }
+        }
+
+        std::vector<std::int64_t> blocked(q * cfg.size);
+        pm.dots_block(block, blocked);
+        std::vector<std::int64_t> single(cfg.size);
+        for (std::size_t i = 0; i < q; ++i) {
+          pm.dots(block[i], single);
+          EXPECT_TRUE(std::equal(single.begin(), single.end(),
+                                 blocked.begin() +
+                                     static_cast<std::ptrdiff_t>(i * cfg.size)))
+              << "query " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelFuzz, ItemMemoryBestBlockMatchesPerQueryOnEveryBackend) {
+  // The routing layer above the kernels: ItemMemory::best_block must match
+  // per-query best() — result AND deterministic measurement count — on every
+  // backend and mode, including blocks that mix packable queries with the
+  // integer bundle (forcing the per-query fallback mid-block) and tiered
+  // memories where the default mode never takes the blocked path at all.
+  Xoshiro256 rng(20260807);
+  for (std::size_t q : kBlockSizes) {
+    FuzzConfig cfg;
+    cfg.dim = kBoundaryDims[rng.uniform(sizeof(kBoundaryDims) /
+                                        sizeof(kBoundaryDims[0]))];
+    cfg.size = 2 + rng.uniform(30);
+    cfg.ternary = rng.uniform(2) == 1;
+    cfg.tie_heavy = rng.uniform(2) == 0;
+    SCOPED_TRACE(cfg.describe() + " block=" + std::to_string(q));
+    const Codebook cb = make_codebook(cfg, rng);
+    // make_queries includes the integer residual bundle, so cycling the pool
+    // plants unpackable queries inside every block of size >= 5.
+    const std::vector<Hypervector> pool = make_queries(cfg, cb, rng);
+    std::vector<Hypervector> block;
+    block.reserve(q);
+    for (std::size_t i = 0; i < q; ++i) block.push_back(pool[i % pool.size()]);
+
+    const ItemMemory scalar(cb, ScanBackend::kScalar);
+    const ItemMemory packed(cb, ScanBackend::kPacked);
+    const ItemMemory tiered(
+        cb, ScanBackend::kTiered,
+        kernels::TieredConfig{.clusters = 1 + rng.uniform(cfg.size),
+                              .nprobe = 1});
+    struct Case {
+      const ItemMemory* memory;
+      ScanMode mode;
+      const char* name;
+    };
+    const Case cases[] = {
+        {&scalar, ScanMode::kDefault, "kScalar"},
+        {&packed, ScanMode::kDefault, "kPacked"},
+        {&packed, ScanMode::kExact, "kPacked/exact"},
+        {&tiered, ScanMode::kDefault, "kTiered"},
+        {&tiered, ScanMode::kExact, "kTiered/exact"},
+    };
+    for (const Case& c : cases) {
+      SCOPED_TRACE(c.name);
+      std::vector<std::uint64_t> scanned_block(q, ~std::uint64_t{0});
+      const std::vector<Match> got =
+          c.memory->best_block(block, c.mode, scanned_block.data());
+      ASSERT_EQ(got.size(), q);
+      for (std::size_t i = 0; i < q; ++i) {
+        std::uint64_t scanned_one = ~std::uint64_t{0};
+        const Match ref = c.memory->best(block[i], c.mode, &scanned_one);
+        EXPECT_EQ(ref.index, got[i].index) << "query " << i;
+        EXPECT_EQ(ref.similarity, got[i].similarity) << "query " << i;
+        EXPECT_EQ(scanned_one, scanned_block[i]) << "query " << i;
+      }
+    }
+    // The empty block is a no-op on every backend.
+    EXPECT_TRUE(scalar.best_block({}).empty());
+    EXPECT_TRUE(packed.best_block({}).empty());
+    EXPECT_TRUE(tiered.best_block({}).empty());
   }
 }
 
