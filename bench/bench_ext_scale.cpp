@@ -31,12 +31,24 @@
 // stopping early on confident queries. Acceptance (ISSUE 7): at
 // M = 262144, adaptive recall@1 >= 0.99 with mean probes <= 0.5 * K/16.
 //
+// Since ISSUE 8 each point also sweeps the scatter-gather partition
+// (hdc/kernels/ShardedItemMemory) over shard counts {1, 2, 4}: the packed
+// rows are partitioned into contiguous range shards, each shard gets its
+// own auto-configured tier, and the merged scan is measured against the
+// same queries (speedup is vs the exact full scan — the same baseline as
+// every other `speedup` field). The 4-shard point also round-trips the
+// per-shard indexes through FTS1 shard files (save/load_sharded_index).
+// Acceptance (ISSUE 8): sharded aggregate scan throughput >= 3x the exact
+// scan at 4 shards and the largest M.
+//
 // `--json FILE` additionally writes the machine-readable sweep in the
-// factorhd.bench_scale.v3 schema (validated by scripts/bench_json.py
+// factorhd.bench_scale.v4 schema (validated by scripts/bench_json.py
 // --check; the committed baseline is BENCH_scale.json). `--smoke` runs a
 // tiny configuration and re-verifies the nprobe=all bound — a
 // full-coverage tiered index must be bit-identical to PackedItemMemory on
-// best/above/top_k — exiting 1 on any mismatch (the CI hook).
+// best/above/top_k — plus the sharding bound — an exact sharded memory
+// must be bit-identical to PackedItemMemory at every shard count —
+// exiting 1 on any mismatch (the CI hook).
 //
 // FACTORHD_BENCH_SCALE=full extends the sweep to M = 1048576;
 // FACTORHD_TRIALS overrides the query count; FACTORHD_SEED the seed.
@@ -52,6 +64,7 @@
 
 #include "common.hpp"
 #include "hdc/kernels/packed_item_memory.hpp"
+#include "hdc/kernels/sharded_item_memory.hpp"
 #include "hdc/kernels/tiered_item_memory.hpp"
 #include "hdc/kernels/tiered_snapshot.hpp"
 #include "hdc/random.hpp"
@@ -61,12 +74,24 @@ namespace {
 using namespace factorhd;
 using hdc::kernels::PackedItemMemory;
 using hdc::kernels::PackedQuery;
+using hdc::kernels::ShardedConfig;
+using hdc::kernels::ShardedItemMemory;
 using hdc::kernels::TieredConfig;
 using hdc::kernels::TieredItemMemory;
 
 // The acceptance-criterion codebook size; also the repeat normalizer so
 // every sweep point spends comparable wall time.
 constexpr std::size_t kHeadlineM = 262144;
+
+/// One shard count of a point's scatter-gather sweep.
+struct ShardPoint {
+  std::size_t shards = 0;
+  double build_seconds = 0.0;  ///< per-shard tier builds, total
+  double sharded_us = 0.0;     ///< per query, merged scan
+  double speedup = 0.0;        ///< exact_us / sharded_us (full-scan baseline)
+  double recall = 0.0;         ///< merged argmax == exact argmax
+  std::uint64_t sim_ops = 0;   ///< mean similarity measurements per query
+};
 
 struct PointResult {
   std::size_t m = 0;
@@ -86,6 +111,7 @@ struct PointResult {
   std::size_t adaptive_max = 0;  ///< adaptive probing ceiling (resolved)
   double mean_probes = 0.0;      ///< mean buckets probed by the adaptive scan
   double adaptive_recall = 0.0;  ///< adaptive recall@1 vs the exact argmax
+  std::vector<ShardPoint> shard_sweep;  ///< scatter-gather shard counts
 };
 
 PointResult run_point(std::size_t m, std::size_t dim, std::size_t queries,
@@ -215,7 +241,132 @@ PointResult run_point(std::size_t m, std::size_t dim, std::size_t queries,
     r.adaptive_recall =
         static_cast<double>(adaptive_hits) / static_cast<double>(queries);
   }
+
+  // Scatter-gather shard sweep over the same packed rows and queries: each
+  // shard count partitions the codebook into contiguous ranges, builds one
+  // auto-configured tier per shard, and scans through the merged interface.
+  // speedup is vs the exact full scan — the same baseline every other
+  // `speedup` field in this bench uses — so it composes tier pruning with
+  // the partition rather than isolating thread parallelism.
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    ShardPoint p;
+    ShardedConfig cfg;
+    cfg.shards = shards;
+    cfg.tiered = TieredConfig{};  // auto per shard row count
+    util::Stopwatch shard_build_sw;
+    const ShardedItemMemory sharded(packed, cfg);
+    p.build_seconds = shard_build_sw.elapsed_ms() / 1e3;
+    p.shards = sharded.shards();
+
+    std::size_t shard_hits = 0;
+    std::uint64_t shard_ops = 0;
+    util::Stopwatch sharded_sw;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      for (std::size_t i = 0; i < queries; ++i) {
+        TieredItemMemory::ScanStats stats;
+        const hdc::Match got = sharded.best(qs[i], /*exact=*/false, &stats);
+        if (rep == 0) {
+          shard_hits += got.index == truth[i] ? 1 : 0;
+          shard_ops += stats.centroid_dots + stats.row_dots;
+        }
+      }
+    }
+    p.sharded_us =
+        sharded_sw.elapsed_us() / static_cast<double>(reps * queries);
+    p.speedup = p.sharded_us > 0 ? r.exact_us / p.sharded_us : 0.0;
+    p.recall = static_cast<double>(shard_hits) / static_cast<double>(queries);
+    p.sim_ops = shard_ops / queries;
+
+    // FTS1 per-shard round trip at the acceptance shard count: every shard
+    // file must verify and be adopted, and the rebuilt memory must scan
+    // identically.
+    if (shards == 4) {
+      const std::string prefix = "bench_scale_sharded.fts.tmp";
+      hdc::kernels::save_sharded_index(prefix, sharded);
+      const auto snaps = hdc::kernels::load_sharded_index(prefix, shards);
+      const ShardedItemMemory reloaded(packed, cfg, snaps);
+      const hdc::Match a = sharded.best(qs[0]);
+      const hdc::Match b = reloaded.best(qs[0]);
+      if (reloaded.snapshots_adopted() != sharded.shards() ||
+          a.index != b.index || a.similarity != b.similarity) {
+        std::cerr << "bench_ext_scale: sharded snapshot round trip mismatch "
+                     "at m=" << m << "\n";
+        std::exit(1);
+      }
+      for (std::size_t s = 0; s < shards; ++s) {
+        std::remove(hdc::kernels::sharded_shard_path(prefix, s).c_str());
+      }
+    }
+    r.shard_sweep.push_back(p);
+  }
   return r;
+}
+
+// The sharding verification bound, re-checked in CI: an exact (untiered)
+// scatter-gather memory must be bit-identical to PackedItemMemory on
+// best/above/top_k/dots at every shard count — including counts that do
+// not divide M and counts above M.
+bool verify_sharded_bound(std::size_t m, std::size_t dim, std::size_t queries,
+                          double flip, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed ^ 0xdeca1ULL);
+  const hdc::Codebook cb(dim, m, rng);
+  const auto packed = std::make_shared<const PackedItemMemory>(cb);
+  for (const std::size_t shards :
+       {std::size_t{1}, std::size_t{3}, std::size_t{4}, std::size_t{7},
+        m + 1}) {
+    ShardedConfig cfg;
+    cfg.shards = shards;
+    const ShardedItemMemory sharded(packed, cfg);
+    std::vector<std::int64_t> ref_dots(m);
+    std::vector<std::int64_t> got_dots(m);
+    for (std::size_t i = 0; i < queries; ++i) {
+      const hdc::Hypervector q =
+          hdc::flip_noise(cb.item(rng.uniform(m)), flip, rng);
+      const auto pq = *PackedQuery::pack(q, packed->simd_level());
+      const hdc::Match ref = packed->best(pq);
+      const hdc::Match got = sharded.best(pq);
+      if (ref.index != got.index || ref.similarity != got.similarity) {
+        std::cerr << "MISMATCH sharded best: m=" << m << " shards=" << shards
+                  << " query " << i << "\n";
+        return false;
+      }
+      const auto ref_above = packed->above(pq, ref.similarity / 2.0);
+      const auto got_above = sharded.above(pq, ref.similarity / 2.0);
+      const auto ref_top = packed->top_k(pq, 10);
+      const auto got_top = sharded.top_k(pq, 10);
+      if (ref_above.size() != got_above.size() ||
+          ref_top.size() != got_top.size()) {
+        std::cerr << "MISMATCH sharded sizes: m=" << m << " shards=" << shards
+                  << " query " << i << "\n";
+        return false;
+      }
+      for (std::size_t j = 0; j < ref_above.size(); ++j) {
+        if (ref_above[j].index != got_above[j].index ||
+            ref_above[j].similarity != got_above[j].similarity) {
+          std::cerr << "MISMATCH sharded above: m=" << m
+                    << " shards=" << shards << " query " << i << "\n";
+          return false;
+        }
+      }
+      for (std::size_t j = 0; j < ref_top.size(); ++j) {
+        if (ref_top[j].index != got_top[j].index ||
+            ref_top[j].similarity != got_top[j].similarity) {
+          std::cerr << "MISMATCH sharded top_k: m=" << m
+                    << " shards=" << shards << " query " << i << "\n";
+          return false;
+        }
+      }
+      packed->dots(pq, ref_dots);
+      sharded.dots(pq, got_dots);
+      if (ref_dots != got_dots) {
+        std::cerr << "MISMATCH sharded dots: m=" << m << " shards=" << shards
+                  << " query " << i << "\n";
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 // The nprobe=all verification bound, re-checked in CI: full-coverage tiered
@@ -279,7 +430,7 @@ void write_json(const std::string& path, bool smoke, std::size_t dim,
   }
   namespace hk = hdc::kernels;
   out << "{\n"
-      << "  \"schema\": \"factorhd.bench_scale.v3\",\n"
+      << "  \"schema\": \"factorhd.bench_scale.v4\",\n"
       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
       << "  \"context\": {\n"
       << "    \"dim\": " << dim << ",\n"
@@ -310,21 +461,37 @@ void write_json(const std::string& path, bool smoke, std::size_t dim,
         << ", \"adaptive_nprobe_max\": " << r.adaptive_max
         << ", \"mean_probes\": " << fmt_num(r.mean_probes, 2)
         << ", \"adaptive_recall_at_1\": " << fmt_num(r.adaptive_recall, 4)
-        << "}" << (i + 1 < sweep.size() ? "," : "") << "\n";
+        << ", \"shard_sweep\": [";
+    for (std::size_t s = 0; s < r.shard_sweep.size(); ++s) {
+      const ShardPoint& p = r.shard_sweep[s];
+      out << (s == 0 ? "" : ", ") << "{\"shards\": " << p.shards
+          << ", \"build_seconds\": " << fmt_num(p.build_seconds)
+          << ", \"sharded_us_per_query\": " << fmt_num(p.sharded_us)
+          << ", \"speedup\": " << fmt_num(p.speedup)
+          << ", \"recall_at_1\": " << fmt_num(p.recall, 4)
+          << ", \"sharded_sim_ops\": " << p.sim_ops << "}";
+    }
+    out << "]}" << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
   // headline mirrors the largest-M row; build_speedup comes from the
-  // headline (acceptance) M, where the exhaustive reference is measured.
+  // headline (acceptance) M, where the exhaustive reference is measured;
+  // shard_speedup is the largest-M 4-shard aggregate (vs the exact scan).
   const PointResult& head = sweep.back();
   double head_build_speedup = 0.0;
   for (const PointResult& r : sweep) {
     if (r.m == kHeadlineM) head_build_speedup = r.build_speedup;
+  }
+  double head_shard_speedup = 0.0;
+  for (const ShardPoint& p : head.shard_sweep) {
+    if (p.shards == 4) head_shard_speedup = p.speedup;
   }
   out << "  ],\n"
       << "  \"headline\": {\"m\": " << head.m << ", \"speedup\": "
       << fmt_num(head.speedup) << ", \"recall_at_1\": "
       << fmt_num(head.recall, 4) << ", \"snapshot_load_seconds\": "
       << fmt_num(head.snap_load_seconds, 7) << ", \"build_speedup\": "
-      << fmt_num(head_build_speedup) << "}\n"
+      << fmt_num(head_build_speedup) << ", \"shard_speedup\": "
+      << fmt_num(head_shard_speedup) << "}\n"
       << "}\n";
   std::cout << "\nwrote " << path << "\n";
 }
@@ -370,7 +537,7 @@ int main(int argc, char** argv) {
   util::TextTable table({"M", "K", "nprobe", "build", "bld-spdup", "snap-load",
                          "exact/q", "tiered/q", "speedup", "recall@1",
                          "sim-ops exact/tiered", "adpt-probe",
-                         "adpt-recall@1"});
+                         "adpt-recall@1", "shard4/q", "shard4-spdup"});
   for (const std::size_t m : ms) {
     const PointResult r = run_point(m, dim, queries, flip, seed);
     table.add_row({std::to_string(r.m), std::to_string(r.clusters),
@@ -389,16 +556,23 @@ int main(int argc, char** argv) {
                    util::fmt_double(r.mean_probes, 1) + " [" +
                        std::to_string(r.adaptive_min) + "," +
                        std::to_string(r.adaptive_max) + "]",
-                   util::fmt_double(r.adaptive_recall, 4)});
+                   util::fmt_double(r.adaptive_recall, 4),
+                   util::fmt_double(r.shard_sweep.back().sharded_us, 1) +
+                       " us",
+                   util::fmt_double(r.shard_sweep.back().speedup, 2) + "x"});
     sweep.push_back(r);
   }
   table.print(std::cout);
 
   if (smoke) {
-    // CI correctness hook: the verification bound must hold bit-exactly.
+    // CI correctness hooks: both verification bounds must hold bit-exactly.
     if (!verify_exact_bound(512, dim, queries, flip, seed)) return 1;
     std::cout << "\nnprobe=all differential vs PackedItemMemory: exact "
                  "(best/above/top_k bit-identical)\n";
+    if (!verify_sharded_bound(512, dim, queries, flip, seed)) return 1;
+    std::cout << "sharded differential vs PackedItemMemory: exact "
+                 "(best/above/top_k/dots bit-identical at every shard "
+                 "count)\n";
   }
 
   if (json_path) {

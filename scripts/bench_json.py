@@ -47,7 +47,7 @@ lockstep. The file's own ``schema`` field selects the validator:
   SIMD tiers; one sweep row per codebook size M with clusters, nprobe,
   per-query times, speedup, recall@1, and similarity-op counts; a
   ``headline`` block mirroring the largest-M row — the ISSUE 5 acceptance
-  surface). Accepted for older baselines; current emitters write v3.
+  surface). Accepted for older baselines; current emitters write v4.
 * ``factorhd.bench_scale.v2`` — v1 plus the ISSUE 6 build/persistence
   columns per row: ``build_seconds`` (default screened/pooled build),
   ``build_reference_seconds`` (single-threaded exhaustive build; 0 when
@@ -63,6 +63,15 @@ lockstep. The file's own ``schema`` field selects the validator:
   ``adaptive_recall_at_1``. Full-mode baselines must show
   adaptive_recall_at_1 >= 0.99 with mean_probes <= 0.5 * clusters / 16
   on the M=262144 acceptance row.
+* ``factorhd.bench_scale.v4`` — v3 plus the ISSUE 8 scatter-gather
+  ``shard_sweep`` list per row: one entry per shard count (ascending)
+  with ``shards``, ``build_seconds`` (per-shard tier builds),
+  ``sharded_us_per_query``, ``speedup`` (exact full scan / sharded —
+  the same baseline as every other speedup field), ``recall_at_1``,
+  and ``sharded_sim_ops``; the headline gains ``shard_speedup`` (the
+  largest-M 4-shard aggregate). Full-mode baselines must show
+  shard speedup >= 3.0 at recall@1 >= 0.99 on the largest-M 4-shard
+  entry — the ISSUE 8 acceptance bound.
 
 Only Python stdlib is used.
 """
@@ -96,6 +105,7 @@ SCHEMA = "factorhd.bench_kernels.v3"
 SCALE_SCHEMA = "factorhd.bench_scale.v1"
 SCALE_SCHEMA_V2 = "factorhd.bench_scale.v2"
 SCALE_SCHEMA_V3 = "factorhd.bench_scale.v3"
+SCALE_SCHEMA_V4 = "factorhd.bench_scale.v4"
 
 # Full-mode blocked-scan acceptance (ISSUE 7): per-query throughput at
 # Q=64 must be at least this multiple of Q=1 on the m=4096/d=8192 point.
@@ -313,6 +323,14 @@ SCALE_ROW_FIELDS_V3 = SCALE_ROW_FIELDS_V2 + (
     "adaptive_recall_at_1",
 )
 
+# v4 adds the ISSUE 8 scatter-gather shard sweep: a per-row list of
+# per-shard-count measurements over the same packed rows and queries.
+SCALE_ROW_FIELDS_V4 = SCALE_ROW_FIELDS_V3 + ("shard_sweep",)
+SHARD_ENTRY_FIELDS = (
+    "shards", "build_seconds", "sharded_us_per_query", "speedup",
+    "recall_at_1", "sharded_sim_ops",
+)
+
 # The M=262144 acceptance row of full-mode baselines must show at least
 # this build speedup (screened/pooled build vs the exhaustive
 # single-threaded reference) ...
@@ -325,13 +343,23 @@ MIN_ADAPTIVE_RECALL = 0.99
 # ... with mean probes at most this fraction of the fixed-probing default
 # (nprobe = clusters / 16).
 MAX_MEAN_PROBE_FRACTION = 0.5
+# v4 scatter-gather acceptance (ISSUE 8): the largest-M 4-shard entry of
+# full-mode baselines must reach at least this aggregate scan speedup over
+# the exact full scan (the same baseline as every other speedup field) ...
+MIN_SHARD_SPEEDUP = 3.0
+# ... at no recall cost beyond the usual tiered bound.
+MIN_SHARD_RECALL = 0.99
+SHARD_ACCEPTANCE_COUNT = 4
 
 
 def validate_scale(doc, schema=SCALE_SCHEMA):
-    """Returns a list of bench_scale v1/v2/v3 violations (empty = valid)."""
-    v3 = schema == SCALE_SCHEMA_V3
+    """Returns a list of bench_scale v1/v2/v3/v4 violations (empty = valid)."""
+    v4 = schema == SCALE_SCHEMA_V4
+    v3 = v4 or schema == SCALE_SCHEMA_V3
     v2 = v3 or schema == SCALE_SCHEMA_V2
-    if v3:
+    if v4:
+        row_fields = SCALE_ROW_FIELDS_V4
+    elif v3:
         row_fields = SCALE_ROW_FIELDS_V3
     elif v2:
         row_fields = SCALE_ROW_FIELDS_V2
@@ -405,6 +433,41 @@ def validate_scale(doc, schema=SCALE_SCHEMA):
                 errors.append(
                     f"sweep m={row['m']}: adaptive_recall_at_1 out of [0, 1]"
                 )
+        if v4:
+            sweep_entries = row["shard_sweep"]
+            if not isinstance(sweep_entries, list) or not sweep_entries:
+                errors.append(f"sweep m={row['m']}: empty shard_sweep")
+                sweep_entries = []
+            prev_shards = 0
+            for entry in sweep_entries:
+                missing = [f for f in SHARD_ENTRY_FIELDS if f not in entry]
+                if missing:
+                    errors.append(
+                        f"sweep m={row['m']}: shard_sweep entry missing "
+                        f"fields {missing}"
+                    )
+                    continue
+                if entry["shards"] <= prev_shards:
+                    errors.append(
+                        f"sweep m={row['m']}: shard_sweep counts not "
+                        "strictly ascending"
+                    )
+                prev_shards = entry["shards"]
+                if entry["sharded_us_per_query"] <= 0:
+                    errors.append(
+                        f"sweep m={row['m']} shards={entry['shards']}: "
+                        "non-positive sharded_us_per_query"
+                    )
+                if entry["speedup"] <= 0:
+                    errors.append(
+                        f"sweep m={row['m']} shards={entry['shards']}: "
+                        "non-positive speedup"
+                    )
+                if not 0.0 <= entry["recall_at_1"] <= 1.0:
+                    errors.append(
+                        f"sweep m={row['m']} shards={entry['shards']}: "
+                        "recall_at_1 out of [0, 1]"
+                    )
     head = doc.get("headline") or {}
     if sweep and all("m" in r for r in sweep):
         last = sweep[-1]
@@ -415,6 +478,18 @@ def validate_scale(doc, schema=SCALE_SCHEMA):
             if head.get(field) != last.get(field):
                 errors.append(
                     f"headline.{field} does not mirror the largest-M row"
+                )
+        if v4:
+            shard4 = next(
+                (e for e in last.get("shard_sweep") or []
+                 if e.get("shards") == SHARD_ACCEPTANCE_COUNT),
+                None,
+            )
+            if shard4 is not None and head.get("shard_speedup") != shard4.get(
+                    "speedup"):
+                errors.append(
+                    "headline.shard_speedup does not mirror the largest-M "
+                    f"{SHARD_ACCEPTANCE_COUNT}-shard entry"
                 )
     # Full-mode baselines carry the tracked acceptance bounds (ISSUE 5/6):
     # the M=262144 row must show >= 5x scan speedup at recall@1 >= 0.99 —
@@ -461,6 +536,31 @@ def validate_scale(doc, schema=SCALE_SCHEMA):
                         f"{accept['mean_probes']} > {probe_bound} "
                         f"(= {MAX_MEAN_PROBE_FRACTION} * clusters / 16)"
                     )
+        if v4 and sweep:
+            last = sweep[-1]
+            shard4 = next(
+                (e for e in last.get("shard_sweep") or []
+                 if e.get("shards") == SHARD_ACCEPTANCE_COUNT),
+                None,
+            )
+            if shard4 is None:
+                errors.append(
+                    f"largest-M row m={last.get('m')}: shard_sweep lacks "
+                    f"the {SHARD_ACCEPTANCE_COUNT}-shard acceptance entry"
+                )
+            else:
+                if shard4["speedup"] < MIN_SHARD_SPEEDUP:
+                    errors.append(
+                        f"largest-M row m={last.get('m')} shards="
+                        f"{SHARD_ACCEPTANCE_COUNT}: speedup "
+                        f"{shard4['speedup']} < {MIN_SHARD_SPEEDUP}"
+                    )
+                if shard4["recall_at_1"] < MIN_SHARD_RECALL:
+                    errors.append(
+                        f"largest-M row m={last.get('m')} shards="
+                        f"{SHARD_ACCEPTANCE_COUNT}: recall_at_1 "
+                        f"{shard4['recall_at_1']} < {MIN_SHARD_RECALL}"
+                    )
         if v2 and sweep:
             last = sweep[-1]
             if last.get("snapshot_load_seconds", 0) >= MAX_SNAPSHOT_LOAD_SECONDS:
@@ -475,7 +575,8 @@ def validate_scale(doc, schema=SCALE_SCHEMA):
 def run_check(path):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
-    if doc.get("schema") in (SCALE_SCHEMA, SCALE_SCHEMA_V2, SCALE_SCHEMA_V3):
+    if doc.get("schema") in (SCALE_SCHEMA, SCALE_SCHEMA_V2, SCALE_SCHEMA_V3,
+                             SCALE_SCHEMA_V4):
         kind = doc["schema"]
         errors = validate_scale(doc, kind)
     else:
@@ -485,21 +586,24 @@ def run_check(path):
         for e in errors:
             print(f"bench_json.py: {path}: {e}", file=sys.stderr)
         sys.exit(1)
-    if kind in (SCALE_SCHEMA, SCALE_SCHEMA_V2, SCALE_SCHEMA_V3):
+    if kind in (SCALE_SCHEMA, SCALE_SCHEMA_V2, SCALE_SCHEMA_V3,
+                SCALE_SCHEMA_V4):
         head = doc["headline"]
         build = (
             f" build_speedup={head['build_speedup']}x"
             f" snapshot_load={head['snapshot_load_seconds']}s"
-            if kind in (SCALE_SCHEMA_V2, SCALE_SCHEMA_V3)
+            if kind in (SCALE_SCHEMA_V2, SCALE_SCHEMA_V3, SCALE_SCHEMA_V4)
             else ""
         )
         adaptive = ""
-        if kind == SCALE_SCHEMA_V3:
+        if kind in (SCALE_SCHEMA_V3, SCALE_SCHEMA_V4):
             last = doc["sweep"][-1]
             adaptive = (
                 f" mean_probes={last['mean_probes']}"
                 f" adaptive_recall@1={last['adaptive_recall_at_1']}"
             )
+        if kind == SCALE_SCHEMA_V4:
+            adaptive += f" shard_speedup={head['shard_speedup']}x"
         print(
             f"{path}: schema {kind} OK ({len(doc['sweep'])} rows, headline "
             f"m={head['m']} speedup={head['speedup']}x "

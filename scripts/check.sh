@@ -11,7 +11,8 @@
 #   scripts/check.sh --tsan   # Debug + ThreadSanitizer + -Werror, the
 #                             # threading suites (batch determinism, kernel
 #                             # fuzz, batch, service soak, tiered
-#                             # snapshot/parallel build) only
+#                             # snapshot/parallel build, sharded
+#                             # scatter-gather) only
 #
 # Extra arguments after the mode are forwarded to ctest.
 set -euo pipefail
@@ -41,9 +42,10 @@ case "${1:-}" in
     BUILD_DIR=build-tsan
     CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Debug -DFACTORHD_TSAN=ON -DFACTORHD_WERROR=ON)
     # The suites that exercise the worker pools (BatchFactorizer, the
-    # parallel plane scans, the parallel tier build, and the serving
-    # engine); everything else is single-threaded.
-    CTEST_ARGS+=(-R 'BatchDeterminism|KernelFuzz|BatchTest|ServiceSoak|TieredSnapshot|ModelSnapshot')
+    # parallel plane scans, the parallel tier build, the sharded
+    # scatter-gather, and the serving engine); everything else is
+    # single-threaded.
+    CTEST_ARGS+=(-R 'BatchDeterminism|KernelFuzz|BatchTest|ServiceSoak|TieredSnapshot|ModelSnapshot|ShardedMemory|ShardedSoak')
     ;;
 esac
 CTEST_ARGS+=("$@")

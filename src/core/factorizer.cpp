@@ -19,7 +19,8 @@ tax::Object FactorizedObject::to_object(std::size_t num_classes) const {
 }
 
 Factorizer::Factorizer(const Encoder& encoder, hdc::ScanBackend backend,
-                       const TierSnapshots* snapshots)
+                       const TierSnapshots* snapshots,
+                       std::optional<hdc::kernels::ShardedConfig> sharded)
     : encoder_(&encoder), books_(&encoder.books()) {
   const tax::Taxonomy& t = books_->taxonomy();
   memories_.resize(t.num_classes());
@@ -32,7 +33,7 @@ Factorizer::Factorizer(const Encoder& encoder, hdc::ScanBackend backend,
         if (it != snapshots->end()) offered = it->second;
       }
       memories_[c].emplace_back(books_->level_codebook(c, l), backend,
-                                std::nullopt, offered);
+                                std::nullopt, offered, sharded);
       if (offered != nullptr) {
         // Adoption is pointer identity: the memory either took the offered
         // index as-is or rebuilt its own.
@@ -60,11 +61,15 @@ TierSnapshots Factorizer::tier_snapshots() const {
 
 hdc::ScanBackend Factorizer::scan_backend() const noexcept {
   bool any_tiered = false;
+  bool any_sharded = false;
   bool any = false;
   for (const auto& per_class : memories_) {
     for (const hdc::ItemMemory& m : per_class) {
       any = true;
       switch (m.backend()) {
+        case hdc::ScanBackend::kSharded:
+          any_sharded = true;
+          break;
         case hdc::ScanBackend::kTiered:
           any_tiered = true;
           break;
@@ -76,6 +81,7 @@ hdc::ScanBackend Factorizer::scan_backend() const noexcept {
     }
   }
   if (!any) return hdc::ScanBackend::kScalar;
+  if (any_sharded) return hdc::ScanBackend::kSharded;
   return any_tiered ? hdc::ScanBackend::kTiered : hdc::ScanBackend::kPacked;
 }
 
@@ -83,9 +89,27 @@ bool Factorizer::tiered() const noexcept {
   for (const auto& per_class : memories_) {
     for (const hdc::ItemMemory& m : per_class) {
       if (m.backend() == hdc::ScanBackend::kTiered) return true;
+      // Per-shard tiers approximate the same way a single tier does, so
+      // they arm the same stall-triggered exact re-scan.
+      if (m.backend() == hdc::ScanBackend::kSharded &&
+          m.sharded()->tiered_shards()) {
+        return true;
+      }
     }
   }
   return false;
+}
+
+std::size_t Factorizer::shards() const noexcept {
+  std::size_t shards = 1;
+  for (const auto& per_class : memories_) {
+    for (const hdc::ItemMemory& m : per_class) {
+      if (m.sharded() != nullptr) {
+        shards = std::max(shards, m.sharded()->shards());
+      }
+    }
+  }
+  return shards;
 }
 
 std::optional<hdc::kernels::SimdLevel> Factorizer::simd_level() const noexcept {

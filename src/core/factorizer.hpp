@@ -192,20 +192,37 @@ class Factorizer {
   ///   slot, offered to the matching ItemMemory constructions (adopt after
   ///   verification, else rebuild). Consulted only during construction; may
   ///   be null. Tally the outcome via snapshots_adopted() / rejected().
-  explicit Factorizer(const Encoder& encoder,
-                      hdc::ScanBackend backend = hdc::ScanBackend::kAuto,
-                      const TierSnapshots* snapshots = nullptr);
+  ///   Whole-codebook snapshots are never adopted while sharding is active
+  ///   (a partition needs per-shard indexes) and count as rejected.
+  ///
+  /// \param sharded Optional shard configuration threaded to every internal
+  ///   ItemMemory (hdc::ScanBackend::kSharded semantics under kAuto: an
+  ///   explicit config forces the scatter-gather partition; see
+  ///   hdc::ItemMemory). Sharded scans stay bit-identical to unsharded ones
+  ///   whenever the shards scan exact.
+  explicit Factorizer(
+      const Encoder& encoder,
+      hdc::ScanBackend backend = hdc::ScanBackend::kAuto,
+      const TierSnapshots* snapshots = nullptr,
+      std::optional<hdc::kernels::ShardedConfig> sharded = std::nullopt);
 
   /// \return The backend the codebook scans resolved to: kScalar when any
-  ///   internal ItemMemory fell back to scalar, else kTiered when any
-  ///   memory carries the two-stage index (large codebooks under kAuto, or
-  ///   an explicit kTiered backend), else kPacked.
+  ///   internal ItemMemory fell back to scalar, else kSharded when any
+  ///   memory scatter-gathers across a shard partition, else kTiered when
+  ///   any memory carries the two-stage index (large codebooks under kAuto,
+  ///   or an explicit kTiered backend), else kPacked.
   [[nodiscard]] hdc::ScanBackend scan_backend() const noexcept;
 
   /// \return True when any internal ItemMemory scans through a tiered
-  ///   (approximate) index — the condition under which the multi-object
-  ///   loop arms its stall-triggered exact re-scan.
+  ///   (approximate) index — directly or via per-shard tiers — the
+  ///   condition under which the multi-object loop arms its
+  ///   stall-triggered exact re-scan.
   [[nodiscard]] bool tiered() const noexcept;
+
+  /// \return The scatter-gather shard count of the largest internal memory
+  ///   partition: 1 when unsharded — the count service::FactorizationEngine
+  ///   sizes its auto dispatcher pool (per-shard affinity) from.
+  [[nodiscard]] std::size_t shards() const noexcept;
 
   /// \return The SIMD tier the packed codebook scans execute at (identical
   ///   across all internal memories); std::nullopt when scans are scalar.

@@ -16,6 +16,8 @@ namespace {
 
 using kernels::PackedItemMemory;
 using kernels::PackedQuery;
+using kernels::ShardedConfig;
+using kernels::ShardedItemMemory;
 using kernels::SimdLevel;
 using kernels::TieredConfig;
 using kernels::TieredItemMemory;
@@ -65,12 +67,19 @@ bool snapshot_matches(const TieredItemMemory& snapshot,
 
 ItemMemory::ItemMemory(const Codebook& codebook, ScanBackend backend,
                        std::optional<TieredConfig> tiered,
-                       std::shared_ptr<const TieredItemMemory> snapshot)
+                       std::shared_ptr<const TieredItemMemory> snapshot,
+                       std::optional<ShardedConfig> sharded)
     : codebook_(&codebook) {
   if (tiered.has_value() && backend != ScanBackend::kAuto &&
-      backend != ScanBackend::kTiered) {
+      backend != ScanBackend::kTiered && backend != ScanBackend::kSharded) {
     throw std::invalid_argument(
-        "ItemMemory: a TieredConfig requires the kAuto or kTiered backend");
+        "ItemMemory: a TieredConfig requires the kAuto, kTiered, or "
+        "kSharded backend");
+  }
+  if (sharded.has_value() && backend != ScanBackend::kAuto &&
+      backend != ScanBackend::kSharded) {
+    throw std::invalid_argument(
+        "ItemMemory: a ShardedConfig requires the kAuto or kSharded backend");
   }
   // Adopt the offered snapshot after verification, or pay the k-means
   // build. On adoption packed_ switches to the snapshot's planes so exact
@@ -85,6 +94,17 @@ ItemMemory::ItemMemory(const Codebook& codebook, ScanBackend backend,
     tiered_ = std::make_shared<const TieredItemMemory>(
         packed_, tiered.value_or(kernels::tiered_config_from_env()));
   };
+  // Partition packed_ into the configured shard count, with per-shard tier
+  // indexes exactly where the unsharded constructor would have built one
+  // tier. A whole-codebook `snapshot` cannot back a partition (per-shard
+  // snapshots go through the ShardedItemMemory constructor directly) and is
+  // treated as rejected.
+  const auto build_sharded = [&](ShardedConfig config, bool want_tier) {
+    if (want_tier && !config.tiered.has_value()) {
+      config.tiered = tiered.value_or(kernels::tiered_config_from_env());
+    }
+    sharded_ = std::make_shared<const ShardedItemMemory>(packed_, config);
+  };
   switch (backend) {
     case ScanBackend::kScalar:
       break;
@@ -96,11 +116,25 @@ ItemMemory::ItemMemory(const Codebook& codebook, ScanBackend backend,
       packed_ = std::make_shared<const PackedItemMemory>(codebook);
       build_tier();
       break;
+    case ScanBackend::kSharded: {
+      packed_ = std::make_shared<const PackedItemMemory>(codebook);
+      const std::size_t min_rows = kernels::tiered_auto_min_rows();
+      const bool want_tier =
+          tiered.has_value() || (min_rows > 0 && codebook.size() >= min_rows);
+      build_sharded(sharded.value_or(kernels::sharded_config_from_env()),
+                    want_tier);
+      break;
+    }
     case ScanBackend::kAuto:
       if (tiered.has_value() && !PackedItemMemory::packable(codebook)) {
         // An explicit config promises a tier index; never drop it silently.
         throw std::invalid_argument(
             "ItemMemory: TieredConfig given but the codebook is not "
+            "packable (entries outside {-1, 0, +1})");
+      }
+      if (sharded.has_value() && !PackedItemMemory::packable(codebook)) {
+        throw std::invalid_argument(
+            "ItemMemory: ShardedConfig given but the codebook is not "
             "packable (entries outside {-1, 0, +1})");
       }
       if (PackedItemMemory::packable(codebook)) {
@@ -109,8 +143,25 @@ ItemMemory::ItemMemory(const Codebook& codebook, ScanBackend backend,
         // explicit config forces it regardless of the threshold; min_rows
         // of 0 disables the upgrade so kAuto stays exact everywhere).
         const std::size_t min_rows = kernels::tiered_auto_min_rows();
-        if (tiered.has_value() ||
-            (min_rows > 0 && codebook.size() >= min_rows)) {
+        const bool want_tier =
+            tiered.has_value() || (min_rows > 0 && codebook.size() >= min_rows);
+        // Partition when explicitly configured with 2+ shards, or when the
+        // FACTORHD_SHARDS env knob asks for 2+ and the codebook clears the
+        // FACTORHD_SHARD_MIN_ROWS threshold (below it the scatter-gather
+        // bookkeeping costs more than the scan saves).
+        ShardedConfig shard_cfg =
+            sharded.value_or(kernels::sharded_config_from_env());
+        if (shard_cfg.shards == 0) {
+          shard_cfg.shards = kernels::sharded_config_from_env().shards;
+        }
+        const std::size_t shard_min = kernels::sharded_auto_min_rows();
+        const bool want_shards =
+            shard_cfg.shards >= 2 &&
+            (sharded.has_value() ||
+             (shard_min > 0 && codebook.size() >= shard_min));
+        if (want_shards) {
+          build_sharded(std::move(shard_cfg), want_tier);
+        } else if (want_tier) {
           build_tier();
         }
       }
@@ -154,6 +205,14 @@ static std::optional<PackedQuery> packed_route(
 Match ItemMemory::best(const Hypervector& query, ScanMode mode,
                        std::uint64_t* scanned) const {
   if (auto q = packed_route(packed_, query)) {
+    if (sharded_) {
+      TieredItemMemory::ScanStats stats;
+      const Match m =
+          sharded_->best(*q, mode == ScanMode::kExact, &stats);
+      count(stats.centroid_dots + stats.row_dots);
+      if (scanned != nullptr) *scanned = stats.centroid_dots + stats.row_dots;
+      return m;
+    }
     if (tiered_ && mode == ScanMode::kDefault) {
       TieredItemMemory::ScanStats stats;
       const Match m = tiered_->best(*q, &stats);
@@ -183,8 +242,13 @@ std::vector<Match> ItemMemory::best_block(std::span<const Hypervector> queries,
   // The one-pass blocked kernels need the packed planes, exact
   // full-codebook semantics, and a packable alphabet for every query.
   // Everything else takes the per-query path below — bit-identical by the
-  // kernels' contract, so this routing never changes a result.
-  if (packed_ && (!tiered_ || mode == ScanMode::kExact)) {
+  // kernels' contract, so this routing never changes a result. A sharded
+  // memory runs the blocked kernels per shard (scatter-gather) under the
+  // same exactness gate, per-shard tiers standing in for the single tier.
+  const bool blocked_ok =
+      sharded_ ? (!sharded_->tiered_shards() || mode == ScanMode::kExact)
+               : (!tiered_ || mode == ScanMode::kExact);
+  if (packed_ && blocked_ok) {
     std::vector<PackedQuery> packed;
     packed.reserve(queries.size());
     for (const Hypervector& query : queries) {
@@ -196,6 +260,9 @@ std::vector<Match> ItemMemory::best_block(std::span<const Hypervector> queries,
       count(queries.size() * packed_->size());
       if (scanned != nullptr) {
         std::fill_n(scanned, queries.size(), packed_->size());
+      }
+      if (sharded_) {
+        return sharded_->best_block(packed, mode == ScanMode::kExact);
       }
       return packed_->best_block(packed);
     }
@@ -232,6 +299,14 @@ std::vector<Match> ItemMemory::above(const Hypervector& query,
                                      double threshold, ScanMode mode,
                                      std::uint64_t* scanned) const {
   if (auto q = packed_route(packed_, query)) {
+    if (sharded_) {
+      TieredItemMemory::ScanStats stats;
+      std::vector<Match> out =
+          sharded_->above(*q, threshold, mode == ScanMode::kExact, &stats);
+      count(stats.centroid_dots + stats.row_dots);
+      if (scanned != nullptr) *scanned = stats.centroid_dots + stats.row_dots;
+      return out;
+    }
     if (tiered_ && mode == ScanMode::kDefault) {
       TieredItemMemory::ScanStats stats;
       std::vector<Match> out = tiered_->above(*q, threshold, &stats);
@@ -282,6 +357,14 @@ std::vector<Match> ItemMemory::top_k(const Hypervector& query, std::size_t k,
     return {};
   }
   if (auto q = packed_route(packed_, query)) {
+    if (sharded_) {
+      TieredItemMemory::ScanStats stats;
+      std::vector<Match> out =
+          sharded_->top_k(*q, k, mode == ScanMode::kExact, &stats);
+      count(stats.centroid_dots + stats.row_dots);
+      if (scanned != nullptr) *scanned = stats.centroid_dots + stats.row_dots;
+      return out;
+    }
     if (tiered_ && mode == ScanMode::kDefault) {
       TieredItemMemory::ScanStats stats;
       std::vector<Match> out = tiered_->top_k(*q, k, &stats);
@@ -315,6 +398,10 @@ void ItemMemory::dots(const Hypervector& query,
   }
   if (auto q = packed_route(packed_, query)) {
     count(packed_->size());
+    if (sharded_) {
+      sharded_->dots(*q, out);  // bit-identical, scattered across shards
+      return;
+    }
     packed_->dots(*q, out);
     return;
   }

@@ -43,6 +43,7 @@
 
 #include "hdc/codebook.hpp"
 #include "hdc/hypervector.hpp"
+#include "hdc/kernels/sharded_item_memory.hpp"
 #include "hdc/kernels/simd.hpp"
 #include "hdc/kernels/tiered_item_memory.hpp"
 #include "hdc/match.hpp"
@@ -74,6 +75,10 @@ enum class ScanBackend {
   kTiered,  ///< two-stage coarse-then-exact scans (kernels::TieredItemMemory)
             ///< at the dispatched SIMD level; approximate unless nprobe
             ///< covers every cluster
+  kSharded,  ///< scatter-gather scans over a row-partitioned codebook
+             ///< (kernels::ShardedItemMemory) at the dispatched SIMD level;
+             ///< bit-identical to the unsharded scan when the shards scan
+             ///< exact (no per-shard tiers, or tiers probing every cluster)
 };
 
 /// Per-call accuracy selection for the full-codebook scans of a tiered
@@ -112,21 +117,35 @@ class ItemMemory {
   ///   scans are bit-identical either way. On adoption the memory's exact
   ///   scans also run off the snapshot's (possibly mmap-shared) planes and
   ///   the fresh packing is dropped. Check adoption via tiered() pointer
-  ///   identity.
+  ///   identity. A whole-codebook snapshot is never adopted while sharding
+  ///   is active (the partition needs per-shard indexes — see
+  ///   kernels::load_sharded_index()).
+  ///
+  /// \param sharded Shard configuration (kernels::ShardedConfig). With
+  ///   kSharded it is the partition spec (shards of 0 resolve from
+  ///   FACTORHD_SHARDS); with kAuto an explicit config forces the partition
+  ///   regardless of the FACTORHD_SHARD_MIN_ROWS threshold, while a purely
+  ///   env-requested shard count only applies at/above it. Sharded memories
+  ///   build per-shard tier indexes exactly where the unsharded constructor
+  ///   would have built one tier (the `tiered` config then resolves per
+  ///   shard row count). Invalid with any backend other than kAuto/kSharded.
   explicit ItemMemory(
       const Codebook& codebook, ScanBackend backend = ScanBackend::kAuto,
       std::optional<kernels::TieredConfig> tiered = std::nullopt,
-      std::shared_ptr<const kernels::TieredItemMemory> snapshot = nullptr);
+      std::shared_ptr<const kernels::TieredItemMemory> snapshot = nullptr,
+      std::optional<kernels::ShardedConfig> sharded = std::nullopt);
 
   [[nodiscard]] const Codebook& codebook() const noexcept { return *codebook_; }
   [[nodiscard]] std::size_t size() const noexcept { return codebook_->size(); }
 
-  /// \return The backend scans resolve to: kTiered when the tier index was
-  ///   built (full scans are then approximate by default), kPacked when the
-  ///   codebook was packed (bipolar/ternary queries use the kernels;
-  ///   integer-bundle queries still fall back to scalar per call), kScalar
-  ///   otherwise.
+  /// \return The backend scans resolve to: kSharded when the codebook was
+  ///   partitioned (full scans scatter-gather across the shards), kTiered
+  ///   when the tier index was built (full scans are then approximate by
+  ///   default), kPacked when the codebook was packed (bipolar/ternary
+  ///   queries use the kernels; integer-bundle queries still fall back to
+  ///   scalar per call), kScalar otherwise.
   [[nodiscard]] ScanBackend backend() const noexcept {
+    if (sharded_) return ScanBackend::kSharded;
     if (tiered_) return ScanBackend::kTiered;
     return packed_ ? ScanBackend::kPacked : ScanBackend::kScalar;
   }
@@ -134,6 +153,18 @@ class ItemMemory {
   /// \return The tier index, or nullptr on the scalar/packed backends.
   [[nodiscard]] const kernels::TieredItemMemory* tiered() const noexcept {
     return tiered_.get();
+  }
+
+  /// \return The sharded scatter-gather memory, or nullptr when unsharded.
+  [[nodiscard]] const kernels::ShardedItemMemory* sharded() const noexcept {
+    return sharded_.get();
+  }
+
+  /// \return Shared ownership of the sharded memory (null when unsharded) —
+  ///   what kernels::save_sharded_index() persists per shard.
+  [[nodiscard]] std::shared_ptr<const kernels::ShardedItemMemory>
+  shared_sharded() const noexcept {
+    return sharded_;
   }
 
   /// \return Shared ownership of the tier index (null on exact backends) —
@@ -263,11 +294,13 @@ class ItemMemory {
       : codebook_(other.codebook_),
         packed_(other.packed_),
         tiered_(other.tiered_),
+        sharded_(other.sharded_),
         similarity_ops_(other.similarity_ops()) {}
   ItemMemory& operator=(const ItemMemory& other) noexcept {
     codebook_ = other.codebook_;
     packed_ = other.packed_;
     tiered_ = other.tiered_;
+    sharded_ = other.sharded_;
     similarity_ops_.store(other.similarity_ops(), std::memory_order_relaxed);
     return *this;
   }
@@ -284,6 +317,12 @@ class ItemMemory {
   /// Two-stage tier index over packed_; null unless backend() is kTiered.
   /// Shares packed_'s row planes (immutable after construction).
   std::shared_ptr<const kernels::TieredItemMemory> tiered_;
+  /// Scatter-gather partition over packed_; null unless backend() is
+  /// kSharded. Shares packed_'s row planes (zero-copy shard views). The
+  /// full-codebook scans route here; best_among / above_among / integer-
+  /// bundle queries keep the packed_/scalar routes (their given-order tie
+  /// contract does not partition).
+  std::shared_ptr<const kernels::ShardedItemMemory> sharded_;
   mutable std::atomic<std::uint64_t> similarity_ops_{0};
 };
 

@@ -47,6 +47,8 @@ std::size_t scan_pool_width() {
 ScanNestingGuard::ScanNestingGuard() noexcept { ++scan_nesting_depth; }
 ScanNestingGuard::~ScanNestingGuard() { --scan_nesting_depth; }
 
+bool scan_nesting_active() noexcept { return scan_nesting_depth > 0; }
+
 namespace {
 
 Alphabet classify(const Hypervector& v) noexcept {

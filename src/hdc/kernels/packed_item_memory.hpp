@@ -64,6 +64,13 @@ class ScanNestingGuard {
   ScanNestingGuard& operator=(const ScanNestingGuard&) = delete;
 };
 
+/// True while a ScanNestingGuard is alive on the current thread — i.e. this
+/// thread is already a worker of an outer pool, so further scan-level
+/// parallelism would multiply thread counts. ShardedItemMemory consults this
+/// before scattering shards across the pool, for the same reason the packed
+/// scans do.
+[[nodiscard]] bool scan_nesting_active() noexcept;
+
 class PackedItemMemory {
  public:
   /// Plane layout selected from the codebook's alphabet at pack time.

@@ -1,0 +1,409 @@
+#include "hdc/kernels/sharded_item_memory.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "hdc/kernels/tiered_snapshot.hpp"
+#include "util/env.hpp"
+
+namespace factorhd::hdc::kernels {
+
+namespace {
+
+// Same break-even rule as the packed row scans
+// (packed_item_memory.cpp::parallel_scan_min_words): scattering shards
+// across the pool pays one spawn+join per scan, so the whole codebook must
+// be large enough to amortize it; the vector tiers scan ~16x faster, so
+// their threshold sits 16x higher.
+constexpr std::size_t parallel_scatter_min_words(SimdLevel level) noexcept {
+  return level == SimdLevel::kScalarWords ? (std::size_t{1} << 16)
+                                          : (std::size_t{1} << 20);
+}
+
+/// True when `snap`'s row memory is bit-identical to the shard view `view`
+/// (geometry, SIMD tier, and both planes) — the precondition for adopting a
+/// loaded per-shard snapshot in place of a fresh build.
+bool snapshot_matches_shard(const TieredItemMemory& snap,
+                            const PackedItemMemory& view) {
+  const PackedItemMemory& rows = snap.rows();
+  if (rows.layout() != view.layout() || rows.dim() != view.dim() ||
+      rows.size() != view.size() || rows.simd_level() != view.simd_level()) {
+    return false;
+  }
+  const auto a_sign = rows.sign_plane();
+  const auto b_sign = view.sign_plane();
+  if (!std::equal(a_sign.begin(), a_sign.end(), b_sign.begin(),
+                  b_sign.end())) {
+    return false;
+  }
+  const auto a_nz = rows.nonzero_plane();
+  const auto b_nz = view.nonzero_plane();
+  return std::equal(a_nz.begin(), a_nz.end(), b_nz.begin(), b_nz.end());
+}
+
+void accumulate(TieredItemMemory::ScanStats* into,
+                std::span<const TieredItemMemory::ScanStats> parts) {
+  if (into == nullptr) return;
+  for (const auto& p : parts) {
+    into->centroid_dots += p.centroid_dots;
+    into->row_dots += p.row_dots;
+    into->probes += p.probes;
+  }
+}
+
+}  // namespace
+
+ShardedConfig sharded_config_from_env() {
+  ShardedConfig config;
+  config.shards = util::env_size_t("FACTORHD_SHARDS", 1, 1, 1024);
+  return config;
+}
+
+std::size_t sharded_auto_min_rows() {
+  return util::env_size_t("FACTORHD_SHARD_MIN_ROWS", 65536, 0,
+                          std::size_t{1} << 30);
+}
+
+ShardedItemMemory::ShardedItemMemory(
+    std::shared_ptr<const PackedItemMemory> rows, ShardedConfig config,
+    std::span<const std::shared_ptr<const TieredItemMemory>> snapshots)
+    : full_(std::move(rows)) {
+  if (full_ == nullptr) {
+    throw std::invalid_argument("ShardedItemMemory: null row memory");
+  }
+  const std::size_t total = full_->size();
+  std::size_t n = config.shards > 0 ? config.shards
+                                    : sharded_config_from_env().shards;
+  n = std::clamp<std::size_t>(n, 1, total);
+  if (!snapshots.empty() && snapshots.size() != n) {
+    throw std::invalid_argument(
+        "ShardedItemMemory: snapshot count does not match shard count");
+  }
+
+  // Balanced contiguous partition: the first `total % n` shards get one
+  // extra row, so shard sizes differ by at most one and the mapping from
+  // global row to (shard, local row) is a pure function of (total, n).
+  const std::size_t base = total / n;
+  const std::size_t rem = total % n;
+  const std::size_t words = full_->words_per_row();
+  const std::uint64_t* sign = full_->sign_plane().data();
+  const std::uint64_t* nonzero =
+      full_->layout() == PackedItemMemory::Layout::kTernary
+          ? full_->nonzero_plane().data()
+          : nullptr;
+  shards_.reserve(n);
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t size = base + (s < rem ? 1 : 0);
+    Shard shard;
+    shard.begin = begin;
+    shard.rows = std::make_shared<PackedItemMemory>(
+        full_->layout(), full_->dim(), size, sign + begin * words,
+        nonzero != nullptr ? nonzero + begin * words : nullptr, full_,
+        full_->simd_level());
+    if (!snapshots.empty() && snapshots[s] != nullptr &&
+        snapshot_matches_shard(*snapshots[s], *shard.rows)) {
+      // Adopt: the snapshot's row memory backs both scan stages (typically
+      // an mmap'd FTS1 file), and the freshly built slice view is dropped.
+      shard.rows = snapshots[s]->shared_rows();
+      shard.tier = snapshots[s];
+      ++snapshots_adopted_;
+    } else {
+      if (!snapshots.empty()) ++snapshots_rejected_;
+      if (config.tiered.has_value()) {
+        shard.tier =
+            std::make_shared<TieredItemMemory>(shard.rows, *config.tiered);
+      }
+    }
+    shards_.push_back(std::move(shard));
+    begin += size;
+  }
+
+  tiered_ = std::all_of(shards_.begin(), shards_.end(),
+                        [](const Shard& s) { return s.tier != nullptr; });
+  exact_ = std::all_of(shards_.begin(), shards_.end(), [](const Shard& s) {
+    return s.tier == nullptr || s.tier->exact();
+  });
+}
+
+std::size_t ShardedItemMemory::scatter_workers() const noexcept {
+  if (scan_nesting_active()) return 1;  // already inside an outer pool
+  if (shards_.size() <= 1) return 1;
+  if (full_->size() * full_->words_per_row() <
+      parallel_scatter_min_words(full_->simd_level())) {
+    return 1;
+  }
+  return std::min(scan_pool_width(), shards_.size());
+}
+
+template <typename Fn>
+void ShardedItemMemory::for_each_shard(Fn&& fn) const {
+  const std::size_t n = shards_.size();
+  const std::size_t workers = scatter_workers();
+  if (workers <= 1) {
+    for (std::size_t s = 0; s < n; ++s) fn(s);
+    return;
+  }
+  // Contiguous fixed shard blocks, one per worker; every worker writes only
+  // its own shards' result slots, so the gather is byte-identical to the
+  // sequential loop for any pool width. Each worker installs a
+  // ScanNestingGuard so the per-shard scans stay sequential (thread counts
+  // never multiply). Exceptions are captured per block and the first (by
+  // block order) is rethrown after the join — deterministic, and a throwing
+  // shard scan can never terminate the process.
+  const std::size_t chunk = (n + workers - 1) / workers;
+  const std::size_t blocks = (n + chunk - 1) / chunk;
+  std::vector<std::exception_ptr> errors(blocks);
+  std::vector<std::thread> pool;
+  pool.reserve(blocks);
+  try {
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t begin = b * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      pool.emplace_back([&fn, &errors, b, begin, end] {
+        ScanNestingGuard guard;
+        try {
+          for (std::size_t s = begin; s < end; ++s) fn(s);
+        } catch (...) {
+          errors[b] = std::current_exception();
+        }
+      });
+    }
+  } catch (...) {
+    // A failed spawn (thread-limit pressure) must not let the vector
+    // destructor run on joinable threads (std::terminate); join what
+    // started, then propagate.
+    for (auto& t : pool) t.join();
+    throw;
+  }
+  for (auto& t : pool) t.join();
+  for (const auto& e : errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+}
+
+void ShardedItemMemory::require_query(const PackedQuery& query) const {
+  if (query.dim != full_->dim()) {
+    throw std::invalid_argument("ShardedItemMemory: query dimension mismatch");
+  }
+}
+
+Match ShardedItemMemory::best(const PackedQuery& query, bool exact,
+                              TieredItemMemory::ScanStats* stats) const {
+  require_query(query);
+  const std::size_t n = shards_.size();
+  std::vector<Match> local(n);
+  std::vector<TieredItemMemory::ScanStats> st(stats != nullptr ? n : 0);
+  for_each_shard([&](std::size_t s) {
+    const Shard& sh = shards_[s];
+    Match m;
+    if (!exact && sh.tier != nullptr) {
+      m = sh.tier->best(query, stats != nullptr ? &st[s] : nullptr);
+    } else {
+      m = sh.rows->best(query);
+      if (stats != nullptr) st[s].row_dots += sh.rows->size();
+    }
+    m.index += sh.begin;
+    local[s] = m;
+  });
+  // Ascending shard order + strict '>' keeps the first (lowest global
+  // index) maximum — the canonical argmax tie rule. Comparing the
+  // similarity doubles is tie-exact: distinct dots map to distinct doubles
+  // (dot / D with D well under 2^53).
+  Match out = local[0];
+  for (std::size_t s = 1; s < n; ++s) {
+    if (local[s].similarity > out.similarity) out = local[s];
+  }
+  accumulate(stats, st);
+  return out;
+}
+
+std::vector<Match> ShardedItemMemory::above(
+    const PackedQuery& query, double threshold, bool exact,
+    TieredItemMemory::ScanStats* stats) const {
+  require_query(query);
+  const std::size_t n = shards_.size();
+  std::vector<std::vector<Match>> local(n);
+  std::vector<TieredItemMemory::ScanStats> st(stats != nullptr ? n : 0);
+  for_each_shard([&](std::size_t s) {
+    const Shard& sh = shards_[s];
+    if (!exact && sh.tier != nullptr) {
+      local[s] =
+          sh.tier->above(query, threshold, stats != nullptr ? &st[s] : nullptr);
+    } else {
+      local[s] = sh.rows->above(query, threshold);
+      if (stats != nullptr) st[s].row_dots += sh.rows->size();
+    }
+    for (Match& m : local[s]) m.index += sh.begin;
+  });
+  std::vector<Match> out;
+  for (auto& part : local) {
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  // hdc::match_order is a strict total order over distinct indices, so one
+  // global sort reproduces the unsharded ordering exactly.
+  std::sort(out.begin(), out.end(), match_order);
+  accumulate(stats, st);
+  return out;
+}
+
+std::vector<Match> ShardedItemMemory::top_k(
+    const PackedQuery& query, std::size_t k, bool exact,
+    TieredItemMemory::ScanStats* stats) const {
+  require_query(query);
+  if (k == 0) return {};
+  const std::size_t kk = std::min(k, full_->size());
+  const std::size_t n = shards_.size();
+  std::vector<std::vector<Match>> local(n);
+  std::vector<TieredItemMemory::ScanStats> st(stats != nullptr ? n : 0);
+  for_each_shard([&](std::size_t s) {
+    const Shard& sh = shards_[s];
+    if (!exact && sh.tier != nullptr) {
+      local[s] = sh.tier->top_k(query, kk, stats != nullptr ? &st[s] : nullptr);
+    } else {
+      local[s] = sh.rows->top_k(query, kk);
+      if (stats != nullptr) st[s].row_dots += sh.rows->size();
+    }
+    for (Match& m : local[s]) m.index += sh.begin;
+  });
+  // Sound merge: any row of the global top-k is by definition in its own
+  // shard's local top-k, so the union of per-shard top-k lists contains the
+  // global answer; sort + truncate recovers it in canonical order.
+  std::vector<Match> out;
+  for (auto& part : local) {
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end(), match_order);
+  if (out.size() > kk) out.resize(kk);
+  accumulate(stats, st);
+  return out;
+}
+
+void ShardedItemMemory::dots(const PackedQuery& query,
+                             std::span<std::int64_t> out) const {
+  require_query(query);
+  if (out.size() != full_->size()) {
+    throw std::invalid_argument("ShardedItemMemory: output size mismatch");
+  }
+  for_each_shard([&](std::size_t s) {
+    const Shard& sh = shards_[s];
+    sh.rows->dots(query, out.subspan(sh.begin, sh.rows->size()));
+  });
+}
+
+std::vector<Match> ShardedItemMemory::best_block(
+    std::span<const PackedQuery> queries, bool exact) const {
+  for (const PackedQuery& q : queries) require_query(q);
+  if (queries.empty()) return {};
+  const std::size_t n = shards_.size();
+  std::vector<std::vector<Match>> local(n);
+  for_each_shard([&](std::size_t s) {
+    const Shard& sh = shards_[s];
+    if (!exact && sh.tier != nullptr) {
+      local[s].reserve(queries.size());
+      for (const PackedQuery& q : queries) {
+        local[s].push_back(sh.tier->best(q));
+      }
+    } else {
+      local[s] = sh.rows->best_block(queries);
+    }
+    for (Match& m : local[s]) m.index += sh.begin;
+  });
+  std::vector<Match> out = std::move(local[0]);
+  for (std::size_t s = 1; s < n; ++s) {
+    for (std::size_t q = 0; q < out.size(); ++q) {
+      if (local[s][q].similarity > out[q].similarity) out[q] = local[s][q];
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<Match>> ShardedItemMemory::top_k_block(
+    std::span<const PackedQuery> queries, std::size_t k, bool exact) const {
+  for (const PackedQuery& q : queries) require_query(q);
+  if (queries.empty()) return {};
+  if (k == 0) return std::vector<std::vector<Match>>(queries.size());
+  const std::size_t kk = std::min(k, full_->size());
+  const std::size_t n = shards_.size();
+  std::vector<std::vector<std::vector<Match>>> local(n);
+  for_each_shard([&](std::size_t s) {
+    const Shard& sh = shards_[s];
+    if (!exact && sh.tier != nullptr) {
+      local[s].reserve(queries.size());
+      for (const PackedQuery& q : queries) {
+        local[s].push_back(sh.tier->top_k(q, kk));
+      }
+    } else {
+      local[s] = sh.rows->top_k_block(queries, kk);
+    }
+    for (auto& per_query : local[s]) {
+      for (Match& m : per_query) m.index += sh.begin;
+    }
+  });
+  std::vector<std::vector<Match>> out(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (std::size_t s = 0; s < n; ++s) {
+      out[q].insert(out[q].end(), local[s][q].begin(), local[s][q].end());
+    }
+    std::sort(out[q].begin(), out[q].end(), match_order);
+    if (out[q].size() > kk) out[q].resize(kk);
+  }
+  return out;
+}
+
+void ShardedItemMemory::dots_block(std::span<const PackedQuery> queries,
+                                   std::span<std::int64_t> out) const {
+  for (const PackedQuery& q : queries) require_query(q);
+  const std::size_t total = full_->size();
+  if (out.size() != queries.size() * total) {
+    throw std::invalid_argument("ShardedItemMemory: output size mismatch");
+  }
+  if (queries.empty()) return;
+  for_each_shard([&](std::size_t s) {
+    const Shard& sh = shards_[s];
+    const std::size_t size = sh.rows->size();
+    // The shard kernel writes query-major over shard rows; scatter each
+    // query's slice into its global column range (disjoint across shards).
+    std::vector<std::int64_t> scratch(queries.size() * size);
+    sh.rows->dots_block(queries, scratch);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      std::copy_n(scratch.data() + q * size, size,
+                  out.data() + q * total + sh.begin);
+    }
+  });
+}
+
+std::string sharded_shard_path(const std::string& path_prefix,
+                               std::size_t shard) {
+  return path_prefix + ".shard" + std::to_string(shard);
+}
+
+void save_sharded_index(const std::string& path_prefix,
+                        const ShardedItemMemory& memory) {
+  for (std::size_t s = 0; s < memory.shards(); ++s) {
+    if (memory.shard_tier(s) == nullptr) {
+      throw std::invalid_argument(
+          "save_sharded_index: shard has no tier index to persist");
+    }
+  }
+  for (std::size_t s = 0; s < memory.shards(); ++s) {
+    save_tiered_index(sharded_shard_path(path_prefix, s),
+                      *memory.shard_tier(s));
+  }
+}
+
+std::vector<std::shared_ptr<const TieredItemMemory>> load_sharded_index(
+    const std::string& path_prefix, std::size_t shards,
+    std::optional<SimdLevel> level) {
+  std::vector<std::shared_ptr<const TieredItemMemory>> out;
+  out.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    out.push_back(load_tiered_index(sharded_shard_path(path_prefix, s), level));
+  }
+  return out;
+}
+
+}  // namespace factorhd::hdc::kernels

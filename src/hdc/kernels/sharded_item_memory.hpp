@@ -1,0 +1,254 @@
+// ShardedItemMemory: scatter-gather scans over a row-partitioned codebook.
+//
+// TieredItemMemory removed the O(M) per-query wall, but one index is still
+// one build, one snapshot, and one scan pool — the single-node ceiling named
+// in ROADMAP item 2. This class partitions a packed codebook into N shards
+// by contiguous row range, gives each shard its own (optional) tiered index,
+// scatters every scan across the shards, and gathers the per-shard results
+// into one globally-indexed answer:
+//
+//   partition:  shard s owns rows [begin_s, begin_s + size_s), a balanced
+//               contiguous split (sizes differ by at most one row). Each
+//               shard's row memory is a zero-copy plane adoption of the full
+//               packed memory — one set of planes, N views.
+//   scatter:    the shard scans run on the existing scan pool
+//               (FACTORHD_SCAN_THREADS) when the codebook is large enough,
+//               each worker under a ScanNestingGuard so thread counts never
+//               multiply; small memories scan shards sequentially. Results
+//               are independent of the worker count.
+//   gather:     per-shard matches are globalized (local index + begin_s) and
+//               merged under the canonical tie rules: argmax keeps the first
+//               (lowest global index) maximum by reducing shards in
+//               ascending order with a strict '>', and sorted surfaces merge
+//               with hdc::match_order. Distinct dots always map to distinct
+//               similarity doubles (dot / D with D well under 2^53), so
+//               merging on the similarity field is tie-exact.
+//
+// Bit-identity contract: with exact shard scans (no tiers, exact() tiers, or
+// the exact flag) every surface — best / above / top_k / dots and the
+// blocked *_block variants — returns bit-identical results (index,
+// similarity, ordering) to the unsharded PackedItemMemory scan at every
+// shard count, SIMD tier, and thread count, including N > M and N not
+// dividing M. tests/test_kernel_fuzz.cpp asserts this differentially across
+// a shard axis; tests/test_sharded_memory.cpp pins the merge tie rules on
+// adversarially tied codebooks. Tiered shards keep the tiered verification
+// bound: approximation can only miss rows, never mis-rank scanned rows.
+//
+// best_among / above_among are intentionally absent: their contract keeps
+// the caller's index order (first maximum in the *given* order), which a
+// range partition cannot preserve — hdc::ItemMemory routes them to the full
+// packed memory instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hdc/kernels/packed_item_memory.hpp"
+#include "hdc/kernels/plane.hpp"
+#include "hdc/kernels/simd.hpp"
+#include "hdc/kernels/tiered_item_memory.hpp"
+#include "hdc/match.hpp"
+
+namespace factorhd::hdc::kernels {
+
+/// Build-time configuration of a ShardedItemMemory. The shard count is
+/// clamped to [1, rows] at construction, so N > M is safe (trailing shards
+/// would be empty and are dropped).
+struct ShardedConfig {
+  /// Shard count N; 0 = auto: the FACTORHD_SHARDS env knob (default 1).
+  std::size_t shards = 0;
+  /// When set, each shard builds its own TieredItemMemory over its row
+  /// range (zeros in the config resolve per *shard* row count, so the
+  /// auto cluster counts scale with the partition, not the full codebook).
+  /// Unset shards scan exact.
+  std::optional<TieredConfig> tiered = std::nullopt;
+
+  bool operator==(const ShardedConfig&) const = default;
+};
+
+/// ShardedConfig with the shard count pre-filled from the FACTORHD_SHARDS
+/// env knob (default 1 = unsharded). Read per call — not cached — so tests
+/// and operators can retune between model loads.
+[[nodiscard]] ShardedConfig sharded_config_from_env();
+
+/// Row-count threshold at/above which hdc::ItemMemory's kAuto backend
+/// honours an env-requested shard count (FACTORHD_SHARD_MIN_ROWS, default
+/// 65536): below it the scatter-gather bookkeeping costs more than the scan.
+/// Read per call, not cached.
+[[nodiscard]] std::size_t sharded_auto_min_rows();
+
+class ShardedItemMemory {
+ public:
+  /// Partitions `rows` into the configured shard count.
+  /// \param rows Packed codebook rows (non-null); shared, immutable.
+  /// \param config Shard count + optional per-shard tier configuration.
+  /// \param snapshots Optional prebuilt per-shard tier indexes (the FTS1
+  ///   load path, see load_sharded_index()): either empty or exactly one
+  ///   entry per resolved shard, in shard order. Each offered snapshot is
+  ///   adopted only after its geometry and row planes are verified
+  ///   bit-identical to the shard's slice of `rows`; mismatches fall back
+  ///   to a fresh build (when `config.tiered` is set) and are counted in
+  ///   snapshots_rejected().
+  /// \throws std::invalid_argument When `rows` is null or `snapshots` is
+  ///   non-empty with the wrong length.
+  explicit ShardedItemMemory(
+      std::shared_ptr<const PackedItemMemory> rows, ShardedConfig config = {},
+      std::span<const std::shared_ptr<const TieredItemMemory>> snapshots = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return full_->size(); }
+  [[nodiscard]] std::size_t dim() const noexcept { return full_->dim(); }
+  /// \return Resolved shard count N in [1, size()].
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
+  /// \return First global row of shard `s`. Precondition: s < shards().
+  [[nodiscard]] std::size_t shard_begin(std::size_t s) const noexcept {
+    return shards_[s].begin;
+  }
+  /// \return Row count of shard `s`. Precondition: s < shards().
+  [[nodiscard]] std::size_t shard_size(std::size_t s) const noexcept {
+    return shards_[s].rows->size();
+  }
+  /// \return Shard `s`'s packed row view (rows are shard-local 0-based).
+  [[nodiscard]] const PackedItemMemory& shard_rows(std::size_t s)
+      const noexcept {
+    return *shards_[s].rows;
+  }
+  /// \return Shard `s`'s tier index, or nullptr when the shard scans exact.
+  [[nodiscard]] const TieredItemMemory* shard_tier(std::size_t s)
+      const noexcept {
+    return shards_[s].tier.get();
+  }
+  /// \return Shared handle to shard `s`'s tier (the snapshot writer's view).
+  [[nodiscard]] std::shared_ptr<const TieredItemMemory> shared_shard_tier(
+      std::size_t s) const noexcept {
+    return shards_[s].tier;
+  }
+  /// \return True when every shard carries a tier index.
+  [[nodiscard]] bool tiered_shards() const noexcept { return tiered_; }
+  /// \return True when every scan is exact: no shard tiers, or every shard
+  ///   tier probes all of its clusters.
+  [[nodiscard]] bool exact() const noexcept { return exact_; }
+  /// \return The SIMD tier all shards scan at (the full memory's tier).
+  [[nodiscard]] SimdLevel simd_level() const noexcept {
+    return full_->simd_level();
+  }
+  /// \return The unpartitioned packed memory (the best_among/among route).
+  [[nodiscard]] const PackedItemMemory& rows() const noexcept {
+    return *full_;
+  }
+  /// \return Shared handle to the unpartitioned packed memory.
+  [[nodiscard]] std::shared_ptr<const PackedItemMemory> shared_rows()
+      const noexcept {
+    return full_;
+  }
+  /// \return Offered per-shard snapshots adopted / rejected at construction.
+  [[nodiscard]] std::size_t snapshots_adopted() const noexcept {
+    return snapshots_adopted_;
+  }
+  [[nodiscard]] std::size_t snapshots_rejected() const noexcept {
+    return snapshots_rejected_;
+  }
+
+  // --- Scatter-gather scans ------------------------------------------------
+  // `exact` forces the per-shard packed full scan even on tiered shards
+  // (hdc::ScanMode::kExact); stats (when non-null) accumulate the summed
+  // per-shard costs. All methods throw std::invalid_argument on a query
+  // dimension mismatch.
+
+  /// Argmax over all shards; first (lowest global index) maximum wins.
+  [[nodiscard]] Match best(const PackedQuery& query, bool exact = false,
+                           TieredItemMemory::ScanStats* stats = nullptr) const;
+
+  /// Matches above `threshold` across all shards, sorted by hdc::match_order.
+  [[nodiscard]] std::vector<Match> above(
+      const PackedQuery& query, double threshold, bool exact = false,
+      TieredItemMemory::ScanStats* stats = nullptr) const;
+
+  /// Global top-k across all shards, sorted by hdc::match_order; k is
+  /// clamped to size(). Sound because any global top-k row is in its own
+  /// shard's local top-k.
+  [[nodiscard]] std::vector<Match> top_k(
+      const PackedQuery& query, std::size_t k, bool exact = false,
+      TieredItemMemory::ScanStats* stats = nullptr) const;
+
+  /// Raw integer dots with every row, globally indexed (always exact).
+  /// \param out Destination; `out.size()` must equal size().
+  void dots(const PackedQuery& query, std::span<std::int64_t> out) const;
+
+  // --- Blocked scatter-gather (the micro-batch hot path) -------------------
+  // Exact blocks run each shard's QueryBlockKernels pass (planes stream once
+  // per shard row block for the whole query block); tiered blocks scan per
+  // query per shard. Results are bit-identical to the per-query overloads.
+
+  /// best() for every query of the block, in query order.
+  [[nodiscard]] std::vector<Match> best_block(
+      std::span<const PackedQuery> queries, bool exact = false) const;
+
+  /// top_k() for every query of the block; k clamped to size().
+  [[nodiscard]] std::vector<std::vector<Match>> top_k_block(
+      std::span<const PackedQuery> queries, std::size_t k,
+      bool exact = false) const;
+
+  /// dots() for every query of the block, query-major:
+  /// out[q * size() + row]. `out.size()` must equal queries.size() * size().
+  void dots_block(std::span<const PackedQuery> queries,
+                  std::span<std::int64_t> out) const;
+
+ private:
+  /// One contiguous row-range partition.
+  struct Shard {
+    std::size_t begin = 0;
+    std::shared_ptr<const PackedItemMemory> rows;  ///< zero-copy slice view
+    std::shared_ptr<const TieredItemMemory> tier;  ///< null = exact shard
+  };
+
+  /// Runs `fn(shard_index)` for every shard — in ascending order when the
+  /// scan is small or nested, else partitioned over the scan pool in fixed
+  /// contiguous shard ranges (deterministic: the partition depends only on
+  /// shard and worker counts, never on timing). `fn` must write only
+  /// shard-indexed slots.
+  template <typename Fn>
+  void for_each_shard(Fn&& fn) const;
+  /// Worker count a scatter pass would use right now (1 = sequential).
+  [[nodiscard]] std::size_t scatter_workers() const noexcept;
+  void require_query(const PackedQuery& query) const;
+
+  std::shared_ptr<const PackedItemMemory> full_;
+  std::vector<Shard> shards_;
+  bool tiered_ = false;
+  bool exact_ = true;
+  std::size_t snapshots_adopted_ = 0;
+  std::size_t snapshots_rejected_ = 0;
+};
+
+// --- Per-shard FTS1 snapshots ----------------------------------------------
+// A sharded index persists as one FTS1 file per tiered shard, named
+// sharded_shard_path(prefix, s) = "<prefix>.shard<s>" — each file is an
+// ordinary tiered snapshot (digest-verified, mmap-loadable), so shard files
+// can be built, copied, and verified independently.
+
+/// \return Path of shard `shard`'s snapshot under `path_prefix`.
+[[nodiscard]] std::string sharded_shard_path(const std::string& path_prefix,
+                                             std::size_t shard);
+
+/// Writes one FTS1 snapshot per shard of `memory` (overwrites).
+/// \throws std::invalid_argument When `memory` has untiered shards (exact
+///   shards have no index to persist).
+/// \throws std::runtime_error When a file cannot be created or written.
+void save_sharded_index(const std::string& path_prefix,
+                        const ShardedItemMemory& memory);
+
+/// Loads `shards` per-shard snapshots saved by save_sharded_index(), in
+/// shard order — the `snapshots` argument of the ShardedItemMemory
+/// constructor, which verifies each against the codebook before adopting.
+/// \param level SIMD tier for the loaded memories (default: dispatched).
+/// \throws std::runtime_error On any missing, truncated, or corrupt file.
+[[nodiscard]] std::vector<std::shared_ptr<const TieredItemMemory>>
+load_sharded_index(const std::string& path_prefix, std::size_t shards,
+                   std::optional<SimdLevel> level = std::nullopt);
+
+}  // namespace factorhd::hdc::kernels

@@ -37,12 +37,17 @@ FactorizationEngine::FactorizationEngine(std::shared_ptr<const Model> model,
         "FactorizationEngine: queue_capacity must be >= 1");
   }
   if (opts_.dispatchers == 0) {
-    throw std::invalid_argument(
-        "FactorizationEngine: dispatchers must be >= 1");
+    // Shard affinity: one dispatcher per shard of the model's widest
+    // scatter-gather partition, so dispatch width follows a reshard
+    // automatically. shards() >= 1, so this never resolves to 0.
+    opts_.dispatchers = model_->factorizer().shards();
   }
+  dispatcher_metrics_.reserve(opts_.dispatchers);
   batcher_threads_.reserve(opts_.dispatchers);
   for (std::size_t i = 0; i < opts_.dispatchers; ++i) {
-    batcher_threads_.emplace_back([this] { batcher_loop(); });
+    dispatcher_metrics_.push_back(std::make_unique<Metrics>());
+    Metrics& m = *dispatcher_metrics_.back();
+    batcher_threads_.emplace_back([this, &m] { batcher_loop(m); });
   }
 }
 
@@ -150,7 +155,8 @@ std::vector<FactorizationEngine::Request> FactorizationEngine::next_flight() {
   }
 }
 
-void FactorizationEngine::run_flight(std::vector<Request> flight) {
+void FactorizationEngine::run_flight(std::vector<Request> flight,
+                                     Metrics& metrics) {
   // Group members by identical options — BatchFactorizer applies one
   // FactorizeOptions to a whole batch, and identical options are also what
   // makes two results interchangeable. Flights are homogeneous in the
@@ -174,6 +180,15 @@ void FactorizationEngine::run_flight(std::vector<Request> flight) {
     // Coalesce duplicate targets within the group: factorize each distinct
     // target once and fan the (identical, deterministic) result out to
     // every duplicate's promise. rep[j] indexes into `targets`.
+    //
+    // The dedup key is global — the full (target, opts) identity: groups
+    // are formed by exact options equality above, and within a group two
+    // requests coalesce only when both the request_key fingerprint AND the
+    // full target hypervector compare equal. Nothing here depends on the
+    // model's scan backend or shard partition, so coalescing under a
+    // kSharded model merges exactly the requests it would merge unsharded
+    // (pinned by the kSharded coalescing test in
+    // tests/test_service_engine.cpp).
     std::vector<hdc::Hypervector> targets;
     std::vector<std::uint64_t> target_keys;
     std::vector<std::size_t> rep(group.size());
@@ -184,7 +199,7 @@ void FactorizationEngine::run_flight(std::vector<Request> flight) {
         if (target_keys[u] == r.key && targets[u] == r.target) {
           rep[j] = u;
           found = true;
-          metrics_.on_coalesced();
+          metrics.on_coalesced();
           break;
         }
       }
@@ -195,7 +210,7 @@ void FactorizationEngine::run_flight(std::vector<Request> flight) {
       }
     }
 
-    metrics_.on_batch(group.size());
+    metrics.on_batch(group.size());
     std::vector<core::FactorizeResult> results;
     try {
       results = batcher_.factorize_all(targets, gopts);
@@ -205,7 +220,7 @@ void FactorizationEngine::run_flight(std::vector<Request> flight) {
         flight[j].promise.set_exception(err);
         // Exceptionally fulfilled is still completed: the drained-engine
         // invariant completed == submitted must survive a failed flight.
-        metrics_.on_completed(us_since(flight[j].submitted));
+        metrics.on_completed(us_since(flight[j].submitted));
       }
       continue;
     }
@@ -216,16 +231,16 @@ void FactorizationEngine::run_flight(std::vector<Request> flight) {
     for (std::size_t j = 0; j < group.size(); ++j) {
       Request& r = flight[group[j]];
       r.promise.set_value(results[rep[j]]);
-      metrics_.on_completed(us_since(r.submitted));
+      metrics.on_completed(us_since(r.submitted));
     }
   }
 }
 
-void FactorizationEngine::batcher_loop() {
+void FactorizationEngine::batcher_loop(Metrics& metrics) {
   while (true) {
     std::vector<Request> flight = next_flight();
     if (flight.empty()) return;
-    run_flight(std::move(flight));
+    run_flight(std::move(flight), metrics);
   }
 }
 
@@ -245,7 +260,15 @@ void FactorizationEngine::stop() {
 }
 
 MetricsSnapshot FactorizationEngine::metrics() const {
-  return metrics_.snapshot(queue_depth());
+  // Aggregate into a local set: dispatcher (compute-side) sets first, the
+  // submit-side set last. Reading a request's completion from a dispatcher
+  // set implies its earlier `submitted` increment is already visible, so
+  // merging submitted-last keeps completed <= submitted in live snapshots;
+  // after a drain the aggregate is exact.
+  Metrics agg;
+  for (const auto& m : dispatcher_metrics_) agg.merge(*m);
+  agg.merge(metrics_);
+  return agg.snapshot(queue_depth());
 }
 
 std::size_t FactorizationEngine::queue_depth() const {

@@ -65,7 +65,10 @@ struct ServiceOptions {
   /// Micro-batcher (queue-consumer) threads. 1 maximizes coalescing; more
   /// dispatchers overlap batch formation with computation when flights are
   /// small relative to the offered load. The queue is MPMC: any number of
-  /// submitters and dispatchers.
+  /// submitters and dispatchers. 0 = shard affinity: one dispatcher per
+  /// shard of the model's widest scatter-gather partition
+  /// (factorizer().shards(), >= 1), so an engine over a resharded model
+  /// scales its dispatch width with the partition automatically.
   std::size_t dispatchers = 1;
   /// Worker threads of the internal BatchFactorizer; 0 = hardware.
   std::size_t batch_threads = 0;
@@ -113,8 +116,10 @@ class FactorizationEngine {
  public:
   /// \param model Model to serve; shared (and kept alive) by the engine.
   /// \param opts Batching, backpressure, and cache configuration.
+  ///   `dispatchers == 0` resolves to the model's shard count (>= 1); the
+  ///   resolved value is visible through options().
   /// \throws std::invalid_argument When `model` is null or max_batch /
-  ///   queue_capacity / dispatchers is 0.
+  ///   queue_capacity is 0.
   explicit FactorizationEngine(std::shared_ptr<const Model> model,
                                ServiceOptions opts = {});
 
@@ -162,19 +167,29 @@ class FactorizationEngine {
     std::chrono::steady_clock::time_point submitted;
   };
 
-  void batcher_loop();
+  void batcher_loop(Metrics& metrics);
   /// Collects one flight from the queue (respecting max_batch/max_delay_us).
   /// Returns an empty vector when stopping and the queue is drained.
   [[nodiscard]] std::vector<Request> next_flight();
   /// Factorizes one flight: groups by options, coalesces duplicates,
-  /// dispatches BatchFactorizer, fulfills promises, feeds cache + metrics.
-  void run_flight(std::vector<Request> flight);
+  /// dispatches BatchFactorizer, fulfills promises, feeds cache + the
+  /// calling dispatcher's metrics set.
+  void run_flight(std::vector<Request> flight, Metrics& metrics);
 
   std::shared_ptr<const Model> model_;
   ServiceOptions opts_;
   core::BatchFactorizer batcher_;  ///< views model_->factorizer()
   ResultCache cache_;
+  /// Submit-side counters (submitted / rejected / cache hit+miss and the
+  /// cache-hit completions recorded on the submit thread). Compute-side
+  /// events go to the owning dispatcher's set in dispatcher_metrics_;
+  /// metrics() merges dispatcher sets first and this set last, so each
+  /// event is aggregated exactly once and completed <= submitted holds in
+  /// live snapshots.
   Metrics metrics_;
+  /// One counter set per dispatcher (unique_ptr: Metrics holds atomics and
+  /// must stay address-stable). Uncontended writes on the dispatch path.
+  std::vector<std::unique_ptr<Metrics>> dispatcher_metrics_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_ready_;  ///< signalled on enqueue and stop

@@ -8,8 +8,8 @@ namespace factorhd::service {
 
 namespace {
 
-/// Quantile from the power-of-two histogram: the upper bound (in us) of the
-/// bucket containing the q-th latency. 0 when the histogram is empty.
+/// Quantile from the power-of-two histogram: the geometric midpoint (in us)
+/// of the bucket containing the q-th latency. 0 when the histogram is empty.
 double histogram_quantile(const std::array<std::atomic<std::uint64_t>, 64>& h,
                           double q) {
   std::uint64_t total = 0;
@@ -21,11 +21,14 @@ double histogram_quantile(const std::array<std::atomic<std::uint64_t>, 64>& h,
   for (std::size_t i = 0; i < h.size(); ++i) {
     seen += h[i].load(std::memory_order_relaxed);
     if (seen >= rank && seen > 0) {
-      // Bucket i covers [2^i, 2^(i+1)) ns; report the upper bound in us.
-      return std::ldexp(1.0, static_cast<int>(i) + 1) / 1e3;
+      // Bucket i covers [2^i, 2^(i+1)) ns; report the geometric midpoint
+      // 2^(i+0.5) in us — within sqrt(2) of the true bucketed quantile in
+      // either direction. (The upper bound 2^(i+1) would overstate a
+      // single-latency stream by up to 2x.)
+      return std::ldexp(std::sqrt(2.0), static_cast<int>(i)) / 1e3;
     }
   }
-  return std::ldexp(1.0, 64) / 1e3;  // unreachable
+  return std::ldexp(std::sqrt(2.0), 63) / 1e3;  // unreachable
 }
 
 }  // namespace
@@ -81,6 +84,45 @@ MetricsSnapshot Metrics::snapshot(std::size_t queue_depth) const {
   return s;
 }
 
+void Metrics::merge(const Metrics& other) noexcept {
+  // Same downstream-first acquire order as snapshot(): reading a request's
+  // completion implies its earlier `submitted` increment is visible, so an
+  // aggregate built dispatcher-sets-first, submit-side-set-last keeps
+  // completed <= submitted mid-serving.
+  const std::uint64_t completed = other.completed_.load(std::memory_order_acquire);
+  const std::uint64_t hits = other.cache_hits_.load(std::memory_order_acquire);
+  const std::uint64_t misses =
+      other.cache_misses_.load(std::memory_order_acquire);
+  const std::uint64_t batches = other.batches_.load(std::memory_order_acquire);
+  const std::uint64_t batched =
+      other.batched_requests_.load(std::memory_order_acquire);
+  const std::uint64_t coalesced =
+      other.coalesced_.load(std::memory_order_acquire);
+  const std::uint64_t submitted =
+      other.submitted_.load(std::memory_order_acquire);
+  const std::uint64_t rejected = other.rejected_.load(std::memory_order_relaxed);
+  const std::uint64_t max_batch =
+      other.max_batch_.load(std::memory_order_relaxed);
+  completed_.fetch_add(completed, std::memory_order_relaxed);
+  cache_hits_.fetch_add(hits, std::memory_order_relaxed);
+  cache_misses_.fetch_add(misses, std::memory_order_relaxed);
+  batches_.fetch_add(batches, std::memory_order_relaxed);
+  batched_requests_.fetch_add(batched, std::memory_order_relaxed);
+  coalesced_.fetch_add(coalesced, std::memory_order_relaxed);
+  submitted_.fetch_add(submitted, std::memory_order_relaxed);
+  rejected_.fetch_add(rejected, std::memory_order_relaxed);
+  std::uint64_t prev = max_batch_.load(std::memory_order_relaxed);
+  while (prev < max_batch &&
+         !max_batch_.compare_exchange_weak(prev, max_batch,
+                                           std::memory_order_relaxed)) {
+  }
+  for (std::size_t i = 0; i < latency_buckets_.size(); ++i) {
+    const std::uint64_t n =
+        other.latency_buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) latency_buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
 std::string MetricsSnapshot::to_string() const {
   std::ostringstream os;
   os << "requests: " << submitted << " submitted, " << completed
@@ -90,8 +132,8 @@ std::string MetricsSnapshot::to_string() const {
      << " misses, " << coalesced << " coalesced in-batch\n"
      << "batches:  " << batches << " dispatched, mean " << mean_batch
      << " req/batch, max " << max_batch_observed << "\n"
-     << "latency:  p50 <= " << p50_latency_us << " us, p99 <= "
-     << p99_latency_us << " us (power-of-2 buckets)";
+     << "latency:  p50 ~ " << p50_latency_us << " us, p99 ~ "
+     << p99_latency_us << " us (power-of-2 bucket midpoints, +/- sqrt(2))";
   return os.str();
 }
 

@@ -3,9 +3,12 @@
 //
 // Everything is a relaxed atomic — metrics never synchronize the hot path,
 // they only observe it. Latency percentiles come from a power-of-two bucket
-// histogram (64 buckets over nanoseconds), so a snapshot's p50/p99 are
-// bucket upper bounds: exact to within a factor of 2, which is the right
-// fidelity for a serving dashboard and keeps recording allocation- and
+// histogram (64 buckets over nanoseconds); a snapshot's p50/p99 report the
+// geometric midpoint of the quantile's bucket (2^(i+0.5) ns for bucket i),
+// so the reported value is within a factor of sqrt(2) (~1.41x) of the true
+// bucketed quantile in either direction — the bucket upper bound would
+// instead overstate a single-latency stream by up to 2x. That fidelity is
+// right for a serving dashboard and keeps recording allocation- and
 // lock-free.
 #pragma once
 
@@ -32,7 +35,10 @@ struct MetricsSnapshot {
   std::size_t queue_depth = 0;      ///< pending requests at snapshot time
   std::size_t max_batch_observed = 0;
   double mean_batch = 0.0;          ///< batched_requests / batches
-  double p50_latency_us = 0.0;      ///< submit→completion, bucket-quantized
+  /// submit→completion latency quantiles, bucket-quantized to the geometric
+  /// midpoint of the power-of-2 bucket (within sqrt(2) of the true bucketed
+  /// quantile).
+  double p50_latency_us = 0.0;
   double p99_latency_us = 0.0;
 
   /// Multi-line human-readable rendering (the `stats` command of
@@ -59,6 +65,17 @@ class Metrics {
   /// \param queue_depth The engine's current pending-queue length (the one
   ///   piece of state the metrics do not own).
   [[nodiscard]] MetricsSnapshot snapshot(std::size_t queue_depth) const;
+
+  /// Adds `other`'s counters (and latency histogram, bucket-wise; max for
+  /// the batch high-water mark) into this set — how the engine aggregates
+  /// its per-dispatcher metrics into one snapshot without double-counting:
+  /// each event is recorded in exactly one Metrics instance and merged
+  /// exactly once per aggregate. Reads `other` in the same downstream-first
+  /// acquire order as snapshot(), so a live merge keeps the
+  /// completed <= submitted inequalities when the submit-side set is merged
+  /// last. Not atomic with respect to writers of *this* — merge into a
+  /// local Metrics, as the engine does.
+  void merge(const Metrics& other) noexcept;
 
  private:
   // Release increments pair with snapshot()'s acquire loads: a snapshot

@@ -9,18 +9,21 @@
 namespace factorhd::service {
 
 Model::Model(std::string name, tax::TaxonomyCodebooks books,
-             hdc::ScanBackend backend, const core::TierSnapshots* snapshots)
+             hdc::ScanBackend backend, const core::TierSnapshots* snapshots,
+             std::optional<hdc::kernels::ShardedConfig> sharded)
     : name_(std::move(name)),
       books_(std::move(books)),
+      backend_(backend),
+      sharded_(sharded),
       encoder_(books_),
-      factorizer_(encoder_, backend, snapshots) {}
+      factorizer_(encoder_, backend, snapshots, sharded) {}
 
-std::shared_ptr<const Model> Model::make(std::string name,
-                                         tax::TaxonomyCodebooks books,
-                                         hdc::ScanBackend backend,
-                                         const core::TierSnapshots* snapshots) {
+std::shared_ptr<const Model> Model::make(
+    std::string name, tax::TaxonomyCodebooks books, hdc::ScanBackend backend,
+    const core::TierSnapshots* snapshots,
+    std::optional<hdc::kernels::ShardedConfig> sharded) {
   return std::make_shared<const Model>(std::move(name), std::move(books),
-                                       backend, snapshots);
+                                       backend, snapshots, sharded);
 }
 
 std::size_t Model::num_classes() const noexcept {
@@ -49,10 +52,28 @@ std::shared_ptr<const Model> ModelRegistry::load_file(
   return model;
 }
 
-std::shared_ptr<const Model> ModelRegistry::add(const std::string& name,
-                                                tax::TaxonomyCodebooks books,
-                                                hdc::ScanBackend backend) {
-  auto model = Model::make(name, std::move(books), backend);
+std::shared_ptr<const Model> ModelRegistry::add(
+    const std::string& name, tax::TaxonomyCodebooks books,
+    hdc::ScanBackend backend,
+    std::optional<hdc::kernels::ShardedConfig> sharded) {
+  auto model = Model::make(name, std::move(books), backend, nullptr, sharded);
+  std::lock_guard<std::mutex> lock(mu_);
+  models_[name] = model;
+  return model;
+}
+
+std::shared_ptr<const Model> ModelRegistry::reshard(const std::string& name,
+                                                    std::size_t shards) {
+  const auto old = get(name);
+  if (!old) return nullptr;
+  // Rebuild outside the lock, exactly like a reload: copying the codebooks
+  // and re-packing the planes is the slow part, and get() must keep serving
+  // the current model throughout. shards == 1 rebuilds unsharded (kAuto with
+  // an explicit single-shard config never partitions).
+  hdc::kernels::ShardedConfig cfg;
+  cfg.shards = shards;
+  auto model = Model::make(name, old->books(), old->requested_backend(),
+                           nullptr, cfg);
   std::lock_guard<std::mutex> lock(mu_);
   models_[name] = model;
   return model;

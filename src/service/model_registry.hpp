@@ -51,13 +51,17 @@ class Model {
   ///   construction can skip the k-means builds whose saved index verifies
   ///   against the codebooks; consulted only during this call. Check
   ///   factorizer().snapshots_adopted() / rejected() for the outcome.
+  /// \param sharded Optional scatter-gather shard configuration threaded to
+  ///   the factorizer's item memories (see hdc::ItemMemory); results stay
+  ///   bit-identical to the unsharded model whenever the shards scan exact.
   /// \return The shared immutable model.
   /// \throws std::invalid_argument From the Factorizer constructor (forced
   ///   unavailable SIMD tier, unpackable codebook under kPacked).
   [[nodiscard]] static std::shared_ptr<const Model> make(
       std::string name, tax::TaxonomyCodebooks books,
       hdc::ScanBackend backend = hdc::ScanBackend::kAuto,
-      const core::TierSnapshots* snapshots = nullptr);
+      const core::TierSnapshots* snapshots = nullptr,
+      std::optional<hdc::kernels::ShardedConfig> sharded = std::nullopt);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const tax::TaxonomyCodebooks& books() const noexcept {
@@ -73,16 +77,33 @@ class Model {
   ///   rendering FactorizedObject::to_object results).
   [[nodiscard]] std::size_t num_classes() const noexcept;
 
+  /// \return The scan backend this model was requested with (what a reshard
+  ///   rebuild must preserve; the factorizer reports what it resolved to).
+  [[nodiscard]] hdc::ScanBackend requested_backend() const noexcept {
+    return backend_;
+  }
+  /// \return The shard configuration this model was built with (nullopt =
+  ///   unsharded / env-resolved); factorizer().shards() is the resolved
+  ///   partition width.
+  [[nodiscard]] const std::optional<hdc::kernels::ShardedConfig>&
+  shard_config() const noexcept {
+    return sharded_;
+  }
+
   Model(const Model&) = delete;
   Model& operator=(const Model&) = delete;
 
   /// Public only for make()'s std::make_shared; use make().
   Model(std::string name, tax::TaxonomyCodebooks books,
-        hdc::ScanBackend backend, const core::TierSnapshots* snapshots);
+        hdc::ScanBackend backend, const core::TierSnapshots* snapshots,
+        std::optional<hdc::kernels::ShardedConfig> sharded = std::nullopt);
 
  private:
   std::string name_;
   tax::TaxonomyCodebooks books_;
+  hdc::ScanBackend backend_;  ///< as requested at construction
+  /// Shard configuration as requested at construction (reshard provenance).
+  std::optional<hdc::kernels::ShardedConfig> sharded_;
   core::Encoder encoder_;      ///< views books_
   core::Factorizer factorizer_;  ///< views encoder_; packs the codebooks
 };
@@ -113,7 +134,20 @@ class ModelRegistry {
   /// Registers a model built from in-memory codebooks.
   std::shared_ptr<const Model> add(
       const std::string& name, tax::TaxonomyCodebooks books,
-      hdc::ScanBackend backend = hdc::ScanBackend::kAuto);
+      hdc::ScanBackend backend = hdc::ScanBackend::kAuto,
+      std::optional<hdc::kernels::ShardedConfig> sharded = std::nullopt);
+
+  /// Rebuilds the model registered under `name` with a `shards`-way
+  /// scatter-gather partition (1 = unshard) and swaps it into the mapping —
+  /// the same zero-downtime mechanism as a reload: the rebuild happens
+  /// outside the lock on a copy of the codebooks, existing holders of the
+  /// old shared_ptr keep serving the old partition until they drop it, and
+  /// new engines pick up the resharded model. The requested scan backend is
+  /// preserved. Results are unchanged by construction (sharded scans are
+  /// bit-identical), so swapping mid-traffic is safe.
+  /// \return The resharded model, or nullptr when `name` is not registered.
+  std::shared_ptr<const Model> reshard(const std::string& name,
+                                       std::size_t shards);
 
   /// \return The model registered under `name`, or nullptr.
   [[nodiscard]] std::shared_ptr<const Model> get(

@@ -35,10 +35,16 @@ std::uint64_t request_key(const hdc::Hypervector& target,
 ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
   if (capacity == 0) return;  // disabled: zero shards, enabled() == false
   const std::size_t n = std::clamp<std::size_t>(shards, 1, capacity);
-  per_shard_ = (capacity + n - 1) / n;
+  capacity_ = capacity;
+  // Distribute the budget exactly: capacity / n everywhere plus one of the
+  // remainder entries in each of the first capacity % n shards. Rounding up
+  // instead would let the aggregate exceed the requested capacity by up to
+  // n - 1 entries once every shard fills. n <= capacity keeps every cap
+  // >= 1.
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->cap = capacity / n + (i < capacity % n ? 1 : 0);
   }
 }
 
@@ -80,7 +86,7 @@ void ResultCache::insert(std::uint64_t key, const hdc::Hypervector& target,
     s.lru.splice(s.lru.begin(), s.lru, it->second);
     return;
   }
-  if (s.lru.size() >= per_shard_) {
+  if (s.lru.size() >= s.cap) {
     s.index.erase(s.lru.back().key);
     s.lru.pop_back();
   }

@@ -11,8 +11,10 @@
 //
 // Sharding: the key space is split across independently locked shards so
 // concurrent submit() fast paths contend only 1/shards of the time. Each
-// shard runs its own LRU list; capacity is divided evenly across shards
-// (total capacity is rounded up to shards * ceil(capacity / shards)).
+// shard runs its own LRU list; the capacity is distributed exactly —
+// capacity / shards per shard with the remainder spread one entry each over
+// the first shards — so the aggregate bound is the requested capacity, not
+// a rounded-up multiple (size() <= capacity() always holds).
 #pragma once
 
 #include <cstddef>
@@ -69,10 +71,10 @@ class ResultCache {
   ///   least 1 and at most `capacity` (so every shard holds >= 1 entry).
   explicit ResultCache(std::size_t capacity, std::size_t shards = 8);
 
-  [[nodiscard]] bool enabled() const noexcept { return per_shard_ > 0; }
-  [[nodiscard]] std::size_t capacity() const noexcept {
-    return per_shard_ * shards_.size();
-  }
+  [[nodiscard]] bool enabled() const noexcept { return capacity_ > 0; }
+  /// \return The exact aggregate entry bound (the constructor's `capacity`):
+  ///   per-shard caps sum to it, so size() can never exceed it.
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   /// \return Entries currently resident (sums shard sizes; approximate while
   ///   writers are active).
   [[nodiscard]] std::size_t size() const;
@@ -106,6 +108,8 @@ class ResultCache {
   };
   struct Shard {
     std::mutex mu;
+    /// This shard's exact entry budget (>= 1; caps sum to capacity_).
+    std::size_t cap = 0;
     /// Front = most recently used.
     std::list<Entry> lru;
     std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
@@ -115,7 +119,7 @@ class ResultCache {
     return *shards_[static_cast<std::size_t>(key) % shards_.size()];
   }
 
-  std::size_t per_shard_ = 0;  ///< entry budget per shard; 0 = disabled
+  std::size_t capacity_ = 0;  ///< exact aggregate bound; 0 = disabled
   /// unique_ptr: shards hold a mutex and must stay address-stable.
   std::vector<std::unique_ptr<Shard>> shards_;
 };

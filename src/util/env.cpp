@@ -46,6 +46,12 @@ std::span<const EnvKnob> env_knobs() {
        "factorhd_serve: micro-batch flush deadline (us)"},
       {"FACTORHD_SERVE_QUEUE_CAP", "1 .. 2^20", "1024",
        "factorhd_serve: bounded request-queue capacity"},
+      {"FACTORHD_SHARDS", "1 .. 1024", "1 = unsharded",
+       "codebook shard count of the scatter-gather scan partition "
+       "(bit-identical results at any count)"},
+      {"FACTORHD_SHARD_MIN_ROWS", "0 (never) .. 2^30", "65536",
+       "codebook row count at which kAuto memories honour the env-requested "
+       "shard count"},
       {"FACTORHD_SIMD", "auto | scalar | words | avx2 | avx512 | neon", "auto",
        "clamps the dispatched SIMD tier of packed codebook scans"},
       {"FACTORHD_SNAPSHOT_MMAP", "0 (stream) | 1 (mmap)", "1",

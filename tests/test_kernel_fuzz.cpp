@@ -201,14 +201,24 @@ void check_one_query(const Codebook& cb, const ItemMemory& scalar,
   EXPECT_EQ(ref_dots, got_dots);
 }
 
+// Shard counts of the scatter-gather axis: the degenerate single shard,
+// small counts that rarely divide the codebook size, and counts that
+// exceed the 1..45-row codebooks entirely (clamped to one row per shard).
+const std::size_t kShardCounts[] = {1, 2, 3, 7, 16};
+
 void run_config(const FuzzConfig& cfg, const std::vector<ScanBackend>& backends,
                 Xoshiro256& rng) {
   SCOPED_TRACE(cfg.describe());
   const Codebook cb = make_codebook(cfg, rng);
   const ItemMemory scalar(cb, ScanBackend::kScalar);
   std::vector<ItemMemory> packed;
-  packed.reserve(backends.size() + 1);
-  for (ScanBackend b : backends) packed.emplace_back(cb, b);
+  std::vector<std::string> names;
+  packed.reserve(backends.size() + 3 +
+                 sizeof(kShardCounts) / sizeof(kShardCounts[0]));
+  for (ScanBackend b : backends) {
+    packed.emplace_back(cb, b);
+    names.emplace_back(backend_name(b));
+  }
   // A full-coverage tiered memory (nprobe = all buckets) rides the same
   // differential: the verification bound says it is indistinguishable from
   // the exact backends on every scan surface.
@@ -216,10 +226,25 @@ void run_config(const FuzzConfig& cfg, const std::vector<ScanBackend>& backends,
       cb, ScanBackend::kTiered,
       kernels::TieredConfig{.clusters = 1 + rng.uniform(cb.size()),
                             .nprobe = cb.size()});
+  names.emplace_back("kTiered(nprobe=all)");
+  // The scatter-gather axis: exact sharded memories at every count —
+  // including counts that do not divide the size and counts above it —
+  // must merge to the same bit-identical results, and so must a sharded
+  // memory whose shards each carry a full-coverage tier.
+  for (const std::size_t n : kShardCounts) {
+    packed.emplace_back(cb, ScanBackend::kSharded, std::nullopt, nullptr,
+                        kernels::ShardedConfig{.shards = n});
+    names.emplace_back("kSharded(n=" + std::to_string(n) + ")");
+  }
+  packed.emplace_back(
+      cb, ScanBackend::kSharded,
+      kernels::TieredConfig{.clusters = 1 + rng.uniform(cb.size()),
+                            .nprobe = cb.size()},
+      nullptr, kernels::ShardedConfig{.shards = 1 + rng.uniform(5)});
+  names.emplace_back("kSharded(tiered,nprobe=all)");
   for (const Hypervector& q : make_queries(cfg, cb, rng)) {
     for (std::size_t i = 0; i < packed.size(); ++i) {
-      SCOPED_TRACE(i < backends.size() ? backend_name(backends[i])
-                                       : "kTiered(nprobe=all)");
+      SCOPED_TRACE(names[i]);
       check_one_query(cb, scalar, packed[i], q, rng);
     }
   }

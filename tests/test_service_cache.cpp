@@ -179,9 +179,11 @@ TEST(ResultCache, ZeroCapacityDisables) {
 }
 
 TEST(ResultCache, ShardingPreservesCapacityAndClearWorks) {
-  // 10 entries over 4 shards → ceil(10/4)=3 per shard, 12 total.
+  // 10 entries over 4 shards: the budget distributes exactly (3+3+2+2),
+  // so the aggregate bound is the requested 10 — not the rounded-up 12
+  // the old ceil(capacity/shards) per-shard cap allowed.
   service::ResultCache cache(10, 4);
-  EXPECT_EQ(cache.capacity(), 12u);
+  EXPECT_EQ(cache.capacity(), 10u);
   util::Xoshiro256 rng(9);
   const core::FactorizeOptions opts;
   std::vector<hdc::Hypervector> ts;
@@ -197,6 +199,34 @@ TEST(ResultCache, ShardingPreservesCapacityAndClearWorks) {
   // Shard count larger than capacity is clamped (1 entry per shard).
   service::ResultCache tiny(2, 64);
   EXPECT_EQ(tiny.capacity(), 2u);
+}
+
+TEST(ResultCache, AggregateNeverExceedsCapacityWhenEveryShardOverfills) {
+  // Regression for the ceil-rounding bug: with a capacity that does not
+  // divide the shard count, round-up per-shard caps let the aggregate
+  // reach shards * ceil(capacity/shards) > capacity once every shard
+  // filled. Over-fill every shard by an order of magnitude and assert the
+  // exact bound holds for several (capacity, shards) shapes.
+  util::Xoshiro256 rng(10);
+  const core::FactorizeOptions opts;
+  const struct {
+    std::size_t capacity;
+    std::size_t shards;
+  } shapes[] = {{10, 4}, {7, 3}, {5, 8}, {16, 16}, {9, 2}, {1, 1}};
+  for (const auto& shape : shapes) {
+    SCOPED_TRACE("capacity=" + std::to_string(shape.capacity) +
+                 " shards=" + std::to_string(shape.shards));
+    service::ResultCache cache(shape.capacity, shape.shards);
+    EXPECT_EQ(cache.capacity(), shape.capacity);
+    for (std::size_t i = 0; i < shape.capacity * 10 + 50; ++i) {
+      const hdc::Hypervector t = hdc::random_bipolar(32, rng);
+      cache.insert(service::request_key(t, opts), t, opts, make_result(i));
+      ASSERT_LE(cache.size(), cache.capacity());
+    }
+    // A well-hashed fill should also come close to the bound from below:
+    // every shard holds at least one entry after this many inserts.
+    EXPECT_GE(cache.size(), std::min(shape.capacity, shape.shards));
+  }
 }
 
 }  // namespace

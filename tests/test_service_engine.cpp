@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <future>
 #include <thread>
 #include <vector>
@@ -284,11 +285,162 @@ TEST_F(ServiceEngineTest, ValidatesArguments) {
                std::invalid_argument);
   EXPECT_THROW(service::FactorizationEngine(model_, {.queue_capacity = 0}),
                std::invalid_argument);
-  EXPECT_THROW(service::FactorizationEngine(model_, {.dispatchers = 0}),
-               std::invalid_argument);
   service::FactorizationEngine engine(model_, {});
   EXPECT_THROW((void)engine.submit(hdc::Hypervector(kDim + 1)),
                std::invalid_argument);
+}
+
+TEST_F(ServiceEngineTest, DispatcherZeroResolvesToModelShardCount) {
+  // dispatchers = 0 is shard affinity: one dispatcher per shard of the
+  // model's widest partition. Unsharded model → 1; a 3-way sharded rebuild
+  // of the same codebooks → 3 — and results stay bit-identical throughout.
+  service::FactorizationEngine plain(model_, {.dispatchers = 0});
+  EXPECT_EQ(plain.options().dispatchers, 1u);
+  run_differential(plain);
+
+  util::Xoshiro256 rng(1234);  // same seed → same codebooks as model_
+  hdc::kernels::ShardedConfig cfg;
+  cfg.shards = 3;
+  auto sharded = service::Model::make(
+      "sharded", tax::TaxonomyCodebooks(tax::Taxonomy(3, {8, 4}), kDim, rng),
+      hdc::ScanBackend::kAuto, nullptr, cfg);
+  EXPECT_EQ(sharded->factorizer().scan_backend(), hdc::ScanBackend::kSharded);
+  EXPECT_EQ(sharded->factorizer().shards(), 3u);
+  service::FactorizationEngine affine(sharded, {.dispatchers = 0});
+  EXPECT_EQ(affine.options().dispatchers, 3u);
+  run_differential(affine);
+}
+
+TEST_F(ServiceEngineTest, ShardedModelServesBitIdenticalResults) {
+  // The serving differential over a scatter-gather model: every future must
+  // carry the same bits as the direct unsharded factorize that produced the
+  // ground truth — at several shard counts, with caching and multiple
+  // dispatchers in play.
+  util::Xoshiro256 rng(1234);  // same seed → same codebooks as model_
+  for (const std::size_t shards : {2u, 3u, 5u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    hdc::kernels::ShardedConfig cfg;
+    cfg.shards = shards;
+    util::Xoshiro256 fresh(1234);
+    auto sharded = service::Model::make(
+        "sharded",
+        tax::TaxonomyCodebooks(tax::Taxonomy(3, {8, 4}), kDim, fresh),
+        hdc::ScanBackend::kAuto, nullptr, cfg);
+    service::FactorizationEngine engine(sharded, {.max_batch = 8,
+                                                  .max_delay_us = 200,
+                                                  .dispatchers = 2,
+                                                  .cache_capacity = 64});
+    run_differential(engine);
+    run_differential(engine);  // replay: cache-served, still identical
+  }
+}
+
+TEST_F(ServiceEngineTest, CoalescingKeysOnGlobalIdentityUnderSharding) {
+  // The coalescing pin under kSharded: the dedup key is the full global
+  // (target, opts) identity, independent of the model's shard partition —
+  // a flight of k duplicates must compute once and coalesce k-1, exactly
+  // as an unsharded engine would. A parked batcher (huge max_batch + long
+  // flush deadline) plus stop()'s drain makes the flight composition
+  // deterministic; the cache is off so coalescing is the only reuse path.
+  util::Xoshiro256 rng(1234);  // same seed → same codebooks as model_
+  hdc::kernels::ShardedConfig cfg;
+  cfg.shards = 4;
+  auto sharded = service::Model::make(
+      "sharded", tax::TaxonomyCodebooks(tax::Taxonomy(3, {8, 4}), kDim, rng),
+      hdc::ScanBackend::kAuto, nullptr, cfg);
+  for (const auto& model : {model_, sharded}) {
+    SCOPED_TRACE(model == model_ ? "unsharded" : "4-way sharded");
+    service::FactorizationEngine engine(model, {.max_batch = 1000,
+                                                .max_delay_us = 5000000,
+                                                .dispatchers = 1,
+                                                .cache_capacity = 0});
+    std::vector<std::future<core::FactorizeResult>> futures;
+    for (int i = 0; i < 5; ++i) {
+      futures.push_back(engine.submit(work_[0].target, work_[0].opts));
+    }
+    futures.push_back(engine.submit(work_[1].target, work_[1].opts));
+    engine.stop();  // drains the parked queue as one flight
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_TRUE(futures[i].get() == work_[0].expected);
+    }
+    EXPECT_TRUE(futures[5].get() == work_[1].expected);
+    const auto m = engine.metrics();
+    EXPECT_EQ(m.coalesced, 4u)
+        << "5 identical requests in one flight must coalesce to 1 compute";
+    EXPECT_EQ(m.completed, 6u);
+  }
+}
+
+TEST(ServiceMetrics, QuantilesReportGeometricBucketMidpoints) {
+  // Regression for the bucket-upper-bound bug: a stream of identical
+  // latencies used to report p50 = p99 = the bucket's upper bound — up to
+  // 2x the true value. The midpoint 2^(i+0.5) ns is within sqrt(2) of any
+  // latency in bucket [2^i, 2^(i+1)).
+  for (const double us : {0.5, 3.0, 10.0, 147.0, 2048.0, 100000.0}) {
+    SCOPED_TRACE("latency_us=" + std::to_string(us));
+    service::Metrics m;
+    for (int i = 0; i < 100; ++i) m.on_completed(us);
+    const auto s = m.snapshot(0);
+    EXPECT_EQ(s.p50_latency_us, s.p99_latency_us)
+        << "single-latency stream: every quantile lands in one bucket";
+    const double kSqrt2 = std::sqrt(2.0);
+    EXPECT_GE(s.p50_latency_us, us / kSqrt2)
+        << "midpoint must be within sqrt(2) below the true latency";
+    EXPECT_LE(s.p50_latency_us, us * kSqrt2)
+        << "midpoint must be within sqrt(2) above the true latency";
+  }
+  // Exact bucket arithmetic: 10 us = 10000 ns lands in bucket 13
+  // ([8192, 16384) ns); the midpoint is 2^13.5 ns.
+  service::Metrics m;
+  m.on_completed(10.0);
+  EXPECT_DOUBLE_EQ(m.snapshot(0).p50_latency_us,
+                   std::ldexp(std::sqrt(2.0), 13) / 1e3);
+}
+
+TEST(ServiceMetrics, MergeAggregatesEveryCounterWithoutDoubleCounting) {
+  service::Metrics submit_side;
+  service::Metrics d0;
+  service::Metrics d1;
+  for (int i = 0; i < 7; ++i) submit_side.on_submitted();
+  submit_side.on_rejected();
+  submit_side.on_cache_hit();
+  submit_side.on_cache_miss();
+  submit_side.on_cache_miss();
+  submit_side.on_completed(5.0);  // the cache-hit completion
+  d0.on_batch(3);
+  d0.on_coalesced();
+  d0.on_completed(10.0);
+  d0.on_completed(10.0);
+  d1.on_batch(5);
+  d1.on_completed(40.0);
+
+  service::Metrics agg;
+  agg.merge(d0);
+  agg.merge(d1);
+  agg.merge(submit_side);  // submit-side set last, as the engine does
+  const auto s = agg.snapshot(2);
+  EXPECT_EQ(s.submitted, 7u);
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.cache_misses, 2u);
+  EXPECT_EQ(s.completed, 4u);
+  EXPECT_EQ(s.batches, 2u);
+  EXPECT_EQ(s.batched_requests, 8u);
+  EXPECT_EQ(s.coalesced, 1u);
+  EXPECT_EQ(s.max_batch_observed, 5u) << "high-water mark merges as max";
+  EXPECT_EQ(s.queue_depth, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_batch, 4.0);
+  // The merged histogram carries all four completions: p50 in the 10 us
+  // bucket region, p99 in the 40 us one.
+  EXPECT_GT(s.p50_latency_us, 0.0);
+  EXPECT_GT(s.p99_latency_us, s.p50_latency_us);
+  // Merging an empty set is a no-op.
+  service::Metrics empty;
+  agg.merge(empty);
+  const auto s2 = agg.snapshot(2);
+  EXPECT_EQ(s2.submitted, s.submitted);
+  EXPECT_EQ(s2.completed, s.completed);
+  EXPECT_DOUBLE_EQ(s2.p99_latency_us, s.p99_latency_us);
 }
 
 TEST_F(ServiceEngineTest, ForcedScalarBackendModelMatchesPackedModel) {

@@ -1,0 +1,451 @@
+// ShardedItemMemory (hdc/kernels/sharded_item_memory.hpp) — the ISSUE 8
+// scatter-gather contract from every side:
+//
+//  * partition — balanced contiguous row ranges (sizes differ by at most
+//    one), shard counts clamped to [1, M] so N > M and N not dividing M are
+//    safe, zero-copy slice views over the full packed planes;
+//  * bit-identity — every surface (best / above / top_k / dots and the
+//    blocked variants) returns bit-identical results to the unsharded
+//    PackedItemMemory scan at every shard count, including adversarially
+//    tied codebooks whose duplicate rows straddle shard boundaries (the
+//    merge tie rules: argmax keeps the lowest global index, sorted surfaces
+//    follow hdc::match_order);
+//  * tiered shards — per-shard tier indexes with full probing stay exact,
+//    and ScanStats accumulate the summed per-shard costs;
+//  * persistence — per-shard FTS1 snapshots round trip through
+//    save_sharded_index / load_sharded_index, verified snapshots are
+//    adopted, mismatched ones rejected with the memory still correct, and a
+//    corrupt shard file throws at load (never mis-scans);
+//  * soak (ShardedSoak) — concurrent client threads scanning one shared
+//    ShardedItemMemory, with the scan pool forced wide enough that the
+//    internal shard scatter also runs threaded, stay race-free (TSan CI
+//    runs this binary) and bit-identical to single-threaded references.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hdc/codebook.hpp"
+#include "hdc/kernels/packed_item_memory.hpp"
+#include "hdc/kernels/sharded_item_memory.hpp"
+#include "hdc/kernels/simd.hpp"
+#include "hdc/kernels/tiered_item_memory.hpp"
+#include "hdc/match.hpp"
+#include "hdc/random.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace factorhd;
+using namespace factorhd::hdc;
+using factorhd::util::Xoshiro256;
+using kernels::PackedItemMemory;
+using kernels::PackedQuery;
+using kernels::ShardedConfig;
+using kernels::ShardedItemMemory;
+using kernels::SimdLevel;
+using kernels::TieredConfig;
+using kernels::TieredItemMemory;
+
+// scan_pool_width() latches FACTORHD_SCAN_THREADS on first call, so the
+// override must be installed before any scan in this binary — a static
+// initializer runs before main(). Width 4 makes the ShardedSoak scatter
+// genuinely threaded even on single-core CI hosts.
+const bool kPoolWidthForced = [] {
+  ::setenv("FACTORHD_SCAN_THREADS", "4", 1);
+  return true;
+}();
+
+/// Scoped environment override; restores the previous value on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) previous_ = old;
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (previous_) {
+      ::setenv(name_, previous_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  std::optional<std::string> previous_;
+};
+
+void expect_same_matches(const std::vector<Match>& ref,
+                         const std::vector<Match>& got) {
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].index, got[i].index) << "position " << i;
+    EXPECT_EQ(ref[i].similarity, got[i].similarity) << "position " << i;
+  }
+}
+
+/// Deterministic query mix: noisy cleanup hits, random bipolar/ternary,
+/// one exact item, the all-zero vector — packed for the kernel surfaces.
+std::vector<PackedQuery> make_queries(const Codebook& cb, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Hypervector> raw;
+  for (int i = 0; i < 3; ++i) {
+    raw.push_back(flip_noise(cb.item(rng.uniform(cb.size())), 0.05, rng));
+    raw.push_back(random_bipolar(cb.dim(), rng));
+    raw.push_back(random_ternary(cb.dim(), 0.4, rng));
+  }
+  raw.push_back(cb.item(0));
+  raw.push_back(Hypervector(cb.dim()));
+  std::vector<PackedQuery> queries;
+  for (const Hypervector& q : raw) {
+    const std::optional<PackedQuery> pq = PackedQuery::pack(q);
+    if (pq.has_value()) queries.push_back(*pq);
+  }
+  return queries;
+}
+
+/// Every scatter-gather surface of `sharded`, compared bit-for-bit against
+/// the unsharded `packed` scan — the core ISSUE 8 contract.
+void expect_bit_identical(const PackedItemMemory& packed,
+                          const ShardedItemMemory& sharded,
+                          const std::vector<PackedQuery>& queries) {
+  ASSERT_EQ(packed.size(), sharded.size());
+  const std::size_t m = packed.size();
+  for (const PackedQuery& q : queries) {
+    const Match rb = packed.best(q);
+    const Match gb = sharded.best(q);
+    EXPECT_EQ(rb.index, gb.index);
+    EXPECT_EQ(rb.similarity, gb.similarity);
+    expect_same_matches(packed.above(q, 0.01), sharded.above(q, 0.01));
+    expect_same_matches(packed.above(q, -2.0), sharded.above(q, -2.0));
+    expect_same_matches(packed.top_k(q, 7), sharded.top_k(q, 7));
+    expect_same_matches(packed.top_k(q, m + 3), sharded.top_k(q, m + 3));
+    std::vector<std::int64_t> ref_dots(m), got_dots(m);
+    packed.dots(q, ref_dots);
+    sharded.dots(q, got_dots);
+    EXPECT_EQ(ref_dots, got_dots);
+  }
+  // Blocked surfaces against their per-query and unsharded counterparts.
+  expect_same_matches(packed.best_block(queries), sharded.best_block(queries));
+  const auto ref_topk = packed.top_k_block(queries, 5);
+  const auto got_topk = sharded.top_k_block(queries, 5);
+  ASSERT_EQ(ref_topk.size(), got_topk.size());
+  for (std::size_t i = 0; i < ref_topk.size(); ++i) {
+    expect_same_matches(ref_topk[i], got_topk[i]);
+  }
+  std::vector<std::int64_t> ref_block(queries.size() * m);
+  std::vector<std::int64_t> got_block(queries.size() * m);
+  packed.dots_block(queries, ref_block);
+  sharded.dots_block(queries, got_block);
+  EXPECT_EQ(ref_block, got_block);
+}
+
+TEST(ShardedMemory, PartitionIsBalancedContiguousAndClampsShardCount) {
+  Xoshiro256 rng(20260808);
+  const Codebook cb(128, 10, rng);
+  const auto packed = std::make_shared<const PackedItemMemory>(cb);
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{7},
+        std::size_t{10}, std::size_t{16}, std::size_t{1000}}) {
+    ShardedConfig cfg;
+    cfg.shards = n;
+    const ShardedItemMemory sharded(packed, cfg);
+    const std::size_t resolved = std::min<std::size_t>(n, cb.size());
+    ASSERT_EQ(sharded.shards(), resolved) << "requested " << n;
+    std::size_t begin = 0;
+    std::size_t min_size = cb.size(), max_size = 0;
+    for (std::size_t s = 0; s < sharded.shards(); ++s) {
+      EXPECT_EQ(sharded.shard_begin(s), begin);
+      EXPECT_EQ(sharded.shard_rows(s).size(), sharded.shard_size(s));
+      min_size = std::min(min_size, sharded.shard_size(s));
+      max_size = std::max(max_size, sharded.shard_size(s));
+      begin += sharded.shard_size(s);
+    }
+    EXPECT_EQ(begin, cb.size()) << "partition must cover every row";
+    EXPECT_LE(max_size - min_size, 1u) << "balanced partition";
+    EXPECT_FALSE(sharded.tiered_shards());
+    EXPECT_TRUE(sharded.exact());
+  }
+  // Null row memory is rejected; shards=0 defers to the env knob.
+  EXPECT_THROW(ShardedItemMemory(nullptr), std::invalid_argument);
+  {
+    ScopedEnv shards("FACTORHD_SHARDS", "6");
+    EXPECT_EQ(kernels::sharded_config_from_env().shards, 6u);
+    EXPECT_EQ(ShardedItemMemory(packed).shards(), 6u);
+  }
+  {
+    ScopedEnv min_rows("FACTORHD_SHARD_MIN_ROWS", "123");
+    EXPECT_EQ(kernels::sharded_auto_min_rows(), 123u);
+  }
+}
+
+TEST(ShardedMemory, ExactScansBitIdenticalAtEveryShardCount) {
+  Xoshiro256 rng(41);
+  // Off-word dimension and prime row count: exercises tail masking and
+  // uneven partitions at every shard count below.
+  const Codebook cb(257, 211, rng);
+  const auto packed = std::make_shared<const PackedItemMemory>(cb);
+  const std::vector<PackedQuery> queries = make_queries(cb, 7);
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{7},
+        std::size_t{16}, std::size_t{211}, std::size_t{212}}) {
+    SCOPED_TRACE("shards=" + std::to_string(n));
+    ShardedConfig cfg;
+    cfg.shards = n;
+    expect_bit_identical(*packed, ShardedItemMemory(packed, cfg), queries);
+  }
+}
+
+TEST(ShardedMemory, TiedRowsAcrossShardBoundariesMergeCanonically) {
+  // Every row duplicates one of four patterns, so every query ties across
+  // many rows — and with 5 shards over 37 rows, across shard boundaries.
+  // The merged argmax must keep the lowest global index (the canonical
+  // first-maximum rule) and the sorted surfaces must follow
+  // hdc::match_order, i.e. stay bit-identical to the unsharded scan.
+  Xoshiro256 rng(43);
+  std::vector<Hypervector> patterns;
+  for (int i = 0; i < 4; ++i) patterns.push_back(random_bipolar(192, rng));
+  std::vector<Hypervector> items;
+  for (std::size_t i = 0; i < 37; ++i) items.push_back(patterns[i % 4]);
+  const Codebook cb(std::move(items));
+  const auto packed = std::make_shared<const PackedItemMemory>(cb);
+  const std::vector<PackedQuery> queries = make_queries(cb, 11);
+  for (const std::size_t n : {std::size_t{2}, std::size_t{5}, std::size_t{9}}) {
+    SCOPED_TRACE("shards=" + std::to_string(n));
+    ShardedConfig cfg;
+    cfg.shards = n;
+    const ShardedItemMemory sharded(packed, cfg);
+    expect_bit_identical(*packed, sharded, queries);
+    for (const PackedQuery& q : queries) {
+      // With only four distinct rows, the argmax is always a tie class of
+      // ~9 duplicates; the winner must be its first (lowest) global index.
+      EXPECT_LT(sharded.best(q).index, 4u);
+    }
+  }
+}
+
+TEST(ShardedMemory, TieredShardsWithFullProbingStayExact) {
+  Xoshiro256 rng(47);
+  const Codebook cb(256, 240, rng);
+  const auto packed = std::make_shared<const PackedItemMemory>(cb);
+  const std::vector<PackedQuery> queries = make_queries(cb, 13);
+  ShardedConfig cfg;
+  cfg.shards = 4;
+  // nprobe >= clusters on every shard: the tier probes everything, so the
+  // scan stays exact and the sharded results must stay bit-identical.
+  cfg.tiered = TieredConfig{.clusters = 4, .nprobe = 240};
+  const ShardedItemMemory sharded(packed, cfg);
+  EXPECT_TRUE(sharded.tiered_shards());
+  EXPECT_TRUE(sharded.exact());
+  for (std::size_t s = 0; s < sharded.shards(); ++s) {
+    ASSERT_NE(sharded.shard_tier(s), nullptr);
+    EXPECT_TRUE(sharded.shard_tier(s)->exact());
+  }
+  expect_bit_identical(*packed, sharded, queries);
+
+  // ScanStats accumulate the summed per-shard costs: 4 shards x 4 centroids
+  // of centroid work, and (exact tiers) every row scanned exactly once.
+  TieredItemMemory::ScanStats stats{};
+  (void)sharded.best(queries[0], /*exact=*/false, &stats);
+  EXPECT_EQ(stats.centroid_dots, 16u);
+  EXPECT_EQ(stats.row_dots, 240u);
+
+  // The exact flag bypasses the tiers and accounts a plain full scan.
+  TieredItemMemory::ScanStats forced{};
+  const Match via_rows = sharded.best(queries[0], /*exact=*/true, &forced);
+  const Match via_tier = sharded.best(queries[0]);
+  EXPECT_EQ(via_rows.index, via_tier.index);
+  EXPECT_EQ(via_rows.similarity, via_tier.similarity);
+  EXPECT_EQ(forced.centroid_dots, 0u);
+  EXPECT_EQ(forced.row_dots, 240u);
+}
+
+TEST(ShardedMemory, SnapshotRoundTripAdoptsVerifiedShardsRejectsMismatched) {
+  Xoshiro256 rng(53);
+  const Codebook cb(256, 200, rng);
+  const auto packed = std::make_shared<const PackedItemMemory>(cb);
+  const std::vector<PackedQuery> queries = make_queries(cb, 17);
+  ShardedConfig cfg;
+  cfg.shards = 4;
+  cfg.tiered = TieredConfig{.clusters = 4, .nprobe = 200};
+  const ShardedItemMemory original(packed, cfg);
+  const std::string prefix = testing::TempDir() + "factorhd_sharded_idx";
+  EXPECT_EQ(kernels::sharded_shard_path(prefix, 2), prefix + ".shard2");
+  kernels::save_sharded_index(prefix, original);
+
+  // Round trip: every per-shard snapshot verifies against its slice of the
+  // codebook and is adopted in place of a fresh k-means build.
+  const auto snaps = kernels::load_sharded_index(prefix, 4);
+  ASSERT_EQ(snaps.size(), 4u);
+  const ShardedItemMemory reloaded(packed, cfg, snaps);
+  EXPECT_EQ(reloaded.snapshots_adopted(), 4u);
+  EXPECT_EQ(reloaded.snapshots_rejected(), 0u);
+  expect_bit_identical(*packed, reloaded, queries);
+
+  // Snapshot count must match the resolved shard count.
+  ShardedConfig three = cfg;
+  three.shards = 3;
+  EXPECT_THROW(ShardedItemMemory(packed, three, snaps), std::invalid_argument);
+
+  // Snapshots for a different codebook fail the plane verification shard by
+  // shard: all rejected, fresh tiers built, results still bit-identical.
+  Xoshiro256 other_rng(54);
+  const Codebook other_cb(256, 200, other_rng);
+  const auto other = std::make_shared<const PackedItemMemory>(other_cb);
+  const ShardedItemMemory mismatched(other, cfg, snaps);
+  EXPECT_EQ(mismatched.snapshots_adopted(), 0u);
+  EXPECT_EQ(mismatched.snapshots_rejected(), 4u);
+  EXPECT_TRUE(mismatched.tiered_shards());
+  expect_bit_identical(*other, mismatched, make_queries(other_cb, 19));
+
+  // A corrupt shard file throws at load — a sharded index can fail to
+  // load, but can never mis-scan.
+  const std::string victim = kernels::sharded_shard_path(prefix, 2);
+  std::string bytes;
+  {
+    std::ifstream is(victim, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 100u);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  {
+    std::ofstream os(victim, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW((void)kernels::load_sharded_index(prefix, 4),
+               std::runtime_error);
+
+  // Untiered shards have no index to persist.
+  ShardedConfig untiered;
+  untiered.shards = 4;
+  EXPECT_THROW(
+      kernels::save_sharded_index(prefix, ShardedItemMemory(packed, untiered)),
+      std::invalid_argument);
+  for (std::size_t s = 0; s < 4; ++s) {
+    std::remove(kernels::sharded_shard_path(prefix, s).c_str());
+  }
+}
+
+TEST(ShardedMemory, RejectsMalformedQueriesAndOutputSpans) {
+  Xoshiro256 rng(59);
+  const Codebook cb(128, 50, rng);
+  const auto packed = std::make_shared<const PackedItemMemory>(cb);
+  ShardedConfig cfg;
+  cfg.shards = 3;
+  const ShardedItemMemory sharded(packed, cfg);
+  Xoshiro256 qrng(60);
+  const PackedQuery wrong = *PackedQuery::pack(random_bipolar(256, qrng));
+  const PackedQuery ok = *PackedQuery::pack(random_bipolar(128, qrng));
+  EXPECT_THROW((void)sharded.best(wrong), std::invalid_argument);
+  EXPECT_THROW((void)sharded.above(wrong, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)sharded.top_k(wrong, 3), std::invalid_argument);
+  std::vector<std::int64_t> out(50);
+  EXPECT_THROW(sharded.dots(wrong, out), std::invalid_argument);
+  std::vector<std::int64_t> short_out(49);
+  EXPECT_THROW(sharded.dots(ok, short_out), std::invalid_argument);
+  const std::vector<PackedQuery> block{ok, ok};
+  std::vector<std::int64_t> short_block(2 * 50 - 1);
+  EXPECT_THROW(sharded.dots_block(block, short_block), std::invalid_argument);
+  EXPECT_TRUE(sharded.top_k(ok, 0).empty());
+  EXPECT_TRUE(sharded.best_block({}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// ShardedSoak: concurrent scatter-gather under TSan. The static initializer
+// above forces the scan pool to width 4, and the codebook below is sized to
+// clear the scalar parallel-scatter threshold (8192 rows x 8 words =
+// 2^16 words), so the internal shard scatter runs genuinely threaded while
+// multiple client threads hammer the same memory.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedSoak, ConcurrentScattersAreRaceFreeAndBitIdentical) {
+  ASSERT_TRUE(kPoolWidthForced);
+  ASSERT_EQ(kernels::scan_pool_width(), 4u);
+  Xoshiro256 rng(20260809);
+  const Codebook cb(512, 8192, rng);
+  // Scalar tier: the parallel-scatter break-even sits at 2^16 words, which
+  // this codebook meets exactly; the vector tiers' 2^20 threshold would
+  // need a far larger build than a unit test should pay for.
+  const auto packed = std::make_shared<const PackedItemMemory>(
+      cb, SimdLevel::kScalarWords);
+  ShardedConfig exact_cfg;
+  exact_cfg.shards = 8;
+  const ShardedItemMemory exact(packed, exact_cfg);
+  ShardedConfig tiered_cfg;
+  tiered_cfg.shards = 5;
+  tiered_cfg.tiered = TieredConfig{.clusters = 8, .nprobe = 8192};
+  const ShardedItemMemory tiered(packed, tiered_cfg);
+
+  // Single-threaded references, computed before any concurrency starts.
+  std::vector<PackedQuery> queries;
+  Xoshiro256 qrng(61);
+  for (int i = 0; i < 6; ++i) {
+    queries.push_back(
+        *PackedQuery::pack(flip_noise(cb.item(qrng.uniform(cb.size())),
+                                      0.05, qrng)));
+  }
+  std::vector<Match> ref_best;
+  std::vector<std::vector<Match>> ref_topk;
+  std::vector<std::vector<std::int64_t>> ref_dots;
+  for (const PackedQuery& q : queries) {
+    ref_best.push_back(packed->best(q));
+    ref_topk.push_back(packed->top_k(q, 5));
+    std::vector<std::int64_t> d(packed->size());
+    packed->dots(q, d);
+    ref_dots.push_back(std::move(d));
+  }
+
+  std::atomic<std::size_t> mismatches{0};
+  auto client = [&](std::size_t seed) {
+    Xoshiro256 trng(seed);
+    for (int iter = 0; iter < 8; ++iter) {
+      const std::size_t qi = trng.uniform(queries.size());
+      const ShardedItemMemory& mem = (iter % 2 == 0) ? exact : tiered;
+      const Match b = mem.best(queries[qi]);
+      if (b.index != ref_best[qi].index ||
+          b.similarity != ref_best[qi].similarity) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+      const std::vector<Match> tk = mem.top_k(queries[qi], 5);
+      if (tk.size() != ref_topk[qi].size()) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        for (std::size_t i = 0; i < tk.size(); ++i) {
+          if (tk[i].index != ref_topk[qi][i].index ||
+              tk[i].similarity != ref_topk[qi][i].similarity) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      if (iter % 4 == 0) {
+        std::vector<std::int64_t> d(mem.size());
+        mem.dots(queries[qi], d);
+        if (d != ref_dots[qi]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  };
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < 4; ++t) {
+    clients.emplace_back(client, 100 + t);
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+}  // namespace

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/factorhd.hpp"
+#include "hdc/kernels/sharded_item_memory.hpp"
 #include "hdc/kernels/simd.hpp"
 #include "hdc/kernels/tiered_item_memory.hpp"
 #include "hdc/kernels/tiered_snapshot.hpp"
@@ -334,6 +335,21 @@ int cmd_info() {
             << (tier_cfg.nprobe != 0 ? std::to_string(tier_cfg.nprobe)
                                      : std::string("auto(K/16)"))
             << "\n";
+
+  // Scatter-gather shard configuration as the env knobs resolve it.
+  const hk::ShardedConfig shard_cfg = hk::sharded_config_from_env();
+  const std::size_t shard_min = hk::sharded_auto_min_rows();
+  std::cout << "sharded scans:   ";
+  if (shard_cfg.shards < 2) {
+    std::cout << "off (FACTORHD_SHARDS=" << shard_cfg.shards << ")";
+  } else if (shard_min == 0) {
+    std::cout << shard_cfg.shards
+              << " shards requested, auto-sharding off "
+                 "(FACTORHD_SHARD_MIN_ROWS=0)";
+  } else {
+    std::cout << shard_cfg.shards << " shards at >= " << shard_min << " rows";
+  }
+  std::cout << "\n";
 
   std::cout << "\nenvironment knobs:\n";
   util::TextTable table({"knob", "values", "default", "effect"});

@@ -11,6 +11,11 @@
 //   model save NAME PATH                     persist a model to a file
 //   model list                               registered model names
 //   serve NAME [MAX_BATCH [MAX_DELAY_US]]    start serving a model
+//   reshard NAME SHARDS                      rebuild NAME with a SHARDS-way
+//                                            scatter-gather partition (1 =
+//                                            unshard) and hot-swap it —
+//                                            zero downtime, results are
+//                                            bit-identical at any count
 //   factorize [multi] C0,C1,...,C(D-1)       submit a raw target vector
 //   roundtrip [N]                            random N-object scene: encode,
 //                                            submit, verify (demo + smoke)
@@ -168,7 +173,41 @@ void cmd_serve(ServerState& st, const std::vector<std::string>& args,
   st.engine = std::move(fresh);
   os << "ok serving " << m->name() << " (max_batch=" << opts.max_batch
      << ", max_delay_us=" << opts.max_delay_us
-     << ", cache=" << opts.cache_capacity << ")\n";
+     << ", cache=" << opts.cache_capacity
+     << ", shards=" << m->factorizer().shards()
+     << ", dispatchers=" << st.engine->options().dispatchers << ")\n";
+}
+
+void cmd_reshard(ServerState& st, const std::vector<std::string>& args,
+                 std::ostream& os) {
+  if (args.size() != 2) {
+    throw std::invalid_argument("usage: reshard NAME SHARDS");
+  }
+  const std::size_t shards = parse_size(args[1], "SHARDS");
+  if (shards == 0 || shards > 1024) {
+    throw std::invalid_argument("SHARDS must be in 1..1024 (1 = unshard)");
+  }
+  // Rebuild + swap in the registry first (zero-downtime: the rebuild runs
+  // on a codebook copy outside the registry lock, and sharded scans are
+  // bit-identical, so nothing observable changes but throughput).
+  auto m = st.registry.reshard(args[0], shards);
+  if (!m) throw std::invalid_argument("unknown model " + args[0]);
+  os << "ok resharded " << args[0] << " to " << m->factorizer().shards()
+     << " shard" << (m->factorizer().shards() == 1 ? "" : "s");
+  // If this model is being served, hot-swap the engine the same way a
+  // repeated `serve` does: build the replacement over the new partition
+  // with the current options, then drain the old engine. In-flight
+  // requests complete on the old model; nothing is dropped.
+  if (st.engine && st.model && st.model->name() == args[0]) {
+    service::ServiceOptions opts = st.engine->options();
+    auto fresh = std::make_unique<service::FactorizationEngine>(m, opts);
+    st.engine.reset();  // drain the previous engine
+    st.model = m;
+    st.engine = std::move(fresh);
+    os << " (engine hot-swapped, dispatchers="
+       << st.engine->options().dispatchers << ")";
+  }
+  os << "\n";
 }
 
 service::FactorizationEngine& require_engine(ServerState& st) {
@@ -308,6 +347,8 @@ bool handle_line(ServerState& st, const std::string& line, std::ostream& os) {
       cmd_model(st, words, os);
     } else if (cmd == "serve") {
       cmd_serve(st, words, os);
+    } else if (cmd == "reshard") {
+      cmd_reshard(st, words, os);
     } else if (cmd == "factorize") {
       cmd_factorize(st, std::move(words), os);
     } else if (cmd == "roundtrip") {
@@ -317,7 +358,7 @@ bool handle_line(ServerState& st, const std::string& line, std::ostream& os) {
     } else if (cmd == "stats") {
       os << require_engine(st).metrics().to_string() << "\nok stats\n";
     } else if (cmd == "help") {
-      os << "commands: model gen|load|save|list, serve, factorize, "
+      os << "commands: model gen|load|save|list, serve, reshard, factorize, "
             "roundtrip, burst, stats, quit\nok\n";
     } else {
       throw std::invalid_argument("unknown command " + cmd);
