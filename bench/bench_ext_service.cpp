@@ -16,15 +16,25 @@
 // sustain >= 2x the engine/nobatch baseline. Batching wins scale with
 // core count; coalescing/cache wins are core-independent.
 //
+// A fifth row re-runs the batch=64 configuration with sampled tracing on
+// (1-in-64, the deployment default shape) — the observability overhead
+// bound: sampled tracing must cost <= 3% throughput vs tracing-off, which
+// scripts/bench_json.py --check enforces on the committed full-mode
+// baseline via the `overhead` block of the JSON.
+//
 // `--smoke` runs a tiny configuration and additionally verifies every
 // returned result bit-identically against direct factorization (exit 1 on
-// any mismatch) — the CI hook next to bench.sh --smoke.
+// any mismatch) — the CI hook next to bench.sh --smoke. `--json FILE`
+// writes the machine-readable rows in the factorhd.bench_service.v1 schema
+// (validated by scripts/bench_json.py --check BENCH_service.json).
 #include <deque>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <thread>
 
 #include "common.hpp"
+#include "hdc/kernels/simd.hpp"
 #include "service/service.hpp"
 
 namespace {
@@ -74,13 +84,85 @@ LoadResult run_load(service::FactorizationEngine& engine,
   return r;
 }
 
+/// One table/JSON row of the sweep.
+struct Row {
+  std::string name;
+  double seconds = 0.0;
+  double rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double mean_batch = 0.0;
+  std::uint64_t hits_plus_coalesced = 0;
+};
+
+void write_json(const std::string& path, bool smoke, std::size_t dim,
+                std::size_t items, std::size_t producers, std::size_t requests,
+                std::size_t window, std::uint64_t seed,
+                const std::vector<Row>& rows, double baseline_rps,
+                double sampled_rps, std::size_t sample_every) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_ext_service: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  namespace hk = hdc::kernels;
+  const auto fmt = [](double v) { return util::fmt_double(v, 3); };
+  out << "{\n"
+      << "  \"schema\": \"factorhd.bench_service.v1\",\n"
+      << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+      << "  \"context\": {\n"
+      << "    \"dim\": " << dim << ",\n"
+      << "    \"items\": " << items << ",\n"
+      << "    \"producers\": " << producers << ",\n"
+      << "    \"requests\": " << requests << ",\n"
+      << "    \"window\": " << window << ",\n"
+      << "    \"seed\": " << seed << ",\n"
+      << "    \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "    \"simd_level\": \""
+      << hk::to_string(hk::dispatched_simd_level()) << "\"\n"
+      << "  },\n"
+      << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"name\": \"" << r.name << "\", \"seconds\": "
+        << util::fmt_double(r.seconds, 6) << ", \"requests_per_second\": "
+        << fmt(r.rps)
+        << ", \"p50_us\": " << fmt(r.p50_us) << ", \"p99_us\": "
+        << fmt(r.p99_us) << ", \"p999_us\": " << fmt(r.p999_us)
+        << ", \"mean_batch\": " << fmt(r.mean_batch)
+        << ", \"hits_plus_coalesced\": " << r.hits_plus_coalesced << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  // The observability acceptance bound: sampled tracing (1-in-sample_every)
+  // on the batch=64 config must keep >= 97% of the tracing-off throughput.
+  out << "  ],\n"
+      << "  \"overhead\": {\n"
+      << "    \"baseline_rps\": " << fmt(baseline_rps) << ",\n"
+      << "    \"sampled_rps\": " << fmt(sampled_rps) << ",\n"
+      << "    \"ratio\": "
+      << fmt(baseline_rps > 0 ? sampled_rps / baseline_rps : 0.0) << ",\n"
+      << "    \"sample_every\": " << sample_every << "\n"
+      << "  }\n"
+      << "}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
-  if (argc > 1 && !smoke) {
-    std::cerr << "usage: bench_ext_service [--smoke]\n";
-    return 2;
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_ext_service [--smoke] [--json FILE]\n";
+      return 2;
+    }
   }
 
   std::cout << "==============================================================\n"
@@ -115,7 +197,11 @@ int main(int argc, char** argv) {
 
   util::TextTable table({"configuration", "wall time", "req/s", "vs nobatch",
                          "p50", "p99", "mean batch", "hits+coalesced"});
+  std::vector<Row> rows;
   double nobatch_rps = 0.0;
+  double baseline_rps = 0.0;  // batch=64, tracing off
+  double sampled_rps = 0.0;   // batch=64, 1-in-kSampleEvery tracing
+  constexpr std::size_t kSampleEvery = 64;
 
   // Row 1: direct synchronous single-thread calls (library floor).
   {
@@ -124,9 +210,10 @@ int main(int argc, char** argv) {
       (void)model->factorizer().factorize(distinct[i % distinct.size()], {});
     }
     const double s = sw.elapsed_seconds();
+    const double rps = static_cast<double>(requests) / s;
     table.add_row({"direct 1-thread", util::fmt_time_us(s * 1e6),
-                   util::fmt_double(static_cast<double>(requests) / s, 0), "-",
-                   "-", "-", "-", "-"});
+                   util::fmt_double(rps, 0), "-", "-", "-", "-", "-"});
+    rows.push_back({.name = "direct 1-thread", .seconds = s, .rps = rps});
   }
 
   struct Config {
@@ -141,6 +228,14 @@ int main(int argc, char** argv) {
       {"engine batch=64",
        {.max_batch = 64, .max_delay_us = 200, .cache_capacity = 0},
        &distinct},
+      // Same configuration with sampled tracing on — the observability
+      // overhead row: trace ids, stage timers, and 1-in-64 ring records.
+      {"engine batch=64 traced",
+       {.max_batch = 64,
+        .max_delay_us = 200,
+        .cache_capacity = 0,
+        .trace_sample = kSampleEvery},
+       &distinct},
       {"engine batch+cache hotset",
        {.max_batch = 64, .max_delay_us = 200, .cache_capacity = 4096},
        &hotset},
@@ -151,7 +246,10 @@ int main(int argc, char** argv) {
         run_load(engine, *cfg.load, producers, requests, window);
     engine.stop();
     const double rps = static_cast<double>(r.metrics.completed) / r.seconds;
-    if (std::string(cfg.name) == "engine nobatch") nobatch_rps = rps;
+    const std::string name = cfg.name;
+    if (name == "engine nobatch") nobatch_rps = rps;
+    if (name == "engine batch=64") baseline_rps = rps;
+    if (name == "engine batch=64 traced") sampled_rps = rps;
     table.add_row(
         {cfg.name, util::fmt_time_us(r.seconds * 1e6),
          util::fmt_double(rps, 0),
@@ -160,13 +258,33 @@ int main(int argc, char** argv) {
          util::fmt_time_us(r.metrics.p99_latency_us),
          util::fmt_double(r.metrics.mean_batch, 2),
          std::to_string(r.metrics.cache_hits + r.metrics.coalesced)});
+    rows.push_back({.name = name,
+                    .seconds = r.seconds,
+                    .rps = rps,
+                    .p50_us = r.metrics.p50_latency_us,
+                    .p99_us = r.metrics.p99_latency_us,
+                    .p999_us = r.metrics.p999_latency_us,
+                    .mean_batch = r.metrics.mean_batch,
+                    .hits_plus_coalesced =
+                        r.metrics.cache_hits + r.metrics.coalesced});
   }
   table.print(std::cout);
+  const double overhead_ratio =
+      baseline_rps > 0 ? sampled_rps / baseline_rps : 0.0;
+  std::cout << "\ntracing overhead (batch=64, 1-in-" << kSampleEvery
+            << " sampled vs off): " << util::fmt_double(overhead_ratio, 3)
+            << "x throughput (bound: >= 0.97x on the committed baseline)\n";
   std::cout << "\nExpected shape: batch=64 gains scale with core count\n"
                "(BatchFactorizer dispatch); the hotset row gains from\n"
                "in-batch coalescing + ResultCache replay on any core count.\n"
                "Acceptance (>= 2x vs nobatch) holds at batch-friendly load:\n"
                "multi-core for distinct targets, repeated targets anywhere.\n";
+
+  if (!json_path.empty()) {
+    write_json(json_path, smoke, dim, items, producers, requests, window,
+               seed, rows, baseline_rps, sampled_rps, kSampleEvery);
+    std::cout << "\nwrote " << json_path << "\n";
+  }
 
   if (smoke) {
     // Differential verification: engine results must be bit-identical to

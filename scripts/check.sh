@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verify, end to end: configure, build, run the full CTest corpus.
 # The default (full) mode additionally validates the committed bench
-# baselines (BENCH_kernels.json, BENCH_scale.json) against their schemas
-# and link-checks the markdown docs.
+# baselines (BENCH_kernels.json, BENCH_scale.json, BENCH_service.json)
+# against their schemas, link-checks the markdown docs, and runs a scripted
+# factorhd_serve session with tracing on, validating the Prometheus scrapes
+# and the Chrome trace dump with scripts/check_obs.py.
 #
 # Usage:
 #   scripts/check.sh          # full corpus (the ROADMAP tier-1 gate)
@@ -43,9 +45,9 @@ case "${1:-}" in
     CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Debug -DFACTORHD_TSAN=ON -DFACTORHD_WERROR=ON)
     # The suites that exercise the worker pools (BatchFactorizer, the
     # parallel plane scans, the parallel tier build, the sharded
-    # scatter-gather, and the serving engine); everything else is
-    # single-threaded.
-    CTEST_ARGS+=(-R 'BatchDeterminism|KernelFuzz|BatchTest|ServiceSoak|TieredSnapshot|ModelSnapshot|ShardedMemory|ShardedSoak')
+    # scatter-gather, the serving engine, and the wait-free metrics/trace
+    # plumbing); everything else is single-threaded.
+    CTEST_ARGS+=(-R 'BatchDeterminism|KernelFuzz|BatchTest|ServiceSoak|TieredSnapshot|ModelSnapshot|ShardedMemory|ShardedSoak|MetricsConcurrency|TraceRing')
     ;;
 esac
 CTEST_ARGS+=("$@")
@@ -57,5 +59,26 @@ ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"
 if [[ "$CHECK_BASELINES" == 1 ]]; then
   python3 scripts/bench_json.py --check BENCH_kernels.json
   python3 scripts/bench_json.py --check BENCH_scale.json
+  python3 scripts/bench_json.py --check BENCH_service.json
   python3 scripts/check_links.py
+
+  # Observability gate: drive a traced serve session, scrape Prometheus
+  # twice (no reset in between), dump the Chrome trace, and validate all
+  # three exports. Catches exposition-grammar drift, counters that go
+  # backwards, and stage spans that stop being emitted.
+  OBS_DIR=$(mktemp -d)
+  trap 'rm -rf "$OBS_DIR"' EXIT
+  printf '%s\n' \
+    'model gen obs 3 8,4 2048 7' \
+    'serve obs 8 100' \
+    'burst 24 1' \
+    "stats prom $OBS_DIR/prom1.txt" \
+    'burst 24 2' \
+    "stats prom $OBS_DIR/prom2.txt" \
+    "trace dump $OBS_DIR/trace.json" \
+    'quit' \
+    | FACTORHD_TRACE_SAMPLE=1 "$BUILD_DIR/bin/factorhd_serve" > "$OBS_DIR/session.log"
+  python3 scripts/check_obs.py \
+    --prom "$OBS_DIR/prom1.txt" "$OBS_DIR/prom2.txt" \
+    --trace "$OBS_DIR/trace.json"
 fi

@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""Validate factorhd's observability exports (Prometheus text + Chrome trace).
+
+Two checks, combinable in one invocation:
+
+``--prom FILE [FILE2]``
+    Lints Prometheus text-exposition output (``factorhd_serve`` ``stats
+    prom``): metric-name and label grammar, ``# TYPE`` values, every sample
+    line belonging to a declared family, counters named ``*_total``, summary
+    families carrying ``quantile`` labels plus ``_sum``/``_count`` lines, and
+    quantile values non-decreasing within one family+label set. With a
+    second file (a later scrape of the same engine, no ``stats reset``
+    between them), additionally checks cross-scrape counter monotonicity —
+    a counter that goes backwards means double-counted or lost events.
+
+``--trace FILE``
+    Schema-checks a Chrome trace-event JSON dump (``trace dump`` /
+    ``factorhd trace``): a ``traceEvents`` list of complete ("X") events
+    with name/ph/ts/dur/pid/tid, ts/dur non-negative, stage spans lying
+    inside their request span, and the dump covering every pipeline stage —
+    request, cache_lookup, queue_wait, batch_assembly, scan, merge — so a
+    serve session with sampled tracing provably exports the full pipeline.
+
+Exit status: 0 when every requested check passes, 1 otherwise (one
+diagnostic line per violation). Only Python stdlib is used.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Prometheus data-model grammar (https://prometheus.io/docs/concepts/).
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{label="value",...} value  — value parsed separately as a float.
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+KNOWN_TYPES = ("counter", "gauge", "summary", "histogram", "untyped")
+
+# Every pipeline stage a traced serve session must cover (the enclosing
+# request span plus the five per-stage spans of service/trace.cpp).
+REQUIRED_TRACE_SPANS = {
+    "request", "cache_lookup", "queue_wait", "batch_assembly", "scan",
+    "merge",
+}
+
+
+def parse_prom(path):
+    """Parses one exposition file into (types, samples, errors) where
+    samples maps (name, sorted-label-tuple) -> float value."""
+    errors = []
+    types = {}
+    samples = {}
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            where = f"{path}:{lineno}"
+            if line.startswith("# TYPE "):
+                parts = line.split(None, 3)
+                if len(parts) != 4:
+                    errors.append(f"{where}: malformed TYPE line")
+                    continue
+                _, _, name, kind = parts
+                if not METRIC_NAME_RE.match(name):
+                    errors.append(f"{where}: bad metric name {name!r}")
+                if kind not in KNOWN_TYPES:
+                    errors.append(f"{where}: unknown type {kind!r}")
+                if name in types:
+                    errors.append(f"{where}: duplicate TYPE for {name}")
+                types[name] = kind
+                continue
+            if line.startswith("# HELP "):
+                if len(line.split(None, 3)) < 4:
+                    errors.append(f"{where}: HELP line lacks text")
+                continue
+            if line.startswith("#"):
+                continue  # free comment
+            m = SAMPLE_RE.match(line)
+            if not m:
+                errors.append(f"{where}: unparseable sample line {line!r}")
+                continue
+            name = m.group("name")
+            labels = []
+            raw_labels = m.group("labels")
+            if raw_labels:
+                consumed = LABEL_RE.findall(raw_labels)
+                rebuilt = ",".join(f'{k}="{v}"' for k, v in consumed)
+                if rebuilt != raw_labels:
+                    errors.append(f"{where}: bad label syntax {raw_labels!r}")
+                    continue
+                for key, value in consumed:
+                    if not LABEL_NAME_RE.match(key):
+                        errors.append(f"{where}: bad label name {key!r}")
+                    labels.append((key, value))
+            try:
+                value = float(m.group("value"))
+            except ValueError:
+                errors.append(
+                    f"{where}: non-numeric value {m.group('value')!r}"
+                )
+                continue
+            key = (name, tuple(sorted(labels)))
+            if key in samples:
+                errors.append(f"{where}: duplicate sample {key}")
+            samples[key] = value
+    return types, samples, errors
+
+
+def family_of(name, types):
+    """Maps a sample name to its declared family: summaries expose _sum and
+    _count lines under the family's TYPE declaration."""
+    if name in types:
+        return name
+    for suffix in ("_sum", "_count", "_bucket"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def lint_prom(path):
+    types, samples, errors = parse_prom(path)
+    if not samples:
+        errors.append(f"{path}: no samples")
+    quantiles = {}  # (family, non-quantile labels) -> [(q, value)]
+    for (name, labels), value in samples.items():
+        family = family_of(name, types)
+        if family is None:
+            errors.append(f"{path}: sample {name} has no # TYPE declaration")
+            continue
+        kind = types[family]
+        if kind == "counter":
+            if not name.endswith("_total"):
+                errors.append(f"{path}: counter {name} not named *_total")
+            if value < 0:
+                errors.append(f"{path}: counter {name}{labels} is negative")
+        if kind == "summary" and name == family:
+            qlabel = [v for k, v in labels if k == "quantile"]
+            if len(qlabel) != 1:
+                errors.append(
+                    f"{path}: summary sample {name}{labels} lacks a single "
+                    "quantile label"
+                )
+                continue
+            rest = tuple(kv for kv in labels if kv[0] != "quantile")
+            quantiles.setdefault((family, rest), []).append(
+                (float(qlabel[0]), value)
+            )
+    # Summary families must carry their _sum/_count lines per label set, and
+    # quantile values must be non-decreasing in q (p50 <= p99 <= p999).
+    for (family, rest), qs in sorted(quantiles.items()):
+        for suffix in ("_sum", "_count"):
+            if (family + suffix, rest) not in samples:
+                errors.append(
+                    f"{path}: summary {family}{dict(rest)} lacks "
+                    f"{family}{suffix}"
+                )
+        qs.sort()
+        values = [v for _, v in qs]
+        if values != sorted(values):
+            errors.append(
+                f"{path}: summary {family}{dict(rest)} quantiles decrease: "
+                f"{qs}"
+            )
+    return types, samples, errors
+
+
+def check_prom(paths):
+    first_types, first_samples, errors = lint_prom(paths[0])
+    if len(paths) == 2:
+        second_types, second_samples, more = lint_prom(paths[1])
+        errors += more
+        # Cross-scrape monotonicity: counters of the same engine epoch only
+        # accumulate. (Scrape the two files without a `stats reset` between
+        # them.)
+        for (name, labels), before in sorted(first_samples.items()):
+            family = family_of(name, first_types)
+            if family is None or first_types[family] != "counter":
+                continue
+            after = second_samples.get((name, labels))
+            if after is None:
+                errors.append(
+                    f"{paths[1]}: counter {name}{dict(labels)} vanished "
+                    "between scrapes"
+                )
+            elif after < before:
+                errors.append(
+                    f"{paths[1]}: counter {name}{dict(labels)} went "
+                    f"backwards: {before} -> {after}"
+                )
+    return errors
+
+
+def check_trace(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as e:
+        return [f"{path}: not valid JSON: {e}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: no traceEvents list"]
+    if not events:
+        return [f"{path}: traceEvents is empty (was tracing sampled on?)"]
+    requests = {}  # tid -> (ts, ts+dur) of the enclosing request span
+    for i, e in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in e:
+                errors.append(f"{where}: missing {field!r}")
+        if e.get("ph") == "X" and "dur" not in e:
+            errors.append(f"{where}: complete event lacks 'dur'")
+        if e.get("ts", 0) < 0 or e.get("dur", 0) < 0:
+            errors.append(f"{where}: negative ts/dur")
+        if e.get("name") == "request" and e.get("ph") == "X":
+            requests[e.get("tid")] = (
+                e.get("ts", 0.0),
+                e.get("ts", 0.0) + e.get("dur", 0.0),
+            )
+    names = {e.get("name") for e in events}
+    missing = REQUIRED_TRACE_SPANS - names
+    if missing:
+        errors.append(
+            f"{path}: pipeline stages never traced: {sorted(missing)}"
+        )
+    # Stage spans must lie inside their request's span (same tid); a span
+    # outside its request means mis-stamped timestamps.
+    slack = 1.0  # us: stage endpoints are stamped around the request's
+    for i, e in enumerate(events):
+        if e.get("name") == "request" or e.get("ph") != "X":
+            continue
+        window = requests.get(e.get("tid"))
+        if window is None:
+            continue
+        ts, end = e.get("ts", 0.0), e.get("ts", 0.0) + e.get("dur", 0.0)
+        if ts < window[0] - slack or end > window[1] + slack:
+            errors.append(
+                f"{path}: traceEvents[{i}] ({e.get('name')}, tid "
+                f"{e.get('tid')}) lies outside its request span"
+            )
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--prom",
+        nargs="+",
+        metavar="FILE",
+        help="lint one exposition file; with a second file, also check "
+        "cross-scrape counter monotonicity",
+    )
+    ap.add_argument(
+        "--trace", metavar="FILE",
+        help="schema-check a Chrome trace-event JSON dump",
+    )
+    args = ap.parse_args()
+    if not args.prom and not args.trace:
+        ap.error("nothing to do: pass --prom and/or --trace")
+    if args.prom and len(args.prom) > 2:
+        ap.error("--prom takes one or two files")
+
+    errors = []
+    if args.prom:
+        errors += check_prom(args.prom)
+    if args.trace:
+        errors += check_trace(args.trace)
+    if errors:
+        for e in errors:
+            print(f"check_obs.py: {e}", file=sys.stderr)
+        sys.exit(1)
+    if args.prom:
+        scrapes = "scrapes" if len(args.prom) == 2 else "scrape"
+        print(f"check_obs.py: {len(args.prom)} prom {scrapes} OK")
+    if args.trace:
+        print(f"check_obs.py: trace {args.trace} OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -112,6 +112,20 @@ std::size_t Factorizer::shards() const noexcept {
   return shards;
 }
 
+std::vector<std::uint64_t> Factorizer::shard_rows_scanned() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& per_class : memories_) {
+    for (const hdc::ItemMemory& m : per_class) {
+      const auto* sh = m.sharded();
+      if (sh == nullptr) continue;
+      const std::vector<std::uint64_t> counts = sh->shard_rows_scanned();
+      if (counts.size() > out.size()) out.resize(counts.size(), 0);
+      for (std::size_t s = 0; s < counts.size(); ++s) out[s] += counts[s];
+    }
+  }
+  return out;
+}
+
 std::optional<hdc::kernels::SimdLevel> Factorizer::simd_level() const noexcept {
   // All memories are built with the same ScanBackend, but under kAuto a
   // non-packable codebook can leave individual memories scalar — report the
@@ -158,15 +172,18 @@ double Factorizer::effective_threshold(const FactorizeOptions& opts) const {
 
 ClassFactorization Factorizer::factorize_class_single(
     const hdc::Hypervector& unbound, std::size_t cls, std::size_t depth,
-    hdc::ScanMode mode, std::uint64_t& sim_ops) const {
+    hdc::ScanMode mode, std::uint64_t& sim_ops, std::uint64_t& probes) const {
   ClassFactorization cf;
   cf.cls = cls;
   cf.null_similarity = hdc::similarity(unbound, books_->null_hv());
   ++sim_ops;
 
   std::uint64_t scanned = 0;
-  const hdc::Match top = memories_[cls][0].best(unbound, mode, &scanned);
+  std::uint64_t scan_probes = 0;
+  const hdc::Match top =
+      memories_[cls][0].best(unbound, mode, &scanned, &scan_probes);
   sim_ops += scanned;
+  probes += scan_probes;
   descend_class_single(unbound, cls, depth, top, cf, sim_ops);
   return cf;
 }
@@ -235,18 +252,20 @@ std::vector<FactorizeResult> Factorizer::factorize_block(
   std::vector<hdc::Hypervector> unbound;
   unbound.reserve(targets.size());
   std::vector<std::uint64_t> scanned(targets.size());
+  std::vector<std::uint64_t> scan_probes(targets.size());
   for (std::size_t cls : report_classes) {
     unbound.clear();
     for (const hdc::Hypervector& target : targets) {
       unbound.push_back(hdc::bind(target, books_->other_labels_key(cls)));
     }
-    const std::vector<hdc::Match> tops =
-        memories_[cls][0].best_block(unbound, mode, scanned.data());
+    const std::vector<hdc::Match> tops = memories_[cls][0].best_block(
+        unbound, mode, scanned.data(), scan_probes.data());
     for (std::size_t i = 0; i < targets.size(); ++i) {
       ClassFactorization cf;
       cf.cls = cls;
       cf.null_similarity = hdc::similarity(unbound[i], books_->null_hv());
       results[i].similarity_ops += 1 + scanned[i];
+      results[i].probes += scan_probes[i];
       descend_class_single(unbound[i], cls, report_depth, tops[i], cf,
                            results[i].similarity_ops);
       results[i].objects.front().classes.push_back(std::move(cf));
@@ -258,16 +277,18 @@ std::vector<FactorizeResult> Factorizer::factorize_block(
 Factorizer::ClassCandidates Factorizer::collect_candidates(
     const hdc::Hypervector& unbound, std::size_t cls, std::size_t depth,
     double th, std::size_t max_paths, hdc::ScanMode mode,
-    std::uint64_t& sim_ops) const {
+    std::uint64_t& sim_ops, std::uint64_t& probes) const {
   ClassCandidates out;
   out.null_similarity = hdc::similarity(unbound, books_->null_hv());
   ++sim_ops;
   out.null_candidate = out.null_similarity > th;
 
   std::uint64_t scanned = 0;
+  std::uint64_t scan_probes = 0;
   std::vector<hdc::Match> level1 =
-      memories_[cls][0].above(unbound, th, mode, &scanned);
+      memories_[cls][0].above(unbound, th, mode, &scanned, &scan_probes);
   sim_ops += scanned;
+  probes += scan_probes;
   if (level1.size() > max_paths) level1.resize(max_paths);
 
   std::vector<CandidatePath> frontier;
@@ -328,7 +349,8 @@ FactorizeResult Factorizer::factorize(const hdc::Hypervector& target,
           hdc::bind(target, books_->other_labels_key(cls));
       obj.classes.push_back(factorize_class_single(unbound, cls, report_depth,
                                                    base_mode,
-                                                   result.similarity_ops));
+                                                   result.similarity_ops,
+                                                   result.probes));
     }
     result.objects.push_back(std::move(obj));
     return result;
@@ -351,6 +373,7 @@ FactorizeResult Factorizer::factorize(const hdc::Hypervector& target,
   hdc::Hypervector residual = target;
   result.converged = false;
   for (std::size_t round = 0; round < opts.max_objects; ++round) {
+    ++result.rounds;
     RoundTrace round_trace;
     std::vector<ClassCandidates> cands;
     double best_sim = th;  // acceptance requires similarity > TH
@@ -368,7 +391,7 @@ FactorizeResult Factorizer::factorize(const hdc::Hypervector& target,
         ClassCandidates cc =
             collect_candidates(unbound, cls, full_depth, th,
                                opts.max_candidates_per_class, mode,
-                               result.similarity_ops);
+                               result.similarity_ops, result.probes);
         if (opts.collect_trace) {
           round_trace.candidates_per_class.push_back(cc.paths.size());
           round_trace.null_candidates += cc.null_candidate ? 1 : 0;

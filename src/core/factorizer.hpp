@@ -156,6 +156,15 @@ struct FactorizeResult {
   /// means the tiered index missed candidates that round; the exact re-scan
   /// guarantees convergence is never declared on an approximation artifact.
   std::uint64_t exact_rescans = 0;
+  /// Tiered coarse-stage buckets probed across all full-codebook scans (the
+  /// sum of TieredItemMemory::ScanStats::probes). 0 on exact backends and
+  /// under FactorizeOptions::exact_scan. Like similarity_ops, a pure
+  /// function of (target, opts) — part of the bit-identity contract.
+  std::uint64_t probes = 0;
+  /// Residual subtract-and-repeat rounds executed in multi-object mode
+  /// (each stalled round counts once even when it re-ran exactly). 0 in
+  /// single-object mode.
+  std::uint64_t rounds = 0;
   /// Per-round diagnostics; populated only when options.collect_trace.
   std::vector<RoundTrace> trace;
 
@@ -223,6 +232,14 @@ class Factorizer {
   ///   partition: 1 when unsharded — the count service::FactorizationEngine
   ///   sizes its auto dispatcher pool (per-shard affinity) from.
   [[nodiscard]] std::size_t shards() const noexcept;
+
+  /// \return Cumulative similarity measurements charged to each shard index
+  ///   since construction, summed over every sharded internal memory
+  ///   (shard s of every class/level partition contributes to slot s) —
+  ///   the hot-shard visibility surface service::Metrics exports. Empty
+  ///   when no memory is sharded. Relaxed-atomic reads; safe while
+  ///   concurrent factorizations are running.
+  [[nodiscard]] std::vector<std::uint64_t> shard_rows_scanned() const;
 
   /// \return The SIMD tier the packed codebook scans execute at (identical
   ///   across all internal memories); std::nullopt when scans are scalar.
@@ -304,10 +321,12 @@ class Factorizer {
 
   /// Single-object top-down argmax factorization of one class. `mode`
   /// selects tiered vs exact level-1 scans (deeper levels are restricted
-  /// best_among searches, exact on every backend).
+  /// best_among searches, exact on every backend). `probes` accumulates the
+  /// tiered coarse-stage buckets probed (0 on exact scans).
   [[nodiscard]] ClassFactorization factorize_class_single(
       const hdc::Hypervector& unbound, std::size_t cls, std::size_t depth,
-      hdc::ScanMode mode, std::uint64_t& sim_ops) const;
+      hdc::ScanMode mode, std::uint64_t& sim_ops,
+      std::uint64_t& probes) const;
 
   /// Completes a single-object class factorization from its level-1 argmax
   /// `top` — the NULL-vs-top decision plus the restricted level 2..depth
@@ -320,11 +339,12 @@ class Factorizer {
                             std::uint64_t& sim_ops) const;
 
   /// Multi-object thresholded candidate enumeration for one class; `mode`
-  /// selects tiered vs exact level-1 `above` scans.
+  /// selects tiered vs exact level-1 `above` scans. `probes` accumulates as
+  /// in factorize_class_single.
   [[nodiscard]] ClassCandidates collect_candidates(
       const hdc::Hypervector& unbound, std::size_t cls, std::size_t depth,
       double th, std::size_t max_paths, hdc::ScanMode mode,
-      std::uint64_t& sim_ops) const;
+      std::uint64_t& sim_ops, std::uint64_t& probes) const;
 
   const Encoder* encoder_;
   const tax::TaxonomyCodebooks* books_;

@@ -203,7 +203,8 @@ static std::optional<PackedQuery> packed_route(
 }
 
 Match ItemMemory::best(const Hypervector& query, ScanMode mode,
-                       std::uint64_t* scanned) const {
+                       std::uint64_t* scanned, std::uint64_t* probes) const {
+  if (probes != nullptr) *probes = 0;
   if (auto q = packed_route(packed_, query)) {
     if (sharded_) {
       TieredItemMemory::ScanStats stats;
@@ -211,6 +212,7 @@ Match ItemMemory::best(const Hypervector& query, ScanMode mode,
           sharded_->best(*q, mode == ScanMode::kExact, &stats);
       count(stats.centroid_dots + stats.row_dots);
       if (scanned != nullptr) *scanned = stats.centroid_dots + stats.row_dots;
+      if (probes != nullptr) *probes = stats.probes;
       return m;
     }
     if (tiered_ && mode == ScanMode::kDefault) {
@@ -218,6 +220,7 @@ Match ItemMemory::best(const Hypervector& query, ScanMode mode,
       const Match m = tiered_->best(*q, &stats);
       count(stats.centroid_dots + stats.row_dots);
       if (scanned != nullptr) *scanned = stats.centroid_dots + stats.row_dots;
+      if (probes != nullptr) *probes = stats.probes;
       return m;
     }
     count(packed_->size());
@@ -237,7 +240,8 @@ Match ItemMemory::best(const Hypervector& query, ScanMode mode,
 
 std::vector<Match> ItemMemory::best_block(std::span<const Hypervector> queries,
                                           ScanMode mode,
-                                          std::uint64_t* scanned) const {
+                                          std::uint64_t* scanned,
+                                          std::uint64_t* probes) const {
   if (queries.empty()) return {};
   // The one-pass blocked kernels need the packed planes, exact
   // full-codebook semantics, and a packable alphabet for every query.
@@ -261,6 +265,8 @@ std::vector<Match> ItemMemory::best_block(std::span<const Hypervector> queries,
       if (scanned != nullptr) {
         std::fill_n(scanned, queries.size(), packed_->size());
       }
+      // The one-pass route is always an exact scan: no buckets probed.
+      if (probes != nullptr) std::fill_n(probes, queries.size(), 0);
       if (sharded_) {
         return sharded_->best_block(packed, mode == ScanMode::kExact);
       }
@@ -270,8 +276,9 @@ std::vector<Match> ItemMemory::best_block(std::span<const Hypervector> queries,
   std::vector<Match> out;
   out.reserve(queries.size());
   for (std::size_t q = 0; q < queries.size(); ++q) {
-    out.push_back(
-        best(queries[q], mode, scanned != nullptr ? scanned + q : nullptr));
+    out.push_back(best(queries[q], mode,
+                       scanned != nullptr ? scanned + q : nullptr,
+                       probes != nullptr ? probes + q : nullptr));
   }
   return out;
 }
@@ -297,7 +304,9 @@ Match ItemMemory::best_among(const Hypervector& query,
 
 std::vector<Match> ItemMemory::above(const Hypervector& query,
                                      double threshold, ScanMode mode,
-                                     std::uint64_t* scanned) const {
+                                     std::uint64_t* scanned,
+                                     std::uint64_t* probes) const {
+  if (probes != nullptr) *probes = 0;
   if (auto q = packed_route(packed_, query)) {
     if (sharded_) {
       TieredItemMemory::ScanStats stats;
@@ -305,6 +314,7 @@ std::vector<Match> ItemMemory::above(const Hypervector& query,
           sharded_->above(*q, threshold, mode == ScanMode::kExact, &stats);
       count(stats.centroid_dots + stats.row_dots);
       if (scanned != nullptr) *scanned = stats.centroid_dots + stats.row_dots;
+      if (probes != nullptr) *probes = stats.probes;
       return out;
     }
     if (tiered_ && mode == ScanMode::kDefault) {
@@ -312,6 +322,7 @@ std::vector<Match> ItemMemory::above(const Hypervector& query,
       std::vector<Match> out = tiered_->above(*q, threshold, &stats);
       count(stats.centroid_dots + stats.row_dots);
       if (scanned != nullptr) *scanned = stats.centroid_dots + stats.row_dots;
+      if (probes != nullptr) *probes = stats.probes;
       return out;
     }
     count(packed_->size());
@@ -347,8 +358,9 @@ std::vector<Match> ItemMemory::above_among(
 }
 
 std::vector<Match> ItemMemory::top_k(const Hypervector& query, std::size_t k,
-                                     ScanMode mode,
-                                     std::uint64_t* scanned) const {
+                                     ScanMode mode, std::uint64_t* scanned,
+                                     std::uint64_t* probes) const {
+  if (probes != nullptr) *probes = 0;
   if (k == 0) {
     // Nothing was asked for: answer without scanning (on every backend —
     // the tiered path would otherwise risk its empty-bucket exact-scan
@@ -363,6 +375,7 @@ std::vector<Match> ItemMemory::top_k(const Hypervector& query, std::size_t k,
           sharded_->top_k(*q, k, mode == ScanMode::kExact, &stats);
       count(stats.centroid_dots + stats.row_dots);
       if (scanned != nullptr) *scanned = stats.centroid_dots + stats.row_dots;
+      if (probes != nullptr) *probes = stats.probes;
       return out;
     }
     if (tiered_ && mode == ScanMode::kDefault) {
@@ -370,6 +383,7 @@ std::vector<Match> ItemMemory::top_k(const Hypervector& query, std::size_t k,
       std::vector<Match> out = tiered_->top_k(*q, k, &stats);
       count(stats.centroid_dots + stats.row_dots);
       if (scanned != nullptr) *scanned = stats.centroid_dots + stats.row_dots;
+      if (probes != nullptr) *probes = stats.probes;
       return out;
     }
     count(packed_->size());

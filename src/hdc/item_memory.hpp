@@ -188,12 +188,17 @@ class ItemMemory {
   ///   query), safe for deterministic per-result accounting where reading
   ///   the shared similarity_ops() counter would race under concurrent
   ///   batch workers.
+  /// \param probes When non-null, receives the tiered coarse-stage bucket
+  ///   count this call probed (TieredItemMemory::ScanStats::probes, summed
+  ///   across shards on the sharded backend) — 0 on every exact route. Like
+  ///   `scanned`, a pure function of (memory, query, mode).
   /// \return Index and similarity (dot / D) of the best entry.
   /// \throws std::invalid_argument On dimension mismatch.
   /// \throws std::out_of_range On an empty codebook.
   [[nodiscard]] Match best(const Hypervector& query,
                            ScanMode mode = ScanMode::kDefault,
-                           std::uint64_t* scanned = nullptr) const;
+                           std::uint64_t* scanned = nullptr,
+                           std::uint64_t* probes = nullptr) const;
 
   /// Blocked variant of best(): one Match per query, in input order, each
   /// bit-identical (index, similarity, tie order — and the per-query
@@ -210,13 +215,17 @@ class ItemMemory {
   /// \param scanned When non-null, must point at queries.size() entries;
   ///   scanned[q] receives the measurement count of query q (exactly what
   ///   best() would report for it).
+  /// \param probes When non-null, must point at queries.size() entries;
+  ///   probes[q] receives query q's tiered probe count (exactly what best()
+  ///   would report for it; 0 on the one-pass exact block route).
   /// \return One Match per query, in input order.
   /// \throws std::invalid_argument On a dimension mismatch.
   /// \throws std::out_of_range On an empty codebook.
   [[nodiscard]] std::vector<Match> best_block(
       std::span<const Hypervector> queries,
       ScanMode mode = ScanMode::kDefault,
-      std::uint64_t* scanned = nullptr) const;
+      std::uint64_t* scanned = nullptr,
+      std::uint64_t* probes = nullptr) const;
 
   /// Best match over a subset of indices (used for hierarchy-restricted
   /// searches: "only children of the already-factorized parent item").
@@ -236,12 +245,14 @@ class ItemMemory {
   /// \param threshold Exclusive similarity lower bound.
   /// \param mode Per-call accuracy override (tiered backend only).
   /// \param scanned As in best(): deterministic measurement count out-param.
+  /// \param probes As in best(): deterministic tiered probe-count out-param.
   /// \return Possibly empty sorted match list.
   /// \throws std::invalid_argument On dimension mismatch.
   [[nodiscard]] std::vector<Match> above(
       const Hypervector& query, double threshold,
       ScanMode mode = ScanMode::kDefault,
-      std::uint64_t* scanned = nullptr) const;
+      std::uint64_t* scanned = nullptr,
+      std::uint64_t* probes = nullptr) const;
 
   /// Restricted variant of `above`.
   /// \param query Query HV of the codebook's dimension.
@@ -261,12 +272,14 @@ class ItemMemory {
   /// \param k Maximum number of matches to return.
   /// \param mode Per-call accuracy override (tiered backend only).
   /// \param scanned As in best(): deterministic measurement count out-param.
+  /// \param probes As in best(): deterministic tiered probe-count out-param.
   /// \return At most min(k, size()) matches in canonical order.
   /// \throws std::invalid_argument On dimension mismatch.
   [[nodiscard]] std::vector<Match> top_k(
       const Hypervector& query, std::size_t k,
       ScanMode mode = ScanMode::kDefault,
-      std::uint64_t* scanned = nullptr) const;
+      std::uint64_t* scanned = nullptr,
+      std::uint64_t* probes = nullptr) const;
 
   /// Raw integer dot products of the query with every codebook entry — the
   /// batched attention primitive of the resonator/IMC baselines. Counts

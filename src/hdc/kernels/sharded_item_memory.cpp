@@ -127,6 +127,28 @@ ShardedItemMemory::ShardedItemMemory(
   exact_ = std::all_of(shards_.begin(), shards_.end(), [](const Shard& s) {
     return s.tier == nullptr || s.tier->exact();
   });
+  shard_scans_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  shard_rows_scanned_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    shard_scans_[s].store(0, std::memory_order_relaxed);
+    shard_rows_scanned_[s].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::uint64_t> ShardedItemMemory::shard_scans() const {
+  std::vector<std::uint64_t> out(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    out[s] = shard_scans_[s].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> ShardedItemMemory::shard_rows_scanned() const {
+  std::vector<std::uint64_t> out(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    out[s] = shard_rows_scanned_[s].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 std::size_t ShardedItemMemory::scatter_workers() const noexcept {
@@ -196,16 +218,20 @@ Match ShardedItemMemory::best(const PackedQuery& query, bool exact,
   require_query(query);
   const std::size_t n = shards_.size();
   std::vector<Match> local(n);
-  std::vector<TieredItemMemory::ScanStats> st(stats != nullptr ? n : 0);
+  // Per-shard stats are collected unconditionally: the per-shard counters
+  // charge each shard with its scan cost whether or not the caller asked
+  // for aggregate stats.
+  std::vector<TieredItemMemory::ScanStats> st(n);
   for_each_shard([&](std::size_t s) {
     const Shard& sh = shards_[s];
     Match m;
     if (!exact && sh.tier != nullptr) {
-      m = sh.tier->best(query, stats != nullptr ? &st[s] : nullptr);
+      m = sh.tier->best(query, &st[s]);
     } else {
       m = sh.rows->best(query);
-      if (stats != nullptr) st[s].row_dots += sh.rows->size();
+      st[s].row_dots += sh.rows->size();
     }
+    note_shard_scan(s, st[s].centroid_dots + st[s].row_dots);
     m.index += sh.begin;
     local[s] = m;
   });
@@ -227,16 +253,16 @@ std::vector<Match> ShardedItemMemory::above(
   require_query(query);
   const std::size_t n = shards_.size();
   std::vector<std::vector<Match>> local(n);
-  std::vector<TieredItemMemory::ScanStats> st(stats != nullptr ? n : 0);
+  std::vector<TieredItemMemory::ScanStats> st(n);
   for_each_shard([&](std::size_t s) {
     const Shard& sh = shards_[s];
     if (!exact && sh.tier != nullptr) {
-      local[s] =
-          sh.tier->above(query, threshold, stats != nullptr ? &st[s] : nullptr);
+      local[s] = sh.tier->above(query, threshold, &st[s]);
     } else {
       local[s] = sh.rows->above(query, threshold);
-      if (stats != nullptr) st[s].row_dots += sh.rows->size();
+      st[s].row_dots += sh.rows->size();
     }
+    note_shard_scan(s, st[s].centroid_dots + st[s].row_dots);
     for (Match& m : local[s]) m.index += sh.begin;
   });
   std::vector<Match> out;
@@ -258,15 +284,16 @@ std::vector<Match> ShardedItemMemory::top_k(
   const std::size_t kk = std::min(k, full_->size());
   const std::size_t n = shards_.size();
   std::vector<std::vector<Match>> local(n);
-  std::vector<TieredItemMemory::ScanStats> st(stats != nullptr ? n : 0);
+  std::vector<TieredItemMemory::ScanStats> st(n);
   for_each_shard([&](std::size_t s) {
     const Shard& sh = shards_[s];
     if (!exact && sh.tier != nullptr) {
-      local[s] = sh.tier->top_k(query, kk, stats != nullptr ? &st[s] : nullptr);
+      local[s] = sh.tier->top_k(query, kk, &st[s]);
     } else {
       local[s] = sh.rows->top_k(query, kk);
-      if (stats != nullptr) st[s].row_dots += sh.rows->size();
+      st[s].row_dots += sh.rows->size();
     }
+    note_shard_scan(s, st[s].centroid_dots + st[s].row_dots);
     for (Match& m : local[s]) m.index += sh.begin;
   });
   // Sound merge: any row of the global top-k is by definition in its own
@@ -291,6 +318,7 @@ void ShardedItemMemory::dots(const PackedQuery& query,
   for_each_shard([&](std::size_t s) {
     const Shard& sh = shards_[s];
     sh.rows->dots(query, out.subspan(sh.begin, sh.rows->size()));
+    note_shard_scan(s, sh.rows->size());
   });
 }
 
@@ -303,12 +331,15 @@ std::vector<Match> ShardedItemMemory::best_block(
   for_each_shard([&](std::size_t s) {
     const Shard& sh = shards_[s];
     if (!exact && sh.tier != nullptr) {
+      TieredItemMemory::ScanStats st;
       local[s].reserve(queries.size());
       for (const PackedQuery& q : queries) {
-        local[s].push_back(sh.tier->best(q));
+        local[s].push_back(sh.tier->best(q, &st));
       }
+      note_shard_scan(s, st.centroid_dots + st.row_dots);
     } else {
       local[s] = sh.rows->best_block(queries);
+      note_shard_scan(s, queries.size() * sh.rows->size());
     }
     for (Match& m : local[s]) m.index += sh.begin;
   });
@@ -332,12 +363,15 @@ std::vector<std::vector<Match>> ShardedItemMemory::top_k_block(
   for_each_shard([&](std::size_t s) {
     const Shard& sh = shards_[s];
     if (!exact && sh.tier != nullptr) {
+      TieredItemMemory::ScanStats st;
       local[s].reserve(queries.size());
       for (const PackedQuery& q : queries) {
-        local[s].push_back(sh.tier->top_k(q, kk));
+        local[s].push_back(sh.tier->top_k(q, kk, &st));
       }
+      note_shard_scan(s, st.centroid_dots + st.row_dots);
     } else {
       local[s] = sh.rows->top_k_block(queries, kk);
+      note_shard_scan(s, queries.size() * sh.rows->size());
     }
     for (auto& per_query : local[s]) {
       for (Match& m : per_query) m.index += sh.begin;
@@ -369,6 +403,7 @@ void ShardedItemMemory::dots_block(std::span<const PackedQuery> queries,
     // query's slice into its global column range (disjoint across shards).
     std::vector<std::int64_t> scratch(queries.size() * size);
     sh.rows->dots_block(queries, scratch);
+    note_shard_scan(s, queries.size() * size);
     for (std::size_t q = 0; q < queries.size(); ++q) {
       std::copy_n(scratch.data() + q * size, size,
                   out.data() + q * total + sh.begin);

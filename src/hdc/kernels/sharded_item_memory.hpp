@@ -40,6 +40,7 @@
 // packed memory instead.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -153,6 +154,20 @@ class ShardedItemMemory {
     return snapshots_rejected_;
   }
 
+  // --- Per-shard scan accounting -------------------------------------------
+  // Every scatter pass charges each shard's relaxed-atomic counters with the
+  // work it did there (centroid dots + row dots on tiered shards, the full
+  // slice on exact ones) — the observability surface that makes hot shards
+  // visible (service::Metrics exports it). Mutable bookkeeping, never
+  // synchronizing: recording is wait-free and results are unaffected.
+
+  /// \return Scatter passes over each shard since construction (one entry
+  ///   per shard; blocked scans count one pass per shard per block).
+  [[nodiscard]] std::vector<std::uint64_t> shard_scans() const;
+  /// \return Similarity measurements charged to each shard since
+  ///   construction (one entry per shard).
+  [[nodiscard]] std::vector<std::uint64_t> shard_rows_scanned() const;
+
   // --- Scatter-gather scans ------------------------------------------------
   // `exact` forces the per-shard packed full scan even on tiered shards
   // (hdc::ScanMode::kExact); stats (when non-null) accumulate the summed
@@ -216,6 +231,11 @@ class ShardedItemMemory {
   /// Worker count a scatter pass would use right now (1 = sequential).
   [[nodiscard]] std::size_t scatter_workers() const noexcept;
   void require_query(const PackedQuery& query) const;
+  /// Charges shard `s` with one scatter pass of `rows` measurements.
+  void note_shard_scan(std::size_t s, std::uint64_t rows) const noexcept {
+    shard_scans_[s].fetch_add(1, std::memory_order_relaxed);
+    shard_rows_scanned_[s].fetch_add(rows, std::memory_order_relaxed);
+  }
 
   std::shared_ptr<const PackedItemMemory> full_;
   std::vector<Shard> shards_;
@@ -223,6 +243,10 @@ class ShardedItemMemory {
   bool exact_ = true;
   std::size_t snapshots_adopted_ = 0;
   std::size_t snapshots_rejected_ = 0;
+  /// Per-shard scan accounting (see shard_scans()); sized shards() at
+  /// construction, address-stable, mutated relaxed from const scans.
+  mutable std::unique_ptr<std::atomic<std::uint64_t>[]> shard_scans_;
+  mutable std::unique_ptr<std::atomic<std::uint64_t>[]> shard_rows_scanned_;
 };
 
 // --- Per-shard FTS1 snapshots ----------------------------------------------

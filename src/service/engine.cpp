@@ -20,6 +20,11 @@ double us_since(std::chrono::steady_clock::time_point start) noexcept {
       .count();
 }
 
+double us_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) noexcept {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
 }  // namespace
 
 FactorizationEngine::FactorizationEngine(std::shared_ptr<const Model> model,
@@ -28,7 +33,9 @@ FactorizationEngine::FactorizationEngine(std::shared_ptr<const Model> model,
       opts_(opts),
       batcher_(model_->factorizer(),
                core::BatchOptions{.num_threads = opts.batch_threads}),
-      cache_(opts.cache_capacity, opts.cache_shards) {
+      cache_(opts.cache_capacity, opts.cache_shards),
+      trace_ring_(opts.trace_ring, opts.trace_sample),
+      slow_log_(opts.slow_query_us) {
   if (opts_.max_batch == 0) {
     throw std::invalid_argument("FactorizationEngine: max_batch must be >= 1");
   }
@@ -42,12 +49,14 @@ FactorizationEngine::FactorizationEngine(std::shared_ptr<const Model> model,
     // automatically. shards() >= 1, so this never resolves to 0.
     opts_.dispatchers = model_->factorizer().shards();
   }
-  dispatcher_metrics_.reserve(opts_.dispatchers);
+  dispatchers_.reserve(opts_.dispatchers);
   batcher_threads_.reserve(opts_.dispatchers);
   for (std::size_t i = 0; i < opts_.dispatchers; ++i) {
-    dispatcher_metrics_.push_back(std::make_unique<Metrics>());
-    Metrics& m = *dispatcher_metrics_.back();
-    batcher_threads_.emplace_back([this, &m] { batcher_loop(m); });
+    dispatchers_.push_back(std::make_unique<DispatcherState>());
+    DispatcherState& st = *dispatchers_.back();
+    const auto index = static_cast<std::uint32_t>(i);
+    batcher_threads_.emplace_back(
+        [this, &st, index] { batcher_loop(st, index); });
   }
 }
 
@@ -70,25 +79,56 @@ std::future<core::FactorizeResult> FactorizationEngine::submit(
     }
   }
   const auto start = std::chrono::steady_clock::now();
+  // Every request claims an id from the global sequence when observability
+  // is on, sampled or not — the sampled SET (id % N == 0) stays a pure
+  // function of the request count across dispatcher/thread counts.
+  const bool observing = trace_ring_.enabled() || slow_log_.enabled();
+  std::uint64_t trace_id = 0;
+  bool traced = false;
+  if (observing) {
+    trace_id = trace_ring_.next_id();
+    traced = trace_ring_.sampled(trace_id);
+  }
   const std::uint64_t key = request_key(target, opts);
 
   // Fast path: replay a previously computed result. Safe because lookup
   // verifies full (target, opts) equality, and factorization is pure.
   if (auto hit = cache_.lookup(key, target, opts)) {
+    const auto cache_done = std::chrono::steady_clock::now();
     metrics_.on_submitted();
     metrics_.on_cache_hit();
+    metrics_.on_stage(Stage::kCacheLookup, us_between(start, cache_done));
     std::promise<core::FactorizeResult> ready;
     auto fut = ready.get_future();
     ready.set_value(*std::move(hit));
     metrics_.on_completed(us_since(start));
+    if (traced) {
+      RequestTrace t;
+      t.id = trace_id;
+      t.submit_ns = trace_ring_.since_origin_ns(start);
+      t.cache_done_ns = trace_ring_.since_origin_ns(cache_done);
+      t.complete_ns =
+          trace_ring_.since_origin_ns(std::chrono::steady_clock::now());
+      t.cache_hit = true;
+      t.shards = model_->factorizer().shards();
+      t.rows_scanned = hit->similarity_ops;
+      t.probes = hit->probes;
+      t.exact_rescans = hit->exact_rescans;
+      t.rounds = hit->rounds;
+      trace_ring_.record(t);
+    }
     return fut;
   }
+  const auto cache_done = std::chrono::steady_clock::now();
 
   Request req;
   req.target = std::move(target);
   req.opts = std::move(opts);
   req.key = key;
   req.submitted = start;
+  req.cache_done = cache_done;
+  req.trace_id = trace_id;
+  req.traced = traced;
   auto fut = req.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -111,12 +151,14 @@ std::future<core::FactorizeResult> FactorizationEngine::submit(
             "(request was never enqueued)");
       }
     }
+    req.enqueued = std::chrono::steady_clock::now();
     queue_.push_back(std::move(req));
     // Counted while still holding the queue lock: the batcher cannot pop
     // (and thus complete) this request before the lock is released, so a
     // concurrent metrics snapshot never observes completed > submitted.
     metrics_.on_submitted();
     metrics_.on_cache_miss();
+    metrics_.on_stage(Stage::kCacheLookup, us_between(start, cache_done));
   }
   queue_ready_.notify_one();
   return fut;
@@ -151,12 +193,17 @@ std::vector<FactorizationEngine::Request> FactorizationEngine::next_flight() {
     }
     lock.unlock();
     queue_space_.notify_all();
+    // One dequeue stamp for the whole flight — it left the queue as a unit.
+    const auto dequeued = std::chrono::steady_clock::now();
+    for (Request& r : flight) r.dequeued = dequeued;
     return flight;
   }
 }
 
 void FactorizationEngine::run_flight(std::vector<Request> flight,
-                                     Metrics& metrics) {
+                                     DispatcherState& state,
+                                     std::uint32_t index) {
+  Metrics& metrics = state.metrics;
   // Group members by identical options — BatchFactorizer applies one
   // FactorizeOptions to a whole batch, and identical options are also what
   // makes two results interchangeable. Flights are homogeneous in the
@@ -211,6 +258,7 @@ void FactorizationEngine::run_flight(std::vector<Request> flight,
     }
 
     metrics.on_batch(group.size());
+    const auto scan_start = std::chrono::steady_clock::now();
     std::vector<core::FactorizeResult> results;
     try {
       results = batcher_.factorize_all(targets, gopts);
@@ -224,23 +272,57 @@ void FactorizationEngine::run_flight(std::vector<Request> flight,
       }
       continue;
     }
+    const auto scan_end = std::chrono::steady_clock::now();
 
     for (std::size_t u = 0; u < targets.size(); ++u) {
       cache_.insert(target_keys[u], targets[u], gopts, results[u]);
     }
+    const bool build_traces = slow_log_.enabled();
     for (std::size_t j = 0; j < group.size(); ++j) {
       Request& r = flight[group[j]];
-      r.promise.set_value(results[rep[j]]);
+      const core::FactorizeResult& result = results[rep[j]];
+      r.promise.set_value(result);
+      const auto done = std::chrono::steady_clock::now();
+      metrics.on_stage(Stage::kQueueWait, us_between(r.enqueued, r.dequeued));
+      metrics.on_stage(Stage::kBatchAssembly,
+                       us_between(r.dequeued, scan_start));
+      metrics.on_stage(Stage::kScan, us_between(scan_start, scan_end));
+      metrics.on_stage(Stage::kMerge, us_between(scan_end, done));
       metrics.on_completed(us_since(r.submitted));
+      if (r.traced || build_traces) {
+        RequestTrace t;
+        t.id = r.trace_id;
+        t.submit_ns = trace_ring_.since_origin_ns(r.submitted);
+        t.cache_done_ns = trace_ring_.since_origin_ns(r.cache_done);
+        t.enqueue_ns = trace_ring_.since_origin_ns(r.enqueued);
+        t.dequeue_ns = trace_ring_.since_origin_ns(r.dequeued);
+        t.scan_start_ns = trace_ring_.since_origin_ns(scan_start);
+        t.scan_end_ns = trace_ring_.since_origin_ns(scan_end);
+        t.complete_ns = trace_ring_.since_origin_ns(done);
+        t.cache_hit = false;
+        t.dispatcher = index;
+        t.batch_size = static_cast<std::uint32_t>(group.size());
+        t.shards = model_->factorizer().shards();
+        t.rows_scanned = result.similarity_ops;
+        t.probes = result.probes;
+        t.exact_rescans = result.exact_rescans;
+        t.rounds = result.rounds;
+        slow_log_.observe(t);
+        if (r.traced) trace_ring_.record(t);
+      }
     }
   }
 }
 
-void FactorizationEngine::batcher_loop(Metrics& metrics) {
+void FactorizationEngine::batcher_loop(DispatcherState& state,
+                                       std::uint32_t index) {
   while (true) {
     std::vector<Request> flight = next_flight();
     if (flight.empty()) return;
-    run_flight(std::move(flight), metrics);
+    const std::size_t n = flight.size();
+    state.inflight.fetch_add(n, std::memory_order_relaxed);
+    run_flight(std::move(flight), state, index);
+    state.inflight.fetch_sub(n, std::memory_order_relaxed);
   }
 }
 
@@ -266,9 +348,32 @@ MetricsSnapshot FactorizationEngine::metrics() const {
   // merging submitted-last keeps completed <= submitted in live snapshots;
   // after a drain the aggregate is exact.
   Metrics agg;
-  for (const auto& m : dispatcher_metrics_) agg.merge(*m);
+  for (const auto& d : dispatchers_) agg.merge(d->metrics);
   agg.merge(metrics_);
-  return agg.snapshot(queue_depth());
+  MetricsSnapshot snap = agg.snapshot(queue_depth());
+  snap.shard_rows_scanned = model_->factorizer().shard_rows_scanned();
+  return snap;
+}
+
+std::vector<FactorizationEngine::DispatcherStats>
+FactorizationEngine::dispatcher_stats() const {
+  std::vector<DispatcherStats> out;
+  out.reserve(dispatchers_.size());
+  for (const auto& d : dispatchers_) {
+    DispatcherStats s;
+    s.metrics = d->metrics.snapshot(0);
+    s.inflight = d->inflight.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void FactorizationEngine::reset_metrics() noexcept {
+  // Dispatcher (compute-side) sets hold completions; the submit-side set
+  // holds submits. Clearing completions first keeps completed <= submitted
+  // for any snapshot interleaved with the reset.
+  for (const auto& d : dispatchers_) d->metrics.reset();
+  metrics_.reset();
 }
 
 std::size_t FactorizationEngine::queue_depth() const {

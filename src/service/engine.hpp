@@ -48,6 +48,7 @@
 #include "service/metrics.hpp"
 #include "service/model_registry.hpp"
 #include "service/result_cache.hpp"
+#include "service/trace.hpp"
 
 namespace factorhd::service {
 
@@ -76,6 +77,17 @@ struct ServiceOptions {
   std::size_t cache_capacity = 4096;
   /// ResultCache shard count.
   std::size_t cache_shards = 8;
+  /// Deterministic 1-in-N request tracing (0 = tracing off). Sampled
+  /// requests get a full RequestTrace in the trace ring; the sampled id SET
+  /// is a pure function of the request count, identical across dispatcher
+  /// counts. Env default: FACTORHD_TRACE_SAMPLE.
+  std::size_t trace_sample = 0;
+  /// Trace-ring capacity (sampled traces retained). Env: FACTORHD_TRACE_RING.
+  std::size_t trace_ring = 4096;
+  /// Slow-query log threshold in us; 0 disables. When on, every computed
+  /// request is timed stage-by-stage (even unsampled ones) so slow outliers
+  /// always carry their breakdown. Env: FACTORHD_SLOW_QUERY_US.
+  std::size_t slow_query_us = 0;
 };
 
 /// Thrown by submit() under reject_when_full backpressure.
@@ -149,7 +161,39 @@ class FactorizationEngine {
   void stop();
 
   /// \return Counter snapshot, safe to call at any time while serving.
+  ///   Includes the per-stage latency digests and (for sharded models) the
+  ///   per-shard rows-scanned counters.
   [[nodiscard]] MetricsSnapshot metrics() const;
+
+  /// One dispatcher's view for the `stats` per-dispatcher breakdown.
+  struct DispatcherStats {
+    MetricsSnapshot metrics;   ///< this dispatcher's compute-side counters
+    std::size_t inflight = 0;  ///< requests popped but not yet fulfilled
+  };
+  /// \return Per-dispatcher compute-side snapshots (batches dispatched, max
+  ///   batch high-water, in-flight depth), index-aligned with the pool.
+  [[nodiscard]] std::vector<DispatcherStats> dispatcher_stats() const;
+
+  /// Zeroes every counter and latency histogram (submit-side and all
+  /// dispatcher sets) for a fresh `stats reset` epoch. The engine keeps
+  /// serving; requests in flight attribute their completion to the new
+  /// epoch. The trace ring and request-id sequence are NOT reset —
+  /// sampled-id determinism spans epochs.
+  void reset_metrics() noexcept;
+
+  /// The engine's trace ring (occupancy / drop counters, config).
+  [[nodiscard]] const TraceRing& trace_ring() const noexcept {
+    return trace_ring_;
+  }
+  /// Snapshot of the retained sampled traces, request-id ascending. Feed to
+  /// chrome_trace_json() for a Perfetto-loadable dump.
+  [[nodiscard]] std::vector<RequestTrace> trace_samples() const {
+    return trace_ring_.collect();
+  }
+  /// The engine's slow-query log (emitted / suppressed counters).
+  [[nodiscard]] const SlowQueryLog& slow_query_log() const noexcept {
+    return slow_log_;
+  }
 
   [[nodiscard]] const Model& model() const noexcept { return *model_; }
   [[nodiscard]] const ServiceOptions& options() const noexcept {
@@ -165,31 +209,49 @@ class FactorizationEngine {
     std::uint64_t key = 0;  ///< request_key(target, opts)
     std::promise<core::FactorizeResult> promise;
     std::chrono::steady_clock::time_point submitted;
+    std::chrono::steady_clock::time_point cache_done;  ///< cache probe done
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point dequeued;
+    std::uint64_t trace_id = 0;  ///< global submit-order id (when observing)
+    bool traced = false;         ///< in the deterministic sample set
   };
 
-  void batcher_loop(Metrics& metrics);
+  /// One dispatcher's mutable state (unique_ptr-held: address-stable
+  /// atomics). Compute-side metrics are uncontended on the dispatch path;
+  /// inflight is the popped-but-not-fulfilled gauge for `stats`.
+  struct DispatcherState {
+    Metrics metrics;
+    std::atomic<std::size_t> inflight{0};
+  };
+
+  void batcher_loop(DispatcherState& state, std::uint32_t index);
   /// Collects one flight from the queue (respecting max_batch/max_delay_us).
   /// Returns an empty vector when stopping and the queue is drained.
   [[nodiscard]] std::vector<Request> next_flight();
   /// Factorizes one flight: groups by options, coalesces duplicates,
   /// dispatches BatchFactorizer, fulfills promises, feeds cache + the
-  /// calling dispatcher's metrics set.
-  void run_flight(std::vector<Request> flight, Metrics& metrics);
+  /// calling dispatcher's metrics set + per-stage latencies + traces.
+  void run_flight(std::vector<Request> flight, DispatcherState& state,
+                  std::uint32_t index);
 
   std::shared_ptr<const Model> model_;
   ServiceOptions opts_;
   core::BatchFactorizer batcher_;  ///< views model_->factorizer()
   ResultCache cache_;
-  /// Submit-side counters (submitted / rejected / cache hit+miss and the
-  /// cache-hit completions recorded on the submit thread). Compute-side
-  /// events go to the owning dispatcher's set in dispatcher_metrics_;
-  /// metrics() merges dispatcher sets first and this set last, so each
-  /// event is aggregated exactly once and completed <= submitted holds in
-  /// live snapshots.
+  /// Submit-side counters (submitted / rejected / cache hit+miss, the
+  /// cache-lookup stage, and the cache-hit completions recorded on the
+  /// submit thread). Compute-side events go to the owning dispatcher's set
+  /// in dispatchers_; metrics() merges dispatcher sets first and this set
+  /// last, so each event is aggregated exactly once and
+  /// completed <= submitted holds in live snapshots.
   Metrics metrics_;
-  /// One counter set per dispatcher (unique_ptr: Metrics holds atomics and
-  /// must stay address-stable). Uncontended writes on the dispatch path.
-  std::vector<std::unique_ptr<Metrics>> dispatcher_metrics_;
+  /// Per-dispatcher state (unique_ptr: holds atomics, address-stable).
+  std::vector<std::unique_ptr<DispatcherState>> dispatchers_;
+  /// Sampled-trace ring; also owns the global request-id sequence and the
+  /// steady-clock origin all trace timestamps are relative to.
+  TraceRing trace_ring_;
+  /// Rate-limited slow-query JSONL (stderr by default).
+  SlowQueryLog slow_log_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_ready_;  ///< signalled on enqueue and stop

@@ -31,7 +31,74 @@ double histogram_quantile(const std::array<std::atomic<std::uint64_t>, 64>& h,
   return std::ldexp(std::sqrt(2.0), 63) / 1e3;  // unreachable
 }
 
+/// Total sample count in a histogram.
+std::uint64_t histogram_count(
+    const std::array<std::atomic<std::uint64_t>, 64>& h) {
+  std::uint64_t total = 0;
+  for (const auto& b : h) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+/// Approximate sum of all samples in us: bucket geometric midpoints times
+/// counts — the same sqrt(2) fidelity as the quantiles.
+double histogram_sum_us(const std::array<std::atomic<std::uint64_t>, 64>& h) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const std::uint64_t n = h[i].load(std::memory_order_relaxed);
+    if (n != 0) {
+      sum += static_cast<double>(n) *
+             (std::ldexp(std::sqrt(2.0), static_cast<int>(i)) / 1e3);
+    }
+  }
+  return sum;
+}
+
+/// Fills one per-stage digest from its histogram.
+MetricsSnapshot::StageLatency stage_digest(
+    const std::array<std::atomic<std::uint64_t>, 64>& h) {
+  MetricsSnapshot::StageLatency d;
+  d.count = histogram_count(h);
+  if (d.count != 0) {
+    d.p50_us = histogram_quantile(h, 0.50);
+    d.p99_us = histogram_quantile(h, 0.99);
+    d.p999_us = histogram_quantile(h, 0.999);
+    d.sum_us = histogram_sum_us(h);
+  }
+  return d;
+}
+
+/// One label set of a Prometheus summary family: quantile lines + _sum +
+/// _count (HELP/TYPE are emitted once per family by the caller).
+void prom_summary(std::ostringstream& os, const char* name,
+                  const std::string& labels, std::uint64_t count, double p50,
+                  double p99, double p999, double sum) {
+  const std::string sep = labels.empty() ? "" : ",";
+  os << name << "{" << labels << sep << "quantile=\"0.5\"} " << p50 << "\n"
+     << name << "{" << labels << sep << "quantile=\"0.99\"} " << p99 << "\n"
+     << name << "{" << labels << sep << "quantile=\"0.999\"} " << p999 << "\n"
+     << name << "_sum" << (labels.empty() ? "" : "{" + labels + "}") << " "
+     << sum << "\n"
+     << name << "_count" << (labels.empty() ? "" : "{" + labels + "}") << " "
+     << count << "\n";
+}
+
 }  // namespace
+
+const char* to_string(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kCacheLookup:
+      return "cache_lookup";
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kBatchAssembly:
+      return "batch_assembly";
+    case Stage::kScan:
+      return "scan";
+    case Stage::kMerge:
+      return "merge";
+  }
+  return "unknown";
+}
 
 void Metrics::on_batch(std::size_t requests) noexcept {
   inc(batches_);
@@ -55,6 +122,11 @@ void Metrics::on_completed(double latency_us) noexcept {
   inc(completed_);
   latency_buckets_[bucket_of(latency_us)].fetch_add(1,
                                                     std::memory_order_relaxed);
+}
+
+void Metrics::on_stage(Stage stage, double latency_us) noexcept {
+  stage_buckets_[static_cast<std::size_t>(stage)][bucket_of(latency_us)]
+      .fetch_add(1, std::memory_order_relaxed);
 }
 
 MetricsSnapshot Metrics::snapshot(std::size_t queue_depth) const {
@@ -81,6 +153,11 @@ MetricsSnapshot Metrics::snapshot(std::size_t queue_depth) const {
                                       static_cast<double>(s.batches);
   s.p50_latency_us = histogram_quantile(latency_buckets_, 0.50);
   s.p99_latency_us = histogram_quantile(latency_buckets_, 0.99);
+  s.p999_latency_us = histogram_quantile(latency_buckets_, 0.999);
+  s.latency_sum_us = histogram_sum_us(latency_buckets_);
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    s.stages[i] = stage_digest(stage_buckets_[i]);
+  }
   return s;
 }
 
@@ -121,6 +198,35 @@ void Metrics::merge(const Metrics& other) noexcept {
         other.latency_buckets_[i].load(std::memory_order_relaxed);
     if (n != 0) latency_buckets_[i].fetch_add(n, std::memory_order_relaxed);
   }
+  for (std::size_t st = 0; st < kNumStages; ++st) {
+    for (std::size_t i = 0; i < stage_buckets_[st].size(); ++i) {
+      const std::uint64_t n =
+          other.stage_buckets_[st][i].load(std::memory_order_relaxed);
+      if (n != 0) {
+        stage_buckets_[st][i].fetch_add(n, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+void Metrics::reset() noexcept {
+  // Downstream-first, mirroring snapshot()'s read order in reverse effect:
+  // clearing `completed` before `submitted` means a concurrent snapshot can
+  // see old submits with new (zero) completions — completed <= submitted
+  // holds — but never the inverted excess.
+  for (auto& h : stage_buckets_) {
+    for (auto& b : h) b.store(0, std::memory_order_relaxed);
+  }
+  for (auto& b : latency_buckets_) b.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_release);
+  cache_hits_.store(0, std::memory_order_release);
+  cache_misses_.store(0, std::memory_order_release);
+  batches_.store(0, std::memory_order_release);
+  batched_requests_.store(0, std::memory_order_release);
+  coalesced_.store(0, std::memory_order_release);
+  max_batch_.store(0, std::memory_order_release);
+  rejected_.store(0, std::memory_order_release);
+  submitted_.store(0, std::memory_order_release);
 }
 
 std::string MetricsSnapshot::to_string() const {
@@ -133,7 +239,79 @@ std::string MetricsSnapshot::to_string() const {
      << "batches:  " << batches << " dispatched, mean " << mean_batch
      << " req/batch, max " << max_batch_observed << "\n"
      << "latency:  p50 ~ " << p50_latency_us << " us, p99 ~ "
-     << p99_latency_us << " us (power-of-2 bucket midpoints, +/- sqrt(2))";
+     << p99_latency_us << " us, p99.9 ~ " << p999_latency_us
+     << " us (power-of-2 bucket midpoints, +/- sqrt(2))";
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const StageLatency& d = stages[i];
+    os << "\nstage " << service::to_string(static_cast<Stage>(i)) << ": "
+       << d.count
+       << " samples, p50 ~ " << d.p50_us << " us, p99 ~ " << d.p99_us
+       << " us, p99.9 ~ " << d.p999_us << " us";
+  }
+  if (!shard_rows_scanned.empty()) {
+    os << "\nshards:   rows scanned per shard:";
+    for (std::size_t i = 0; i < shard_rows_scanned.size(); ++i) {
+      os << " [" << i << "] " << shard_rows_scanned[i];
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::ostringstream os;
+  const auto counter = [&](const char* name, const char* help,
+                           std::uint64_t value) {
+    os << "# HELP " << name << " " << help << "\n"
+       << "# TYPE " << name << " counter\n"
+       << name << " " << value << "\n";
+  };
+  counter("factorhd_requests_submitted_total", "Accepted submit() calls.",
+          submitted);
+  counter("factorhd_requests_rejected_total",
+          "Submits refused by queue backpressure.", rejected);
+  counter("factorhd_requests_completed_total",
+          "Futures fulfilled (including cache hits).", completed);
+  counter("factorhd_cache_hits_total", "Requests served from the result cache.",
+          cache_hits);
+  counter("factorhd_cache_misses_total", "Requests enqueued for computation.",
+          cache_misses);
+  counter("factorhd_batches_total", "Micro-batches dispatched.", batches);
+  counter("factorhd_batched_requests_total",
+          "Requests carried by dispatched micro-batches.", batched_requests);
+  counter("factorhd_coalesced_total", "Duplicate requests deduped in-batch.",
+          coalesced);
+  os << "# HELP factorhd_queue_depth Pending requests at scrape time.\n"
+     << "# TYPE factorhd_queue_depth gauge\n"
+     << "factorhd_queue_depth " << queue_depth << "\n";
+  os << "# HELP factorhd_max_batch_observed Largest micro-batch dispatched.\n"
+     << "# TYPE factorhd_max_batch_observed gauge\n"
+     << "factorhd_max_batch_observed " << max_batch_observed << "\n";
+  os << "# HELP factorhd_request_latency_us End-to-end request latency"
+     << " (power-of-2 bucket midpoints, microseconds).\n"
+     << "# TYPE factorhd_request_latency_us summary\n";
+  prom_summary(os, "factorhd_request_latency_us", "", completed,
+               p50_latency_us, p99_latency_us, p999_latency_us,
+               latency_sum_us);
+  os << "# HELP factorhd_stage_latency_us Per-pipeline-stage latency"
+     << " (power-of-2 bucket midpoints, microseconds).\n"
+     << "# TYPE factorhd_stage_latency_us summary\n";
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const StageLatency& d = stages[i];
+    const std::string labels =
+        std::string("stage=\"") + service::to_string(static_cast<Stage>(i)) +
+        "\"";
+    prom_summary(os, "factorhd_stage_latency_us", labels, d.count, d.p50_us,
+                 d.p99_us, d.p999_us, d.sum_us);
+  }
+  if (!shard_rows_scanned.empty()) {
+    os << "# HELP factorhd_shard_rows_scanned_total Similarity measurements"
+       << " charged to each scan shard.\n"
+       << "# TYPE factorhd_shard_rows_scanned_total counter\n";
+    for (std::size_t i = 0; i < shard_rows_scanned.size(); ++i) {
+      os << "factorhd_shard_rows_scanned_total{shard=\"" << i << "\"} "
+         << shard_rows_scanned[i] << "\n";
+    }
+  }
   return os.str();
 }
 

@@ -16,3 +16,4 @@
 #include "service/metrics.hpp"         // IWYU pragma: export
 #include "service/model_registry.hpp"  // IWYU pragma: export
 #include "service/result_cache.hpp"    // IWYU pragma: export
+#include "service/trace.hpp"           // IWYU pragma: export

@@ -54,6 +54,9 @@ std::span<const EnvKnob> env_knobs() {
        "shard count"},
       {"FACTORHD_SIMD", "auto | scalar | words | avx2 | avx512 | neon", "auto",
        "clamps the dispatched SIMD tier of packed codebook scans"},
+      {"FACTORHD_SLOW_QUERY_US", "0 (off) .. 2^40", "0",
+       "serve-side slow-query log: requests whose end-to-end latency exceeds "
+       "this many microseconds emit a rate-limited JSONL stage breakdown"},
       {"FACTORHD_SNAPSHOT_MMAP", "0 (stream) | 1 (mmap)", "1",
        "load FTS1/FTX1 snapshots via a shared read-only mmap where available"},
       {"FACTORHD_TIERED_BUILD_THREADS", "0 (auto) .. 256", "0 = scan pool",
@@ -71,6 +74,12 @@ std::span<const EnvKnob> env_knobs() {
       {"FACTORHD_TIERED_NPROBE_MIN", "0 (auto) .. 2^24", "0 = max(1, nprobe/8)",
        "adaptive probing floor: buckets always probed before the margin rule "
        "may stop; >= K keeps every scan exact"},
+      {"FACTORHD_TRACE_RING", "1 .. 2^24", "4096",
+       "serve-side trace-ring capacity: sampled request traces retained for "
+       "`trace dump` (Chrome trace-event JSON)"},
+      {"FACTORHD_TRACE_SAMPLE", "0 (off) .. 2^30", "0",
+       "deterministic 1-in-N request tracing; the sampled id set depends "
+       "only on the request count, not on dispatcher/thread counts"},
       {"FACTORHD_TRIALS", "0 (auto) .. any", "per-bench",
        "overrides per-point trial counts in the bench harness"},
   };

@@ -19,11 +19,19 @@
 //       its geometry.
 //   info | version
 //       Build/version report: compiler and build flags, detected and
-//       dispatched SIMD scan tier, the FACTORHD_* env-knob registry, and a
-//       serving-engine self-test (one micro-batch through
-//       service::FactorizationEngine, metrics printed).
+//       dispatched SIMD scan tier, the observability configuration, the
+//       FACTORHD_* env-knob registry, and a serving-engine self-test (one
+//       traced micro-batch through service::FactorizationEngine, metrics
+//       and trace-ring occupancy printed).
+//   trace     [--seed S] [--requests N] [--sample K] [--out PATH]
+//       Self-contained traced serving session: spins up an engine with
+//       1-in-K deterministic sampling, runs N requests (with repeats to
+//       exercise the cache-hit path), and dumps the sampled traces as
+//       Chrome trace-event JSON — load the file in Perfetto or
+//       chrome://tracing to see the per-stage spans.
 //
 // Exit status: 0 on success, 1 on bad usage or a failed demo round trip.
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -62,7 +70,9 @@ using namespace factorhd;
       "  index build --model PATH [--out PATH] [--min-rows N]\n"
       "              [--clusters K] [--nprobe P] [--threads T]\n"
       "  index info  --snapshot PATH\n"
-      "  info      (also: version) build flags, SIMD tiers, env knobs\n";
+      "  info      (also: version) build flags, SIMD tiers, env knobs\n"
+      "  trace     [--seed S] [--requests N] [--sample K] [--out PATH]\n"
+      "            traced serving session -> Chrome trace-event JSON\n";
   std::exit(1);
 }
 
@@ -351,6 +361,22 @@ int cmd_info() {
   }
   std::cout << "\n";
 
+  // Observability configuration as the env knobs resolve it.
+  const service::TraceConfig trace_cfg = service::trace_config_from_env();
+  std::cout << "observability:   trace sample ";
+  if (trace_cfg.sample_every == 0) {
+    std::cout << "off (FACTORHD_TRACE_SAMPLE=0)";
+  } else {
+    std::cout << "1-in-" << trace_cfg.sample_every;
+  }
+  std::cout << ", ring " << trace_cfg.ring_capacity << " slots, slow-query ";
+  if (trace_cfg.slow_query_us == 0) {
+    std::cout << "off (FACTORHD_SLOW_QUERY_US=0)";
+  } else {
+    std::cout << ">= " << trace_cfg.slow_query_us << " us";
+  }
+  std::cout << "\n";
+
   std::cout << "\nenvironment knobs:\n";
   util::TextTable table({"knob", "values", "default", "effect"});
   for (const util::EnvKnob& k : util::env_knobs()) {
@@ -372,8 +398,10 @@ int cmd_info() {
   if (const auto level = model->factorizer().simd_level()) {
     std::cout << " @ " << hk::to_string(*level);
   }
-  std::cout << "\n\nengine self-test (D=256, 4 requests + 1 cached repeat):\n";
-  service::FactorizationEngine engine(model, {.max_batch = 4});
+  std::cout << "\n\nengine self-test (D=256, 4 requests + 1 cached repeat, "
+               "traced 1-in-1):\n";
+  service::FactorizationEngine engine(model,
+                                      {.max_batch = 4, .trace_sample = 1});
   const tax::Object obj = tax::random_object(taxonomy, rng);
   const hdc::Hypervector target = model->encoder().encode_object(obj);
   std::vector<std::future<core::FactorizeResult>> futures;
@@ -387,6 +415,66 @@ int cmd_info() {
   (void)engine.submit(target).get();
   engine.stop();
   std::cout << engine.metrics().to_string() << "\n";
+  const auto& ring = engine.trace_ring();
+  std::cout << "trace:    ring " << ring.occupancy() << "/" << ring.capacity()
+            << " traces, " << ring.dropped() << " dropped (`factorhd trace` "
+            << "dumps a Chrome/Perfetto-loadable session)\n";
+  return 0;
+}
+
+int cmd_trace(const std::map<std::string, std::string>& flags) {
+  const auto seed = static_cast<std::uint64_t>(flag_int(flags, "seed", 1));
+  const auto requests =
+      static_cast<std::size_t>(flag_int(flags, "requests", 64));
+  const auto sample = static_cast<std::size_t>(flag_int(flags, "sample", 1));
+  const std::string out = flags.count("out") ? flags.at("out") : "";
+  if (requests == 0) usage("--requests must be >= 1");
+
+  util::Xoshiro256 rng(seed);
+  const tax::Taxonomy taxonomy(3, {8, 4});
+  auto model = service::Model::make("trace-demo",
+                                    tax::TaxonomyCodebooks(taxonomy, 512, rng));
+  service::ServiceOptions opts;
+  opts.max_batch = 16;
+  opts.trace_sample = sample;
+  opts.trace_ring = std::max<std::size_t>(requests, std::size_t{64});
+  service::FactorizationEngine engine(model, opts);
+
+  // A burst of single-object scenes; every 8th repeats the first target so
+  // the dump also shows the short cache-hit span shape.
+  std::vector<hdc::Hypervector> targets;
+  targets.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    if (i != 0 && i % 8 == 0) {
+      targets.push_back(targets.front());
+      continue;
+    }
+    targets.push_back(model->encoder().encode_object(
+        tax::random_object(taxonomy, rng)));
+  }
+  std::vector<std::future<core::FactorizeResult>> futures;
+  futures.reserve(requests);
+  for (const auto& t : targets) futures.push_back(engine.submit(t));
+  for (auto& f : futures) (void)f.get();
+  engine.stop();
+
+  const auto samples = engine.trace_samples();
+  const std::string json = service::chrome_trace_json(samples);
+  if (out.empty()) {
+    std::cout << json << "\n";
+  } else {
+    std::ofstream file(out);
+    if (!file) {
+      std::cerr << "error: cannot open " << out << "\n";
+      return 1;
+    }
+    file << json << "\n";
+  }
+  std::cerr << "traced " << requests << " requests (1-in-" << sample
+            << " sampled): " << samples.size() << " traces, "
+            << engine.trace_ring().dropped() << " dropped"
+            << (out.empty() ? "" : " -> " + out)
+            << "\nload in Perfetto (ui.perfetto.dev) or chrome://tracing\n";
   return 0;
 }
 
@@ -416,5 +504,6 @@ int main(int argc, char** argv) {
   if (cmd == "capacity") return cmd_capacity(flags);
   if (cmd == "calibrate") return cmd_calibrate(flags);
   if (cmd == "demo") return cmd_demo(flags);
+  if (cmd == "trace") return cmd_trace(flags);
   usage(("unknown command " + cmd).c_str());
 }

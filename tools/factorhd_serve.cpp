@@ -21,12 +21,25 @@
 //                                            submit, verify (demo + smoke)
 //   burst COUNT [N]                          COUNT concurrent roundtrips —
 //                                            exercises micro-batching
-//   stats                                    engine metrics snapshot
+//   stats                                    engine metrics snapshot: counters,
+//                                            per-stage p50/p99/p99.9, per-shard
+//                                            scan counts, per-dispatcher lines
+//   stats prom [FILE]                        Prometheus text exposition (to
+//                                            FILE when given, else inline)
+//   stats reset                              zero the counters/histograms for
+//                                            a fresh epoch (engine keeps
+//                                            serving; trace ring untouched)
+//   trace dump [FILE]                        sampled request traces as Chrome
+//                                            trace-event JSON (Perfetto /
+//                                            chrome://tracing loadable)
 //   quit                                     drain and exit (EOF works too)
 //
 // Service defaults come from the FACTORHD_SERVE_* env knobs (see
-// util::env_knobs); `serve` arguments override them. Exit status 0 on
-// clean shutdown, 1 on a malformed invocation.
+// util::env_knobs); observability from FACTORHD_TRACE_SAMPLE /
+// FACTORHD_TRACE_RING / FACTORHD_SLOW_QUERY_US; `serve` arguments override
+// the batching knobs. Exit status 0 on clean shutdown, 1 on a malformed
+// invocation.
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <memory>
@@ -61,6 +74,10 @@ service::ServiceOptions env_service_options() {
       util::env_size_t("FACTORHD_SERVE_QUEUE_CAP", 1024, 1, 1 << 20);
   opts.cache_capacity =
       util::env_size_t("FACTORHD_SERVE_CACHE_CAP", 4096, 0, 1 << 24);
+  const service::TraceConfig trace = service::trace_config_from_env();
+  opts.trace_sample = trace.sample_every;
+  opts.trace_ring = trace.ring_capacity;
+  opts.slow_query_us = trace.slow_query_us;
   return opts;
 }
 
@@ -332,6 +349,67 @@ void cmd_burst(ServerState& st, const std::vector<std::string>& args,
      << " req/s, mean batch " << util::fmt_double(mean_batch, 2) << "\n";
 }
 
+void cmd_stats(ServerState& st, const std::vector<std::string>& args,
+               std::ostream& os) {
+  auto& engine = require_engine(st);
+  if (!args.empty() && args[0] == "reset") {
+    engine.reset_metrics();
+    os << "ok stats reset\n";
+    return;
+  }
+  if (!args.empty() && args[0] == "prom") {
+    if (args.size() > 2) {
+      throw std::invalid_argument("usage: stats prom [FILE]");
+    }
+    const std::string prom = engine.metrics().to_prometheus();
+    if (args.size() == 2) {
+      std::ofstream out(args[1]);
+      if (!out) throw std::invalid_argument("cannot open " + args[1]);
+      out << prom;
+      os << "ok stats prom -> " << args[1] << "\n";
+    } else {
+      os << prom << "ok stats prom\n";
+    }
+    return;
+  }
+  if (!args.empty()) {
+    throw std::invalid_argument("usage: stats [prom [FILE] | reset]");
+  }
+  os << engine.metrics().to_string() << "\n";
+  const auto dispatchers = engine.dispatcher_stats();
+  for (std::size_t i = 0; i < dispatchers.size(); ++i) {
+    const auto& d = dispatchers[i];
+    os << "dispatcher[" << i << "]: " << d.metrics.batches
+       << " batches, mean " << util::fmt_double(d.metrics.mean_batch, 2)
+       << " req/batch, max " << d.metrics.max_batch_observed << ", inflight "
+       << d.inflight << "\n";
+  }
+  const auto& ring = engine.trace_ring();
+  os << "trace:    sample 1-in-" << ring.sample_every() << " ("
+     << (ring.enabled() ? "on" : "off") << "), ring " << ring.occupancy()
+     << "/" << ring.capacity() << " traces, " << ring.dropped()
+     << " dropped\nok stats\n";
+}
+
+void cmd_trace(ServerState& st, const std::vector<std::string>& args,
+               std::ostream& os) {
+  auto& engine = require_engine(st);
+  if (args.empty() || args[0] != "dump" || args.size() > 2) {
+    throw std::invalid_argument("usage: trace dump [FILE]");
+  }
+  const auto samples = engine.trace_samples();
+  const std::string json = service::chrome_trace_json(samples);
+  if (args.size() == 2) {
+    std::ofstream out(args[1]);
+    if (!out) throw std::invalid_argument("cannot open " + args[1]);
+    out << json << "\n";
+    os << "ok trace dump " << samples.size() << " traces -> " << args[1]
+       << "\n";
+  } else {
+    os << json << "\nok trace dump " << samples.size() << " traces\n";
+  }
+}
+
 // Dispatches one command line. Returns false on `quit`.
 bool handle_line(ServerState& st, const std::string& line, std::ostream& os) {
   auto words = split_words(line);
@@ -356,10 +434,13 @@ bool handle_line(ServerState& st, const std::string& line, std::ostream& os) {
     } else if (cmd == "burst") {
       cmd_burst(st, words, os);
     } else if (cmd == "stats") {
-      os << require_engine(st).metrics().to_string() << "\nok stats\n";
+      cmd_stats(st, words, os);
+    } else if (cmd == "trace") {
+      cmd_trace(st, words, os);
     } else if (cmd == "help") {
       os << "commands: model gen|load|save|list, serve, reshard, factorize, "
-            "roundtrip, burst, stats, quit\nok\n";
+            "roundtrip, burst, stats [prom [FILE] | reset], trace dump "
+            "[FILE], quit\nok\n";
     } else {
       throw std::invalid_argument("unknown command " + cmd);
     }

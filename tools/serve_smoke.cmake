@@ -8,6 +8,10 @@ serve demo 8 100
 roundtrip 2
 burst 12 1
 stats
+stats prom
+trace dump
+stats reset
+stats
 quit
 ")
 
@@ -31,6 +35,12 @@ foreach(needle
     "ok roundtrip exact"
     "ok burst 12 requests, 12 exact"
     "ok stats"
+    "stage scan:"
+    "dispatcher\\[0\\]:"
+    "factorhd_stage_latency_us"
+    "ok stats prom"
+    "ok trace dump"
+    "ok stats reset"
     "ok bye")
   if(NOT out MATCHES "${needle}")
     message(FATAL_ERROR "expected '${needle}' in serve output:\n${out}")
