@@ -71,6 +71,15 @@ lockstep. The file's own ``schema`` field selects the validator:
   show ``overhead.ratio >= 0.97`` — sampled tracing at the deployment
   default (1-in-64) may cost at most 3% throughput, the ISSUE 9
   observability acceptance bound (committed as BENCH_service.json).
+* ``factorhd.bench_latency.v1`` — the open-loop network load sweep written
+  by ``bench_ext_latency --json`` (context with dim/items/saturation_rps/
+  hot_fraction/admission bounds/seed; one row per load multiplier with
+  offered rate, goodput, p50/p99/p99.9 result latency, and the
+  results/overloads/errors/timeouts accounting). Full-mode baselines must
+  show p99 <= 10x p50 on the 0.5x-saturation row and, on the 4x row,
+  excess load shed by explicit overload rejects with zero timeouts — the
+  ISSUE 10 admission-control acceptance bounds (committed as
+  BENCH_latency.json).
 * ``factorhd.bench_scale.v4`` — v3 plus the ISSUE 8 scatter-gather
   ``shard_sweep`` list per row: one entry per shard count (ascending)
   with ``shards``, ``build_seconds`` (per-shard tier builds),
@@ -115,6 +124,7 @@ SCALE_SCHEMA_V2 = "factorhd.bench_scale.v2"
 SCALE_SCHEMA_V3 = "factorhd.bench_scale.v3"
 SCALE_SCHEMA_V4 = "factorhd.bench_scale.v4"
 SERVICE_SCHEMA = "factorhd.bench_service.v1"
+LATENCY_SCHEMA = "factorhd.bench_latency.v1"
 
 # Full-mode blocked-scan acceptance (ISSUE 7): per-query throughput at
 # Q=64 must be at least this multiple of Q=1 on the m=4096/d=8192 point.
@@ -649,6 +659,104 @@ def validate_service(doc, schema=SERVICE_SCHEMA):
     return errors
 
 
+LATENCY_ROW_FIELDS = (
+    "name", "multiplier", "offered_rps", "seconds", "sent", "results",
+    "overloads", "errors", "timeouts", "goodput_rps", "p50_us", "p99_us",
+    "p999_us",
+)
+LATENCY_CONTEXT_FIELDS = (
+    "dim", "items", "requests_per_row", "saturation_rps", "hot_fraction",
+    "admission_depth", "client_quota", "seed",
+)
+# Full-mode tail-latency acceptance (ISSUE 10): below saturation (the 0.5x
+# row) the tail must stay bounded — p99 at most this multiple of p50 ...
+MAX_TAIL_RATIO = 10.0
+TAIL_ACCEPTANCE_MULTIPLIER = 0.5
+# ... and at this overload multiple the excess must be shed by explicit
+# kOverload rejects, never by timeouts.
+OVERLOAD_ACCEPTANCE_MULTIPLIER = 4.0
+
+
+def validate_latency(doc, schema=LATENCY_SCHEMA):
+    """Returns a list of bench_latency v1 violations (empty = valid)."""
+    errors = []
+    if doc.get("schema") != schema:
+        errors.append(f"schema is {doc.get('schema')!r}, expected {schema!r}")
+    if doc.get("mode") not in ("full", "smoke"):
+        errors.append(f"mode is {doc.get('mode')!r}")
+    ctx = doc.get("context", {})
+    for field in LATENCY_CONTEXT_FIELDS:
+        if field not in ctx:
+            errors.append(f"context.{field} missing")
+    if ctx.get("simd_level") not in KNOWN_LEVELS:
+        errors.append(f"context.simd_level is {ctx.get('simd_level')!r}")
+    if ctx.get("saturation_rps", 0) <= 0:
+        errors.append("context.saturation_rps is non-positive")
+    rows = doc.get("rows") or []
+    if not rows:
+        errors.append("no rows recorded")
+    prev_mult = 0.0
+    by_mult = {}
+    for row in rows:
+        missing = [f for f in LATENCY_ROW_FIELDS if f not in row]
+        if missing:
+            errors.append(f"row {row.get('name')!r}: missing fields {missing}")
+            continue
+        name = row["name"]
+        if row["multiplier"] <= prev_mult:
+            errors.append(f"row {name!r}: multipliers not strictly ascending")
+        prev_mult = row["multiplier"]
+        by_mult[row["multiplier"]] = row
+        accounted = (row["results"] + row["overloads"] + row["errors"]
+                     + row["timeouts"])
+        if accounted != row["sent"]:
+            errors.append(
+                f"row {name!r}: sent {row['sent']} != results+overloads+"
+                f"errors+timeouts ({accounted})"
+            )
+        if row["results"] > 0:
+            if not 0 < row["p50_us"] <= row["p99_us"] <= row["p999_us"]:
+                errors.append(
+                    f"row {name!r}: quantiles violate 0 < p50 <= p99 <= p99.9"
+                )
+            if row["goodput_rps"] <= 0:
+                errors.append(f"row {name!r}: results but no goodput")
+        if row["offered_rps"] <= 0:
+            errors.append(f"row {name!r}: non-positive offered_rps")
+    for mult in (TAIL_ACCEPTANCE_MULTIPLIER, OVERLOAD_ACCEPTANCE_MULTIPLIER):
+        if mult not in by_mult:
+            errors.append(f"rows lack the {mult}x load point")
+    # The acceptance bounds bind only committed full-mode baselines — smoke
+    # sweeps are far too short for stable quantiles.
+    if doc.get("mode") == "full":
+        tail = by_mult.get(TAIL_ACCEPTANCE_MULTIPLIER)
+        if tail and tail.get("results"):
+            if tail["p99_us"] > MAX_TAIL_RATIO * tail["p50_us"]:
+                errors.append(
+                    f"{TAIL_ACCEPTANCE_MULTIPLIER}x row: p99 "
+                    f"{tail['p99_us']}us > {MAX_TAIL_RATIO} * p50 "
+                    f"{tail['p50_us']}us (tail bound)"
+                )
+        elif tail:
+            errors.append(
+                f"{TAIL_ACCEPTANCE_MULTIPLIER}x row recorded no results"
+            )
+        over = by_mult.get(OVERLOAD_ACCEPTANCE_MULTIPLIER)
+        if over is not None:
+            if over["timeouts"] != 0:
+                errors.append(
+                    f"{OVERLOAD_ACCEPTANCE_MULTIPLIER}x row: "
+                    f"{over['timeouts']} timeouts (overload must be shed by "
+                    "explicit rejects)"
+                )
+            if over["overloads"] < 1:
+                errors.append(
+                    f"{OVERLOAD_ACCEPTANCE_MULTIPLIER}x row: no overload "
+                    "rejects recorded"
+                )
+    return errors
+
+
 def run_check(path):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
@@ -659,6 +767,9 @@ def run_check(path):
     elif doc.get("schema") == SERVICE_SCHEMA:
         kind = SERVICE_SCHEMA
         errors = validate_service(doc, kind)
+    elif doc.get("schema") == LATENCY_SCHEMA:
+        kind = LATENCY_SCHEMA
+        errors = validate_latency(doc, kind)
     else:
         kind = SCHEMA_V2 if doc.get("schema") == SCHEMA_V2 else SCHEMA
         errors = validate(doc, kind)
@@ -666,7 +777,22 @@ def run_check(path):
         for e in errors:
             print(f"bench_json.py: {path}: {e}", file=sys.stderr)
         sys.exit(1)
-    if kind == SERVICE_SCHEMA:
+    if kind == LATENCY_SCHEMA:
+        rows = doc["rows"]
+        tail = next(
+            (r for r in rows
+             if r.get("multiplier") == TAIL_ACCEPTANCE_MULTIPLIER), {})
+        over = next(
+            (r for r in rows
+             if r.get("multiplier") == OVERLOAD_ACCEPTANCE_MULTIPLIER), {})
+        print(
+            f"{path}: schema {kind} OK ({len(rows)} rows, saturation "
+            f"{doc['context']['saturation_rps']} req/s, 0.5x p50/p99 "
+            f"{tail.get('p50_us')}/{tail.get('p99_us')}us, 4x rejects "
+            f"{over.get('overloads')} timeouts {over.get('timeouts')}, "
+            f"simd_level={doc['context']['simd_level']})"
+        )
+    elif kind == SERVICE_SCHEMA:
         overhead = doc["overhead"]
         print(
             f"{path}: schema {kind} OK ({len(doc['rows'])} rows, tracing "

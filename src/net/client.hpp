@@ -1,0 +1,123 @@
+// NetClient: small blocking client for the FHN1 protocol — the one client
+// implementation shared by the serve tool, the tests, and the open-loop
+// load generator (bench/bench_ext_latency.cpp), so every consumer speaks
+// the protocol through the same codec the server is tested against.
+//
+// Pipelining: send_* calls only write; recv_response() reads exactly one
+// logical response (reassembling kPartial streams internally), so a caller
+// may issue N sends and then collect N responses, matching them by
+// request id. The synchronous factorize() wraps one send + matching
+// receive and turns error/overload responses into typed exceptions.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace factorhd::net {
+
+/// The server answered kError. Carries the wire code + message.
+class ServerError : public std::runtime_error {
+ public:
+  ServerError(ErrorCode code, const std::string& message)
+      : std::runtime_error("server error " +
+                           std::to_string(static_cast<int>(code)) + ": " +
+                           message),
+        code_(code) {}
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// The server answered kOverload — admission control rejected the request.
+class OverloadError : public std::runtime_error {
+ public:
+  explicit OverloadError(OverloadInfo info)
+      : std::runtime_error("server overloaded: " + info.detail),
+        info_(std::move(info)) {}
+  [[nodiscard]] const OverloadInfo& info() const noexcept { return info_; }
+
+ private:
+  OverloadInfo info_;
+};
+
+class NetClient {
+ public:
+  /// One logical response (a streamed result arrives fully reassembled).
+  struct Response {
+    enum class Kind : std::uint8_t {
+      kResult,
+      kPong,
+      kStats,
+      kError,
+      kOverload,
+    };
+    std::uint64_t request_id = 0;
+    Kind kind = Kind::kResult;
+    core::FactorizeResult result;  ///< kResult
+    std::string text;              ///< kStats text / kPong echo / kError message
+    ErrorCode error_code = ErrorCode::kInternal;  ///< kError
+    OverloadInfo overload;                        ///< kOverload
+    /// kResult only: number of kPartial frames the result arrived in
+    /// (0 = non-streamed response).
+    std::size_t partial_frames = 0;
+  };
+
+  /// Connects (blocking) to host:port.
+  /// \throws std::runtime_error On resolve/connect failure.
+  NetClient(const std::string& host, std::uint16_t port);
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Sends one factorize request; returns its request id.
+  std::uint64_t send_factorize(const hdc::Hypervector& target,
+                               const core::FactorizeOptions& opts = {},
+                               bool stream = false,
+                               std::uint32_t deadline_hint_us = 0);
+  std::uint64_t send_ping(const std::string& payload = {});
+  std::uint64_t send_stats();
+
+  /// Writes raw bytes to the socket — the fault-injection escape hatch for
+  /// crafting malformed frames in tests.
+  void send_raw(std::span<const std::uint8_t> bytes);
+
+  /// Blocks for the next logical response (kPartial frames are consumed
+  /// internally until their final kResult arrives).
+  /// \throws ProtocolError On undecodable server bytes.
+  /// \throws std::runtime_error On disconnect or receive timeout.
+  [[nodiscard]] Response recv_response();
+
+  /// Receive timeout for recv_response (0 = block forever; the default).
+  void set_recv_timeout(std::chrono::milliseconds timeout);
+
+  /// Synchronous convenience: send one factorize and wait for its result.
+  /// \throws ServerError / OverloadError On error / overload responses.
+  [[nodiscard]] core::FactorizeResult factorize(
+      const hdc::Hypervector& target, const core::FactorizeOptions& opts = {},
+      bool stream = false, std::uint32_t deadline_hint_us = 0);
+
+  void close();
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  std::uint64_t send_frame(Opcode opcode, std::uint8_t flags,
+                           std::span<const std::uint8_t> payload);
+
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  FrameParser parser_;
+  std::vector<Frame> pending_;  ///< parsed frames not yet consumed
+  /// Streamed objects collected per request id, awaiting their kResult.
+  std::unordered_map<std::uint64_t, std::vector<core::FactorizedObject>>
+      partials_;
+};
+
+}  // namespace factorhd::net

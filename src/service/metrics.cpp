@@ -96,6 +96,12 @@ const char* to_string(Stage stage) noexcept {
       return "scan";
     case Stage::kMerge:
       return "merge";
+    case Stage::kNetRead:
+      return "net_read";
+    case Stage::kAdmission:
+      return "admission";
+    case Stage::kNetWrite:
+      return "net_write";
   }
   return "unknown";
 }

@@ -28,17 +28,22 @@
 
 namespace factorhd::service {
 
-/// Pipeline stages the engine attributes request latency to. kCacheLookup
-/// is recorded for every request (hit or miss); the queue-to-merge stages
-/// only for computed (cache-miss) requests.
+/// Pipeline stages request latency is attributed to. kCacheLookup is
+/// recorded for every request (hit or miss); the queue-to-merge stages
+/// only for computed (cache-miss) requests. The kNet* stages are recorded
+/// by the network front end (net::NetServer keeps its own Metrics set);
+/// engine-owned Metrics leave them empty.
 enum class Stage : std::size_t {
   kCacheLookup = 0,  ///< submit() → ResultCache probe done
   kQueueWait,        ///< enqueue → popped by a dispatcher
   kBatchAssembly,    ///< popped → batch handed to BatchFactorizer
   kScan,             ///< BatchFactorizer::factorize_all wall time
   kMerge,            ///< results back → promise fulfilled (+ cache insert)
+  kNetRead,          ///< socket bytes → frame parsed + request decoded
+  kAdmission,        ///< frame decoded → admitted + handed to the engine
+  kNetWrite,         ///< engine future ready → response bytes buffered
 };
-inline constexpr std::size_t kNumStages = 5;
+inline constexpr std::size_t kNumStages = 8;
 
 /// Stable snake_case stage name (the Prometheus label / trace span name).
 [[nodiscard]] const char* to_string(Stage stage) noexcept;

@@ -35,6 +35,27 @@ std::span<const EnvKnob> env_knobs() {
        "bench sweep sizes: reduced laptop-scale vs paper-scale"},
       {"FACTORHD_CSV_DIR", "directory path", "unset = no CSV",
        "bench harness: also write per-bench CSVs here"},
+      {"FACTORHD_NET_ADMISSION_DEPTH", "1 .. 2^20", "256",
+       "net server: bounded admission-queue depth; a full queue answers "
+       "overload (queue-full) frames instead of queueing unboundedly"},
+      {"FACTORHD_NET_CLIENT_QUOTA", "1 .. 2^20", "32",
+       "net server: per-client in-flight request quota; exceeding it "
+       "answers overload (quota) frames"},
+      {"FACTORHD_NET_IDLE_TIMEOUT_MS", "10 .. 86400000", "30000",
+       "net server: disconnect connections making no protocol progress "
+       "(no complete frame parsed, no response bytes flushed) for this long"},
+      {"FACTORHD_NET_MAX_FRAME", "1024 .. 2^30", "1048576",
+       "net server: per-frame payload byte bound (mirrors the io.cpp "
+       "pre-allocation guard); oversized length prefixes disconnect"},
+      {"FACTORHD_NET_POLLER", "epoll | poll", "epoll",
+       "net server: readiness backend; poll forces the portable poll(2) "
+       "fallback even where epoll is available"},
+      {"FACTORHD_NET_PORT", "0 (ephemeral) .. 65535", "0",
+       "net server: TCP port bound on 127.0.0.1 by `listen`; 0 asks the "
+       "kernel for an ephemeral port (printed on start)"},
+      {"FACTORHD_NET_WRITE_BUF", "4096 .. 2^30", "8388608",
+       "net server: per-connection write-buffer byte bound; clients not "
+       "draining responses are disconnected at the limit"},
       {"FACTORHD_SCAN_THREADS", "0 (auto) .. 256", "0 = min(hardware, 8)",
        "plane-scan worker-pool width; 1 disables scan threading"},
       {"FACTORHD_SEED", "any u64", "42", "global experiment seed"},

@@ -21,9 +21,17 @@
 //                                            submit, verify (demo + smoke)
 //   burst COUNT [N]                          COUNT concurrent roundtrips —
 //                                            exercises micro-batching
+//   listen [PORT]                            start the binary TCP front end
+//                                            (src/net/) on 127.0.0.1; PORT 0 or
+//                                            absent = FACTORHD_NET_PORT (0 =
+//                                            ephemeral, printed). The stdin
+//                                            protocol keeps running alongside.
+//   listen stop                              drain and stop the TCP front end
 //   stats                                    engine metrics snapshot: counters,
 //                                            per-stage p50/p99/p99.9, per-shard
 //                                            scan counts, per-dispatcher lines
+//                                            (+ net/admission lines while
+//                                            listening)
 //   stats prom [FILE]                        Prometheus text exposition (to
 //                                            FILE when given, else inline)
 //   stats reset                              zero the counters/histograms for
@@ -48,6 +56,7 @@
 #include <vector>
 
 #include "core/factorhd.hpp"
+#include "net/net.hpp"
 #include "service/model_snapshot.hpp"
 #include "service/service.hpp"
 #include "util/env.hpp"
@@ -63,7 +72,20 @@ struct ServerState {
   service::ModelRegistry registry;
   std::shared_ptr<const service::Model> model;
   std::unique_ptr<service::FactorizationEngine> engine;
+  /// TCP front end over `engine` (declared after it: destroyed — drained —
+  /// first, so the engine it references is still alive).
+  std::unique_ptr<net::NetServer> net_server;
 };
+
+/// Stops and discards the TCP listener if one is running. The engine-swap
+/// commands call this first — the listener holds a reference to the engine
+/// being torn down. \return True when a listener was actually stopped.
+bool stop_listener(ServerState& st) {
+  if (!st.net_server) return false;
+  st.net_server->stop();
+  st.net_server.reset();
+  return true;
+}
 
 service::ServiceOptions env_service_options() {
   service::ServiceOptions opts;
@@ -185,6 +207,7 @@ void cmd_serve(ServerState& st, const std::vector<std::string>& args,
   // Construct (and validate) the replacement before draining the current
   // engine, so a bad `serve` command leaves the running session intact.
   auto fresh = std::make_unique<service::FactorizationEngine>(m, opts);
+  const bool listener_stopped = stop_listener(st);
   st.engine.reset();  // drain the previous engine
   st.model = m;
   st.engine = std::move(fresh);
@@ -192,7 +215,9 @@ void cmd_serve(ServerState& st, const std::vector<std::string>& args,
      << ", max_delay_us=" << opts.max_delay_us
      << ", cache=" << opts.cache_capacity
      << ", shards=" << m->factorizer().shards()
-     << ", dispatchers=" << st.engine->options().dispatchers << ")\n";
+     << ", dispatchers=" << st.engine->options().dispatchers << ")"
+     << (listener_stopped ? " (listener stopped - rerun `listen`)" : "")
+     << "\n";
 }
 
 void cmd_reshard(ServerState& st, const std::vector<std::string>& args,
@@ -218,11 +243,13 @@ void cmd_reshard(ServerState& st, const std::vector<std::string>& args,
   if (st.engine && st.model && st.model->name() == args[0]) {
     service::ServiceOptions opts = st.engine->options();
     auto fresh = std::make_unique<service::FactorizationEngine>(m, opts);
+    const bool listener_stopped = stop_listener(st);
     st.engine.reset();  // drain the previous engine
     st.model = m;
     st.engine = std::move(fresh);
     os << " (engine hot-swapped, dispatchers="
-       << st.engine->options().dispatchers << ")";
+       << st.engine->options().dispatchers << ")"
+       << (listener_stopped ? " (listener stopped - rerun `listen`)" : "");
   }
   os << "\n";
 }
@@ -232,6 +259,36 @@ service::FactorizationEngine& require_engine(ServerState& st) {
     throw std::invalid_argument("no engine — run `serve NAME` first");
   }
   return *st.engine;
+}
+
+void cmd_listen(ServerState& st, const std::vector<std::string>& args,
+                std::ostream& os) {
+  if (args.size() == 1 && args[0] == "stop") {
+    if (!stop_listener(st)) throw std::invalid_argument("not listening");
+    os << "ok listen stopped\n";
+    return;
+  }
+  if (args.size() > 1) {
+    throw std::invalid_argument("usage: listen [PORT] | listen stop");
+  }
+  if (st.net_server) {
+    throw std::invalid_argument("already listening on port " +
+                                std::to_string(st.net_server->port()));
+  }
+  require_engine(st);
+  net::ServerOptions opts = net::server_options_from_env();
+  if (args.size() == 1) {
+    const std::size_t port = parse_size(args[0], "PORT");
+    if (port > 65535) throw std::invalid_argument("PORT must be 0..65535");
+    opts.port = static_cast<std::uint16_t>(port);
+  }
+  auto server = std::make_unique<net::NetServer>(*st.engine, opts);
+  server->start();
+  st.net_server = std::move(server);
+  os << "ok listening on 127.0.0.1:" << st.net_server->port() << " ("
+     << st.net_server->poller_name() << ", admission depth "
+     << opts.admission.depth << ", client quota " << opts.admission.client_quota
+     << ")\n";
 }
 
 void print_result(const ServerState& st, const core::FactorizeResult& r,
@@ -387,8 +444,9 @@ void cmd_stats(ServerState& st, const std::vector<std::string>& args,
   const auto& ring = engine.trace_ring();
   os << "trace:    sample 1-in-" << ring.sample_every() << " ("
      << (ring.enabled() ? "on" : "off") << "), ring " << ring.occupancy()
-     << "/" << ring.capacity() << " traces, " << ring.dropped()
-     << " dropped\nok stats\n";
+     << "/" << ring.capacity() << " traces, " << ring.dropped() << " dropped\n";
+  if (st.net_server) os << st.net_server->stats_text() << "\n";
+  os << "ok stats\n";
 }
 
 void cmd_trace(ServerState& st, const std::vector<std::string>& args,
@@ -427,6 +485,8 @@ bool handle_line(ServerState& st, const std::string& line, std::ostream& os) {
       cmd_serve(st, words, os);
     } else if (cmd == "reshard") {
       cmd_reshard(st, words, os);
+    } else if (cmd == "listen") {
+      cmd_listen(st, words, os);
     } else if (cmd == "factorize") {
       cmd_factorize(st, std::move(words), os);
     } else if (cmd == "roundtrip") {
@@ -438,9 +498,9 @@ bool handle_line(ServerState& st, const std::string& line, std::ostream& os) {
     } else if (cmd == "trace") {
       cmd_trace(st, words, os);
     } else if (cmd == "help") {
-      os << "commands: model gen|load|save|list, serve, reshard, factorize, "
-            "roundtrip, burst, stats [prom [FILE] | reset], trace dump "
-            "[FILE], quit\nok\n";
+      os << "commands: model gen|load|save|list, serve, reshard, listen "
+            "[PORT]|stop, factorize, roundtrip, burst, stats [prom [FILE] | "
+            "reset], trace dump [FILE], quit\nok\n";
     } else {
       throw std::invalid_argument("unknown command " + cmd);
     }
@@ -448,6 +508,35 @@ bool handle_line(ServerState& st, const std::string& line, std::ostream& os) {
     os << "err: " << e.what() << "\n";
   }
   return true;
+}
+
+// Command lines are bounded like every other external input (mirroring the
+// 1 MiB pre-allocation guard of hdc/io.cpp) — std::getline alone would
+// happily buffer an arbitrarily long hostile line.
+constexpr std::size_t kMaxLineLen = 1 << 20;
+
+/// Reads one newline-terminated line with a hard length cap. Oversized
+/// lines are consumed (discarded) up to their newline and flagged; embedded
+/// NUL bytes are flagged (a text protocol has no business carrying them).
+/// \return False at EOF with nothing read.
+bool read_bounded_line(std::istream& in, std::string& line, bool& oversized,
+                       bool& has_nul) {
+  line.clear();
+  oversized = false;
+  has_nul = false;
+  std::size_t consumed = 0;
+  int c;
+  while ((c = in.get()) != std::char_traits<char>::eof()) {
+    ++consumed;
+    if (c == '\n') return true;
+    if (c == '\0') has_nul = true;
+    if (line.size() >= kMaxLineLen) {
+      oversized = true;  // keep consuming to the newline, stop buffering
+    } else {
+      line.push_back(static_cast<char>(c));
+    }
+  }
+  return consumed > 0;  // a final unterminated line still counts
 }
 
 }  // namespace
@@ -459,10 +548,19 @@ int main(int argc, char** /*argv*/) {
   }
   ServerState st;
   std::string line;
-  while (std::getline(std::cin, line)) {
-    if (!handle_line(st, line, std::cout)) break;
+  bool oversized = false;
+  bool has_nul = false;
+  while (read_bounded_line(std::cin, line, oversized, has_nul)) {
+    if (oversized) {
+      std::cout << "err: line too long (max " << kMaxLineLen << " bytes)\n";
+    } else if (has_nul) {
+      std::cout << "err: embedded NUL byte in command line\n";
+    } else if (!handle_line(st, line, std::cout)) {
+      break;
+    }
     std::cout.flush();
   }
-  // Engine destructor drains in-flight requests before exit.
+  // ServerState teardown stops the listener first (it references the
+  // engine), then the engine drains in-flight requests.
   return 0;
 }

@@ -5,8 +5,10 @@
 # uses); smaller dims fail statistically, not through any serving bug.
 set(script "model gen demo 3 8,4 2048 7
 serve demo 8 100
+listen 0
 roundtrip 2
 burst 12 1
+listen stop
 stats
 stats prom
 trace dump
@@ -32,6 +34,8 @@ endif()
 foreach(needle
     "ok model demo"
     "ok serving demo"
+    "ok listening on 127\\.0\\.0\\.1:"
+    "ok listen stopped"
     "ok roundtrip exact"
     "ok burst 12 requests, 12 exact"
     "ok stats"
